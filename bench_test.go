@@ -1,0 +1,178 @@
+package ndsnn
+
+// This file is the benchmark harness entry point: one testing.B benchmark
+// per table and figure of the paper, plus the design-choice ablations of
+// DESIGN.md §5. Each benchmark regenerates its artifact end to end —
+// synthetic dataset, model, training runs for every method, and the
+// rendered table/chart on stdout — so `go test -bench=.` reproduces the
+// whole evaluation at the scale selected by NDSNN_SCALE (default "bench";
+// set NDSNN_FULL=1 for the complete paper grids).
+//
+// Wall-clock note: one benchmark iteration IS one full experiment, so
+// b.N stays at 1 under the default -benchtime. The reported metric of
+// interest is not ns/op but the experiment summary printed to stdout and
+// the custom accuracy/cost metrics attached via b.ReportMetric.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"testing"
+
+	"ndsnn/internal/bench"
+	"ndsnn/internal/metrics"
+)
+
+func benchOpts() ExperimentOptions {
+	return ExperimentOptions{
+		Scale: os.Getenv("NDSNN_SCALE"),
+		Full:  os.Getenv("NDSNN_FULL") == "1",
+	}
+}
+
+// runExperimentBench is the shared driver: runs the experiment b.N times
+// (in practice once) and emits the rendered artifact to stdout.
+func runExperimentBench(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := RunExperiment(id, &buf, benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Printf("\n%s\n", buf.String())
+		}
+	}
+}
+
+// BenchmarkFig1SparsityTrajectories regenerates Fig. 1: the per-epoch
+// sparsity of ADMM-style train-prune-retrain, iterative pruning (LTH) and
+// NDSNN. The paper's shape: NDSNN trains sparse throughout while the other
+// two spend most epochs in the low-sparsity grey region.
+func BenchmarkFig1SparsityTrajectories(b *testing.B) {
+	runExperimentBench(b, "fig1")
+}
+
+// BenchmarkTable1Accuracy regenerates Table I: test accuracy of
+// Dense/LTH/SET/RigL/NDSNN across sparsity ratios, architectures and
+// datasets. Expected shape: NDSNN leads at 98–99% sparsity with the gap
+// widening as sparsity rises.
+func BenchmarkTable1Accuracy(b *testing.B) {
+	runExperimentBench(b, "table1")
+}
+
+// BenchmarkTable2ADMMComparison regenerates Table II: ADMM pruning on
+// LeNet-5 vs NDSNN on VGG-16 at 40–75% sparsity, reporting accuracy loss
+// against each method's own dense baseline.
+func BenchmarkTable2ADMMComparison(b *testing.B) {
+	runExperimentBench(b, "table2")
+}
+
+// BenchmarkTable3InitialSparsity regenerates Table III: NDSNN accuracy as a
+// function of the initial sparsity θi. Expected shape: a shallow curve —
+// accuracy varies little across θi.
+func BenchmarkTable3InitialSparsity(b *testing.B) {
+	runExperimentBench(b, "table3")
+}
+
+// BenchmarkFig4SmallTimestep regenerates Fig. 4: NDSNN vs LTH trained at
+// T=2 across sparsities on four model/dataset panels.
+func BenchmarkFig4SmallTimestep(b *testing.B) {
+	runExperimentBench(b, "fig4")
+}
+
+// BenchmarkFig5TrainingCost regenerates Fig. 5: normalized training cost
+// (spike-rate × density accounting of Sec. IV-C) for Dense/LTH/NDSNN.
+// Expected shape: NDSNN ≪ LTH < Dense.
+func BenchmarkFig5TrainingCost(b *testing.B) {
+	runExperimentBench(b, "fig5")
+}
+
+// BenchmarkMemoryFootprint evaluates the Sec. III-D memory model on the
+// paper-width architectures (no training; analytic).
+func BenchmarkMemoryFootprint(b *testing.B) {
+	runExperimentBench(b, "memory")
+}
+
+// BenchmarkSynOpsMeasured trains NDSNN models at several sparsities,
+// compiles them into the event-driven inference engine, and measures real
+// synaptic operations per sample against the dense-MAC bound — the measured
+// counterpart of the paper's Sec. IV-C analytic cost model.
+func BenchmarkSynOpsMeasured(b *testing.B) {
+	runExperimentBench(b, "synops")
+}
+
+// BenchmarkAblationGrowCriterion compares gradient vs random regrowth (A1).
+func BenchmarkAblationGrowCriterion(b *testing.B) {
+	runExperimentBench(b, "ablation-grow")
+}
+
+// BenchmarkAblationScheduleShape compares the cubic Eq. 4 ramp against
+// linear and step ramps (A2).
+func BenchmarkAblationScheduleShape(b *testing.B) {
+	runExperimentBench(b, "ablation-shape")
+}
+
+// BenchmarkAblationLayerAllocation compares ERK vs uniform layerwise
+// sparsity allocation (A3).
+func BenchmarkAblationLayerAllocation(b *testing.B) {
+	runExperimentBench(b, "ablation-allocation")
+}
+
+// BenchmarkAblationSurrogate compares the arctangent surrogate against
+// rectangular and sigmoid surrogates (A4).
+func BenchmarkAblationSurrogate(b *testing.B) {
+	runExperimentBench(b, "ablation-surrogate")
+}
+
+// BenchmarkAblationUpdateFrequency sweeps the drop-and-grow period ΔT (A5).
+func BenchmarkAblationUpdateFrequency(b *testing.B) {
+	runExperimentBench(b, "ablation-deltat")
+}
+
+// BenchmarkHeadlineClaim runs the single most important comparison — the
+// paper's headline: at extreme sparsity NDSNN preserves accuracy that
+// SET/RigL/LTH lose, while training cheaper than LTH — and reports the
+// numbers as benchmark metrics. θ=0.95 is the capacity-equivalent of the
+// paper's 99% regime at tiny width (see DESIGN.md's scaled-grid note).
+func BenchmarkHeadlineClaim(b *testing.B) {
+	opts := benchOpts()
+	s := bench.ScaleByName(opts.Scale)
+	const theta = 0.95
+	for i := 0; i < b.N; i++ {
+		ds := s.Dataset(bench.CIFAR10, 1007)
+		dense, err := bench.Run(s, bench.Spec{Method: bench.MethodDense, Arch: "resnet19", Dataset: bench.CIFAR10, Seed: 7}, ds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nd, err := bench.Run(s, bench.Spec{Method: bench.MethodNDSNN, Arch: "resnet19", Dataset: bench.CIFAR10, Sparsity: theta, Seed: 7}, ds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rigl, err := bench.Run(s, bench.Spec{Method: bench.MethodRigL, Arch: "resnet19", Dataset: bench.CIFAR10, Sparsity: theta, Seed: 7}, ds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lth, err := bench.Run(s, bench.Spec{Method: bench.MethodLTH, Arch: "resnet19", Dataset: bench.CIFAR10, Sparsity: theta, Seed: 7}, ds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ndCost, err := metrics.RelativeTrainingCost(nd.Trajectory, dense.Trajectory)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lthCost, err := metrics.RelativeTrainingCost(lth.Trajectory, dense.Trajectory)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(nd.TestAcc*100, "ndsnn-acc-%")
+			b.ReportMetric(rigl.TestAcc*100, "rigl-acc-%")
+			b.ReportMetric(lth.TestAcc*100, "lth-acc-%")
+			b.ReportMetric(ndCost*100, "ndsnn-cost-%dense")
+			b.ReportMetric(100*ndCost/lthCost, "ndsnn-cost-%lth")
+			fmt.Printf("\nheadline @%.0f%% resnet19/cifar10: ndsnn=%.2f%% rigl=%.2f%% lth=%.2f%% | cost: ndsnn=%.1f%% of dense, %.1f%% of lth\n",
+				theta*100, nd.TestAcc*100, rigl.TestAcc*100, lth.TestAcc*100, ndCost*100, 100*ndCost/lthCost)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package ndsnn
+
+import (
+	"ndsnn/internal/checkpoint"
+	"ndsnn/internal/sparse"
+)
+
+// SaveCheckpoint persists the trained model (weights, masks, metadata).
+func (m *Model) SaveCheckpoint(path string, cfg Config) error {
+	cfg = cfg.withDefaults()
+	return checkpoint.Save(path, &checkpoint.Checkpoint{
+		Arch: cfg.Arch, Dataset: cfg.Dataset, Method: string(cfg.Method),
+		Scale: cfg.Scale, Sparsity: cfg.Sparsity,
+		TestAccuracy: m.result.TestAccuracy,
+		Params:       checkpoint.FromParams(m.net.Params()),
+	})
+}
+
+// CheckpointInfo is the inspection view of a saved model.
+type CheckpointInfo struct {
+	Arch, Dataset, Method, Scale string
+	Sparsity                     float64
+	TestAccuracy                 float64
+	// GlobalSparsity is recomputed from the stored masks.
+	GlobalSparsity float64
+	Layers         []LayerSparsity
+	// FootprintsMiB maps platform name → deployed CSR footprint.
+	FootprintsMiB map[string]float64
+	// DenseMiB is the dense FP32 size of the prunable weights.
+	DenseMiB float64
+}
+
+// InspectCheckpoint loads a checkpoint and summarizes its sparsity and
+// deployment footprints without rebuilding the network.
+func InspectCheckpoint(path string) (*CheckpointInfo, error) {
+	ck, err := checkpoint.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	info := &CheckpointInfo{
+		Arch: ck.Arch, Dataset: ck.Dataset, Method: ck.Method, Scale: ck.Scale,
+		Sparsity: ck.Sparsity, TestAccuracy: ck.TestAccuracy,
+		GlobalSparsity: ck.GlobalSparsity(),
+		FootprintsMiB:  map[string]float64{},
+	}
+	var totalBitsPer = map[string]int64{}
+	prunableTotal := 0
+	for _, cs := range ck.Census() {
+		if !cs.Prunable {
+			continue
+		}
+		info.Layers = append(info.Layers, LayerSparsity{
+			Name: cs.Name, Shape: cs.Shape, Total: cs.Total, Active: cs.Active,
+			Sparsity: 1 - float64(cs.Active)/float64(cs.Total),
+		})
+		prunableTotal += cs.Total
+		rows := cs.Shape[0]
+		// CSR accounting from the stored census: NonZero values + column
+		// indices, plus rows+1 row pointers.
+		for _, p := range sparse.Platforms {
+			totalBitsPer[p.Name] += int64(cs.NonZero)*int64(p.WeightBits+sparse.DefaultIndexBits) +
+				int64(rows+1)*int64(sparse.DefaultIndexBits)
+		}
+	}
+	for name, bits := range totalBitsPer {
+		info.FootprintsMiB[name] = sparse.BitsToMiB(float64(bits))
+	}
+	info.DenseMiB = sparse.BitsToMiB(sparse.DenseFootprintBits(prunableTotal, sparse.TrainingBits))
+	return info, nil
+}

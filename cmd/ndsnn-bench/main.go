@@ -1,0 +1,57 @@
+// Command ndsnn-bench regenerates the paper's tables and figures.
+//
+// Examples:
+//
+//	ndsnn-bench -list
+//	ndsnn-bench -exp table1
+//	ndsnn-bench -exp fig5 -scale bench
+//	ndsnn-bench -exp all -full          # complete paper grids (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ndsnn"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id (see -list), or \"all\"")
+		scale = flag.String("scale", "bench", "experiment scale: unit|bench|paper")
+		full  = flag.Bool("full", false, "run complete paper grids instead of the reduced defaults")
+		seed  = flag.Uint64("seed", 7, "random seed")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+		quiet = flag.Bool("quiet", false, "suppress per-run progress")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, id := range ndsnn.ExperimentIDs {
+			fmt.Printf("  %-20s %s\n", id, ndsnn.ExperimentDescription[id])
+		}
+		if *exp == "" && !*list {
+			fmt.Println("\nusage: ndsnn-bench -exp <id|all> [-scale unit|bench|paper] [-full]")
+			os.Exit(2)
+		}
+		return
+	}
+
+	opts := ndsnn.ExperimentOptions{Scale: *scale, Full: *full, Seed: *seed}
+	if !*quiet {
+		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  "+line) }
+	}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = ndsnn.ExperimentIDs
+	}
+	for _, id := range ids {
+		fmt.Printf("\n##### %s — %s (scale=%s) #####\n", id, ndsnn.ExperimentDescription[id], *scale)
+		if err := ndsnn.RunExperiment(id, os.Stdout, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	}
+}

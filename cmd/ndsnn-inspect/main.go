@@ -1,0 +1,58 @@
+// Command ndsnn-inspect summarizes a saved checkpoint: per-layer sparsity,
+// recomputed global sparsity, and deployed memory footprints for the
+// neuromorphic platforms of Sec. III-D (Loihi 8-bit, HICANN 4-bit,
+// FPGA-SyncNN 16-bit).
+//
+// Example:
+//
+//	ndsnn-train -method ndsnn -sparsity 0.95 -out model.ckpt
+//	ndsnn-inspect -ckpt model.ckpt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"ndsnn"
+)
+
+func main() {
+	var (
+		ckpt = flag.String("ckpt", "", "checkpoint path (required)")
+	)
+	flag.Parse()
+	if *ckpt == "" {
+		fmt.Fprintln(os.Stderr, "usage: ndsnn-inspect -ckpt model.ckpt")
+		os.Exit(2)
+	}
+	info, err := ndsnn.InspectCheckpoint(*ckpt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("checkpoint           : %s\n", *ckpt)
+	fmt.Printf("model                : %s (%s, %s, scale=%s)\n", info.Arch, info.Method, info.Dataset, info.Scale)
+	fmt.Printf("recorded test acc    : %.2f%%\n", info.TestAccuracy*100)
+	fmt.Printf("target sparsity      : %.2f%%\n", info.Sparsity*100)
+	fmt.Printf("actual sparsity      : %.2f%%\n", info.GlobalSparsity*100)
+
+	fmt.Printf("\nper-layer sparsity:\n")
+	fmt.Printf("  %-16s %-18s %10s %10s %9s\n", "layer", "shape", "total", "active", "sparsity")
+	for _, l := range info.Layers {
+		fmt.Printf("  %-16s %-18s %10d %10d %8.2f%%\n", l.Name, fmt.Sprint(l.Shape), l.Total, l.Active, l.Sparsity*100)
+	}
+
+	fmt.Printf("\ndeployment footprints (CSR, 16-bit indices):\n")
+	fmt.Printf("  dense FP32 reference: %.3f MiB\n", info.DenseMiB)
+	var names []string
+	for name := range info.FootprintsMiB {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		mib := info.FootprintsMiB[name]
+		fmt.Printf("  %-14s %.3f MiB (%.1f%% of dense FP32)\n", name, mib, 100*mib/info.DenseMiB)
+	}
+}

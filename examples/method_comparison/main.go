@@ -1,0 +1,74 @@
+// Method comparison: every sparse-training method in the paper's Table I —
+// Dense, LTH, SET, RigL, NDSNN — on the same model, dataset and sparsity,
+// with accuracy, training effort and relative training cost side by side.
+//
+//	go run ./examples/method_comparison            # unit scale, seconds
+//	go run ./examples/method_comparison -scale bench -sparsity 0.98
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"ndsnn"
+)
+
+func main() {
+	var (
+		scale    = flag.String("scale", "unit", "unit|bench|paper")
+		arch     = flag.String("arch", "lenet5", "vgg16|resnet19|lenet5")
+		sparsity = flag.Float64("sparsity", 0.9, "target sparsity for sparse methods")
+	)
+	flag.Parse()
+
+	fmt.Printf("== method comparison: %s / cifar10 proxy at %.0f%% sparsity (scale=%s) ==\n\n",
+		*arch, *sparsity*100, *scale)
+
+	base := ndsnn.Config{Arch: *arch, Dataset: "cifar10", Scale: *scale, Seed: 11}
+
+	denseCfg := base
+	denseCfg.Method = ndsnn.Dense
+	dense, err := ndsnn.Train(denseCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type row struct {
+		name   string
+		res    *ndsnn.Result
+		cost   float64
+		epochs int
+	}
+	rows := []row{{"dense", dense, 1, len(dense.History)}}
+	for _, m := range []ndsnn.Method{ndsnn.LTH, ndsnn.SET, ndsnn.RigL, ndsnn.NDSNN} {
+		cfg := base
+		cfg.Method = m
+		cfg.Sparsity = *sparsity
+		res, err := ndsnn.Train(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cost, err := ndsnn.RelativeTrainingCost(res, dense)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row{string(m), res, cost, len(res.History)})
+	}
+
+	fmt.Printf("%-8s %9s %15s %18s %8s %12s\n",
+		"method", "acc(%)", "finalSparsity", "meanTrainSparsity", "epochs", "cost(%dense)")
+	for _, r := range rows {
+		fmt.Printf("%-8s %9.2f %15.3f %18.3f %8d %12.1f\n",
+			r.name, r.res.TestAccuracy*100, r.res.FinalSparsity,
+			r.res.MeanTrainingSparsity, r.epochs, r.cost*100)
+	}
+
+	fmt.Println()
+	fmt.Println("reading the table:")
+	fmt.Println(" - LTH pays extra epochs (prune-rewind rounds) at low sparsity → high cost;")
+	fmt.Println(" - SET/RigL train at the target sparsity throughout but lose accuracy at")
+	fmt.Println("   extreme ratios;")
+	fmt.Println(" - NDSNN starts denser (θi) and anneals to θf: dense-like accuracy with a")
+	fmt.Println("   training cost far below LTH and the dense baseline.")
+}

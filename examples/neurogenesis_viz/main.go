@@ -1,0 +1,90 @@
+// Neurogenesis visualization: the analytical schedules that define NDSNN —
+// the Eq. 4 cubic sparsity ramp and the Eq. 5 cosine death-rate annealing —
+// followed by an actual training run showing the measured trajectory
+// tracking the analytical curve (the repository's Fig. 1 in miniature).
+//
+//	go run ./examples/neurogenesis_viz
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"strings"
+
+	"ndsnn"
+)
+
+// asciiCurve renders ys in [0,1] as a small line chart.
+func asciiCurve(title string, ys []float64, height int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	width := len(ys)
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for x, y := range ys {
+		if y < 0 {
+			y = 0
+		}
+		if y > 1 {
+			y = 1
+		}
+		row := height - 1 - int(y*float64(height-1)+0.5)
+		grid[row][x] = '*'
+	}
+	for r, row := range grid {
+		label := "      "
+		if r == 0 {
+			label = "1.0 | "
+		}
+		if r == height-1 {
+			label = "0.0 | "
+		}
+		fmt.Fprintf(&b, "%s%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "      %s\n", strings.Repeat("-", width))
+	return b.String()
+}
+
+func main() {
+	// --- Analytical schedules (no training needed) ---
+	const (
+		thetaI, thetaF = 0.5, 0.95 // initial and final sparsity
+		d0, dMin       = 0.5, 0.05 // death-ratio bounds
+		steps          = 64
+	)
+	sparsity := make([]float64, steps+1)
+	death := make([]float64, steps+1)
+	for t := 0; t <= steps; t++ {
+		frac := float64(t) / steps
+		r := 1 - frac
+		sparsity[t] = thetaF + (thetaI-thetaF)*r*r*r               // Eq. 4
+		death[t] = dMin + 0.5*(d0-dMin)*(1+math.Cos(math.Pi*frac)) // Eq. 5
+	}
+	fmt.Println("== the two laws of neurogenesis-inspired training ==")
+	fmt.Println()
+	fmt.Print(asciiCurve(fmt.Sprintf("Eq. 4 — sparsity ramp θ(t): %.0f%% → %.0f%% (cubic)", thetaI*100, thetaF*100), sparsity, 10))
+	fmt.Println()
+	fmt.Print(asciiCurve(fmt.Sprintf("Eq. 5 — death ratio d(t): %.2f → %.2f (cosine)", d0, dMin), death, 10))
+
+	// --- Measured trajectory from a real run ---
+	fmt.Println()
+	fmt.Println("training a model to watch the live population shrink...")
+	res, err := ndsnn.Train(ndsnn.Config{
+		Method: ndsnn.NDSNN, Arch: "lenet5", Dataset: "cifar10",
+		Sparsity: thetaF, InitialSparsity: thetaI, Scale: "unit", Seed: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println("epoch  sparsity  (measured during training)")
+	for _, h := range res.History {
+		bar := strings.Repeat("█", int(h.Sparsity*40))
+		fmt.Printf("%5d  %7.3f  |%s\n", h.Epoch, h.Sparsity, bar)
+	}
+	fmt.Printf("\nfinal sparsity %.3f (target %.2f); more connections die than are\n", res.FinalSparsity, thetaF)
+	fmt.Println("born each ΔT — the neurogenesis dynamic the method is named after.")
+}

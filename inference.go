@@ -1,0 +1,63 @@
+package ndsnn
+
+import (
+	"ndsnn/internal/data"
+	"ndsnn/internal/infer"
+	"ndsnn/internal/tensor"
+)
+
+// InferenceEngine is a compiled event-driven execution of a trained model:
+// only active synapses are stored and only nonzero activations propagate,
+// the execution model of the neuromorphic platforms the paper targets. Its
+// outputs match the training path's eval-mode forward exactly.
+type InferenceEngine struct {
+	eng *infer.Engine
+	ds  *data.Dataset
+}
+
+// CompileInference builds the event-driven engine from the trained model.
+func (m *Model) CompileInference() (*InferenceEngine, error) {
+	eng, err := infer.Compile(m.net)
+	if err != nil {
+		return nil, err
+	}
+	return &InferenceEngine{eng: eng, ds: m.dataset}, nil
+}
+
+// Classify returns the predicted class of one sample image laid out
+// [C,H,W] (use TestSample to fetch dataset samples).
+func (e *InferenceEngine) Classify(sample []float32, c, h, w int) int {
+	return e.eng.Classify(tensor.FromSlice(sample, c, h, w))
+}
+
+// TestSample returns test image i and its label from the model's dataset.
+func (e *InferenceEngine) TestSample(i int) (img []float32, c, h, w, label int) {
+	cfg := e.ds.Config
+	pix := cfg.C * cfg.H * cfg.W
+	return e.ds.Test.Images[i*pix : (i+1)*pix], cfg.C, cfg.H, cfg.W, e.ds.Test.Labels[i]
+}
+
+// TestLen returns the number of test samples available.
+func (e *InferenceEngine) TestLen() int { return e.ds.Test.N() }
+
+// EvaluateTest classifies up to n test samples (0 = all) and returns
+// accuracy plus the measured efficiency: synaptic operations per sample and
+// the dense-MAC bound a non-event implementation would pay.
+func (e *InferenceEngine) EvaluateTest(n int) (acc float64, synOpsPerSample float64, denseMACsPerSample float64) {
+	if n <= 0 || n > e.ds.Test.N() {
+		n = e.ds.Test.N()
+	}
+	cfg := e.ds.Config
+	pix := cfg.C * cfg.H * cfg.W
+	e.eng.ResetStats()
+	correct := 0
+	for i := 0; i < n; i++ {
+		sample := tensor.FromSlice(e.ds.Test.Images[i*pix:(i+1)*pix], cfg.C, cfg.H, cfg.W)
+		if e.eng.Classify(sample) == e.ds.Test.Labels[i] {
+			correct++
+		}
+	}
+	synOps := float64(e.eng.SynOps()) / float64(n)
+	dense := float64(e.eng.DenseMACsPerTimestep() * int64(e.eng.T))
+	return float64(correct) / float64(n), synOps, dense
+}

@@ -1,0 +1,147 @@
+package baselines
+
+import (
+	"ndsnn/internal/data"
+	"ndsnn/internal/layers"
+	"ndsnn/internal/opt"
+	"ndsnn/internal/rng"
+	"ndsnn/internal/snn"
+	"ndsnn/internal/sparse"
+	"ndsnn/internal/tensor"
+	"ndsnn/internal/train"
+)
+
+// ADMMConfig configures ADMM pruning (Deng et al., TNNLS 2021; the paper's
+// Table II baseline): a dense training phase with the augmented-Lagrangian
+// penalty ρ‖W−Z+U‖² steering weights toward a sparse auxiliary variable Z
+// (the per-layer magnitude projection), followed by a hard prune and
+// fine-tune. The training phase is dense — exactly the inefficiency the
+// paper's Fig. 1 highlights (the orange curve sits at zero sparsity).
+type ADMMConfig struct {
+	// TargetSparsity is the final per-layer (uniform) sparsity.
+	TargetSparsity float64
+	// Rho is the penalty coefficient ρ.
+	Rho float64
+	// ADMMEpochs is the regularized dense-training length.
+	ADMMEpochs int
+	// FinetuneEpochs is the post-prune fine-tuning length (0 → Common.Epochs).
+	FinetuneEpochs int
+	// UpdateEvery is the number of epochs between Z/U dual updates.
+	UpdateEvery int
+}
+
+// WithDefaults fills unset fields.
+func (c ADMMConfig) WithDefaults() ADMMConfig {
+	if c.TargetSparsity == 0 {
+		c.TargetSparsity = 0.5
+	}
+	if c.Rho == 0 {
+		c.Rho = 1e-2
+	}
+	if c.ADMMEpochs == 0 {
+		c.ADMMEpochs = 3
+	}
+	if c.UpdateEvery == 0 {
+		c.UpdateEvery = 1
+	}
+	return c
+}
+
+// TrainADMM runs ADMM pruning and returns the uniform result.
+func TrainADMM(net *snn.Network, ds *data.Dataset, common train.Common, cfg ADMMConfig) (*train.Result, error) {
+	common = common.WithDefaults()
+	cfg = cfg.WithDefaults()
+	if cfg.FinetuneEpochs == 0 {
+		cfg.FinetuneEpochs = common.Epochs
+	}
+	r := rng.New(common.Seed)
+	prunable := layers.PrunableParams(net.Params())
+
+	// ADMM variables: Z (projected weights) and U (scaled duals).
+	zs := make([]*tensor.Tensor, len(prunable))
+	us := make([]*tensor.Tensor, len(prunable))
+	for i, p := range prunable {
+		zs[i] = project(p.W, cfg.TargetSparsity)
+		us[i] = tensor.New(p.W.Shape()...)
+	}
+	dualUpdate := func() {
+		for i, p := range prunable {
+			// Z = proj(W + U); U += W − Z.
+			wu := tensor.Add(p.W, us[i])
+			zs[i] = project(wu, cfg.TargetSparsity)
+			for j := range us[i].Data {
+				us[i].Data[j] += p.W.Data[j] - zs[i].Data[j]
+			}
+		}
+	}
+
+	var history []train.EpochStats
+	sgd := opt.NewSGD(common.LR, common.Momentum, common.WeightDecay)
+	admmLoop := &train.Loop{
+		Net: net, Dataset: ds, Opt: sgd,
+		Schedule:   opt.CosineLR{Base: common.LR, Min: common.LRMin, Total: cfg.ADMMEpochs},
+		BatchSize:  common.BatchSize,
+		Epochs:     cfg.ADMMEpochs,
+		MaxBatches: common.MaxBatches,
+		Rng:        r.Split(),
+	}
+	rho := float32(cfg.Rho)
+	admmLoop.Hooks.OnGradsReady = func(step int) {
+		for i, p := range prunable {
+			for j := range p.Grad.Data {
+				p.Grad.Data[j] += rho * (p.W.Data[j] - zs[i].Data[j] + us[i].Data[j])
+			}
+		}
+	}
+	epochsSinceUpdate := 0
+	admmLoop.Hooks.OnEpochEnd = func(stats train.EpochStats) {
+		epochsSinceUpdate++
+		if epochsSinceUpdate >= cfg.UpdateEvery {
+			dualUpdate()
+			epochsSinceUpdate = 0
+		}
+	}
+	h, err := admmLoop.Run()
+	history = append(history, h...)
+	if err != nil {
+		return nil, err
+	}
+
+	// Hard prune to the target per-layer sparsity and fine-tune.
+	for _, p := range prunable {
+		keep := sparse.CountForDensity(p.W.Size(), 1-cfg.TargetSparsity)
+		p.Mask = sparse.MaskFromKeep(p.W.Shape(), sparse.TopKMagnitude(p.W, keep))
+		p.ApplyMask()
+	}
+	ftOpt := opt.NewSGD(common.LR*0.1, common.Momentum, common.WeightDecay)
+	ftLoop := &train.Loop{
+		Net: net, Dataset: ds, Opt: ftOpt,
+		Schedule:   opt.CosineLR{Base: common.LR * 0.1, Min: common.LRMin, Total: cfg.FinetuneEpochs},
+		BatchSize:  common.BatchSize,
+		Epochs:     cfg.FinetuneEpochs,
+		MaxBatches: common.MaxBatches,
+		Rng:        r.Split(),
+	}
+	h, err = ftLoop.Run()
+	history = append(history, h...)
+	if err != nil {
+		return nil, err
+	}
+	return &train.Result{
+		History:       history,
+		TestAcc:       train.Evaluate(net, ds, &ds.Test, common.EvalBatch),
+		FinalSparsity: layers.GlobalSparsity(prunable),
+		Trajectory:    train.BuildTrajectory("ADMM", history),
+	}, nil
+}
+
+// project returns the per-layer magnitude projection of w onto the sparsity
+// constraint: the largest-(1−θ) fraction survives, the rest becomes zero.
+func project(w *tensor.Tensor, sparsity float64) *tensor.Tensor {
+	keep := sparse.CountForDensity(w.Size(), 1-sparsity)
+	z := tensor.New(w.Shape()...)
+	for _, i := range sparse.TopKMagnitude(w, keep) {
+		z.Data[i] = w.Data[i]
+	}
+	return z
+}

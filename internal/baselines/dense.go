@@ -1,0 +1,41 @@
+// Package baselines implements the comparison methods of the paper's
+// evaluation: dense training, the constant-sparsity dynamic methods SET-SNN
+// and RigL-SNN, iterative magnitude pruning with weight rewinding (LTH-SNN),
+// and ADMM pruning — all on the same SNN substrate and training loop as
+// NDSNN so that accuracy and cost comparisons are apples-to-apples.
+package baselines
+
+import (
+	"ndsnn/internal/data"
+	"ndsnn/internal/layers"
+	"ndsnn/internal/opt"
+	"ndsnn/internal/rng"
+	"ndsnn/internal/snn"
+	"ndsnn/internal/train"
+)
+
+// TrainDense trains the unpruned network; it is both the accuracy reference
+// row of Table I and the cost denominator of Fig. 5.
+func TrainDense(net *snn.Network, ds *data.Dataset, common train.Common) (*train.Result, error) {
+	common = common.WithDefaults()
+	r := rng.New(common.Seed)
+	sgd := opt.NewSGD(common.LR, common.Momentum, common.WeightDecay)
+	loop := &train.Loop{
+		Net: net, Dataset: ds, Opt: sgd,
+		Schedule:   opt.CosineLR{Base: common.LR, Min: common.LRMin, Total: common.Epochs},
+		BatchSize:  common.BatchSize,
+		Epochs:     common.Epochs,
+		MaxBatches: common.MaxBatches,
+		Rng:        r.Split(),
+	}
+	history, err := loop.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &train.Result{
+		History:       history,
+		TestAcc:       train.Evaluate(net, ds, &ds.Test, common.EvalBatch),
+		FinalSparsity: layers.GlobalSparsity(layers.PrunableParams(net.Params())),
+		Trajectory:    train.BuildTrajectory("Dense", history),
+	}, nil
+}

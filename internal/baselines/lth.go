@@ -1,0 +1,155 @@
+package baselines
+
+import (
+	"math"
+	"sort"
+
+	"ndsnn/internal/data"
+	"ndsnn/internal/layers"
+	"ndsnn/internal/opt"
+	"ndsnn/internal/rng"
+	"ndsnn/internal/snn"
+	"ndsnn/internal/tensor"
+	"ndsnn/internal/train"
+)
+
+// LTHConfig configures LTH-SNN: iterative magnitude pruning (IMP) with
+// weight rewinding, the lottery-ticket procedure the paper reproduces from
+// Kim et al. (ECCV 2022). Each round trains the current ticket, prunes the
+// globally-smallest active weights down to the round's sparsity, and rewinds
+// surviving weights to their initialization; a final training run fits the
+// winning ticket. Note the method's cost: (Rounds·EpochsPerRound +
+// FinalEpochs) epochs, most of them at low sparsity — the grey region of
+// Fig. 1.
+type LTHConfig struct {
+	// TargetSparsity is the final global sparsity.
+	TargetSparsity float64
+	// Rounds is the number of prune-rewind iterations.
+	Rounds int
+	// EpochsPerRound is the training length of each iteration.
+	EpochsPerRound int
+	// FinalEpochs is the last full training run (0 → Common.Epochs).
+	FinalEpochs int
+}
+
+// WithDefaults fills unset fields.
+func (c LTHConfig) WithDefaults() LTHConfig {
+	if c.TargetSparsity == 0 {
+		c.TargetSparsity = 0.9
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 3
+	}
+	if c.EpochsPerRound == 0 {
+		c.EpochsPerRound = 2
+	}
+	return c
+}
+
+// TrainLTH runs iterative magnitude pruning with rewinding and returns the
+// uniform result; History concatenates every round, so the cost model sees
+// the method's full training effort.
+func TrainLTH(net *snn.Network, ds *data.Dataset, common train.Common, cfg LTHConfig) (*train.Result, error) {
+	common = common.WithDefaults()
+	cfg = cfg.WithDefaults()
+	if cfg.FinalEpochs == 0 {
+		cfg.FinalEpochs = common.Epochs
+	}
+	r := rng.New(common.Seed)
+	allParams := net.Params()
+	prunable := layers.PrunableParams(allParams)
+
+	// Snapshot initialization for rewinding.
+	w0 := make([]*tensor.Tensor, len(allParams))
+	for i, p := range allParams {
+		w0[i] = p.W.Clone()
+	}
+	// Masks start dense.
+	for _, p := range prunable {
+		m := tensor.New(p.W.Shape()...)
+		m.Fill(1)
+		p.Mask = m
+	}
+
+	var history []train.EpochStats
+	runPhase := func(epochs int) error {
+		sgd := opt.NewSGD(common.LR, common.Momentum, common.WeightDecay)
+		loop := &train.Loop{
+			Net: net, Dataset: ds, Opt: sgd,
+			Schedule:   opt.CosineLR{Base: common.LR, Min: common.LRMin, Total: epochs},
+			BatchSize:  common.BatchSize,
+			Epochs:     epochs,
+			MaxBatches: common.MaxBatches,
+			Rng:        r.Split(),
+		}
+		h, err := loop.Run()
+		history = append(history, h...)
+		return err
+	}
+
+	totalPrunable := layers.TotalElems(prunable)
+	for round := 1; round <= cfg.Rounds; round++ {
+		if err := runPhase(cfg.EpochsPerRound); err != nil {
+			return nil, err
+		}
+		// Geometric schedule: after round k the surviving fraction is
+		// (1-θf)^(k/Rounds), so each round prunes the same share of the
+		// remaining weights.
+		remain := math.Pow(1-cfg.TargetSparsity, float64(round)/float64(cfg.Rounds))
+		keep := int(remain*float64(totalPrunable) + 0.5)
+		globalMagnitudePrune(prunable, keep)
+		// Rewind every parameter to initialization (masked positions stay 0).
+		for i, p := range allParams {
+			p.W.CopyFrom(w0[i])
+			p.ApplyMask()
+		}
+	}
+	if err := runPhase(cfg.FinalEpochs); err != nil {
+		return nil, err
+	}
+	return &train.Result{
+		History:       history,
+		TestAcc:       train.Evaluate(net, ds, &ds.Test, common.EvalBatch),
+		FinalSparsity: layers.GlobalSparsity(prunable),
+		Trajectory:    train.BuildTrajectory("LTH", history),
+	}, nil
+}
+
+// globalMagnitudePrune keeps the `keep` largest-|w| weights among the
+// currently-active positions across all params and masks out the rest.
+func globalMagnitudePrune(params []*layers.Param, keep int) {
+	type cand struct {
+		mag   float32
+		param int
+		idx   int
+	}
+	var cands []cand
+	for pi, p := range params {
+		for i, m := range p.Mask.Data {
+			if m != 0 {
+				mag := p.W.Data[i]
+				if mag < 0 {
+					mag = -mag
+				}
+				cands = append(cands, cand{mag, pi, i})
+			}
+		}
+	}
+	if keep >= len(cands) {
+		return
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].mag != cands[j].mag {
+			return cands[i].mag > cands[j].mag
+		}
+		if cands[i].param != cands[j].param {
+			return cands[i].param < cands[j].param
+		}
+		return cands[i].idx < cands[j].idx
+	})
+	for _, c := range cands[keep:] {
+		p := params[c.param]
+		p.Mask.Data[c.idx] = 0
+		p.W.Data[c.idx] = 0
+	}
+}

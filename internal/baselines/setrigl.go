@@ -1,0 +1,118 @@
+package baselines
+
+import (
+	"ndsnn/internal/core"
+	"ndsnn/internal/data"
+	"ndsnn/internal/layers"
+	"ndsnn/internal/opt"
+	"ndsnn/internal/rng"
+	"ndsnn/internal/snn"
+	"ndsnn/internal/train"
+)
+
+// DSTConfig configures the constant-sparsity dynamic sparse trainers
+// (SET-SNN and RigL-SNN): the model is initialized at the target sparsity
+// and every ΔT steps drops a cosine-annealed fraction of the smallest
+// active weights and regrows exactly as many — randomly for SET, by
+// gradient magnitude for RigL — so sparsity never changes.
+type DSTConfig struct {
+	// Sparsity is the (constant) global sparsity.
+	Sparsity float64
+	// DeltaT is the mask-update period in optimizer steps.
+	DeltaT int
+	// DeathRate0/DeathRateMin parametrize the cosine-annealed update
+	// fraction, as in the RigL reference implementation.
+	DeathRate0, DeathRateMin float64
+	// RampFraction is the portion of training over which the death rate
+	// anneals; StopFraction freezes topology afterwards.
+	RampFraction, StopFraction float64
+	// Distribution is "erk" (reference default) or "uniform".
+	Distribution string
+}
+
+// WithDefaults fills unset fields with the reference defaults.
+func (c DSTConfig) WithDefaults() DSTConfig {
+	if c.Sparsity == 0 {
+		c.Sparsity = 0.9
+	}
+	if c.DeltaT == 0 {
+		c.DeltaT = 8
+	}
+	if c.DeathRate0 == 0 {
+		c.DeathRate0 = 0.5
+	}
+	if c.DeathRateMin == 0 {
+		c.DeathRateMin = 0.05
+	}
+	if c.RampFraction == 0 {
+		c.RampFraction = 0.75
+	}
+	if c.StopFraction == 0 {
+		c.StopFraction = 0.9
+	}
+	if c.Distribution == "" {
+		c.Distribution = "erk"
+	}
+	return c
+}
+
+// TrainSET trains with SET-SNN (random regrowth).
+func TrainSET(net *snn.Network, ds *data.Dataset, common train.Common, cfg DSTConfig) (*train.Result, error) {
+	return trainDST(net, ds, common, cfg, core.GrowRandom, "SET")
+}
+
+// TrainRigL trains with RigL-SNN (gradient regrowth).
+func TrainRigL(net *snn.Network, ds *data.Dataset, common train.Common, cfg DSTConfig) (*train.Result, error) {
+	return trainDST(net, ds, common, cfg, core.GrowByGradient, "RigL")
+}
+
+func trainDST(net *snn.Network, ds *data.Dataset, common train.Common, cfg DSTConfig, grow core.GrowCriterion, label string) (*train.Result, error) {
+	common = common.WithDefaults()
+	cfg = cfg.WithDefaults()
+	r := rng.New(common.Seed)
+	params := layers.PrunableParams(net.Params())
+	shapes := core.ShapesOf(params)
+	densities := core.Densities(shapes, 1-cfg.Sparsity, cfg.Distribution)
+	core.InitMasks(params, densities, r.Split())
+	thetas := make([]float64, len(params))
+	for i, d := range densities {
+		thetas[i] = 1 - d
+	}
+
+	sgd := opt.NewSGD(common.LR, common.Momentum, common.WeightDecay)
+	loop := &train.Loop{
+		Net: net, Dataset: ds, Opt: sgd,
+		Schedule:   opt.CosineLR{Base: common.LR, Min: common.LRMin, Total: common.Epochs},
+		BatchSize:  common.BatchSize,
+		Epochs:     common.Epochs,
+		MaxBatches: common.MaxBatches,
+		Rng:        r.Split(),
+	}
+	totalSteps := common.Epochs * loop.StepsPerEpoch()
+	rampSteps := int(cfg.RampFraction * float64(totalSteps))
+	stopStep := int(cfg.StopFraction * float64(totalSteps))
+	rewirer := &core.Rewirer{
+		Params: params,
+		// Initial == Final: the population is constant, only rewired.
+		Schedule:  &core.SparsitySchedule{Initial: thetas, Final: thetas, T0: 0, RampSteps: rampSteps},
+		Death:     core.DeathRate{D0: cfg.DeathRate0, DMin: cfg.DeathRateMin, T0: 0, RampSteps: rampSteps},
+		Criterion: grow,
+		Opt:       sgd,
+		Rng:       r.Split(),
+	}
+	loop.Hooks.OnStep = func(step int) {
+		if cfg.DeltaT > 0 && step%cfg.DeltaT == 0 && step < stopStep {
+			rewirer.Apply(step)
+		}
+	}
+	history, err := loop.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &train.Result{
+		History:       history,
+		TestAcc:       train.Evaluate(net, ds, &ds.Test, common.EvalBatch),
+		FinalSparsity: layers.GlobalSparsity(params),
+		Trajectory:    train.BuildTrajectory(label, history),
+	}, nil
+}

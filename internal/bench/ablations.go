@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// AblationPoint is one variant's outcome in a design-choice study.
+type AblationPoint struct {
+	Variant string
+	Acc     float64
+	// MeanTrainSparsity contextualizes cost-side effects.
+	MeanTrainSparsity float64
+}
+
+// AblationResult is one study: a named axis and its variants.
+type AblationResult struct {
+	Name   string
+	Points []AblationPoint
+}
+
+// ablationBase is the shared configuration all studies perturb.
+func ablationBase(seed uint64) Spec {
+	return Spec{
+		Method: MethodNDSNN, Arch: "vgg16", Dataset: CIFAR10,
+		Sparsity: 0.95, InitialSparsity: 0.6, Seed: seed,
+	}
+}
+
+func runVariants(s Scale, name string, variants []struct {
+	label string
+	mod   func(*Spec)
+}, seed uint64, progress Progress) (*AblationResult, error) {
+	dataset := s.Dataset(CIFAR10, 1000+seed)
+	out := &AblationResult{Name: name}
+	for _, v := range variants {
+		spec := ablationBase(seed)
+		v.mod(&spec)
+		res, err := Run(s, spec, dataset)
+		if err != nil {
+			return nil, fmt.Errorf("ablation %s/%s: %w", name, v.label, err)
+		}
+		p := AblationPoint{Variant: v.label, Acc: res.TestAcc, MeanTrainSparsity: res.Trajectory.MeanSparsity()}
+		out.Points = append(out.Points, p)
+		report(progress, "ablation %s %-10s: acc=%.4f meanSparsity=%.3f", name, v.label, p.Acc, p.MeanTrainSparsity)
+	}
+	return out, nil
+}
+
+// RunAblationGrowCriterion compares gradient vs random regrowth (A1).
+func RunAblationGrowCriterion(s Scale, seed uint64, progress Progress) (*AblationResult, error) {
+	return runVariants(s, "grow-criterion", []struct {
+		label string
+		mod   func(*Spec)
+	}{
+		{"gradient", func(sp *Spec) { sp.Grow = "gradient" }},
+		{"random", func(sp *Spec) { sp.Grow = "random" }},
+	}, seed, progress)
+}
+
+// RunAblationScheduleShape compares cubic vs linear vs step ramps (A2).
+func RunAblationScheduleShape(s Scale, seed uint64, progress Progress) (*AblationResult, error) {
+	return runVariants(s, "schedule-shape", []struct {
+		label string
+		mod   func(*Spec)
+	}{
+		{"cubic", func(sp *Spec) { sp.Shape = "cubic" }},
+		{"linear", func(sp *Spec) { sp.Shape = "linear" }},
+		{"step", func(sp *Spec) { sp.Shape = "step" }},
+	}, seed, progress)
+}
+
+// RunAblationLayerAllocation compares ERK vs uniform densities (A3).
+func RunAblationLayerAllocation(s Scale, seed uint64, progress Progress) (*AblationResult, error) {
+	return runVariants(s, "layer-allocation", []struct {
+		label string
+		mod   func(*Spec)
+	}{
+		{"erk", func(sp *Spec) { sp.Distribution = "erk" }},
+		{"uniform", func(sp *Spec) { sp.Distribution = "uniform" }},
+	}, seed, progress)
+}
+
+// RunAblationSurrogate compares surrogate gradients (A4).
+func RunAblationSurrogate(s Scale, seed uint64, progress Progress) (*AblationResult, error) {
+	return runVariants(s, "surrogate", []struct {
+		label string
+		mod   func(*Spec)
+	}{
+		{"atan", func(sp *Spec) { sp.Surrogate = "atan" }},
+		{"rect", func(sp *Spec) { sp.Surrogate = "rect" }},
+		{"sigmoid", func(sp *Spec) { sp.Surrogate = "sigmoid" }},
+	}, seed, progress)
+}
+
+// RunAblationUpdateFrequency sweeps the mask-update period ΔT (A5).
+func RunAblationUpdateFrequency(s Scale, seed uint64, progress Progress) (*AblationResult, error) {
+	var variants []struct {
+		label string
+		mod   func(*Spec)
+	}
+	for _, dt := range []int{2, 4, 8, 16} {
+		dt := dt
+		variants = append(variants, struct {
+			label string
+			mod   func(*Spec)
+		}{fmt.Sprintf("dT=%d", dt), func(sp *Spec) { sp.DeltaT = dt }})
+	}
+	return runVariants(s, "update-frequency", variants, seed, progress)
+}
+
+// PrintAblation renders one study.
+func PrintAblation(w io.Writer, r *AblationResult) {
+	fmt.Fprintf(w, "\n=== Ablation: %s (NDSNN vgg16/cifar10 proxy @95%%) ===\n", r.Name)
+	fmt.Fprintf(w, "%-12s %8s %18s\n", "variant", "acc(%)", "meanTrainSparsity")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%-12s %8.2f %18.3f\n", p.Variant, p.Acc*100, p.MeanTrainSparsity)
+	}
+}

@@ -1,0 +1,293 @@
+package bench
+
+import (
+	"bytes"
+	"ndsnn/internal/metrics"
+	"strings"
+	"testing"
+)
+
+func TestScaleByName(t *testing.T) {
+	if ScaleByName("unit").Name != "unit" {
+		t.Fatal("unit scale lookup failed")
+	}
+	if ScaleByName("paper").Name != "paper" {
+		t.Fatal("paper scale lookup failed")
+	}
+	if ScaleByName("anything").Name != "bench" {
+		t.Fatal("default scale should be bench")
+	}
+}
+
+func TestScaleDatasetGeometry(t *testing.T) {
+	for _, key := range []string{CIFAR10, CIFAR100, TinyImageNet} {
+		ds := ScaleUnit.Dataset(key, 3)
+		cfg := ScaleUnit.DatasetCfg[key]
+		if ds.Config.Classes != cfg.Classes || ds.Config.H != cfg.Pixels {
+			t.Fatalf("%s: got %d classes %dpx, want %d/%d", key, ds.Config.Classes, ds.Config.H, cfg.Classes, cfg.Pixels)
+		}
+		if ds.Train.N() != cfg.TrainN || ds.Test.N() != cfg.TestN {
+			t.Fatalf("%s: split sizes %d/%d", key, ds.Train.N(), ds.Test.N())
+		}
+	}
+}
+
+func TestScaleDatasetUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown dataset did not panic")
+		}
+	}()
+	ScaleUnit.Dataset("imagenet21k", 1)
+}
+
+func TestEpochsForTinyImageNetAtPaperScale(t *testing.T) {
+	if got := ScalePaper.EpochsFor(TinyImageNet); got != 100 {
+		t.Fatalf("paper tinyimagenet epochs = %d, want 100", got)
+	}
+	if got := ScalePaper.EpochsFor(CIFAR10); got != 300 {
+		t.Fatalf("paper cifar10 epochs = %d, want 300", got)
+	}
+	if got := ScaleUnit.EpochsFor(TinyImageNet); got != ScaleUnit.Epochs {
+		t.Fatal("unit scale must not special-case tinyimagenet")
+	}
+}
+
+func TestInitialSparsityRule(t *testing.T) {
+	cases := []struct{ final, want float64 }{
+		{0.90, 0.65},
+		{0.95, 0.70},
+		{0.99, 0.74},
+		{0.60, 0.50},
+		{0.40, 0.20}, // low target: θi = θf/2 so the population still shrinks
+	}
+	for _, c := range cases {
+		if got := InitialSparsityFor(c.final); got != c.want {
+			t.Fatalf("InitialSparsityFor(%v) = %v, want %v", c.final, got, c.want)
+		}
+	}
+}
+
+func TestRunEveryMethodAtUnitScale(t *testing.T) {
+	ds := ScaleUnit.Dataset(CIFAR10, 5)
+	for _, method := range append([]string{MethodADMM}, Methods...) {
+		spec := Spec{Method: method, Arch: "lenet5", Dataset: CIFAR10, Sparsity: 0.8, Seed: 3}
+		res, err := Run(ScaleUnit, spec, ds)
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		if res.TestAcc < 0 || res.TestAcc > 1 {
+			t.Fatalf("%s: accuracy %v", method, res.TestAcc)
+		}
+		if method != MethodDense && (res.FinalSparsity < 0.7 || res.FinalSparsity > 0.9) {
+			t.Fatalf("%s: final sparsity %v, want ~0.8", method, res.FinalSparsity)
+		}
+	}
+}
+
+func TestRunUnknownMethodErrors(t *testing.T) {
+	if _, err := Run(ScaleUnit, Spec{Method: "magic", Arch: "lenet5", Dataset: CIFAR10}, nil); err == nil {
+		t.Fatal("unknown method not rejected")
+	}
+}
+
+func TestRunBuildsDatasetWhenNil(t *testing.T) {
+	res, err := Run(ScaleUnit, Spec{Method: MethodDense, Arch: "lenet5", Dataset: CIFAR10, Seed: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != ScaleUnit.Epochs {
+		t.Fatalf("history = %d epochs", len(res.History))
+	}
+}
+
+func TestRunSpecOverrides(t *testing.T) {
+	ds := ScaleUnit.Dataset(CIFAR10, 5)
+	res, err := Run(ScaleUnit, Spec{
+		Method: MethodNDSNN, Arch: "lenet5", Dataset: CIFAR10,
+		Sparsity: 0.9, InitialSparsity: 0.5, Timesteps: 3,
+		Surrogate: "rect", Shape: "linear", Distribution: "uniform", Grow: "random", DeltaT: 2,
+		Seed: 4,
+	}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalSparsity < 0.88 || res.FinalSparsity > 0.92 {
+		t.Fatalf("final sparsity = %v", res.FinalSparsity)
+	}
+}
+
+func TestTable1UnitGrid(t *testing.T) {
+	cfg := Table1Config{
+		Scale:      ScaleUnit,
+		Archs:      []string{"lenet5"},
+		Datasets:   []string{CIFAR10},
+		Sparsities: []float64{0.8, 0.9},
+		Methods:    []string{MethodDense, MethodSET, MethodNDSNN},
+		Seed:       3,
+	}
+	var lines []string
+	cells, err := RunTable1(cfg, func(l string) { lines = append(lines, l) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// dense once + 2 methods × 2 sparsities = 5 cells.
+	if len(cells) != 5 {
+		t.Fatalf("got %d cells, want 5", len(cells))
+	}
+	if len(lines) != 5 {
+		t.Fatalf("progress lines = %d", len(lines))
+	}
+	var buf bytes.Buffer
+	PrintTable1(&buf, cells, cfg.Sparsities)
+	out := buf.String()
+	for _, want := range []string{"lenet5 / cifar10", "dense", "set", "ndsnn", "80%", "90%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2Unit(t *testing.T) {
+	r, err := RunTable2(ScaleUnit, []float64{0.5}, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 1 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	var buf bytes.Buffer
+	PrintTable2(&buf, r)
+	if !strings.Contains(buf.String(), "ADMM acc loss") {
+		t.Fatalf("Table2 output:\n%s", buf.String())
+	}
+}
+
+func TestTable3Unit(t *testing.T) {
+	cells, err := RunTable3(ScaleUnit, []string{"lenet5"}, []string{CIFAR10},
+		[]float64{0.9}, []float64{0.5, 0.7}, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	var buf bytes.Buffer
+	PrintTable3(&buf, cells)
+	if !strings.Contains(buf.String(), "Table III") {
+		t.Fatal("Table3 header missing")
+	}
+}
+
+func TestTable3SkipsInvalidInitials(t *testing.T) {
+	cells, err := RunTable3(ScaleUnit, []string{"lenet5"}, []string{CIFAR10},
+		[]float64{0.6}, []float64{0.7}, 3, nil) // θi > target → skipped
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 0 {
+		t.Fatalf("cells = %d, want 0", len(cells))
+	}
+}
+
+func TestFig1Unit(t *testing.T) {
+	r, err := RunFig1(ScaleUnit, "lenet5", 0.9, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Trajectories) != 3 {
+		t.Fatalf("trajectories = %d", len(r.Trajectories))
+	}
+	// The defining shape: NDSNN's mean training sparsity far exceeds both
+	// prune-from-dense regimes.
+	var admm, lth, nd float64
+	for _, tr := range r.Trajectories {
+		switch tr.Label {
+		case "ADMM":
+			admm = tr.MeanSparsity()
+		case "LTH":
+			lth = tr.MeanSparsity()
+		case "NDSNN":
+			nd = tr.MeanSparsity()
+		}
+	}
+	if !(nd > lth && nd > admm) {
+		t.Fatalf("mean sparsities admm=%v lth=%v ndsnn=%v: NDSNN must be highest", admm, lth, nd)
+	}
+	var buf bytes.Buffer
+	PrintFig1(&buf, r)
+	if !strings.Contains(buf.String(), "Fig.1") {
+		t.Fatal("Fig1 chart missing")
+	}
+}
+
+func TestTrainingCostOrderingUnit(t *testing.T) {
+	// The Fig. 5 shape on a single cheap pair: NDSNN's spike-rate-weighted
+	// training cost must undercut both the dense baseline and LTH (which
+	// pays for extra rounds of mostly-dense training).
+	s := ScaleUnit
+	ds := s.Dataset(CIFAR10, 1003)
+	dense, err := Run(s, Spec{Method: MethodDense, Arch: "lenet5", Dataset: CIFAR10, Seed: 3}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lth, err := Run(s, Spec{Method: MethodLTH, Arch: "lenet5", Dataset: CIFAR10, Sparsity: 0.9, Seed: 3}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd, err := Run(s, Spec{Method: MethodNDSNN, Arch: "lenet5", Dataset: CIFAR10, Sparsity: 0.9, Seed: 3}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lthCost, err := metrics.RelativeTrainingCost(lth.Trajectory, dense.Trajectory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ndCost, err := metrics.RelativeTrainingCost(nd.Trajectory, dense.Trajectory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(ndCost < lthCost) {
+		t.Fatalf("NDSNN cost %.3f not below LTH cost %.3f", ndCost, lthCost)
+	}
+	if ndCost >= 1 {
+		t.Fatalf("NDSNN cost %.3f not below dense", ndCost)
+	}
+}
+
+func TestMemoryReport(t *testing.T) {
+	r := RunMemory("vgg16", 10, 32, 5, []float64{0.9, 0.95, 0.99})
+	if r.Params < 14_000_000 {
+		t.Fatalf("paper-width VGG-16 prunable params = %d", r.Params)
+	}
+	prev := r.DenseMiB
+	for _, row := range r.Rows {
+		if row.TrainMiB >= prev {
+			t.Fatalf("training footprint not decreasing: %v at θ=%v", row.TrainMiB, row.Sparsity)
+		}
+		prev = row.TrainMiB
+		if row.InferenceMiB["HICANN"] >= row.InferenceMiB["Loihi"] {
+			t.Fatal("4-bit platform should be smaller than 8-bit")
+		}
+	}
+	var buf bytes.Buffer
+	PrintMemory(&buf, r)
+	if !strings.Contains(buf.String(), "Loihi") {
+		t.Fatal("memory table missing platforms")
+	}
+}
+
+func TestAblationGrowCriterionUnit(t *testing.T) {
+	r, err := RunAblationGrowCriterion(ScaleUnit, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 2 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	var buf bytes.Buffer
+	PrintAblation(&buf, r)
+	if !strings.Contains(buf.String(), "grow-criterion") {
+		t.Fatal("ablation output missing")
+	}
+}

@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"ndsnn/internal/metrics"
+	"ndsnn/internal/plot"
+	"ndsnn/internal/train"
+)
+
+// Fig1Result carries the sparsity-vs-epoch trajectories of the three
+// sparsification regimes (Fig. 1): train-prune-retrain (ADMM), iterative
+// pruning (LTH) and NDSNN.
+type Fig1Result struct {
+	Arch, Dataset string
+	Target        float64
+	Trajectories  []*metrics.Trajectory
+}
+
+// RunFig1 trains the three regimes and records their sparsity trajectories.
+func RunFig1(s Scale, arch string, target float64, seed uint64, progress Progress) (*Fig1Result, error) {
+	dataset := s.Dataset(CIFAR10, 1000+seed)
+	out := &Fig1Result{Arch: arch, Dataset: CIFAR10, Target: target}
+	for _, method := range []string{MethodADMM, MethodLTH, MethodNDSNN} {
+		res, err := Run(s, Spec{Method: method, Arch: arch, Dataset: CIFAR10, Sparsity: target, Seed: seed}, dataset)
+		if err != nil {
+			return nil, fmt.Errorf("fig1 %s: %w", method, err)
+		}
+		out.Trajectories = append(out.Trajectories, res.Trajectory)
+		report(progress, "fig1 %s: %d epochs, mean training sparsity %.3f",
+			method, len(res.History), res.Trajectory.MeanSparsity())
+	}
+	return out, nil
+}
+
+// PrintFig1 renders the sparsity-vs-epoch chart.
+func PrintFig1(w io.Writer, r *Fig1Result) {
+	chart := &plot.LineChart{
+		Title:  fmt.Sprintf("Fig.1 — sparsity vs training epoch (%s/%s, target %.0f%%)", r.Arch, r.Dataset, r.Target*100),
+		XLabel: "epoch", YLabel: "model sparsity",
+		Width: 64, Height: 16, YMin: 0, YMax: 1,
+	}
+	for _, tr := range r.Trajectories {
+		ys := tr.Sparsities()
+		xs := make([]float64, len(ys))
+		for i := range xs {
+			xs[i] = float64(i)
+		}
+		chart.Series = append(chart.Series, plot.Series{Label: tr.Label, X: xs, Y: ys})
+	}
+	fmt.Fprintln(w, chart.Render())
+	for _, tr := range r.Trajectories {
+		fmt.Fprintf(w, "  mean training sparsity %-6s = %.3f over %d epochs\n", tr.Label, tr.MeanSparsity(), len(tr.Points))
+	}
+}
+
+// Fig4Result carries the small-timestep (T=2) NDSNN-vs-LTH comparison.
+type Fig4Result struct {
+	Pairs      []Fig4Pair
+	Sparsities []float64
+}
+
+// Fig4Pair is one (arch, dataset) panel.
+type Fig4Pair struct {
+	Arch, Dataset string
+	LTH, NDSNN    []float64 // accuracy per sparsity
+}
+
+// RunFig4 reproduces Fig. 4: NDSNN vs LTH at timestep T=2 across
+// sparsities on the four (model, dataset) panels.
+func RunFig4(s Scale, sparsities []float64, seed uint64, progress Progress) (*Fig4Result, error) {
+	out := &Fig4Result{Sparsities: sparsities}
+	for _, pair := range []struct{ arch, ds string }{
+		{"vgg16", CIFAR10}, {"vgg16", CIFAR100}, {"resnet19", CIFAR10}, {"resnet19", CIFAR100},
+	} {
+		dataset := s.Dataset(pair.ds, 1000+seed)
+		p := Fig4Pair{Arch: pair.arch, Dataset: pair.ds}
+		for _, sp := range sparsities {
+			lth, err := Run(s, Spec{Method: MethodLTH, Arch: pair.arch, Dataset: pair.ds, Sparsity: sp, Timesteps: 2, Seed: seed}, dataset)
+			if err != nil {
+				return nil, err
+			}
+			nd, err := Run(s, Spec{Method: MethodNDSNN, Arch: pair.arch, Dataset: pair.ds, Sparsity: sp, Timesteps: 2, Seed: seed}, dataset)
+			if err != nil {
+				return nil, err
+			}
+			p.LTH = append(p.LTH, lth.TestAcc)
+			p.NDSNN = append(p.NDSNN, nd.TestAcc)
+			report(progress, "fig4 %s/%s θ=%.2f: lth=%.4f ndsnn=%.4f", pair.arch, pair.ds, sp, lth.TestAcc, nd.TestAcc)
+		}
+		out.Pairs = append(out.Pairs, p)
+	}
+	return out, nil
+}
+
+// PrintFig4 renders the four panels.
+func PrintFig4(w io.Writer, r *Fig4Result) {
+	for _, p := range r.Pairs {
+		chart := &plot.LineChart{
+			Title:  fmt.Sprintf("Fig.4 — accuracy vs sparsity at T=2 (%s/%s)", p.Arch, p.Dataset),
+			XLabel: "sparsity", YLabel: "test accuracy",
+			Width: 48, Height: 12,
+			Series: []plot.Series{
+				{Label: "NDSNN", X: r.Sparsities, Y: p.NDSNN},
+				{Label: "LTH", X: r.Sparsities, Y: p.LTH},
+			},
+		}
+		fmt.Fprintln(w, chart.Render())
+	}
+}
+
+// Fig5Entry is one (arch, dataset) group of normalized training costs.
+type Fig5Entry struct {
+	Arch, Dataset string
+	// Costs are percentages of the dense run's training cost.
+	DenseCost, LTHCost, NDSNNCost float64
+}
+
+// Fig5Result carries the training-cost comparison.
+type Fig5Result struct {
+	Target  float64
+	Entries []Fig5Entry
+}
+
+// RunFig5 reproduces Fig. 5: normalized training cost (spike-rate ×
+// density accounting of Sec. IV-C) of Dense, LTH and NDSNN.
+func RunFig5(s Scale, target float64, seed uint64, progress Progress) (*Fig5Result, error) {
+	out := &Fig5Result{Target: target}
+	for _, pair := range []struct{ arch, ds string }{
+		{"vgg16", CIFAR10}, {"resnet19", CIFAR10}, {"vgg16", CIFAR100}, {"resnet19", CIFAR100},
+	} {
+		dataset := s.Dataset(pair.ds, 1000+seed)
+		runOne := func(method string) (*train.Result, error) {
+			return Run(s, Spec{Method: method, Arch: pair.arch, Dataset: pair.ds, Sparsity: target, Seed: seed}, dataset)
+		}
+		dense, err := runOne(MethodDense)
+		if err != nil {
+			return nil, err
+		}
+		lth, err := runOne(MethodLTH)
+		if err != nil {
+			return nil, err
+		}
+		nd, err := runOne(MethodNDSNN)
+		if err != nil {
+			return nil, err
+		}
+		lthCost, err := metrics.RelativeTrainingCost(lth.Trajectory, dense.Trajectory)
+		if err != nil {
+			return nil, err
+		}
+		ndCost, err := metrics.RelativeTrainingCost(nd.Trajectory, dense.Trajectory)
+		if err != nil {
+			return nil, err
+		}
+		e := Fig5Entry{
+			Arch: pair.arch, Dataset: pair.ds,
+			DenseCost: 100, LTHCost: lthCost * 100, NDSNNCost: ndCost * 100,
+		}
+		out.Entries = append(out.Entries, e)
+		report(progress, "fig5 %s/%s: dense=100%% lth=%.1f%% ndsnn=%.1f%% (ndsnn/lth=%.1f%%)",
+			pair.arch, pair.ds, e.LTHCost, e.NDSNNCost, 100*e.NDSNNCost/e.LTHCost)
+	}
+	return out, nil
+}
+
+// PrintFig5 renders the grouped bars.
+func PrintFig5(w io.Writer, r *Fig5Result) {
+	chart := &plot.BarChart{
+		Title: fmt.Sprintf("Fig.5 — normalized training cost (dense = 100%%, target sparsity %.0f%%)", r.Target*100),
+		Unit:  "%", Width: 40,
+	}
+	for _, e := range r.Entries {
+		chart.Groups = append(chart.Groups, plot.BarGroup{
+			Label: fmt.Sprintf("%s / %s", e.Arch, e.Dataset),
+			Bars: []plot.Bar{
+				{Label: "Dense", Value: e.DenseCost},
+				{Label: "LTH", Value: e.LTHCost},
+				{Label: "NDSNN", Value: e.NDSNNCost},
+			},
+		})
+	}
+	fmt.Fprintln(w, chart.Render())
+	for _, e := range r.Entries {
+		fmt.Fprintf(w, "  %s/%s: NDSNN cost = %.1f%% of dense, %.1f%% of LTH\n",
+			e.Arch, e.Dataset, e.NDSNNCost, 100*e.NDSNNCost/e.LTHCost)
+	}
+}

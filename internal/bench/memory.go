@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"ndsnn/internal/models"
+	"ndsnn/internal/snn"
+	"ndsnn/internal/sparse"
+)
+
+// MemoryRow is one sparsity point of the Section III-D footprint analysis.
+type MemoryRow struct {
+	Sparsity float64
+	// TrainMiB is the FP32 training footprint (weights + t gradient
+	// timesteps + CSR indices) in MiB.
+	TrainMiB float64
+	// InferenceMiB maps platform name → deployed footprint in MiB.
+	InferenceMiB map[string]float64
+}
+
+// MemoryReport carries the analysis for one architecture.
+type MemoryReport struct {
+	Arch      string
+	Params    int
+	Timesteps int
+	DenseMiB  float64
+	Rows      []MemoryRow
+}
+
+// RunMemory evaluates the Section III-D memory model on a real parameter
+// census of the paper-width architecture (no training involved).
+func RunMemory(arch string, classes, pixels, timesteps int, sparsities []float64) *MemoryReport {
+	net := models.Build(models.Config{
+		Arch: arch, Classes: classes, InC: 3, InH: pixels, InW: pixels,
+		Timesteps: timesteps, Neuron: snn.DefaultNeuron(),
+		Profile: models.ProfilePaper, Seed: 1,
+	})
+	n := models.PrunableCount(net)
+	var filters []int
+	for _, c := range models.ParamCensus(net) {
+		if c.Prunable && len(c.Shape) > 0 {
+			filters = append(filters, c.Shape[0])
+		}
+	}
+	rep := &MemoryReport{
+		Arch: arch, Params: n, Timesteps: timesteps,
+		DenseMiB: sparse.BitsToMiB(sparse.DenseFootprintBits(n, sparse.TrainingBits) * float64(1+timesteps)),
+	}
+	for _, sp := range sparsities {
+		row := MemoryRow{
+			Sparsity: sp,
+			TrainMiB: sparse.BitsToMiB(sparse.TrainingFootprintExactBits(
+				n, filters, sp, timesteps, sparse.TrainingBits, sparse.DefaultIndexBits)),
+			InferenceMiB: map[string]float64{},
+		}
+		for _, p := range sparse.Platforms {
+			row.InferenceMiB[p.Name] = sparse.BitsToMiB(sparse.InferenceFootprintBits(
+				n, sp, p.WeightBits, sparse.DefaultIndexBits))
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep
+}
+
+// PrintMemory renders the footprint table.
+func PrintMemory(w io.Writer, r *MemoryReport) {
+	fmt.Fprintf(w, "\n=== Sec. III-D memory footprint — %s (%d prunable weights, t=%d) ===\n", r.Arch, r.Params, r.Timesteps)
+	fmt.Fprintf(w, "dense FP32 training footprint: %.1f MiB\n", r.DenseMiB)
+	fmt.Fprintf(w, "%-9s %12s", "sparsity", "train(MiB)")
+	for _, p := range sparse.Platforms {
+		fmt.Fprintf(w, " %12s", p.Name+"(MiB)")
+	}
+	fmt.Fprintln(w)
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-9.2f %12.2f", row.Sparsity, row.TrainMiB)
+		for _, p := range sparse.Platforms {
+			fmt.Fprintf(w, " %12.3f", row.InferenceMiB[p.Name])
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,269 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"ndsnn/internal/train"
+)
+
+// Cell is one (architecture, dataset, method, sparsity) accuracy result.
+type Cell struct {
+	Arch, Dataset, Method string
+	Sparsity              float64
+	// Acc is final test accuracy in [0,1]; MeanTrainSparsity and Epochs
+	// feed the efficiency discussion.
+	Acc               float64
+	MeanTrainSparsity float64
+	Epochs            int
+}
+
+// Progress receives human-readable progress lines ("vgg16/cifar10 ndsnn
+// @0.95: acc=…"); nil disables reporting.
+type Progress func(line string)
+
+func report(p Progress, format string, args ...interface{}) {
+	if p != nil {
+		p(fmt.Sprintf(format, args...))
+	}
+}
+
+// Table1Config parametrizes the Table I reproduction.
+type Table1Config struct {
+	Scale      Scale
+	Archs      []string
+	Datasets   []string
+	Sparsities []float64
+	Methods    []string
+	Seed       uint64
+}
+
+// DefaultTable1 mirrors the paper's Table I grid.
+func DefaultTable1(s Scale) Table1Config {
+	return Table1Config{
+		Scale:      s,
+		Archs:      []string{"vgg16", "resnet19"},
+		Datasets:   []string{CIFAR10, CIFAR100, TinyImageNet},
+		Sparsities: []float64{0.90, 0.95, 0.98, 0.99},
+		Methods:    Methods,
+		Seed:       7,
+	}
+}
+
+// RunTable1 executes the Table I grid. Dense runs once per
+// (arch, dataset); sparse methods run per sparsity.
+func RunTable1(cfg Table1Config, progress Progress) ([]Cell, error) {
+	var cells []Cell
+	for _, ds := range cfg.Datasets {
+		dataset := cfg.Scale.Dataset(ds, 1000+cfg.Seed)
+		for _, arch := range cfg.Archs {
+			for _, method := range cfg.Methods {
+				sparsities := cfg.Sparsities
+				if method == MethodDense {
+					sparsities = []float64{0}
+				}
+				for _, sp := range sparsities {
+					res, err := Run(cfg.Scale, Spec{
+						Method: method, Arch: arch, Dataset: ds, Sparsity: sp, Seed: cfg.Seed,
+					}, dataset)
+					if err != nil {
+						return cells, fmt.Errorf("table1 %s/%s/%s@%.2f: %w", arch, ds, method, sp, err)
+					}
+					cell := cellOf(arch, ds, method, sp, res)
+					cells = append(cells, cell)
+					report(progress, "table1 %s/%s %-5s θ=%.2f: acc=%.4f meanTrainSparsity=%.3f",
+						arch, ds, method, sp, cell.Acc, cell.MeanTrainSparsity)
+				}
+			}
+		}
+	}
+	return cells, nil
+}
+
+func cellOf(arch, ds, method string, sp float64, res *train.Result) Cell {
+	return Cell{
+		Arch: arch, Dataset: ds, Method: method, Sparsity: sp,
+		Acc:               res.TestAcc,
+		MeanTrainSparsity: res.Trajectory.MeanSparsity(),
+		Epochs:            len(res.History),
+	}
+}
+
+// PrintTable1 renders cells in the paper's layout: one block per
+// (dataset, arch) with a sparsity column per ratio and a row per method.
+func PrintTable1(w io.Writer, cells []Cell, sparsities []float64) {
+	type key struct{ ds, arch string }
+	blocks := map[key][]Cell{}
+	var order []key
+	for _, c := range cells {
+		k := key{c.Dataset, c.Arch}
+		if _, ok := blocks[k]; !ok {
+			order = append(order, k)
+		}
+		blocks[k] = append(blocks[k], c)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].ds != order[j].ds {
+			return order[i].ds < order[j].ds
+		}
+		return order[i].arch < order[j].arch
+	})
+	for _, k := range order {
+		fmt.Fprintf(w, "\n=== %s / %s — test accuracy (%%) ===\n", k.arch, k.ds)
+		fmt.Fprintf(w, "%-8s", "method")
+		for _, sp := range sparsities {
+			fmt.Fprintf(w, " %7.0f%%", sp*100)
+		}
+		fmt.Fprintln(w)
+		byMethod := map[string]map[float64]float64{}
+		var dense float64
+		hasDense := false
+		for _, c := range blocks[k] {
+			if c.Method == MethodDense {
+				dense = c.Acc
+				hasDense = true
+				continue
+			}
+			if byMethod[c.Method] == nil {
+				byMethod[c.Method] = map[float64]float64{}
+			}
+			byMethod[c.Method][c.Sparsity] = c.Acc
+		}
+		if hasDense {
+			fmt.Fprintf(w, "%-8s %7.2f (reference, sparsity 0)\n", "dense", dense*100)
+		}
+		for _, m := range []string{MethodLTH, MethodSET, MethodRigL, MethodNDSNN} {
+			row, ok := byMethod[m]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(w, "%-8s", m)
+			for _, sp := range sparsities {
+				if acc, ok := row[sp]; ok {
+					fmt.Fprintf(w, " %7.2f ", acc*100)
+				} else {
+					fmt.Fprintf(w, " %7s ", "-")
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// Table2Row is one sparsity column of the ADMM-vs-NDSNN comparison.
+type Table2Row struct {
+	Sparsity            float64
+	ADMMAcc, ADMMLoss   float64 // LeNet-5 + ADMM and its loss vs dense LeNet-5
+	NDSNNAcc, NDSNNLoss float64 // VGG-16 + NDSNN and its loss vs dense VGG-16
+}
+
+// Table2Result carries the rows plus the two dense references.
+type Table2Result struct {
+	DenseLeNet, DenseVGG float64
+	Rows                 []Table2Row
+}
+
+// RunTable2 reproduces Table II: ADMM pruning on LeNet-5 vs NDSNN on VGG-16
+// (CIFAR-10) at moderate sparsities, reporting accuracy loss vs each
+// method's own dense baseline.
+func RunTable2(s Scale, sparsities []float64, seed uint64, progress Progress) (*Table2Result, error) {
+	dataset := s.Dataset(CIFAR10, 1000+seed)
+	out := &Table2Result{}
+	denseLe, err := Run(s, Spec{Method: MethodDense, Arch: "lenet5", Dataset: CIFAR10, Seed: seed}, dataset)
+	if err != nil {
+		return nil, err
+	}
+	out.DenseLeNet = denseLe.TestAcc
+	denseVGG, err := Run(s, Spec{Method: MethodDense, Arch: "vgg16", Dataset: CIFAR10, Seed: seed}, dataset)
+	if err != nil {
+		return nil, err
+	}
+	out.DenseVGG = denseVGG.TestAcc
+	for _, sp := range sparsities {
+		admm, err := Run(s, Spec{Method: MethodADMM, Arch: "lenet5", Dataset: CIFAR10, Sparsity: sp, Seed: seed}, dataset)
+		if err != nil {
+			return nil, err
+		}
+		nd, err := Run(s, Spec{Method: MethodNDSNN, Arch: "vgg16", Dataset: CIFAR10, Sparsity: sp,
+			InitialSparsity: InitialSparsityFor(sp), Seed: seed}, dataset)
+		if err != nil {
+			return nil, err
+		}
+		row := Table2Row{
+			Sparsity: sp,
+			ADMMAcc:  admm.TestAcc, ADMMLoss: out.DenseLeNet - admm.TestAcc,
+			NDSNNAcc: nd.TestAcc, NDSNNLoss: out.DenseVGG - nd.TestAcc,
+		}
+		out.Rows = append(out.Rows, row)
+		report(progress, "table2 θ=%.2f: admm=%.4f (Δ%.4f) ndsnn=%.4f (Δ%.4f)",
+			sp, row.ADMMAcc, row.ADMMLoss, row.NDSNNAcc, row.NDSNNLoss)
+	}
+	return out, nil
+}
+
+// PrintTable2 renders the comparison in the paper's layout.
+func PrintTable2(w io.Writer, r *Table2Result) {
+	fmt.Fprintf(w, "\n=== Table II — ADMM (LeNet-5) vs NDSNN (VGG-16), CIFAR-10 proxy ===\n")
+	fmt.Fprintf(w, "%-22s", "sparsity")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, " %6.0f%%", row.Sparsity*100)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "LeNet-5 dense: %.2f%%   VGG-16 dense: %.2f%%\n", r.DenseLeNet*100, r.DenseVGG*100)
+	line := func(name string, f func(Table2Row) float64) {
+		fmt.Fprintf(w, "%-22s", name)
+		for _, row := range r.Rows {
+			fmt.Fprintf(w, " %6.2f ", f(row)*100)
+		}
+		fmt.Fprintln(w)
+	}
+	line("ADMM acc", func(r Table2Row) float64 { return r.ADMMAcc })
+	line("ADMM acc loss", func(r Table2Row) float64 { return r.ADMMLoss })
+	line("NDSNN acc", func(r Table2Row) float64 { return r.NDSNNAcc })
+	line("NDSNN acc loss", func(r Table2Row) float64 { return r.NDSNNLoss })
+}
+
+// Table3Cell is one initial-sparsity ablation point.
+type Table3Cell struct {
+	Arch, Dataset           string
+	TargetSparsity, Initial float64
+	Acc                     float64
+}
+
+// RunTable3 reproduces Table III: the effect of initial sparsity θᵢ on
+// final accuracy for fixed targets.
+func RunTable3(s Scale, archs, datasets []string, targets, initials []float64, seed uint64, progress Progress) ([]Table3Cell, error) {
+	var cells []Table3Cell
+	for _, ds := range datasets {
+		dataset := s.Dataset(ds, 1000+seed)
+		for _, arch := range archs {
+			for _, tgt := range targets {
+				for _, init := range initials {
+					if init >= tgt {
+						continue
+					}
+					res, err := Run(s, Spec{
+						Method: MethodNDSNN, Arch: arch, Dataset: ds,
+						Sparsity: tgt, InitialSparsity: init, Seed: seed,
+					}, dataset)
+					if err != nil {
+						return cells, err
+					}
+					cells = append(cells, Table3Cell{Arch: arch, Dataset: ds, TargetSparsity: tgt, Initial: init, Acc: res.TestAcc})
+					report(progress, "table3 %s/%s target=%.2f θi=%.1f: acc=%.4f", arch, ds, tgt, init, res.TestAcc)
+				}
+			}
+		}
+	}
+	return cells, nil
+}
+
+// PrintTable3 renders the initial-sparsity study.
+func PrintTable3(w io.Writer, cells []Table3Cell) {
+	fmt.Fprintf(w, "\n=== Table III — effect of initial sparsity (NDSNN accuracy %%) ===\n")
+	fmt.Fprintf(w, "%-8s %-14s %-7s %-5s %s\n", "target", "dataset", "arch", "θi", "acc")
+	for _, c := range cells {
+		fmt.Fprintf(w, "%-8.2f %-14s %-7s %-5.1f %6.2f\n", c.TargetSparsity, c.Dataset, c.Arch, c.Initial, c.Acc*100)
+	}
+}

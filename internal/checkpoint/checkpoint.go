@@ -1,0 +1,153 @@
+// Package checkpoint persists trained models: every parameter tensor with
+// its optional sparsity mask plus run metadata, gob-encoded. Inspection
+// tooling operates directly on the stored tensors, so loading does not
+// require rebuilding the network.
+package checkpoint
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+
+	"ndsnn/internal/layers"
+	"ndsnn/internal/tensor"
+)
+
+// Param is one stored parameter tensor.
+type Param struct {
+	Name  string
+	Shape []int
+	Data  []float32
+	// Mask is nil for dense parameters.
+	Mask []float32
+	// Prunable records whether the tensor participates in sparsification.
+	Prunable bool
+}
+
+// Checkpoint is the on-disk model representation.
+type Checkpoint struct {
+	// Metadata describing how the model was produced.
+	Arch, Dataset, Method, Scale string
+	Sparsity                     float64
+	TestAccuracy                 float64
+	Params                       []Param
+}
+
+// FromParams captures the current state of a parameter list.
+func FromParams(params []*layers.Param) []Param {
+	out := make([]Param, 0, len(params))
+	for _, p := range params {
+		sp := Param{
+			Name:     p.Name,
+			Shape:    p.W.Shape(),
+			Data:     append([]float32(nil), p.W.Data...),
+			Prunable: !p.NoPrune,
+		}
+		if p.Mask != nil {
+			sp.Mask = append([]float32(nil), p.Mask.Data...)
+		}
+		out = append(out, sp)
+	}
+	return out
+}
+
+// RestoreInto writes stored tensors back into a matching parameter list
+// (same names and shapes, in order).
+func (c *Checkpoint) RestoreInto(params []*layers.Param) error {
+	if len(params) != len(c.Params) {
+		return fmt.Errorf("checkpoint: have %d stored params, target has %d", len(c.Params), len(params))
+	}
+	for i, p := range params {
+		sp := c.Params[i]
+		if sp.Name != p.Name {
+			return fmt.Errorf("checkpoint: param %d name %q != target %q", i, sp.Name, p.Name)
+		}
+		if len(sp.Data) != p.W.Size() {
+			return fmt.Errorf("checkpoint: param %s size %d != target %d", sp.Name, len(sp.Data), p.W.Size())
+		}
+		copy(p.W.Data, sp.Data)
+		if sp.Mask != nil {
+			p.Mask = tensor.FromSlice(append([]float32(nil), sp.Mask...), sp.Shape...)
+		} else {
+			p.Mask = nil
+		}
+	}
+	return nil
+}
+
+// Save writes the checkpoint to path.
+func Save(path string, c *Checkpoint) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close()
+	if err := gob.NewEncoder(f).Encode(c); err != nil {
+		return fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	return nil
+}
+
+// Load reads a checkpoint from path.
+func Load(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close()
+	var c Checkpoint
+	if err := gob.NewDecoder(f).Decode(&c); err != nil {
+		return nil, fmt.Errorf("checkpoint: decode: %w", err)
+	}
+	return &c, nil
+}
+
+// Census summarizes one stored tensor's sparsity.
+type Census struct {
+	Name     string
+	Shape    []int
+	Total    int
+	Active   int
+	NonZero  int
+	Prunable bool
+}
+
+// Census returns the per-tensor sparsity summary.
+func (c *Checkpoint) Census() []Census {
+	out := make([]Census, 0, len(c.Params))
+	for _, p := range c.Params {
+		cs := Census{Name: p.Name, Shape: p.Shape, Total: len(p.Data), Prunable: p.Prunable}
+		for _, v := range p.Data {
+			if v != 0 {
+				cs.NonZero++
+			}
+		}
+		if p.Mask == nil {
+			cs.Active = cs.Total
+		} else {
+			for _, m := range p.Mask {
+				if m != 0 {
+					cs.Active++
+				}
+			}
+		}
+		out = append(out, cs)
+	}
+	return out
+}
+
+// GlobalSparsity returns overall prunable sparsity of the stored model.
+func (c *Checkpoint) GlobalSparsity() float64 {
+	total, active := 0, 0
+	for _, cs := range c.Census() {
+		if !cs.Prunable {
+			continue
+		}
+		total += cs.Total
+		active += cs.Active
+	}
+	if total == 0 {
+		return 0
+	}
+	return 1 - float64(active)/float64(total)
+}

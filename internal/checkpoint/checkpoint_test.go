@@ -1,0 +1,99 @@
+package checkpoint
+
+import (
+	"path/filepath"
+	"testing"
+
+	"ndsnn/internal/layers"
+	"ndsnn/internal/tensor"
+)
+
+func sampleParams() []*layers.Param {
+	p1 := layers.NewParam("conv.w", tensor.FromSlice([]float32{1, 0, 3, 0}, 2, 2))
+	p1.Mask = tensor.FromSlice([]float32{1, 0, 1, 0}, 2, 2)
+	p2 := layers.NewParam("fc.b", tensor.FromSlice([]float32{0.5, -0.5}, 2))
+	p2.NoPrune = true
+	return []*layers.Param{p1, p2}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.ckpt")
+	ck := &Checkpoint{
+		Arch: "vgg16", Dataset: "cifar10", Method: "ndsnn", Scale: "unit",
+		Sparsity: 0.9, TestAccuracy: 0.42,
+		Params: FromParams(sampleParams()),
+	}
+	if err := Save(path, ck); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Arch != "vgg16" || got.TestAccuracy != 0.42 || len(got.Params) != 2 {
+		t.Fatalf("loaded %+v", got)
+	}
+	if got.Params[0].Mask == nil || got.Params[1].Mask != nil {
+		t.Fatal("mask presence not preserved")
+	}
+	if got.Params[0].Data[2] != 3 {
+		t.Fatal("weight data corrupted")
+	}
+}
+
+func TestRestoreInto(t *testing.T) {
+	src := sampleParams()
+	ck := &Checkpoint{Params: FromParams(src)}
+	dst := []*layers.Param{
+		layers.NewParam("conv.w", tensor.New(2, 2)),
+		layers.NewParam("fc.b", tensor.New(2)),
+	}
+	if err := ck.RestoreInto(dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0].W.Data[2] != 3 || dst[1].W.Data[0] != 0.5 {
+		t.Fatal("restore did not copy weights")
+	}
+	if dst[0].Mask == nil || dst[0].Mask.Data[1] != 0 {
+		t.Fatal("restore did not rebuild mask")
+	}
+}
+
+func TestRestoreIntoMismatch(t *testing.T) {
+	ck := &Checkpoint{Params: FromParams(sampleParams())}
+	if err := ck.RestoreInto([]*layers.Param{layers.NewParam("x", tensor.New(1))}); err == nil {
+		t.Fatal("count mismatch not rejected")
+	}
+	wrongName := []*layers.Param{
+		layers.NewParam("other.w", tensor.New(2, 2)),
+		layers.NewParam("fc.b", tensor.New(2)),
+	}
+	if err := ck.RestoreInto(wrongName); err == nil {
+		t.Fatal("name mismatch not rejected")
+	}
+}
+
+func TestCensusAndGlobalSparsity(t *testing.T) {
+	ck := &Checkpoint{Params: FromParams(sampleParams())}
+	cs := ck.Census()
+	if len(cs) != 2 {
+		t.Fatalf("census %v", cs)
+	}
+	if cs[0].Active != 2 || cs[0].NonZero != 2 || cs[0].Total != 4 {
+		t.Fatalf("census[0] = %+v", cs[0])
+	}
+	if cs[1].Active != 2 {
+		t.Fatalf("dense param census = %+v", cs[1])
+	}
+	// Only the prunable conv counts: 2/4 active → 0.5 sparsity.
+	if got := ck.GlobalSparsity(); got != 0.5 {
+		t.Fatalf("global sparsity = %v", got)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load("/nonexistent/path.ckpt"); err == nil {
+		t.Fatal("missing file not reported")
+	}
+}

@@ -1,0 +1,374 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ndsnn/internal/layers"
+	"ndsnn/internal/opt"
+	"ndsnn/internal/rng"
+	"ndsnn/internal/tensor"
+)
+
+func TestScheduleBoundaries(t *testing.T) {
+	s := &SparsitySchedule{
+		Initial: []float64{0.5, 0.6},
+		Final:   []float64{0.9, 0.95},
+		T0:      0, RampSteps: 100, Shape: Cubic,
+	}
+	for l := 0; l < 2; l++ {
+		if got := s.At(l, 0); math.Abs(got-s.Initial[l]) > 1e-12 {
+			t.Fatalf("layer %d at t=0: %v, want θi=%v", l, got, s.Initial[l])
+		}
+		if got := s.At(l, 100); math.Abs(got-s.Final[l]) > 1e-12 {
+			t.Fatalf("layer %d at t=nΔT: %v, want θf=%v", l, got, s.Final[l])
+		}
+		if got := s.At(l, 500); math.Abs(got-s.Final[l]) > 1e-12 {
+			t.Fatalf("layer %d beyond ramp: %v, want clamped θf", l, got)
+		}
+		if got := s.At(l, -10); math.Abs(got-s.Initial[l]) > 1e-12 {
+			t.Fatalf("layer %d before t0: %v, want θi", l, got)
+		}
+	}
+}
+
+func TestScheduleCubicMatchesEquation4(t *testing.T) {
+	s := &SparsitySchedule{Initial: []float64{0.5}, Final: []float64{0.95}, T0: 0, RampSteps: 200, Shape: Cubic}
+	for _, step := range []int{0, 25, 50, 100, 150, 199, 200} {
+		frac := float64(step) / 200
+		want := 0.95 + (0.5-0.95)*math.Pow(1-frac, 3)
+		if got := s.At(0, step); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("step %d: %v, want Eq.4 value %v", step, got, want)
+		}
+	}
+}
+
+func TestScheduleMonotoneNonDecreasing(t *testing.T) {
+	for _, shape := range []ScheduleShape{Cubic, Linear, Step} {
+		s := &SparsitySchedule{Initial: []float64{0.5}, Final: []float64{0.99}, T0: 0, RampSteps: 77, Shape: shape}
+		prev := -1.0
+		for step := -5; step <= 90; step++ {
+			got := s.At(0, step)
+			if got < prev-1e-12 {
+				t.Fatalf("%v: sparsity decreased at step %d", shape, step)
+			}
+			prev = got
+		}
+	}
+}
+
+func TestScheduleMonotonicityProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		r := rng.New(uint64(seed))
+		init := 0.3 + 0.4*r.Float64()
+		final := init + (0.99-init)*r.Float64()
+		ramp := r.Intn(500) + 10
+		s := &SparsitySchedule{Initial: []float64{init}, Final: []float64{final}, T0: 0, RampSteps: ramp, Shape: Cubic}
+		prev := -1.0
+		for step := 0; step <= ramp+10; step += 1 + r.Intn(5) {
+			got := s.At(0, step)
+			if got < prev-1e-12 || got < init-1e-12 || got > final+1e-12 {
+				return false
+			}
+			prev = got
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleLinearAndStepShapes(t *testing.T) {
+	lin := &SparsitySchedule{Initial: []float64{0.4}, Final: []float64{0.8}, T0: 0, RampSteps: 100, Shape: Linear}
+	if got := lin.At(0, 50); math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("linear midpoint = %v, want 0.6", got)
+	}
+	st := &SparsitySchedule{Initial: []float64{0.4}, Final: []float64{0.8}, T0: 0, RampSteps: 100, Shape: Step}
+	if got := st.At(0, 99); got != 0.4 {
+		t.Fatalf("step shape before end = %v, want 0.4", got)
+	}
+	if got := st.At(0, 100); got != 0.8 {
+		t.Fatalf("step shape at end = %v, want 0.8", got)
+	}
+}
+
+func TestScheduleGlobalAt(t *testing.T) {
+	s := &SparsitySchedule{Initial: []float64{0.5, 0.5}, Final: []float64{0.9, 0.9}, T0: 0, RampSteps: 10, Shape: Linear}
+	got := s.GlobalAt(10, []int{100, 300})
+	if math.Abs(got-0.9) > 1e-12 {
+		t.Fatalf("global sparsity = %v, want 0.9", got)
+	}
+}
+
+func TestShapeByNameRoundTrip(t *testing.T) {
+	for _, name := range []string{"cubic", "linear", "step"} {
+		if ShapeByName(name).String() != name {
+			t.Fatalf("shape %q did not round-trip", name)
+		}
+	}
+	if ShapeByName("bogus") != Cubic {
+		t.Fatal("unknown shape should default to cubic")
+	}
+}
+
+func TestDeathRateBoundaries(t *testing.T) {
+	d := DeathRate{D0: 0.5, DMin: 0.05, T0: 0, RampSteps: 100}
+	if got := d.At(0); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("d(0) = %v, want d0", got)
+	}
+	if got := d.At(100); math.Abs(got-0.05) > 1e-12 {
+		t.Fatalf("d(nΔT) = %v, want dmin", got)
+	}
+	if got := d.At(1000); math.Abs(got-0.05) > 1e-12 {
+		t.Fatalf("d beyond ramp = %v, want clamped dmin", got)
+	}
+	mid := d.At(50)
+	want := 0.05 + 0.5*(0.5-0.05) // cos(π/2)=0
+	if math.Abs(mid-want) > 1e-12 {
+		t.Fatalf("d(mid) = %v, want %v", mid, want)
+	}
+}
+
+func TestDeathRateMonotoneDecreasing(t *testing.T) {
+	d := DeathRate{D0: 0.5, DMin: 0.01, T0: 0, RampSteps: 64}
+	prev := 1.0
+	for s := 0; s <= 70; s++ {
+		got := d.At(s)
+		if got > prev+1e-12 {
+			t.Fatalf("death rate increased at step %d", s)
+		}
+		prev = got
+	}
+}
+
+func TestGrowByName(t *testing.T) {
+	if GrowByName("random") != GrowRandom {
+		t.Fatal("random lookup failed")
+	}
+	if GrowByName("gradient") != GrowByGradient {
+		t.Fatal("gradient lookup failed")
+	}
+	if GrowByName("").String() != "gradient" {
+		t.Fatal("default should be gradient")
+	}
+}
+
+// makeMaskedParam builds a parameter with a random mask at the given
+// density and random weights/gradients.
+func makeMaskedParam(name string, n int, density float64, r *rng.RNG) *layers.Param {
+	w := tensor.New(n)
+	for i := range w.Data {
+		w.Data[i] = r.NormFloat32()
+	}
+	p := layers.NewParam(name, w)
+	p.Mask = tensor.New(n)
+	for _, i := range r.Choice(n, int(density*float64(n))) {
+		p.Mask.Data[i] = 1
+	}
+	p.ApplyMask()
+	for i := range p.Grad.Data {
+		p.Grad.Data[i] = r.NormFloat32()
+	}
+	return p
+}
+
+func newTestRewirer(params []*layers.Param, thetaI, thetaF float64, ramp int) *Rewirer {
+	n := len(params)
+	init := make([]float64, n)
+	final := make([]float64, n)
+	for i := range init {
+		init[i], final[i] = thetaI, thetaF
+	}
+	return &Rewirer{
+		Params:   params,
+		Schedule: &SparsitySchedule{Initial: init, Final: final, T0: 0, RampSteps: ramp, Shape: Cubic},
+		Death:    DeathRate{D0: 0.5, DMin: 0.05, T0: 0, RampSteps: ramp},
+		Rng:      rng.New(9),
+	}
+}
+
+func TestRewireFollowsScheduleExactly(t *testing.T) {
+	r := rng.New(3)
+	params := []*layers.Param{
+		makeMaskedParam("a", 400, 0.5, r),
+		makeMaskedParam("b", 600, 0.5, r),
+	}
+	rw := newTestRewirer(params, 0.5, 0.9, 100)
+	for step := 10; step <= 100; step += 10 {
+		// Refresh gradients so growth has signal.
+		for _, p := range params {
+			for i := range p.Grad.Data {
+				p.Grad.Data[i] = r.NormFloat32()
+			}
+		}
+		stats := rw.Apply(step)
+		for li, p := range params {
+			wantTheta := rw.Schedule.At(li, step)
+			n := p.W.Size()
+			wantActive := int(math.Round((1 - wantTheta) * float64(n)))
+			if got := p.ActiveCount(); got != wantActive {
+				t.Fatalf("step %d layer %d: active=%d, want %d (θ=%v)", step, li, got, wantActive, wantTheta)
+			}
+		}
+		if stats.Dropped < stats.Grown {
+			t.Fatalf("step %d: dropped %d < grown %d (population must shrink)", step, stats.Dropped, stats.Grown)
+		}
+	}
+	// After the full ramp, the global sparsity is the target.
+	total, active := 0, 0
+	for _, p := range params {
+		total += p.W.Size()
+		active += p.ActiveCount()
+	}
+	got := 1 - float64(active)/float64(total)
+	if math.Abs(got-0.9) > 0.005 {
+		t.Fatalf("final sparsity = %v, want 0.9", got)
+	}
+}
+
+func TestRewireMaskWeightConsistency(t *testing.T) {
+	r := rng.New(4)
+	p := makeMaskedParam("w", 500, 0.6, r)
+	rw := newTestRewirer([]*layers.Param{p}, 0.4, 0.8, 50)
+	for step := 5; step <= 60; step += 5 {
+		rw.Apply(step)
+		if err := p.CheckMaskConsistency(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+}
+
+func TestRewireGrowsHighestGradients(t *testing.T) {
+	// Constant sparsity (init == final): each round drops dt·active and
+	// grows the same count; grown positions must be the top-gradient zeros.
+	w := tensor.New(10)
+	copy(w.Data, []float32{1, 0.9, 0.8, 0.01, 0.02, 0, 0, 0, 0, 0})
+	p := layers.NewParam("w", w)
+	p.Mask = tensor.FromSlice([]float32{1, 1, 1, 1, 1, 0, 0, 0, 0, 0}, 10)
+	copy(p.Grad.Data, []float32{0, 0, 0, 0, 0, 9, -8, 0.1, 0.2, 0.3})
+	rw := newTestRewirer([]*layers.Param{p}, 0.5, 0.5, 100)
+	rw.Death = DeathRate{D0: 0.4, DMin: 0.4, T0: 0, RampSteps: 100}
+	stats := rw.Apply(50)
+	if stats.Dropped != 2 || stats.Grown != 2 {
+		t.Fatalf("dropped %d grown %d, want 2 and 2", stats.Dropped, stats.Grown)
+	}
+	// Smallest-|w| actives (idx 3, 4) dropped; largest-|grad| zeros (5, 6) grown.
+	if p.Mask.Data[3] != 0 || p.Mask.Data[4] != 0 {
+		t.Fatalf("wrong drops: mask=%v", p.Mask.Data)
+	}
+	if p.Mask.Data[5] != 1 || p.Mask.Data[6] != 1 {
+		t.Fatalf("wrong grows: mask=%v", p.Mask.Data)
+	}
+	if p.W.Data[5] != 0 || p.W.Data[6] != 0 {
+		t.Fatal("grown weights must start at zero")
+	}
+}
+
+func TestRewireRandomGrowth(t *testing.T) {
+	r := rng.New(5)
+	p := makeMaskedParam("w", 300, 0.5, r)
+	rw := newTestRewirer([]*layers.Param{p}, 0.5, 0.5, 100)
+	rw.Criterion = GrowRandom
+	before := p.ActiveCount()
+	rw.Apply(50)
+	if got := p.ActiveCount(); got != before {
+		t.Fatalf("constant-sparsity rewire changed active count: %d → %d", before, got)
+	}
+}
+
+func TestRewireClearsMomentum(t *testing.T) {
+	r := rng.New(6)
+	p := makeMaskedParam("w", 100, 0.5, r)
+	sgd := opt.NewSGD(0.1, 0.9, 0)
+	// Build up momentum everywhere.
+	for i := range p.Grad.Data {
+		p.Grad.Data[i] = 1
+	}
+	sgd.Step([]*layers.Param{p})
+	rw := newTestRewirer([]*layers.Param{p}, 0.5, 0.9, 10)
+	rw.Opt = sgd
+	stats := rw.Apply(10)
+	if stats.Dropped == 0 {
+		t.Fatal("expected drops")
+	}
+	// Weights at rewired positions must not drift under zero gradient.
+	snapshot := p.W.Clone()
+	p.Grad.Zero()
+	sgd.Step([]*layers.Param{p})
+	for i, m := range p.Mask.Data {
+		if m == 0 && p.W.Data[i] != 0 {
+			t.Fatalf("masked weight %d nonzero after step", i)
+		}
+		_ = snapshot
+	}
+}
+
+func TestRewirePanicsWithoutMask(t *testing.T) {
+	p := layers.NewParam("w", tensor.New(10))
+	rw := newTestRewirer([]*layers.Param{p}, 0.5, 0.9, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rewire without mask did not panic")
+		}
+	}()
+	rw.Apply(10)
+}
+
+func TestRewireStatsSparsity(t *testing.T) {
+	s := RewireStats{ActiveAfter: 25, TotalWeights: 100}
+	if s.Sparsity() != 0.75 {
+		t.Fatalf("stats sparsity = %v", s.Sparsity())
+	}
+}
+
+func TestInitMasksAppliesDensities(t *testing.T) {
+	r := rng.New(7)
+	params := []*layers.Param{
+		makeDenseParam("a", 200, r),
+		makeDenseParam("b", 400, r),
+	}
+	InitMasks(params, []float64{0.25, 0.5}, r)
+	if got := params[0].ActiveCount(); got != 50 {
+		t.Fatalf("param a active = %d, want 50", got)
+	}
+	if got := params[1].ActiveCount(); got != 200 {
+		t.Fatalf("param b active = %d, want 200", got)
+	}
+	for _, p := range params {
+		if err := p.CheckMaskConsistency(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func makeDenseParam(name string, n int, r *rng.RNG) *layers.Param {
+	w := tensor.New(n)
+	for i := range w.Data {
+		w.Data[i] = r.NormFloat32()
+	}
+	return layers.NewParam(name, w)
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.WithDefaults()
+	if cfg.DeltaT <= 0 || cfg.DeathRate0 <= 0 || cfg.RampFraction <= 0 || cfg.Distribution == "" {
+		t.Fatalf("defaults incomplete: %+v", cfg)
+	}
+	if cfg.FinalSparsity < cfg.InitialSparsity {
+		t.Fatal("default sparsities inverted")
+	}
+}
+
+func TestDensitiesUniformVsERK(t *testing.T) {
+	shapes := [][]int{{8, 3, 3, 3}, {64, 64, 3, 3}}
+	u := Densities(shapes, 0.2, "uniform")
+	if u[0] != 0.2 || u[1] != 0.2 {
+		t.Fatalf("uniform densities = %v", u)
+	}
+	e := Densities(shapes, 0.2, "erk")
+	if e[0] <= e[1] {
+		t.Fatalf("ERK should favor the small layer: %v", e)
+	}
+}

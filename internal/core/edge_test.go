@@ -1,0 +1,132 @@
+package core
+
+import (
+	"testing"
+
+	"ndsnn/internal/layers"
+	"ndsnn/internal/rng"
+	"ndsnn/internal/tensor"
+)
+
+// Edge-case and failure-injection tests for the rewirer.
+
+func TestRewireWithNoInactivePositions(t *testing.T) {
+	// Fully dense mask at constant schedule: drop dt·N then grow back the
+	// same count — growth candidates are exactly the freshly dropped zeros.
+	w := tensor.New(50)
+	r := rng.New(1)
+	for i := range w.Data {
+		w.Data[i] = r.NormFloat32()
+	}
+	p := layers.NewParam("w", w)
+	m := tensor.New(50)
+	m.Fill(1)
+	p.Mask = m
+	for i := range p.Grad.Data {
+		p.Grad.Data[i] = r.NormFloat32()
+	}
+	rw := newTestRewirer([]*layers.Param{p}, 0, 0, 100)
+	rw.Death = DeathRate{D0: 0.2, DMin: 0.2, RampSteps: 100}
+	stats := rw.Apply(50)
+	if stats.Dropped != 10 || stats.Grown != 10 {
+		t.Fatalf("dropped %d grown %d, want 10/10", stats.Dropped, stats.Grown)
+	}
+	if p.ActiveCount() != 50 {
+		t.Fatalf("active = %d, want 50", p.ActiveCount())
+	}
+}
+
+func TestRewireAllWeightsDroppable(t *testing.T) {
+	// Death rate 1.0 drops every active weight; growth must still restore
+	// the schedule's target count.
+	r := rng.New(2)
+	p := makeMaskedParam("w", 100, 0.5, r)
+	rw := newTestRewirer([]*layers.Param{p}, 0.5, 0.5, 100)
+	rw.Death = DeathRate{D0: 1, DMin: 1, RampSteps: 100}
+	stats := rw.Apply(50)
+	if stats.Dropped != 50 {
+		t.Fatalf("dropped %d, want all 50 actives", stats.Dropped)
+	}
+	if p.ActiveCount() != 50 {
+		t.Fatalf("active after total rewire = %d, want 50", p.ActiveCount())
+	}
+}
+
+func TestRewireZeroDeathRateStillFollowsSchedule(t *testing.T) {
+	// dmin = 0: during the ramp the schedule minimum forces drops anyway.
+	r := rng.New(3)
+	p := makeMaskedParam("w", 200, 0.5, r)
+	rw := newTestRewirer([]*layers.Param{p}, 0.5, 0.9, 10)
+	rw.Death = DeathRate{D0: 0, DMin: 0, RampSteps: 10}
+	rw.Apply(10) // end of ramp: target sparsity 0.9 → 20 active
+	if got := p.ActiveCount(); got != 20 {
+		t.Fatalf("active = %d, want 20 (schedule must dominate a zero death rate)", got)
+	}
+}
+
+func TestRewireTinyLayer(t *testing.T) {
+	// A 3-element layer must survive rounding without going negative or
+	// over-full.
+	w := tensor.FromSlice([]float32{0.1, -0.2, 0.3}, 3)
+	p := layers.NewParam("w", w)
+	p.Mask = tensor.FromSlice([]float32{1, 1, 0}, 3)
+	p.Grad = tensor.FromSlice([]float32{1, 2, 3}, 3)
+	rw := newTestRewirer([]*layers.Param{p}, 1.0/3, 2.0/3, 10)
+	for step := 1; step <= 12; step++ {
+		rw.Apply(step)
+		a := p.ActiveCount()
+		if a < 0 || a > 3 {
+			t.Fatalf("step %d: active = %d", step, a)
+		}
+	}
+	if got := p.ActiveCount(); got != 1 {
+		t.Fatalf("final active = %d, want 1 (θf=2/3 of 3)", got)
+	}
+}
+
+func TestERKSingleLayer(t *testing.T) {
+	d := Densities([][]int{{32, 16, 3, 3}}, 0.1, "erk")
+	if len(d) != 1 || d[0] <= 0 || d[0] > 1 {
+		t.Fatalf("single-layer ERK = %v", d)
+	}
+	// With one layer the density must equal the global target exactly.
+	if diff := d[0] - 0.1; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("single-layer density = %v, want 0.1", d[0])
+	}
+}
+
+func TestDeathRateZeroRampIsConstant(t *testing.T) {
+	d := DeathRate{D0: 0.5, DMin: 0.1, RampSteps: 0}
+	for _, s := range []int{0, 5, 100} {
+		if got := d.At(s); got != 0.1 {
+			t.Fatalf("zero-ramp death rate at %d = %v, want dmin", s, got)
+		}
+	}
+}
+
+func TestScheduleZeroRampJumpsToFinal(t *testing.T) {
+	s := &SparsitySchedule{Initial: []float64{0.5}, Final: []float64{0.9}, RampSteps: 0}
+	if got := s.At(0, 0); got != 0.9 {
+		t.Fatalf("zero-ramp schedule = %v, want final", got)
+	}
+}
+
+func TestScheduleOutOfRangeLayerPanics(t *testing.T) {
+	s := &SparsitySchedule{Initial: []float64{0.5}, Final: []float64{0.9}, RampSteps: 10}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("layer index out of range did not panic")
+		}
+	}()
+	s.At(3, 0)
+}
+
+func TestInitMasksLengthMismatchPanics(t *testing.T) {
+	p := makeDenseParam("w", 10, rng.New(4))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	InitMasks([]*layers.Param{p}, []float64{0.5, 0.5}, rng.New(5))
+}

@@ -1,0 +1,197 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"ndsnn/internal/core"
+	"ndsnn/internal/data"
+	"ndsnn/internal/layers"
+	"ndsnn/internal/testutil"
+	"ndsnn/internal/train"
+)
+
+func easyData() *data.Dataset { return data.SynthEasy(4, 96, 48, 21) }
+
+func common(epochs int) train.Common {
+	return train.Common{
+		Epochs: epochs, BatchSize: 16, LR: 0.08, LRMin: 0.001,
+		Momentum: 0.9, WeightDecay: 5e-4, Seed: 5,
+	}
+}
+
+func TestNDSNNTrainsAndReachesTargetSparsity(t *testing.T) {
+	net := testutil.TinyNet(4, 2, 11)
+	cfg := core.Config{
+		InitialSparsity: 0.5, FinalSparsity: 0.9,
+		DeltaT: 4, DeathRate0: 0.5, DeathRateMin: 0.05,
+		RampFraction: 0.7, StopFraction: 0.9,
+	}
+	out, err := core.TrainNDSNN(net, easyData(), common(6), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.FinalSparsity-0.9) > 0.02 {
+		t.Fatalf("final sparsity = %v, want 0.9", out.FinalSparsity)
+	}
+	if out.TestAcc < 0.5 {
+		t.Fatalf("NDSNN accuracy = %v, want >= 0.5", out.TestAcc)
+	}
+	if len(out.Rewires) == 0 {
+		t.Fatal("no drop-and-grow rounds recorded")
+	}
+}
+
+func TestNDSNNSparsityRampIsMonotone(t *testing.T) {
+	net := testutil.TinyNet(4, 2, 12)
+	cfg := core.Config{InitialSparsity: 0.5, FinalSparsity: 0.95, DeltaT: 3, RampFraction: 0.8}
+	out, err := core.TrainNDSNN(net, easyData(), common(5), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for _, rw := range out.Rewires {
+		s := rw.Sparsity()
+		if s < prev-1e-9 {
+			t.Fatalf("rewire sparsity decreased: %v after %v", s, prev)
+		}
+		prev = s
+	}
+	first, last := out.Rewires[0], out.Rewires[len(out.Rewires)-1]
+	// With ~30 total steps the first round already sits 10-15% into the
+	// cubic ramp, so expect θ well below the target but above θi.
+	if first.Sparsity() > 0.7 || first.Sparsity() < 0.5 {
+		t.Fatalf("first round sparsity = %v, want in [0.5, 0.7]", first.Sparsity())
+	}
+	if math.Abs(last.Sparsity()-0.95) > 0.01 {
+		t.Fatalf("last round sparsity = %v, want θf=0.95", last.Sparsity())
+	}
+}
+
+func TestNDSNNDropsOutpaceGrows(t *testing.T) {
+	// The neurogenesis analogy: during the ramp, every round removes at
+	// least as many connections as it creates.
+	net := testutil.TinyNet(4, 2, 13)
+	cfg := core.Config{InitialSparsity: 0.6, FinalSparsity: 0.9, DeltaT: 4}
+	out, err := core.TrainNDSNN(net, easyData(), common(4), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rw := range out.Rewires {
+		if rw.Grown > rw.Dropped {
+			t.Fatalf("round %d grew %d > dropped %d", i, rw.Grown, rw.Dropped)
+		}
+	}
+}
+
+func TestNDSNNTrajectoryMatchesEquation4(t *testing.T) {
+	net := testutil.TinyNet(4, 2, 14)
+	cfg := core.Config{
+		InitialSparsity: 0.5, FinalSparsity: 0.9,
+		DeltaT: 5, RampFraction: 0.75, StopFraction: 0.9,
+	}.WithDefaults()
+	cm := common(4)
+	out, err := core.TrainNDSNN(net, easyData(), cm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct the expected global sparsity at each recorded round and
+	// compare. Per-layer rounding can shift the global value slightly.
+	params := layers.PrunableParams(net.Params())
+	shapes := core.ShapesOf(params)
+	densI := core.Densities(shapes, 0.5, "erk")
+	densF := core.Densities(shapes, 0.1, "erk")
+	thetaI := make([]float64, len(densI))
+	thetaF := make([]float64, len(densF))
+	for i := range densI {
+		thetaI[i], thetaF[i] = 1-densI[i], 1-densF[i]
+	}
+	stepsPerEpoch := 6 // 96 samples / 16 batch
+	totalSteps := cm.Epochs * stepsPerEpoch
+	sched := &core.SparsitySchedule{
+		Initial: thetaI, Final: thetaF,
+		T0: 0, RampSteps: int(cfg.RampFraction * float64(totalSteps)), Shape: core.Cubic,
+	}
+	sizes := make([]int, len(params))
+	for i, p := range params {
+		sizes[i] = p.W.Size()
+	}
+	for _, rw := range out.Rewires {
+		want := sched.GlobalAt(rw.Step, sizes)
+		if math.Abs(rw.Sparsity()-want) > 0.01 {
+			t.Fatalf("step %d: sparsity %v, Eq.4 predicts %v", rw.Step, rw.Sparsity(), want)
+		}
+	}
+}
+
+func TestNDSNNMaskConsistencyThroughout(t *testing.T) {
+	net := testutil.TinyNet(4, 2, 15)
+	cfg := core.Config{InitialSparsity: 0.5, FinalSparsity: 0.9, DeltaT: 2}
+	_, err := core.TrainNDSNN(net, easyData(), common(3), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range layers.PrunableParams(net.Params()) {
+		if err := p.CheckMaskConsistency(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestNDSNNRejectsShrinkingSparsity(t *testing.T) {
+	net := testutil.TinyNet(4, 2, 16)
+	cfg := core.Config{InitialSparsity: 0.9, FinalSparsity: 0.5}
+	if _, err := core.TrainNDSNN(net, easyData(), common(2), cfg); err == nil {
+		t.Fatal("θf < θi must be rejected")
+	}
+}
+
+func TestNDSNNUniformDistribution(t *testing.T) {
+	net := testutil.TinyNet(4, 2, 17)
+	cfg := core.Config{InitialSparsity: 0.5, FinalSparsity: 0.8, DeltaT: 4, Distribution: "uniform"}
+	out, err := core.TrainNDSNN(net, easyData(), common(3), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.FinalSparsity-0.8) > 0.02 {
+		t.Fatalf("uniform final sparsity = %v", out.FinalSparsity)
+	}
+	// Every layer should sit near 0.8 individually under uniform.
+	for _, p := range layers.PrunableParams(net.Params()) {
+		if math.Abs(p.Sparsity()-0.8) > 0.05 {
+			t.Fatalf("param %s sparsity = %v, want ~0.8 (uniform)", p.Name, p.Sparsity())
+		}
+	}
+}
+
+func TestNDSNNDeterministic(t *testing.T) {
+	run := func() (float64, float64) {
+		net := testutil.TinyNet(4, 2, 18)
+		out, err := core.TrainNDSNN(net, easyData(), common(3),
+			core.Config{InitialSparsity: 0.5, FinalSparsity: 0.9, DeltaT: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.TestAcc, out.FinalSparsity
+	}
+	a1, s1 := run()
+	a2, s2 := run()
+	if a1 != a2 || s1 != s2 {
+		t.Fatalf("identical NDSNN runs differ: acc %v/%v sparsity %v/%v", a1, a2, s1, s2)
+	}
+}
+
+func TestNDSNNMeanTrainingSparsityBetweenBounds(t *testing.T) {
+	// The efficiency claim: average training sparsity lies strictly between
+	// θi and θf (unlike LTH, which spends most epochs near zero sparsity).
+	net := testutil.TinyNet(4, 2, 19)
+	out, err := core.TrainNDSNN(net, easyData(), common(5),
+		core.Config{InitialSparsity: 0.5, FinalSparsity: 0.95, DeltaT: 3, RampFraction: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := out.Trajectory.MeanSparsity()
+	if mean <= 0.5 || mean >= 0.95 {
+		t.Fatalf("mean training sparsity = %v, want within (0.5, 0.95)", mean)
+	}
+}

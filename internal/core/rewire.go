@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+
+	"ndsnn/internal/layers"
+	"ndsnn/internal/opt"
+	"ndsnn/internal/rng"
+	"ndsnn/internal/sparse"
+	"ndsnn/internal/tensor"
+)
+
+// GrowCriterion selects how regrown connections are chosen.
+type GrowCriterion int
+
+// Grow criteria.
+const (
+	// GrowByGradient activates the inactive weights with the largest
+	// gradient magnitude (RigL-style; the paper's step ❹).
+	GrowByGradient GrowCriterion = iota
+	// GrowRandom activates uniformly random inactive weights (SET-style;
+	// used by the grow-criterion ablation).
+	GrowRandom
+)
+
+// GrowByName resolves "gradient" or "random" (default gradient).
+func GrowByName(name string) GrowCriterion {
+	if name == "random" {
+		return GrowRandom
+	}
+	return GrowByGradient
+}
+
+func (g GrowCriterion) String() string {
+	if g == GrowRandom {
+		return "random"
+	}
+	return "gradient"
+}
+
+// RewireStats reports one drop-and-grow round.
+type RewireStats struct {
+	Step         int
+	Dropped      int
+	Grown        int
+	ActiveAfter  int
+	TotalWeights int
+	DeathRate    float64
+}
+
+// Sparsity returns the overall sparsity after the round.
+func (s RewireStats) Sparsity() float64 {
+	return 1 - float64(s.ActiveAfter)/float64(s.TotalWeights)
+}
+
+// Rewirer executes the paper's drop-and-grow mask update (Algorithm 1's
+// ΔT-periodic branch) over a set of masked parameters.
+//
+// Per layer l at round step t (Eq. 6–9):
+//
+//	Npreˡ  = active count before the round
+//	Dˡ     = d_t · Npreˡ               dropped: smallest-|w| actives
+//	Npostˡ = Npreˡ − Dˡ
+//	Gˡ     = (1−θˡ_t)·Nˡ − Npostˡ      grown: top-|∇| (or random) inactives
+//
+// Because θˡ_t rises over training, Gˡ < Dˡ and the live population
+// shrinks. When the cosine-annealed d_t would under-shoot the schedule
+// (drop fewer than the ramp requires), the drop count is raised to the
+// schedule minimum so the Eq. 4 trajectory is followed exactly; Grown
+// weights start at zero and with zero optimizer momentum, as in RigL.
+type Rewirer struct {
+	// Params are the masked, prunable parameters in schedule-layer order.
+	Params []*layers.Param
+	// Schedule is the Eq. 4 sparsity trajectory.
+	Schedule *SparsitySchedule
+	// Death is the Eq. 5 drop-ratio annealing.
+	Death DeathRate
+	// Criterion selects gradient (paper) or random growth.
+	Criterion GrowCriterion
+	// Opt, when non-nil, has the momentum of rewired positions cleared.
+	Opt *opt.SGD
+	// Rng drives random growth.
+	Rng *rng.RNG
+}
+
+// Apply performs one drop-and-grow round at optimizer step t.
+func (r *Rewirer) Apply(t int) RewireStats {
+	stats := RewireStats{Step: t, DeathRate: r.Death.At(t)}
+	for l, p := range r.Params {
+		if p.Mask == nil {
+			panic(fmt.Sprintf("core: rewire target %s has no mask", p.Name))
+		}
+		n := p.W.Size()
+		stats.TotalWeights += n
+		nPre := p.ActiveCount()
+		theta := r.Schedule.At(l, t)
+		targetNZ := sparse.CountForDensity(n, 1-theta)
+
+		drop := int(stats.DeathRate * float64(nPre))
+		// Never drop below what the schedule requires this round…
+		if minDrop := nPre - targetNZ; drop < minDrop {
+			drop = minDrop
+		}
+		// …and never drop more than exist.
+		if drop > nPre {
+			drop = nPre
+		}
+		if drop < 0 {
+			drop = 0
+		}
+		grow := targetNZ - (nPre - drop)
+		if grow < 0 {
+			grow = 0
+		}
+
+		dropIdx := sparse.BottomKActive(p.W, p.Mask, drop)
+		for _, i := range dropIdx {
+			p.Mask.Data[i] = 0
+			p.W.Data[i] = 0
+		}
+		var growIdx []int
+		switch r.Criterion {
+		case GrowRandom:
+			growIdx = sparse.RandomInactive(p.Mask, grow, r.Rng)
+		default:
+			growIdx = sparse.TopKInactive(p.Grad, p.Mask, grow)
+		}
+		for _, i := range growIdx {
+			p.Mask.Data[i] = 1
+			p.W.Data[i] = 0 // new connections start at zero (RigL convention)
+		}
+		if r.Opt != nil {
+			r.Opt.ClearVelocityAt(p, dropIdx)
+			r.Opt.ClearVelocityAt(p, growIdx)
+		}
+		stats.Dropped += len(dropIdx)
+		stats.Grown += len(growIdx)
+		stats.ActiveAfter += p.ActiveCount()
+	}
+	return stats
+}
+
+// InitMasks builds per-layer masks at the given per-layer densities and
+// applies them to the weights. It returns the masks in parameter order.
+func InitMasks(params []*layers.Param, densities []float64, r *rng.RNG) []*tensor.Tensor {
+	if len(params) != len(densities) {
+		panic("core: params/densities length mismatch")
+	}
+	masks := make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		m := sparse.RandomMask(p.W.Shape(), densities[i], r)
+		p.Mask = m
+		p.ApplyMask()
+		masks[i] = m
+	}
+	return masks
+}
+
+// ShapesOf extracts parameter shapes (for ERK allocation).
+func ShapesOf(params []*layers.Param) [][]int {
+	shapes := make([][]int, len(params))
+	for i, p := range params {
+		shapes[i] = p.W.Shape()
+	}
+	return shapes
+}

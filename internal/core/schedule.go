@@ -1,0 +1,144 @@
+// Package core implements the paper's contribution: the Neurogenesis
+// Dynamics-inspired sparse training method (NDSNN).
+//
+// NDSNN trains from scratch with a sparse topology whose per-layer sparsity
+// *increases* over training: every ΔT optimizer steps it drops more
+// connections (magnitude pruning at a cosine-annealed death ratio, Eq. 5)
+// than it regrows (gradient-magnitude top-k among inactive weights,
+// Eq. 8–9), so the live-weight population shrinks from an initial sparsity
+// θᵢ to the target θ_f along the cubic ramp of Eq. 4 — the analogue of
+// hippocampal neurogenesis where neuron death outpaces neuron birth.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// ScheduleShape selects the interpolation between initial and final
+// sparsity (the paper uses Cubic; Linear and Step exist for the ablation
+// study).
+type ScheduleShape int
+
+// Schedule shapes.
+const (
+	Cubic ScheduleShape = iota
+	Linear
+	Step
+)
+
+// ShapeByName resolves "cubic", "linear" or "step" (default cubic).
+func ShapeByName(name string) ScheduleShape {
+	switch name {
+	case "linear":
+		return Linear
+	case "step":
+		return Step
+	default:
+		return Cubic
+	}
+}
+
+func (s ScheduleShape) String() string {
+	switch s {
+	case Linear:
+		return "linear"
+	case Step:
+		return "step"
+	default:
+		return "cubic"
+	}
+}
+
+// SparsitySchedule computes the per-layer sparsity trajectory of Eq. 4:
+//
+//	θˡ_t = θˡ_f + (θˡ_i − θˡ_f)·(1 − (t−t₀)/(nΔT))³
+//
+// for t ∈ [t₀, t₀+nΔT], clamped to θˡ_f afterwards.
+type SparsitySchedule struct {
+	// Initial and Final are per-layer sparsity distributions Θᵢ and Θ_f
+	// (from ERK at the initial and final global sparsity).
+	Initial, Final []float64
+	// T0 is the first step of the ramp.
+	T0 int
+	// RampSteps is n·ΔT, the length of the ramp in optimizer steps.
+	RampSteps int
+	// Shape selects cubic (paper), linear or step interpolation.
+	Shape ScheduleShape
+}
+
+// At returns layer l's target sparsity at optimizer step t.
+func (s *SparsitySchedule) At(l, t int) float64 {
+	if l < 0 || l >= len(s.Final) {
+		panic(fmt.Sprintf("core: schedule layer %d out of range", l))
+	}
+	frac := s.progress(t)
+	init, final := s.Initial[l], s.Final[l]
+	switch s.Shape {
+	case Linear:
+		return final + (init-final)*(1-frac)
+	case Step:
+		if frac >= 1 {
+			return final
+		}
+		return init
+	default:
+		r := 1 - frac
+		return final + (init-final)*r*r*r
+	}
+}
+
+// progress maps step t to ramp progress in [0,1].
+func (s *SparsitySchedule) progress(t int) float64 {
+	if s.RampSteps <= 0 {
+		return 1
+	}
+	f := float64(t-s.T0) / float64(s.RampSteps)
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// GlobalAt returns the overall sparsity at step t given per-layer element
+// counts.
+func (s *SparsitySchedule) GlobalAt(t int, sizes []int) float64 {
+	var nz, total float64
+	for l, n := range sizes {
+		nz += (1 - s.At(l, t)) * float64(n)
+		total += float64(n)
+	}
+	return 1 - nz/total
+}
+
+// DeathRate is the cosine-annealed drop ratio of Eq. 5:
+//
+//	d_t = d_min + ½(d₀ − d_min)(1 + cos(π(t−t₀)/(nΔT)))
+//
+// clamped to d_min once the ramp completes.
+type DeathRate struct {
+	// D0 is the initial death ratio (fraction of active weights dropped).
+	D0 float64
+	// DMin is the minimum death ratio reached at the end of the ramp.
+	DMin float64
+	// T0 and RampSteps mirror SparsitySchedule.
+	T0, RampSteps int
+}
+
+// At returns the death ratio at step t.
+func (d DeathRate) At(t int) float64 {
+	if d.RampSteps <= 0 {
+		return d.DMin
+	}
+	f := float64(t-d.T0) / float64(d.RampSteps)
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	return d.DMin + 0.5*(d.D0-d.DMin)*(1+math.Cos(math.Pi*f))
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+
+	"ndsnn/internal/data"
+	"ndsnn/internal/layers"
+	"ndsnn/internal/opt"
+	"ndsnn/internal/rng"
+	"ndsnn/internal/snn"
+	"ndsnn/internal/sparse"
+	"ndsnn/internal/train"
+)
+
+// Config holds the NDSNN hyperparameters (Algorithm 1's inputs).
+type Config struct {
+	// InitialSparsity θᵢ and FinalSparsity θ_f bound the ramp; the paper's
+	// design-exploration picks θᵢ from {0.5..0.9} for θ_f ∈ {0.9..0.99}.
+	InitialSparsity float64
+	FinalSparsity   float64
+	// DeltaT is the mask-update period ΔT in optimizer steps.
+	DeltaT int
+	// DeathRate0 d₀ and DeathRateMin d_min parametrize Eq. 5.
+	DeathRate0   float64
+	DeathRateMin float64
+	// RampFraction is the portion of total training steps over which the
+	// Eq. 4 ramp runs (n·ΔT = RampFraction · totalSteps).
+	RampFraction float64
+	// StopFraction freezes masks after this portion of training, matching
+	// Algorithm 1's t < T_end guard.
+	StopFraction float64
+	// Distribution selects "erk" (paper) or "uniform" layer allocation.
+	Distribution string
+	// Grow selects the regrowth criterion (gradient = paper).
+	Grow GrowCriterion
+	// Shape selects the ramp interpolation (cubic = paper).
+	Shape ScheduleShape
+}
+
+// WithDefaults fills unset fields with the paper's defaults.
+func (c Config) WithDefaults() Config {
+	if c.InitialSparsity == 0 && c.FinalSparsity == 0 {
+		c.InitialSparsity, c.FinalSparsity = 0.5, 0.9
+	}
+	if c.DeltaT == 0 {
+		c.DeltaT = 8
+	}
+	if c.DeathRate0 == 0 {
+		c.DeathRate0 = 0.5
+	}
+	if c.DeathRateMin == 0 {
+		c.DeathRateMin = 0.05
+	}
+	if c.RampFraction == 0 {
+		c.RampFraction = 0.75
+	}
+	if c.StopFraction == 0 {
+		c.StopFraction = 0.9
+	}
+	if c.Distribution == "" {
+		c.Distribution = "erk"
+	}
+	return c
+}
+
+// Outcome extends the uniform training result with NDSNN's rewiring log.
+type Outcome struct {
+	train.Result
+	// Rewires records every drop-and-grow round.
+	Rewires []RewireStats
+}
+
+// Densities computes the per-layer density allocation for a global density.
+func Densities(shapes [][]int, globalDensity float64, distribution string) []float64 {
+	if distribution == "uniform" {
+		return sparse.UniformDensities(len(shapes), globalDensity)
+	}
+	return sparse.ERKDensities(shapes, globalDensity)
+}
+
+// TrainNDSNN trains net on ds with the NDSNN method and returns the outcome.
+// The network must be freshly initialized (dense); TrainNDSNN sparsifies it
+// in place.
+func TrainNDSNN(net *snn.Network, ds *data.Dataset, common train.Common, cfg Config) (*Outcome, error) {
+	common = common.WithDefaults()
+	cfg = cfg.WithDefaults()
+	if cfg.FinalSparsity < cfg.InitialSparsity {
+		return nil, fmt.Errorf("core: final sparsity %v below initial %v (NDSNN's population must shrink)", cfg.FinalSparsity, cfg.InitialSparsity)
+	}
+	r := rng.New(common.Seed)
+	params := layers.PrunableParams(net.Params())
+	shapes := ShapesOf(params)
+
+	densInit := Densities(shapes, 1-cfg.InitialSparsity, cfg.Distribution)
+	densFinal := Densities(shapes, 1-cfg.FinalSparsity, cfg.Distribution)
+	thetaInit := make([]float64, len(params))
+	thetaFinal := make([]float64, len(params))
+	for i := range params {
+		thetaInit[i] = 1 - densInit[i]
+		thetaFinal[i] = 1 - densFinal[i]
+	}
+	InitMasks(params, densInit, r.Split())
+
+	sgd := opt.NewSGD(common.LR, common.Momentum, common.WeightDecay)
+	loop := &train.Loop{
+		Net: net, Dataset: ds, Opt: sgd,
+		Schedule:   opt.CosineLR{Base: common.LR, Min: common.LRMin, Total: common.Epochs},
+		BatchSize:  common.BatchSize,
+		Epochs:     common.Epochs,
+		MaxBatches: common.MaxBatches,
+		Rng:        r.Split(),
+	}
+	totalSteps := common.Epochs * loop.StepsPerEpoch()
+	rampSteps := int(cfg.RampFraction * float64(totalSteps))
+	stopStep := int(cfg.StopFraction * float64(totalSteps))
+	// Short runs can place the freeze point before the first ΔT multiple
+	// past the ramp; always allow one final update so the model actually
+	// lands on θ_f.
+	if minStop := rampSteps + cfg.DeltaT + 1; stopStep < minStop {
+		stopStep = minStop
+	}
+
+	rewirer := &Rewirer{
+		Params: params,
+		Schedule: &SparsitySchedule{
+			Initial: thetaInit, Final: thetaFinal,
+			T0: 0, RampSteps: rampSteps, Shape: cfg.Shape,
+		},
+		Death:     DeathRate{D0: cfg.DeathRate0, DMin: cfg.DeathRateMin, T0: 0, RampSteps: rampSteps},
+		Criterion: cfg.Grow,
+		Opt:       sgd,
+		Rng:       r.Split(),
+	}
+	out := &Outcome{}
+	loop.Hooks.OnStep = func(step int) {
+		if cfg.DeltaT > 0 && step%cfg.DeltaT == 0 && step < stopStep {
+			out.Rewires = append(out.Rewires, rewirer.Apply(step))
+		}
+	}
+	history, err := loop.Run()
+	if err != nil {
+		return nil, err
+	}
+	out.History = history
+	out.TestAcc = train.Evaluate(net, ds, &ds.Test, common.EvalBatch)
+	out.FinalSparsity = layers.GlobalSparsity(params)
+	out.Trajectory = train.BuildTrajectory("NDSNN", history)
+	return out, nil
+}

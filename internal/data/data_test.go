@@ -1,0 +1,271 @@
+package data
+
+import (
+	"math"
+	"testing"
+
+	"ndsnn/internal/rng"
+)
+
+func small() *Dataset { return SynthSmall(4, 64, 32, 7) }
+
+func TestShapesAndCounts(t *testing.T) {
+	d := small()
+	pix := 3 * 16 * 16
+	if len(d.Train.Images) != 64*pix {
+		t.Fatalf("train images len = %d", len(d.Train.Images))
+	}
+	if len(d.Test.Images) != 32*pix {
+		t.Fatalf("test images len = %d", len(d.Test.Images))
+	}
+	if d.Train.N() != 64 || d.Test.N() != 32 {
+		t.Fatalf("split sizes %d/%d", d.Train.N(), d.Test.N())
+	}
+}
+
+func TestLabelsBalancedAndInRange(t *testing.T) {
+	d := small()
+	counts := make([]int, 4)
+	for _, l := range d.Train.Labels {
+		if l < 0 || l >= 4 {
+			t.Fatalf("label %d out of range", l)
+		}
+		counts[l]++
+	}
+	for c, n := range counts {
+		if n != 16 {
+			t.Fatalf("class %d has %d samples, want 16 (balanced)", c, n)
+		}
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := SynthSmall(4, 32, 16, 99)
+	b := SynthSmall(4, 32, 16, 99)
+	for i := range a.Train.Images {
+		if a.Train.Images[i] != b.Train.Images[i] {
+			t.Fatal("same seed produced different images")
+		}
+	}
+	c := SynthSmall(4, 32, 16, 100)
+	same := true
+	for i := range a.Train.Images {
+		if a.Train.Images[i] != c.Train.Images[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical images")
+	}
+}
+
+func TestStandardization(t *testing.T) {
+	d := SynthCIFAR10(200, 50, 3)
+	hw := 32 * 32
+	pix := 3 * hw
+	for ch := 0; ch < 3; ch++ {
+		var sum, sumsq float64
+		n := 0
+		for i := 0; i < d.Train.N(); i++ {
+			base := i*pix + ch*hw
+			for j := 0; j < hw; j++ {
+				v := float64(d.Train.Images[base+j])
+				sum += v
+				sumsq += v * v
+				n++
+			}
+		}
+		mean := sum / float64(n)
+		std := math.Sqrt(sumsq/float64(n) - mean*mean)
+		if math.Abs(mean) > 1e-3 {
+			t.Fatalf("channel %d mean = %v, want ~0", ch, mean)
+		}
+		if math.Abs(std-1) > 1e-3 {
+			t.Fatalf("channel %d std = %v, want ~1", ch, std)
+		}
+	}
+}
+
+func TestClassesAreDistinguishable(t *testing.T) {
+	// A nearest-class-mean classifier on raw pixels must beat chance by a
+	// wide margin on the easy preset — otherwise the generator is broken
+	// and no trainer comparison is meaningful.
+	d := SynthEasy(4, 128, 64, 11)
+	pix := 3 * 16 * 16
+	means := make([][]float64, 4)
+	counts := make([]int, 4)
+	for c := range means {
+		means[c] = make([]float64, pix)
+	}
+	for i := 0; i < d.Train.N(); i++ {
+		c := d.Train.Labels[i]
+		counts[c]++
+		for j := 0; j < pix; j++ {
+			means[c][j] += float64(d.Train.Images[i*pix+j])
+		}
+	}
+	for c := range means {
+		for j := range means[c] {
+			means[c][j] /= float64(counts[c])
+		}
+	}
+	correct := 0
+	for i := 0; i < d.Test.N(); i++ {
+		best, bestDist := -1, math.Inf(1)
+		for c := range means {
+			dist := 0.0
+			for j := 0; j < pix; j++ {
+				diff := float64(d.Test.Images[i*pix+j]) - means[c][j]
+				dist += diff * diff
+			}
+			if dist < bestDist {
+				bestDist, best = dist, c
+			}
+		}
+		if best == d.Test.Labels[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(d.Test.N())
+	if acc < 0.8 {
+		t.Fatalf("nearest-mean accuracy = %v, want >= 0.8 (classes not separable)", acc)
+	}
+}
+
+func TestHarderPresetIsHarder(t *testing.T) {
+	// More classes with the same generator → lower nearest-mean accuracy,
+	// i.e. difficulty scales the way CIFAR-10 → CIFAR-100 does.
+	nearestMeanAcc := func(d *Dataset) float64 {
+		cfg := d.Config
+		pix := cfg.C * cfg.H * cfg.W
+		means := make([][]float64, cfg.Classes)
+		counts := make([]int, cfg.Classes)
+		for c := range means {
+			means[c] = make([]float64, pix)
+		}
+		for i := 0; i < d.Train.N(); i++ {
+			c := d.Train.Labels[i]
+			counts[c]++
+			for j := 0; j < pix; j++ {
+				means[c][j] += float64(d.Train.Images[i*pix+j])
+			}
+		}
+		for c := range means {
+			if counts[c] == 0 {
+				continue
+			}
+			for j := range means[c] {
+				means[c][j] /= float64(counts[c])
+			}
+		}
+		correct := 0
+		for i := 0; i < d.Test.N(); i++ {
+			best, bestDist := -1, math.Inf(1)
+			for c := range means {
+				dist := 0.0
+				for j := 0; j < pix; j++ {
+					diff := float64(d.Test.Images[i*pix+j]) - means[c][j]
+					dist += diff * diff
+				}
+				if dist < bestDist {
+					bestDist, best = dist, c
+				}
+			}
+			if best == d.Test.Labels[i] {
+				correct++
+			}
+		}
+		return float64(correct) / float64(d.Test.N())
+	}
+	easy := nearestMeanAcc(SynthSmall(4, 160, 80, 5))
+	hard := nearestMeanAcc(SynthSmall(24, 960, 480, 5))
+	if hard >= easy {
+		t.Fatalf("24-class accuracy (%v) should be below 4-class accuracy (%v)", hard, easy)
+	}
+}
+
+func TestBatchGathersCorrectSamples(t *testing.T) {
+	d := small()
+	x, labels := d.Batch(&d.Train, []int{3, 7})
+	if x.Dim(0) != 2 || x.Dim(1) != 3 || x.Dim(2) != 16 || x.Dim(3) != 16 {
+		t.Fatalf("batch shape %v", x.Shape())
+	}
+	pix := 3 * 16 * 16
+	for j := 0; j < pix; j++ {
+		if x.Data[j] != d.Train.Images[3*pix+j] {
+			t.Fatal("batch sample 0 mismatch")
+		}
+		if x.Data[pix+j] != d.Train.Images[7*pix+j] {
+			t.Fatal("batch sample 1 mismatch")
+		}
+	}
+	if labels[0] != d.Train.Labels[3] || labels[1] != d.Train.Labels[7] {
+		t.Fatal("batch labels mismatch")
+	}
+}
+
+func TestShuffledBatchesPartition(t *testing.T) {
+	r := rng.New(1)
+	batches := ShuffledBatches(103, 32, r)
+	if len(batches) != 4 {
+		t.Fatalf("got %d batches, want 4", len(batches))
+	}
+	seen := make([]bool, 103)
+	total := 0
+	for _, b := range batches {
+		for _, i := range b {
+			if seen[i] {
+				t.Fatalf("index %d appears twice", i)
+			}
+			seen[i] = true
+			total++
+		}
+	}
+	if total != 103 {
+		t.Fatalf("covered %d indices, want 103", total)
+	}
+}
+
+func TestSequentialBatchesOrder(t *testing.T) {
+	batches := SequentialBatches(5, 2)
+	if len(batches) != 3 {
+		t.Fatalf("got %d batches", len(batches))
+	}
+	if batches[2][0] != 4 || len(batches[2]) != 1 {
+		t.Fatalf("last batch = %v", batches[2])
+	}
+}
+
+func TestGeneratePanicsOnBadConfig(t *testing.T) {
+	for _, cfg := range []Config{
+		{Classes: 1, C: 3, H: 8, W: 8, TrainN: 4, TestN: 4},
+		{Classes: 4, C: 2, H: 8, W: 8, TrainN: 4, TestN: 4},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("config %+v did not panic", cfg)
+				}
+			}()
+			Generate(cfg)
+		}()
+	}
+}
+
+func TestPresetGeometries(t *testing.T) {
+	cases := []struct {
+		d       *Dataset
+		classes int
+		h       int
+	}{
+		{SynthCIFAR10(10, 10, 1), 10, 32},
+		{SynthCIFAR100(100, 100, 1), 100, 32},
+		{SynthTinyImageNet(200, 200, 1), 200, 64},
+	}
+	for _, c := range cases {
+		if c.d.Config.Classes != c.classes || c.d.Config.H != c.h || c.d.Config.C != 3 {
+			t.Fatalf("%s geometry wrong: %+v", c.d.Config.Name, c.d.Config)
+		}
+	}
+}

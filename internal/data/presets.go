@@ -1,0 +1,49 @@
+package data
+
+// Presets mirror the paper's three evaluation datasets in geometry and class
+// count; sample counts are parameters because the CPU substrate trains on
+// scaled-down splits by default (the "paper" profile raises them).
+
+// SynthCIFAR10 is the CIFAR-10 stand-in: 10 classes of 3×32×32 images.
+func SynthCIFAR10(trainN, testN int, seed uint64) *Dataset {
+	return Generate(Config{
+		Name: "synth-cifar10", Classes: 10, C: 3, H: 32, W: 32,
+		TrainN: trainN, TestN: testN, Noise: 0.35, Jitter: 0.08, Seed: seed,
+	})
+}
+
+// SynthCIFAR100 is the CIFAR-100 stand-in: 100 classes of 3×32×32 images.
+func SynthCIFAR100(trainN, testN int, seed uint64) *Dataset {
+	return Generate(Config{
+		Name: "synth-cifar100", Classes: 100, C: 3, H: 32, W: 32,
+		TrainN: trainN, TestN: testN, Noise: 0.35, Jitter: 0.08, Seed: seed,
+	})
+}
+
+// SynthTinyImageNet is the Tiny-ImageNet stand-in: 200 classes of 3×64×64
+// images.
+func SynthTinyImageNet(trainN, testN int, seed uint64) *Dataset {
+	return Generate(Config{
+		Name: "synth-tinyimagenet", Classes: 200, C: 3, H: 64, W: 64,
+		TrainN: trainN, TestN: testN, Noise: 0.4, Jitter: 0.1, Seed: seed,
+	})
+}
+
+// SynthSmall is a miniature dataset for unit tests and fast integration
+// runs: configurable class count over 3×16×16 images with mild noise.
+func SynthSmall(classes, trainN, testN int, seed uint64) *Dataset {
+	return Generate(Config{
+		Name: "synth-small", Classes: classes, C: 3, H: 16, W: 16,
+		TrainN: trainN, TestN: testN, Noise: 0.2, Jitter: 0.05, Seed: seed,
+	})
+}
+
+// SynthEasy is a low-noise, jitter-free dataset on which a tiny network
+// reaches high accuracy within a couple of epochs; integration tests use it
+// to verify that trainers actually learn.
+func SynthEasy(classes, trainN, testN int, seed uint64) *Dataset {
+	return Generate(Config{
+		Name: "synth-easy", Classes: classes, C: 3, H: 16, W: 16,
+		TrainN: trainN, TestN: testN, Noise: 0.05, Jitter: 0.02, Seed: seed,
+	})
+}

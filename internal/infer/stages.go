@@ -1,0 +1,330 @@
+package infer
+
+import (
+	"math"
+
+	"ndsnn/internal/layers"
+	"ndsnn/internal/snn"
+	"ndsnn/internal/tensor"
+)
+
+// bnFold extracts the eval-mode affine (scale, shift) of a BatchNorm:
+// y = scale·x + shift with scale = γ/√(σ²+ε), shift = β − scale·μ.
+func bnFold(bn *layers.BatchNorm) (scale, shift []float32) {
+	scale = make([]float32, bn.C)
+	shift = make([]float32, bn.C)
+	for c := 0; c < bn.C; c++ {
+		s := bn.Gamma.W.Data[c] / float32(math.Sqrt(float64(bn.RunningVar.Data[c]+bn.Eps)))
+		scale[c] = s
+		shift[c] = bn.Beta.W.Data[c] - s*bn.RunningMean.Data[c]
+	}
+	return scale, shift
+}
+
+// convEntry is one active synapse of an event-driven convolution, grouped
+// by presynaptic channel.
+type convEntry struct {
+	f      int32 // output channel
+	ki, kj int32 // kernel offsets
+	w      float32
+}
+
+// convStage is an event-driven convolution with optional folded BN.
+type convStage struct {
+	inC, outC, k, stride, pad int
+	perChannel                [][]convEntry
+	bias                      []float32 // conv bias (may be nil)
+	scale, shift              []float32 // folded BN (may be nil)
+	ops                       *int64
+	activeSynapses            int64
+	inHW                      int // last seen spatial size (for dense MACs)
+}
+
+func newConvStage(l *layers.Conv2d, bn *layers.BatchNorm, ops *int64) *convStage {
+	s := &convStage{
+		inC: l.InC, outC: l.OutC, k: l.K, stride: l.Stride, pad: l.Pad,
+		perChannel: make([][]convEntry, l.InC),
+		ops:        ops,
+	}
+	w := l.Weight.W
+	for f := 0; f < l.OutC; f++ {
+		for c := 0; c < l.InC; c++ {
+			for ki := 0; ki < l.K; ki++ {
+				for kj := 0; kj < l.K; kj++ {
+					v := w.At(f, c, ki, kj)
+					if v != 0 {
+						s.perChannel[c] = append(s.perChannel[c], convEntry{int32(f), int32(ki), int32(kj), v})
+						s.activeSynapses++
+					}
+				}
+			}
+		}
+	}
+	if l.Bias != nil {
+		s.bias = append([]float32(nil), l.Bias.W.Data...)
+	}
+	if bn != nil {
+		s.scale, s.shift = bnFold(bn)
+	}
+	return s
+}
+
+func (s *convStage) denseMACs() int64 {
+	// Dense implementation: outC·inC·k²·outHW MACs.
+	if s.inHW == 0 {
+		return 0
+	}
+	inH := int(math.Sqrt(float64(s.inHW)))
+	oh := tensor.ConvOutSize(inH, s.k, s.stride, s.pad)
+	return int64(s.outC*s.inC*s.k*s.k) * int64(oh*oh)
+}
+
+func (s *convStage) step(in *act) *act {
+	c, h, w := in.shape[0], in.shape[1], in.shape[2]
+	_ = c
+	s.inHW = h * w
+	oh := tensor.ConvOutSize(h, s.k, s.stride, s.pad)
+	ow := tensor.ConvOutSize(w, s.k, s.stride, s.pad)
+	out := newAct([]int{s.outC, oh, ow})
+	p := oh * ow
+	var ops int64
+	for _, ev := range in.events {
+		idx := int(ev.Idx)
+		ci := idx / (h * w)
+		rem := idx % (h * w)
+		y := rem / w
+		x := rem % w
+		for _, en := range s.perChannel[ci] {
+			// Output position such that y = oy·stride + ki - pad.
+			ny := y + s.pad - int(en.ki)
+			nx := x + s.pad - int(en.kj)
+			if ny < 0 || nx < 0 || ny%s.stride != 0 || nx%s.stride != 0 {
+				continue
+			}
+			oy, ox := ny/s.stride, nx/s.stride
+			if oy >= oh || ox >= ow {
+				continue
+			}
+			out.data[int(en.f)*p+oy*ow+ox] += en.w * ev.Val
+			ops++
+		}
+	}
+	*s.ops += ops
+	for f := 0; f < s.outC; f++ {
+		var b float32
+		if s.bias != nil {
+			b = s.bias[f]
+		}
+		row := out.data[f*p : (f+1)*p]
+		if s.scale != nil {
+			sc, sh := s.scale[f], s.shift[f]
+			for i := range row {
+				row[i] = sc*(row[i]+b) + sh
+			}
+		} else if b != 0 {
+			for i := range row {
+				row[i] += b
+			}
+		}
+	}
+	out.refreshEvents()
+	return out
+}
+
+func (s *convStage) reset() {}
+
+// linearEntry is one active synapse of an event-driven linear layer,
+// grouped by presynaptic index.
+type linearEntry struct {
+	out int32
+	w   float32
+}
+
+// linearStage is an event-driven fully-connected layer with folded BN.
+type linearStage struct {
+	in, out        int
+	perInput       [][]linearEntry
+	bias           []float32
+	scale, shift   []float32
+	ops            *int64
+	activeSynapses int64
+}
+
+func newLinearStage(l *layers.Linear, bn *layers.BatchNorm, ops *int64) *linearStage {
+	s := &linearStage{in: l.In, out: l.Out, perInput: make([][]linearEntry, l.In), ops: ops}
+	for o := 0; o < l.Out; o++ {
+		for i := 0; i < l.In; i++ {
+			v := l.Weight.W.Data[o*l.In+i]
+			if v != 0 {
+				s.perInput[i] = append(s.perInput[i], linearEntry{int32(o), v})
+				s.activeSynapses++
+			}
+		}
+	}
+	if l.Bias != nil {
+		s.bias = append([]float32(nil), l.Bias.W.Data...)
+	}
+	if bn != nil {
+		s.scale, s.shift = bnFold(bn)
+	}
+	return s
+}
+
+func (s *linearStage) denseMACs() int64 { return int64(s.in) * int64(s.out) }
+
+func (s *linearStage) step(in *act) *act {
+	out := newAct([]int{s.out})
+	var ops int64
+	for _, ev := range in.events {
+		for _, en := range s.perInput[ev.Idx] {
+			out.data[en.out] += en.w * ev.Val
+			ops++
+		}
+	}
+	*s.ops += ops
+	for o := range out.data {
+		var b float32
+		if s.bias != nil {
+			b = s.bias[o]
+		}
+		if s.scale != nil {
+			out.data[o] = s.scale[o]*(out.data[o]+b) + s.shift[o]
+		} else {
+			out.data[o] += b
+		}
+	}
+	out.refreshEvents()
+	return out
+}
+
+func (s *linearStage) reset() {}
+
+// affineStage applies a standalone BN's eval affine.
+type affineStage struct {
+	scale, shift []float32
+}
+
+func newAffineStage(bn *layers.BatchNorm) *affineStage {
+	s := &affineStage{}
+	s.scale, s.shift = bnFold(bn)
+	return s
+}
+
+func (s *affineStage) step(in *act) *act {
+	out := newAct(in.shape)
+	chans := len(s.scale)
+	per := len(in.data) / chans
+	for c := 0; c < chans; c++ {
+		for i := 0; i < per; i++ {
+			out.data[c*per+i] = s.scale[c]*in.data[c*per+i] + s.shift[c]
+		}
+	}
+	out.refreshEvents()
+	return out
+}
+
+func (s *affineStage) reset() {}
+
+// lifStage replicates the training LIF dynamics (soft or hard reset).
+type lifStage struct {
+	cfg   snn.NeuronConfig
+	v     []float32
+	oPrev []float32
+}
+
+func (s *lifStage) step(in *act) *act {
+	if s.v == nil || len(s.v) != len(in.data) {
+		s.v = make([]float32, len(in.data))
+		s.oPrev = make([]float32, len(in.data))
+	}
+	out := newAct(in.shape)
+	cfg := s.cfg
+	for i, x := range in.data {
+		var v float32
+		if cfg.HardReset {
+			v = cfg.Alpha*s.v[i]*(1-s.oPrev[i]) + x
+		} else {
+			v = cfg.Alpha*s.v[i] + x - cfg.Threshold*s.oPrev[i]
+		}
+		s.v[i] = v
+		if v >= cfg.Threshold {
+			out.data[i] = 1
+		}
+	}
+	copy(s.oPrev, out.data)
+	out.refreshEvents()
+	return out
+}
+
+func (s *lifStage) reset() { s.v, s.oPrev = nil, nil }
+
+// maxPoolStage pools densely (cheap relative to synaptic work).
+type maxPoolStage struct{ k, stride int }
+
+func (s *maxPoolStage) step(in *act) *act {
+	x := tensor.FromSlice(in.data, 1, in.shape[0], in.shape[1], in.shape[2])
+	pooled, _ := tensor.MaxPool(x, s.k, s.stride)
+	out := &act{shape: pooled.Shape()[1:], data: pooled.Data}
+	out.refreshEvents()
+	return out
+}
+
+func (s *maxPoolStage) reset() {}
+
+// avgPoolStage pools densely; outputs are graded events.
+type avgPoolStage struct{ k, stride int }
+
+func (s *avgPoolStage) step(in *act) *act {
+	x := tensor.FromSlice(in.data, 1, in.shape[0], in.shape[1], in.shape[2])
+	pooled := tensor.AvgPool(x, s.k, s.stride)
+	out := &act{shape: pooled.Shape()[1:], data: pooled.Data}
+	out.refreshEvents()
+	return out
+}
+
+func (s *avgPoolStage) reset() {}
+
+// flattenStage reshapes to a vector.
+type flattenStage struct{}
+
+func (s *flattenStage) step(in *act) *act {
+	out := &act{shape: []int{len(in.data)}, data: in.data, events: in.events}
+	return out
+}
+
+func (s *flattenStage) reset() {}
+
+// residualStage runs both paths and the output neuron.
+type residualStage struct {
+	main     []stage
+	shortcut []stage
+	out      *lifStage
+}
+
+func (s *residualStage) step(in *act) *act {
+	cur := in
+	for _, st := range s.main {
+		cur = st.step(cur)
+	}
+	sc := in
+	for _, st := range s.shortcut {
+		sc = st.step(sc)
+	}
+	sum := newAct(cur.shape)
+	copy(sum.data, cur.data)
+	for i, v := range sc.data {
+		sum.data[i] += v
+	}
+	sum.refreshEvents()
+	return s.out.step(sum)
+}
+
+func (s *residualStage) reset() {
+	for _, st := range s.main {
+		st.reset()
+	}
+	for _, st := range s.shortcut {
+		st.reset()
+	}
+	s.out.reset()
+}

@@ -1,0 +1,168 @@
+package layers
+
+import (
+	"fmt"
+	"math"
+
+	"ndsnn/internal/tensor"
+)
+
+// BatchNorm normalizes per channel over the batch (and spatial dims for 4-D
+// inputs), with learned affine parameters. For SNNs it is applied
+// independently at each timestep, which is the per-step variant of the
+// threshold-dependent BN used by directly-trained deep SNNs; running
+// statistics are tracked across all timesteps for inference.
+type BatchNorm struct {
+	C        int
+	Eps      float32
+	Momentum float32
+
+	// Gamma (scale) and Beta (shift), each of shape [C].
+	Gamma *Param
+	Beta  *Param
+
+	// Running statistics for eval mode.
+	RunningMean *tensor.Tensor
+	RunningVar  *tensor.Tensor
+
+	caches cacheStack[*bnCache]
+}
+
+type bnCache struct {
+	xhat   *tensor.Tensor
+	invstd []float32
+	b, s   int // batch size, spatial size
+}
+
+// NewBatchNorm constructs a BatchNorm over c channels (gamma=1, beta=0).
+func NewBatchNorm(name string, c int) *BatchNorm {
+	g := tensor.New(c)
+	g.Fill(1)
+	rv := tensor.New(c)
+	rv.Fill(1)
+	bn := &BatchNorm{
+		C: c, Eps: 1e-5, Momentum: 0.1,
+		Gamma:       NewParam(name+".gamma", g),
+		Beta:        NewParam(name+".beta", tensor.New(c)),
+		RunningMean: tensor.New(c),
+		RunningVar:  rv,
+	}
+	bn.Gamma.NoDecay, bn.Gamma.NoPrune = true, true
+	bn.Beta.NoDecay, bn.Beta.NoPrune = true, true
+	return bn
+}
+
+// dims interprets x as [B, C, S] where S is the flattened spatial extent.
+func (l *BatchNorm) dims(x *tensor.Tensor) (b, s int) {
+	switch x.NumDims() {
+	case 2:
+		if x.Dim(1) != l.C {
+			panic(fmt.Sprintf("layers: BatchNorm expects %d channels, got %v", l.C, x.Shape()))
+		}
+		return x.Dim(0), 1
+	case 4:
+		if x.Dim(1) != l.C {
+			panic(fmt.Sprintf("layers: BatchNorm expects %d channels, got %v", l.C, x.Shape()))
+		}
+		return x.Dim(0), x.Dim(2) * x.Dim(3)
+	default:
+		panic(fmt.Sprintf("layers: BatchNorm supports 2-D/4-D inputs, got %v", x.Shape()))
+	}
+}
+
+// Forward normalizes one timestep.
+func (l *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	b, s := l.dims(x)
+	out := tensor.New(x.Shape()...)
+	cs := l.C * s
+	if !train {
+		for c := 0; c < l.C; c++ {
+			mean := l.RunningMean.Data[c]
+			invstd := float32(1 / math.Sqrt(float64(l.RunningVar.Data[c]+l.Eps)))
+			g, bta := l.Gamma.W.Data[c], l.Beta.W.Data[c]
+			for bi := 0; bi < b; bi++ {
+				base := bi*cs + c*s
+				for i := 0; i < s; i++ {
+					out.Data[base+i] = g*(x.Data[base+i]-mean)*invstd + bta
+				}
+			}
+		}
+		return out
+	}
+
+	n := float64(b * s)
+	cache := &bnCache{xhat: tensor.New(x.Shape()...), invstd: make([]float32, l.C), b: b, s: s}
+	for c := 0; c < l.C; c++ {
+		var sum, sumsq float64
+		for bi := 0; bi < b; bi++ {
+			base := bi*cs + c*s
+			for i := 0; i < s; i++ {
+				v := float64(x.Data[base+i])
+				sum += v
+				sumsq += v * v
+			}
+		}
+		mean := sum / n
+		variance := sumsq/n - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		invstd := float32(1 / math.Sqrt(variance+float64(l.Eps)))
+		cache.invstd[c] = invstd
+		meanF := float32(mean)
+		g, bta := l.Gamma.W.Data[c], l.Beta.W.Data[c]
+		for bi := 0; bi < b; bi++ {
+			base := bi*cs + c*s
+			for i := 0; i < s; i++ {
+				xh := (x.Data[base+i] - meanF) * invstd
+				cache.xhat.Data[base+i] = xh
+				out.Data[base+i] = g*xh + bta
+			}
+		}
+		l.RunningMean.Data[c] = (1-l.Momentum)*l.RunningMean.Data[c] + l.Momentum*meanF
+		l.RunningVar.Data[c] = (1-l.Momentum)*l.RunningVar.Data[c] + l.Momentum*float32(variance)
+	}
+	l.caches.push(cache)
+	return out
+}
+
+// Backward computes the standard batch-norm gradient for the most recent
+// cached timestep.
+func (l *BatchNorm) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	cache := l.caches.pop()
+	b, s := cache.b, cache.s
+	cs := l.C * s
+	n := float32(b * s)
+	dx := tensor.New(dy.Shape()...)
+	for c := 0; c < l.C; c++ {
+		var sumDy, sumDyXhat float64
+		for bi := 0; bi < b; bi++ {
+			base := bi*cs + c*s
+			for i := 0; i < s; i++ {
+				d := float64(dy.Data[base+i])
+				sumDy += d
+				sumDyXhat += d * float64(cache.xhat.Data[base+i])
+			}
+		}
+		l.Beta.Grad.Data[c] += float32(sumDy)
+		l.Gamma.Grad.Data[c] += float32(sumDyXhat)
+		g := l.Gamma.W.Data[c]
+		invstd := cache.invstd[c]
+		meanDy := float32(sumDy) / n
+		meanDyXhat := float32(sumDyXhat) / n
+		for bi := 0; bi < b; bi++ {
+			base := bi*cs + c*s
+			for i := 0; i < s; i++ {
+				xh := cache.xhat.Data[base+i]
+				dx.Data[base+i] = g * invstd * (dy.Data[base+i] - meanDy - xh*meanDyXhat)
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns gamma and beta.
+func (l *BatchNorm) Params() []*Param { return []*Param{l.Gamma, l.Beta} }
+
+// Reset drops cached timesteps (running statistics persist).
+func (l *BatchNorm) Reset() { l.caches.clear() }

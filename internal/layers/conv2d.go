@@ -1,0 +1,162 @@
+package layers
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ndsnn/internal/rng"
+	"ndsnn/internal/tensor"
+)
+
+// Conv2d is a 2-D convolution over [B,C,H,W] inputs with square kernels,
+// symmetric zero padding and an im2col/GEMM implementation parallelized
+// across the batch.
+type Conv2d struct {
+	InC, OutC, K, Stride, Pad int
+
+	// Weight has shape [OutC, InC, K, K]; Bias (optional) has shape [OutC].
+	Weight *Param
+	Bias   *Param
+
+	xs cacheStack[*tensor.Tensor]
+}
+
+// NewConv2d constructs a convolution layer with Kaiming-normal weights.
+// When withBias is false the layer has no bias term (the usual choice when a
+// BatchNorm follows).
+func NewConv2d(name string, inC, outC, k, stride, pad int, withBias bool, r *rng.RNG) *Conv2d {
+	w := tensor.New(outC, inC, k, k)
+	KaimingNormal(w, inC*k*k, r)
+	l := &Conv2d{
+		InC: inC, OutC: outC, K: k, Stride: stride, Pad: pad,
+		Weight: NewParam(name+".w", w),
+	}
+	if withBias {
+		l.Bias = NewParam(name+".b", tensor.New(outC))
+		l.Bias.NoDecay = true
+		l.Bias.NoPrune = true
+	}
+	return l
+}
+
+// Forward computes one timestep of the convolution.
+func (l *Conv2d) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	b, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if c != l.InC {
+		panic(fmt.Sprintf("layers: %s expects %d input channels, got %d", l.Weight.Name, l.InC, c))
+	}
+	oh := tensor.ConvOutSize(h, l.K, l.Stride, l.Pad)
+	ow := tensor.ConvOutSize(w, l.K, l.Stride, l.Pad)
+	p := oh * ow
+	ckk := c * l.K * l.K
+	out := tensor.New(b, l.OutC, oh, ow)
+	wmat := l.Weight.W.Reshape(l.OutC, ckk)
+	tensor.ParallelFor(b, l.OutC*ckk*p, func(lo, hi int) {
+		col := make([]float32, ckk*p)
+		colT := tensor.FromSlice(col, ckk, p)
+		for bi := lo; bi < hi; bi++ {
+			tensor.Im2Col(col, x.Data[bi*c*h*w:(bi+1)*c*h*w], c, h, w, l.K, l.K, l.Stride, l.Pad, oh, ow)
+			yb := tensor.FromSlice(out.Data[bi*l.OutC*p:(bi+1)*l.OutC*p], l.OutC, p)
+			tensor.MatMulSerialInto(yb, wmat, colT, false)
+			if l.Bias != nil {
+				for f := 0; f < l.OutC; f++ {
+					bv := l.Bias.W.Data[f]
+					row := yb.Data[f*p : (f+1)*p]
+					for j := range row {
+						row[j] += bv
+					}
+				}
+			}
+		}
+	})
+	if train {
+		l.xs.push(x)
+	}
+	return out
+}
+
+// Backward computes input gradients and accumulates weight/bias gradients
+// for the most recent cached timestep.
+func (l *Conv2d) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	x := l.xs.pop()
+	b, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh, ow := dy.Dim(2), dy.Dim(3)
+	p := oh * ow
+	ckk := c * l.K * l.K
+	dx := tensor.New(b, c, h, w)
+	wmat := l.Weight.W.Reshape(l.OutC, ckk)
+
+	procs := runtime.GOMAXPROCS(0)
+	if procs > b {
+		procs = b
+	}
+	if procs < 1 {
+		procs = 1
+	}
+	chunk := (b + procs - 1) / procs
+	dwParts := make([]*tensor.Tensor, 0, procs)
+	dbParts := make([][]float32, 0, procs)
+	var wg sync.WaitGroup
+	for lo := 0; lo < b; lo += chunk {
+		hi := lo + chunk
+		if hi > b {
+			hi = b
+		}
+		dwLocal := tensor.New(l.OutC, ckk)
+		dwParts = append(dwParts, dwLocal)
+		var dbLocal []float32
+		if l.Bias != nil {
+			dbLocal = make([]float32, l.OutC)
+		}
+		dbParts = append(dbParts, dbLocal)
+		wg.Add(1)
+		go func(lo, hi int, dwLocal *tensor.Tensor, dbLocal []float32) {
+			defer wg.Done()
+			col := make([]float32, ckk*p)
+			colT := tensor.FromSlice(col, ckk, p)
+			dcol := make([]float32, ckk*p)
+			dcolT := tensor.FromSlice(dcol, ckk, p)
+			for bi := lo; bi < hi; bi++ {
+				tensor.Im2Col(col, x.Data[bi*c*h*w:(bi+1)*c*h*w], c, h, w, l.K, l.K, l.Stride, l.Pad, oh, ow)
+				dyb := tensor.FromSlice(dy.Data[bi*l.OutC*p:(bi+1)*l.OutC*p], l.OutC, p)
+				tensor.MatMulABTSerialInto(dwLocal, dyb, colT, true)
+				tensor.MatMulATBSerialInto(dcolT, wmat, dyb, false)
+				tensor.Col2Im(dx.Data[bi*c*h*w:(bi+1)*c*h*w], dcol, c, h, w, l.K, l.K, l.Stride, l.Pad, oh, ow)
+				if dbLocal != nil {
+					for f := 0; f < l.OutC; f++ {
+						var s float32
+						for _, v := range dyb.Data[f*p : (f+1)*p] {
+							s += v
+						}
+						dbLocal[f] += s
+					}
+				}
+			}
+		}(lo, hi, dwLocal, dbLocal)
+	}
+	wg.Wait()
+	gw := l.Weight.Grad.Reshape(l.OutC, ckk)
+	for _, part := range dwParts {
+		gw.AddInPlace(part)
+	}
+	if l.Bias != nil {
+		for _, part := range dbParts {
+			for f, v := range part {
+				l.Bias.Grad.Data[f] += v
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns the weight and optional bias.
+func (l *Conv2d) Params() []*Param {
+	if l.Bias != nil {
+		return []*Param{l.Weight, l.Bias}
+	}
+	return []*Param{l.Weight}
+}
+
+// Reset drops cached timesteps.
+func (l *Conv2d) Reset() { l.xs.clear() }

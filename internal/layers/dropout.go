@@ -1,0 +1,57 @@
+package layers
+
+import (
+	"ndsnn/internal/rng"
+	"ndsnn/internal/tensor"
+)
+
+// Dropout zeroes a random subset of activations during training, scaling the
+// survivors by 1/(1-p) (inverted dropout). Following standard SNN practice,
+// one mask is drawn per batch and shared across all timesteps, so the
+// temporal spike statistics of a surviving unit are untouched.
+type Dropout struct {
+	P float64
+
+	r     *rng.RNG
+	mask  *tensor.Tensor // current batch's mask, lazily (re)created
+	steps int            // forwards since Reset, to track backward pairing
+}
+
+// NewDropout constructs a dropout layer with drop probability p.
+func NewDropout(p float64, r *rng.RNG) *Dropout { return &Dropout{P: p, r: r} }
+
+// Forward applies the batch mask to one timestep.
+func (l *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || l.P <= 0 {
+		return x
+	}
+	if l.mask == nil || l.mask.Size() != x.Size() {
+		l.mask = tensor.New(x.Shape()...)
+		scale := float32(1 / (1 - l.P))
+		for i := range l.mask.Data {
+			if !l.r.Bernoulli(l.P) {
+				l.mask.Data[i] = scale
+			}
+		}
+	}
+	l.steps++
+	return tensor.Mul(x, l.mask)
+}
+
+// Backward applies the same mask to the gradient.
+func (l *Dropout) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	if l.P <= 0 || l.mask == nil {
+		return dy
+	}
+	l.steps--
+	return tensor.Mul(dy, l.mask)
+}
+
+// Params returns nil; dropout has no parameters.
+func (l *Dropout) Params() []*Param { return nil }
+
+// Reset discards the batch mask so the next batch draws a fresh one.
+func (l *Dropout) Reset() {
+	l.mask = nil
+	l.steps = 0
+}

@@ -1,0 +1,53 @@
+// Package layers implements the neural-network layer library used to build
+// spiking networks: convolution, linear, batch normalization, pooling,
+// flatten and dropout, each with an explicit backward pass.
+//
+// Temporal protocol. SNNs are trained with backpropagation through time
+// (BPTT): a network processes T timesteps per sample. A Layer's Forward is
+// called once per timestep in order t = 0..T-1 (with train=true during
+// training so the layer caches what its backward needs), and Backward is
+// called once per timestep in reverse order t = T-1..0. Stateless layers
+// maintain a stack of per-timestep caches; stateful layers (the LIF neuron
+// in package snn) additionally carry error signals across Backward calls.
+// Reset clears all temporal state and caches between batches.
+//
+// Weight gradients accumulate across timesteps (paper Eq. 2c sums over t),
+// and across Backward calls until ZeroGrad, which matches how the optimizer
+// consumes them once per batch.
+package layers
+
+import "ndsnn/internal/tensor"
+
+// Layer is one stage of a temporally-unrolled spiking network.
+type Layer interface {
+	// Forward processes one timestep. When train is true the layer caches
+	// whatever its Backward needs for this timestep.
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward consumes the output gradient for the most recent uncommitted
+	// timestep (reverse order) and returns the input gradient. Parameter
+	// gradients accumulate.
+	Backward(dy *tensor.Tensor) *tensor.Tensor
+	// Params returns the layer's trainable parameters (may be empty).
+	Params() []*Param
+	// Reset clears temporal state and cached activations.
+	Reset()
+}
+
+// cacheStack is a simple LIFO of per-timestep caches shared by the
+// stateless layers.
+type cacheStack[T any] struct{ items []T }
+
+func (s *cacheStack[T]) push(v T) { s.items = append(s.items, v) }
+
+func (s *cacheStack[T]) pop() T {
+	if len(s.items) == 0 {
+		panic("layers: Backward called with no cached timestep (forgot train=true or too many Backward calls)")
+	}
+	v := s.items[len(s.items)-1]
+	s.items = s.items[:len(s.items)-1]
+	return v
+}
+
+func (s *cacheStack[T]) clear() { s.items = s.items[:0] }
+
+func (s *cacheStack[T]) len() int { return len(s.items) }

@@ -1,0 +1,366 @@
+package layers_test
+
+import (
+	"math"
+	"testing"
+
+	"ndsnn/internal/layers"
+	"ndsnn/internal/rng"
+	"ndsnn/internal/tensor"
+	"ndsnn/internal/testutil"
+)
+
+func TestConv2dGradients(t *testing.T) {
+	r := rng.New(1)
+	l := layers.NewConv2d("c", 3, 4, 3, 1, 1, true, r)
+	testutil.GradCheck(t, "conv3x3", l, testutil.GradCheckConfig{InShape: []int{2, 3, 6, 6}, Timesteps: 3})
+}
+
+func TestConv2dStridedGradients(t *testing.T) {
+	r := rng.New(2)
+	l := layers.NewConv2d("c", 2, 3, 3, 2, 1, false, r)
+	testutil.GradCheck(t, "conv-stride2", l, testutil.GradCheckConfig{InShape: []int{2, 2, 7, 7}, Timesteps: 2})
+}
+
+func TestConv2d1x1Gradients(t *testing.T) {
+	r := rng.New(3)
+	l := layers.NewConv2d("c", 4, 2, 1, 1, 0, false, r)
+	testutil.GradCheck(t, "conv1x1", l, testutil.GradCheckConfig{InShape: []int{2, 4, 5, 5}, Timesteps: 2})
+}
+
+func TestConv2dMatchesDirectReference(t *testing.T) {
+	r := rng.New(4)
+	l := layers.NewConv2d("c", 3, 5, 3, 1, 1, true, r)
+	x := tensor.New(2, 3, 8, 8)
+	for i := range x.Data {
+		x.Data[i] = r.NormFloat32()
+	}
+	got := l.Forward(x, false)
+	want := tensor.Conv2DDirect(x, l.Weight.W, l.Bias.W, 1, 1)
+	if !got.SameShape(want) {
+		t.Fatalf("shape %v vs %v", got.Shape(), want.Shape())
+	}
+	for i := range want.Data {
+		if math.Abs(float64(got.Data[i]-want.Data[i])) > 1e-4 {
+			t.Fatalf("element %d: %v vs %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestConv2dOutputShape(t *testing.T) {
+	r := rng.New(5)
+	l := layers.NewConv2d("c", 3, 8, 3, 2, 1, false, r)
+	out := l.Forward(tensor.New(4, 3, 32, 32), false)
+	want := []int{4, 8, 16, 16}
+	for i, d := range want {
+		if out.Dim(i) != d {
+			t.Fatalf("output shape %v, want %v", out.Shape(), want)
+		}
+	}
+}
+
+func TestConv2dChannelMismatchPanics(t *testing.T) {
+	r := rng.New(6)
+	l := layers.NewConv2d("c", 3, 4, 3, 1, 1, false, r)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("channel mismatch did not panic")
+		}
+	}()
+	l.Forward(tensor.New(1, 5, 8, 8), false)
+}
+
+func TestLinearGradients(t *testing.T) {
+	r := rng.New(7)
+	l := layers.NewLinear("fc", 10, 6, true, r)
+	testutil.GradCheck(t, "linear", l, testutil.GradCheckConfig{InShape: []int{4, 10}, Timesteps: 3})
+}
+
+func TestLinearNoBiasGradients(t *testing.T) {
+	r := rng.New(8)
+	l := layers.NewLinear("fc", 5, 3, false, r)
+	testutil.GradCheck(t, "linear-nobias", l, testutil.GradCheckConfig{InShape: []int{2, 5}, Timesteps: 2})
+}
+
+func TestLinearKnownValues(t *testing.T) {
+	r := rng.New(9)
+	l := layers.NewLinear("fc", 2, 2, true, r)
+	copy(l.Weight.W.Data, []float32{1, 2, 3, 4}) // W = [[1,2],[3,4]]
+	copy(l.Bias.W.Data, []float32{10, 20})
+	x := tensor.FromSlice([]float32{1, 1}, 1, 2)
+	y := l.Forward(x, false)
+	if y.Data[0] != 13 || y.Data[1] != 27 {
+		t.Fatalf("linear output = %v, want [13 27]", y.Data)
+	}
+}
+
+func TestBatchNormGradients4D(t *testing.T) {
+	l := layers.NewBatchNorm("bn", 3)
+	testutil.GradCheck(t, "batchnorm4d", l, testutil.GradCheckConfig{InShape: []int{4, 3, 5, 5}, Timesteps: 2, Tol: 3e-2})
+}
+
+func TestBatchNormGradients2D(t *testing.T) {
+	l := layers.NewBatchNorm("bn", 6)
+	testutil.GradCheck(t, "batchnorm2d", l, testutil.GradCheckConfig{InShape: []int{8, 6}, Timesteps: 2, Tol: 3e-2})
+}
+
+func TestBatchNormNormalizesTrainingBatch(t *testing.T) {
+	l := layers.NewBatchNorm("bn", 2)
+	r := rng.New(10)
+	x := tensor.New(16, 2, 4, 4)
+	for i := range x.Data {
+		x.Data[i] = r.NormFloat32()*3 + 5
+	}
+	y := l.Forward(x, true)
+	// Per-channel mean ~0, var ~1.
+	for c := 0; c < 2; c++ {
+		var sum, sumsq float64
+		n := 0
+		for bi := 0; bi < 16; bi++ {
+			for s := 0; s < 16; s++ {
+				v := float64(y.Data[bi*32+c*16+s])
+				sum += v
+				sumsq += v * v
+				n++
+			}
+		}
+		mean := sum / float64(n)
+		variance := sumsq/float64(n) - mean*mean
+		if math.Abs(mean) > 1e-3 {
+			t.Fatalf("channel %d mean = %v, want ~0", c, mean)
+		}
+		if math.Abs(variance-1) > 1e-2 {
+			t.Fatalf("channel %d var = %v, want ~1", c, variance)
+		}
+	}
+}
+
+func TestBatchNormEvalUsesRunningStats(t *testing.T) {
+	l := layers.NewBatchNorm("bn", 1)
+	r := rng.New(11)
+	// Feed many training batches with mean 4, std 2.
+	for i := 0; i < 200; i++ {
+		x := tensor.New(32, 1, 2, 2)
+		for j := range x.Data {
+			x.Data[j] = r.NormFloat32()*2 + 4
+		}
+		l.Forward(x, true)
+		l.Reset()
+	}
+	// In eval, an input at the running mean maps near beta (0).
+	x := tensor.New(1, 1, 2, 2)
+	x.Fill(4)
+	y := l.Forward(x, false)
+	if math.Abs(float64(y.Data[0])) > 0.15 {
+		t.Fatalf("eval output at running mean = %v, want ~0", y.Data[0])
+	}
+}
+
+func TestBatchNormUnsupportedRankPanics(t *testing.T) {
+	l := layers.NewBatchNorm("bn", 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("3-D input did not panic")
+		}
+	}()
+	l.Forward(tensor.New(2, 2, 2), false)
+}
+
+func TestMaxPoolGradients(t *testing.T) {
+	l := layers.NewMaxPool2d(2, 2)
+	// eps must stay below typical gaps between window elements.
+	testutil.GradCheck(t, "maxpool", l, testutil.GradCheckConfig{InShape: []int{2, 2, 4, 4}, Timesteps: 2, Eps: 1e-3, Tol: 3e-2})
+}
+
+func TestAvgPoolGradients(t *testing.T) {
+	l := layers.NewAvgPool2d(2, 2)
+	testutil.GradCheck(t, "avgpool", l, testutil.GradCheckConfig{InShape: []int{2, 2, 4, 4}, Timesteps: 2})
+}
+
+func TestFlattenRoundTrip(t *testing.T) {
+	l := layers.NewFlatten()
+	x := tensor.New(2, 3, 4, 4)
+	for i := range x.Data {
+		x.Data[i] = float32(i)
+	}
+	y := l.Forward(x, true)
+	if y.Dim(0) != 2 || y.Dim(1) != 48 {
+		t.Fatalf("flatten shape = %v", y.Shape())
+	}
+	dy := tensor.New(2, 48)
+	dx := l.Backward(dy)
+	if dx.NumDims() != 4 || dx.Dim(1) != 3 {
+		t.Fatalf("flatten backward shape = %v", dx.Shape())
+	}
+}
+
+func TestDropoutEvalIsIdentity(t *testing.T) {
+	r := rng.New(12)
+	l := layers.NewDropout(0.5, r)
+	x := tensor.New(4, 10)
+	x.Fill(3)
+	y := l.Forward(x, false)
+	for i, v := range y.Data {
+		if v != 3 {
+			t.Fatalf("eval dropout changed element %d: %v", i, v)
+		}
+	}
+}
+
+func TestDropoutMaskSharedAcrossTimesteps(t *testing.T) {
+	r := rng.New(13)
+	l := layers.NewDropout(0.5, r)
+	x := tensor.New(2, 32)
+	x.Fill(1)
+	y1 := l.Forward(x, true)
+	y2 := l.Forward(x, true)
+	for i := range y1.Data {
+		if y1.Data[i] != y2.Data[i] {
+			t.Fatal("dropout mask differs between timesteps in the same batch")
+		}
+	}
+	l.Reset()
+	y3 := l.Forward(x, true)
+	same := true
+	for i := range y1.Data {
+		if y1.Data[i] != y3.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("dropout mask did not change after Reset")
+	}
+}
+
+func TestDropoutZeroRateIsIdentity(t *testing.T) {
+	l := layers.NewDropout(0, rng.New(14))
+	x := tensor.New(2, 5)
+	x.Fill(2)
+	y := l.Forward(x, true)
+	for _, v := range y.Data {
+		if v != 2 {
+			t.Fatal("dropout with p=0 modified input")
+		}
+	}
+}
+
+func TestDropoutPreservesExpectation(t *testing.T) {
+	r := rng.New(15)
+	l := layers.NewDropout(0.3, r)
+	x := tensor.New(1, 20000)
+	x.Fill(1)
+	y := l.Forward(x, true)
+	mean := y.Mean()
+	if math.Abs(mean-1) > 0.03 {
+		t.Fatalf("inverted dropout mean = %v, want ~1", mean)
+	}
+}
+
+func TestParamMaskHelpers(t *testing.T) {
+	w := tensor.FromSlice([]float32{1, 2, 3, 4}, 4)
+	p := layers.NewParam("p", w)
+	if p.ActiveCount() != 4 || p.Sparsity() != 0 {
+		t.Fatalf("dense param: active=%d sparsity=%v", p.ActiveCount(), p.Sparsity())
+	}
+	p.Mask = tensor.FromSlice([]float32{1, 0, 1, 0}, 4)
+	if p.ActiveCount() != 2 {
+		t.Fatalf("ActiveCount = %d, want 2", p.ActiveCount())
+	}
+	if p.Sparsity() != 0.5 {
+		t.Fatalf("Sparsity = %v, want 0.5", p.Sparsity())
+	}
+	if err := p.CheckMaskConsistency(); err == nil {
+		t.Fatal("inconsistent mask not reported")
+	}
+	p.ApplyMask()
+	if err := p.CheckMaskConsistency(); err != nil {
+		t.Fatalf("mask still inconsistent after ApplyMask: %v", err)
+	}
+	if p.W.Data[0] != 1 || p.W.Data[2] != 3 {
+		t.Fatal("ApplyMask clobbered active weights")
+	}
+}
+
+func TestGlobalSparsity(t *testing.T) {
+	p1 := layers.NewParam("a", tensor.New(10))
+	p2 := layers.NewParam("b", tensor.New(10))
+	p2.Mask = tensor.New(10) // all masked out
+	got := layers.GlobalSparsity([]*layers.Param{p1, p2})
+	if got != 0.5 {
+		t.Fatalf("GlobalSparsity = %v, want 0.5", got)
+	}
+}
+
+func TestPrunableParamsFilters(t *testing.T) {
+	p1 := layers.NewParam("w", tensor.New(4))
+	p2 := layers.NewParam("b", tensor.New(4))
+	p2.NoPrune = true
+	got := layers.PrunableParams([]*layers.Param{p1, p2})
+	if len(got) != 1 || got[0] != p1 {
+		t.Fatalf("PrunableParams = %v", got)
+	}
+}
+
+func TestBackwardWithoutForwardPanics(t *testing.T) {
+	r := rng.New(16)
+	l := layers.NewLinear("fc", 3, 2, false, r)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Backward without cached Forward did not panic")
+		}
+	}()
+	l.Backward(tensor.New(1, 2))
+}
+
+func TestGradAccumulationAcrossTimesteps(t *testing.T) {
+	// Two identical timesteps must produce exactly twice the one-step grad.
+	r := rng.New(17)
+	l := layers.NewLinear("fc", 4, 3, false, r)
+	x := tensor.New(2, 4)
+	for i := range x.Data {
+		x.Data[i] = r.NormFloat32()
+	}
+	dy := tensor.New(2, 3)
+	for i := range dy.Data {
+		dy.Data[i] = r.NormFloat32()
+	}
+
+	l.Forward(x, true)
+	l.Backward(dy)
+	oneStep := l.Weight.Grad.Clone()
+
+	l.Reset()
+	l.Weight.ZeroGrad()
+	l.Forward(x, true)
+	l.Forward(x, true)
+	l.Backward(dy)
+	l.Backward(dy)
+	for i := range oneStep.Data {
+		want := 2 * oneStep.Data[i]
+		if math.Abs(float64(l.Weight.Grad.Data[i]-want)) > 1e-4 {
+			t.Fatalf("grad accumulation: %v, want %v", l.Weight.Grad.Data[i], want)
+		}
+	}
+}
+
+func TestKaimingInitStatistics(t *testing.T) {
+	r := rng.New(18)
+	w := tensor.New(64, 64, 3, 3)
+	layers.KaimingNormal(w, 64*9, r)
+	var sum, sumsq float64
+	for _, v := range w.Data {
+		sum += float64(v)
+		sumsq += float64(v) * float64(v)
+	}
+	n := float64(w.Size())
+	mean := sum / n
+	std := math.Sqrt(sumsq/n - mean*mean)
+	wantStd := math.Sqrt(2.0 / float64(64*9))
+	if math.Abs(mean) > 0.001 {
+		t.Fatalf("kaiming mean = %v", mean)
+	}
+	if math.Abs(std-wantStd)/wantStd > 0.05 {
+		t.Fatalf("kaiming std = %v, want ~%v", std, wantStd)
+	}
+}

@@ -1,0 +1,80 @@
+package layers
+
+import (
+	"fmt"
+
+	"ndsnn/internal/rng"
+	"ndsnn/internal/tensor"
+)
+
+// Linear is a fully-connected layer: y = x·Wᵀ + b for x of shape [B,In].
+type Linear struct {
+	In, Out int
+
+	// Weight has shape [Out, In]; Bias (optional) has shape [Out].
+	Weight *Param
+	Bias   *Param
+
+	xs cacheStack[*tensor.Tensor]
+}
+
+// NewLinear constructs a fully-connected layer with Kaiming-normal weights.
+func NewLinear(name string, in, out int, withBias bool, r *rng.RNG) *Linear {
+	w := tensor.New(out, in)
+	KaimingNormal(w, in, r)
+	l := &Linear{In: in, Out: out, Weight: NewParam(name+".w", w)}
+	if withBias {
+		l.Bias = NewParam(name+".b", tensor.New(out))
+		l.Bias.NoDecay = true
+		l.Bias.NoPrune = true
+	}
+	return l
+}
+
+// Forward computes one timestep: y = x·Wᵀ (+ bias).
+func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.NumDims() != 2 || x.Dim(1) != l.In {
+		panic(fmt.Sprintf("layers: %s expects [B,%d] input, got %v", l.Weight.Name, l.In, x.Shape()))
+	}
+	out := tensor.MatMulABT(x, l.Weight.W)
+	if l.Bias != nil {
+		b := x.Dim(0)
+		for bi := 0; bi < b; bi++ {
+			row := out.Data[bi*l.Out : (bi+1)*l.Out]
+			for j := range row {
+				row[j] += l.Bias.W.Data[j]
+			}
+		}
+	}
+	if train {
+		l.xs.push(x)
+	}
+	return out
+}
+
+// Backward accumulates dW += dyᵀ·x and db += Σ_b dy, and returns dx = dy·W.
+func (l *Linear) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	x := l.xs.pop()
+	tensor.MatMulATBInto(l.Weight.Grad, dy, x, true)
+	if l.Bias != nil {
+		b := dy.Dim(0)
+		for bi := 0; bi < b; bi++ {
+			row := dy.Data[bi*l.Out : (bi+1)*l.Out]
+			for j, v := range row {
+				l.Bias.Grad.Data[j] += v
+			}
+		}
+	}
+	return tensor.MatMul(dy, l.Weight.W)
+}
+
+// Params returns the weight and optional bias.
+func (l *Linear) Params() []*Param {
+	if l.Bias != nil {
+		return []*Param{l.Weight, l.Bias}
+	}
+	return []*Param{l.Weight}
+}
+
+// Reset drops cached timesteps.
+func (l *Linear) Reset() { l.xs.clear() }

@@ -1,0 +1,97 @@
+package layers
+
+import "ndsnn/internal/tensor"
+
+// MaxPool2d applies k×k max pooling with a given stride.
+type MaxPool2d struct {
+	K, Stride int
+
+	caches cacheStack[*poolCache]
+}
+
+type poolCache struct {
+	idx     []int32
+	inShape []int
+}
+
+// NewMaxPool2d constructs a max-pooling layer.
+func NewMaxPool2d(k, stride int) *MaxPool2d { return &MaxPool2d{K: k, Stride: stride} }
+
+// Forward pools one timestep.
+func (l *MaxPool2d) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out, idx := tensor.MaxPool(x, l.K, l.Stride)
+	if train {
+		l.caches.push(&poolCache{idx: idx, inShape: x.Shape()})
+	}
+	return out
+}
+
+// Backward routes gradients to the argmax positions.
+func (l *MaxPool2d) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	c := l.caches.pop()
+	return tensor.MaxPoolBackward(dy, c.idx, c.inShape)
+}
+
+// Params returns nil; pooling has no parameters.
+func (l *MaxPool2d) Params() []*Param { return nil }
+
+// Reset drops cached timesteps.
+func (l *MaxPool2d) Reset() { l.caches.clear() }
+
+// AvgPool2d applies k×k average pooling with a given stride.
+type AvgPool2d struct {
+	K, Stride int
+
+	shapes cacheStack[[]int]
+}
+
+// NewAvgPool2d constructs an average-pooling layer.
+func NewAvgPool2d(k, stride int) *AvgPool2d { return &AvgPool2d{K: k, Stride: stride} }
+
+// Forward pools one timestep.
+func (l *AvgPool2d) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := tensor.AvgPool(x, l.K, l.Stride)
+	if train {
+		l.shapes.push(x.Shape())
+	}
+	return out
+}
+
+// Backward spreads gradients uniformly over each window.
+func (l *AvgPool2d) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	return tensor.AvgPoolBackward(dy, l.K, l.Stride, l.shapes.pop())
+}
+
+// Params returns nil; pooling has no parameters.
+func (l *AvgPool2d) Params() []*Param { return nil }
+
+// Reset drops cached timesteps.
+func (l *AvgPool2d) Reset() { l.shapes.clear() }
+
+// Flatten reshapes [B,C,H,W] to [B,C*H*W].
+type Flatten struct {
+	shapes cacheStack[[]int]
+}
+
+// NewFlatten constructs a flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Forward flattens one timestep.
+func (l *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if train {
+		l.shapes.push(x.Shape())
+	}
+	b := x.Dim(0)
+	return x.Reshape(b, x.Size()/b)
+}
+
+// Backward restores the cached input shape.
+func (l *Flatten) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	return dy.Reshape(l.shapes.pop()...)
+}
+
+// Params returns nil; flatten has no parameters.
+func (l *Flatten) Params() []*Param { return nil }
+
+// Reset drops cached timesteps.
+func (l *Flatten) Reset() { l.shapes.clear() }

@@ -1,0 +1,138 @@
+// Package loss implements the rate-decoded losses used to train SNN
+// classifiers: softmax cross-entropy (and an MSE alternative) on the
+// time-averaged output of the network's final layer.
+package loss
+
+import (
+	"math"
+
+	"ndsnn/internal/tensor"
+)
+
+// CrossEntropyRate computes softmax cross-entropy on the mean over
+// timesteps of the network outputs and returns the mean loss over the batch
+// along with the per-timestep output gradients (each dL/douts[t] =
+// (softmax - onehot)/(B·T)) ready to feed Network.Backward.
+func CrossEntropyRate(outs []*tensor.Tensor, labels []int) (float64, []*tensor.Tensor) {
+	avg := meanOutputs(outs)
+	b, c := avg.Dim(0), avg.Dim(1)
+	if len(labels) != b {
+		panic("loss: label count does not match batch size")
+	}
+	probs, total := softmaxCE(avg, labels)
+	// dL/davg = (p - y)/B; dL/douts[t] = dL/davg · 1/T.
+	scale := float32(1.0 / (float64(b) * float64(len(outs))))
+	davg := tensor.New(b, c)
+	for bi := 0; bi < b; bi++ {
+		for j := 0; j < c; j++ {
+			g := probs.Data[bi*c+j]
+			if j == labels[bi] {
+				g -= 1
+			}
+			davg.Data[bi*c+j] = g * scale
+		}
+	}
+	grads := make([]*tensor.Tensor, len(outs))
+	for t := range outs {
+		grads[t] = davg
+	}
+	return total / float64(b), grads
+}
+
+// MSERate computes mean-squared error between the time-averaged output and
+// a one-hot target (the alternative SNN loss), returning the batch-mean loss
+// and per-timestep gradients.
+func MSERate(outs []*tensor.Tensor, labels []int) (float64, []*tensor.Tensor) {
+	avg := meanOutputs(outs)
+	b, c := avg.Dim(0), avg.Dim(1)
+	if len(labels) != b {
+		panic("loss: label count does not match batch size")
+	}
+	var total float64
+	scale := float32(2.0 / (float64(b) * float64(c) * float64(len(outs))))
+	davg := tensor.New(b, c)
+	for bi := 0; bi < b; bi++ {
+		for j := 0; j < c; j++ {
+			target := float32(0)
+			if j == labels[bi] {
+				target = 1
+			}
+			diff := avg.Data[bi*c+j] - target
+			total += float64(diff) * float64(diff)
+			davg.Data[bi*c+j] = diff * scale
+		}
+	}
+	grads := make([]*tensor.Tensor, len(outs))
+	for t := range outs {
+		grads[t] = davg
+	}
+	return total / (float64(b) * float64(c)), grads
+}
+
+// Predictions returns the argmax class of the time-averaged outputs.
+func Predictions(outs []*tensor.Tensor) []int {
+	avg := meanOutputs(outs)
+	b := avg.Dim(0)
+	preds := make([]int, b)
+	for bi := 0; bi < b; bi++ {
+		preds[bi] = avg.ArgMaxRow(bi)
+	}
+	return preds
+}
+
+// CountCorrect returns how many predictions match the labels.
+func CountCorrect(outs []*tensor.Tensor, labels []int) int {
+	preds := Predictions(outs)
+	n := 0
+	for i, p := range preds {
+		if p == labels[i] {
+			n++
+		}
+	}
+	return n
+}
+
+func meanOutputs(outs []*tensor.Tensor) *tensor.Tensor {
+	if len(outs) == 0 {
+		panic("loss: empty output sequence")
+	}
+	avg := outs[0].Clone()
+	for _, o := range outs[1:] {
+		avg.AddInPlace(o)
+	}
+	avg.Scale(1 / float32(len(outs)))
+	return avg
+}
+
+// softmaxCE returns the softmax probabilities and the summed (not averaged)
+// negative log-likelihood.
+func softmaxCE(logits *tensor.Tensor, labels []int) (*tensor.Tensor, float64) {
+	b, c := logits.Dim(0), logits.Dim(1)
+	probs := tensor.New(b, c)
+	var total float64
+	for bi := 0; bi < b; bi++ {
+		row := logits.Data[bi*c : (bi+1)*c]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(float64(v - maxv))
+			probs.Data[bi*c+j] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for j := 0; j < c; j++ {
+			probs.Data[bi*c+j] *= inv
+		}
+		p := float64(probs.Data[bi*c+labels[bi]])
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		total += -math.Log(p)
+	}
+	return probs, total
+}

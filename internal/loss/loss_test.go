@@ -1,0 +1,152 @@
+package loss
+
+import (
+	"math"
+	"testing"
+
+	"ndsnn/internal/rng"
+	"ndsnn/internal/tensor"
+)
+
+func TestCrossEntropyUniformLogits(t *testing.T) {
+	// Zero logits over C classes → loss = ln(C).
+	out := tensor.New(2, 4)
+	l, grads := CrossEntropyRate([]*tensor.Tensor{out}, []int{0, 3})
+	if math.Abs(l-math.Log(4)) > 1e-6 {
+		t.Fatalf("loss = %v, want ln4 = %v", l, math.Log(4))
+	}
+	if len(grads) != 1 {
+		t.Fatalf("got %d grad tensors, want 1", len(grads))
+	}
+}
+
+func TestCrossEntropyPerfectPrediction(t *testing.T) {
+	out := tensor.FromSlice([]float32{50, 0, 0}, 1, 3)
+	l, _ := CrossEntropyRate([]*tensor.Tensor{out}, []int{0})
+	if l > 1e-6 {
+		t.Fatalf("confident correct prediction loss = %v, want ~0", l)
+	}
+}
+
+func TestCrossEntropyGradientSignsAndSum(t *testing.T) {
+	out := tensor.FromSlice([]float32{1, 2, 3}, 1, 3)
+	_, grads := CrossEntropyRate([]*tensor.Tensor{out}, []int{1})
+	g := grads[0]
+	// Gradient at the true class is negative, others positive; rows sum to 0.
+	if g.Data[1] >= 0 {
+		t.Fatalf("true-class grad = %v, want < 0", g.Data[1])
+	}
+	if g.Data[0] <= 0 || g.Data[2] <= 0 {
+		t.Fatalf("other-class grads = %v %v, want > 0", g.Data[0], g.Data[2])
+	}
+	sum := g.Data[0] + g.Data[1] + g.Data[2]
+	if math.Abs(float64(sum)) > 1e-6 {
+		t.Fatalf("grad row sum = %v, want 0", sum)
+	}
+}
+
+func TestCrossEntropyGradientMatchesFiniteDifference(t *testing.T) {
+	r := rng.New(1)
+	T, B, C := 3, 2, 5
+	outs := make([]*tensor.Tensor, T)
+	for i := range outs {
+		outs[i] = tensor.New(B, C)
+		for j := range outs[i].Data {
+			outs[i].Data[j] = r.NormFloat32()
+		}
+	}
+	labels := []int{2, 4}
+	_, grads := CrossEntropyRate(outs, labels)
+	const eps = 1e-3
+	for ti := 0; ti < T; ti++ {
+		for j := 0; j < B*C; j++ {
+			outs[ti].Data[j] += eps
+			up, _ := CrossEntropyRate(outs, labels)
+			outs[ti].Data[j] -= 2 * eps
+			down, _ := CrossEntropyRate(outs, labels)
+			outs[ti].Data[j] += eps
+			numeric := (up - down) / (2 * eps)
+			analytic := float64(grads[ti].Data[j])
+			if math.Abs(numeric-analytic) > 1e-4 {
+				t.Fatalf("t=%d j=%d: analytic %v vs numeric %v", ti, j, analytic, numeric)
+			}
+		}
+	}
+}
+
+func TestMSERateGradientMatchesFiniteDifference(t *testing.T) {
+	r := rng.New(2)
+	T, B, C := 2, 2, 3
+	outs := make([]*tensor.Tensor, T)
+	for i := range outs {
+		outs[i] = tensor.New(B, C)
+		for j := range outs[i].Data {
+			outs[i].Data[j] = r.Float32()
+		}
+	}
+	labels := []int{0, 2}
+	_, grads := MSERate(outs, labels)
+	const eps = 1e-3
+	for ti := 0; ti < T; ti++ {
+		for j := 0; j < B*C; j++ {
+			outs[ti].Data[j] += eps
+			up, _ := MSERate(outs, labels)
+			outs[ti].Data[j] -= 2 * eps
+			down, _ := MSERate(outs, labels)
+			outs[ti].Data[j] += eps
+			numeric := (up - down) / (2 * eps)
+			analytic := float64(grads[ti].Data[j])
+			if math.Abs(numeric-analytic) > 1e-4 {
+				t.Fatalf("t=%d j=%d: analytic %v vs numeric %v", ti, j, analytic, numeric)
+			}
+		}
+	}
+}
+
+func TestMSERatePerfectTarget(t *testing.T) {
+	out := tensor.FromSlice([]float32{1, 0, 0}, 1, 3)
+	l, _ := MSERate([]*tensor.Tensor{out}, []int{0})
+	if l != 0 {
+		t.Fatalf("perfect MSE = %v, want 0", l)
+	}
+}
+
+func TestPredictionsAveragesOverTime(t *testing.T) {
+	// Class 0 wins at t0, class 1 wins at t1, but the average favors 1.
+	o1 := tensor.FromSlice([]float32{1.0, 0.8}, 1, 2)
+	o2 := tensor.FromSlice([]float32{0.0, 1.0}, 1, 2)
+	preds := Predictions([]*tensor.Tensor{o1, o2})
+	if preds[0] != 1 {
+		t.Fatalf("prediction = %d, want 1 (rate-decoded)", preds[0])
+	}
+}
+
+func TestCountCorrect(t *testing.T) {
+	out := tensor.FromSlice([]float32{
+		2, 1, 0,
+		0, 5, 1,
+		1, 0, 9,
+	}, 3, 3)
+	n := CountCorrect([]*tensor.Tensor{out}, []int{0, 1, 0})
+	if n != 2 {
+		t.Fatalf("CountCorrect = %d, want 2", n)
+	}
+}
+
+func TestLabelMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched labels did not panic")
+		}
+	}()
+	CrossEntropyRate([]*tensor.Tensor{tensor.New(2, 3)}, []int{0})
+}
+
+func TestEmptyOutputsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty outputs did not panic")
+		}
+	}()
+	CrossEntropyRate(nil, nil)
+}

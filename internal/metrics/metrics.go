@@ -1,0 +1,116 @@
+// Package metrics implements the paper's efficiency accounting: the
+// spike-rate-weighted relative training-cost model of Section IV-C, an
+// event-driven synaptic-operation estimator, and trajectory recording used
+// to regenerate Fig. 1 and Fig. 5.
+package metrics
+
+import "fmt"
+
+// EpochPoint is one epoch of a training trajectory.
+type EpochPoint struct {
+	Epoch     int
+	Sparsity  float64
+	Density   float64
+	SpikeRate float64
+	TrainAcc  float64
+	Loss      float64
+}
+
+// Trajectory records per-epoch training state for one run.
+type Trajectory struct {
+	Label  string
+	Points []EpochPoint
+}
+
+// Add appends an epoch point.
+func (t *Trajectory) Add(p EpochPoint) { t.Points = append(t.Points, p) }
+
+// Sparsities returns the per-epoch sparsity series (Fig. 1's y-axis).
+func (t *Trajectory) Sparsities() []float64 {
+	out := make([]float64, len(t.Points))
+	for i, p := range t.Points {
+		out[i] = p.Sparsity
+	}
+	return out
+}
+
+// SpikeRates returns the per-epoch spike-rate series.
+func (t *Trajectory) SpikeRates() []float64 {
+	out := make([]float64, len(t.Points))
+	for i, p := range t.Points {
+		out[i] = p.SpikeRate
+	}
+	return out
+}
+
+// Densities returns the per-epoch density series.
+func (t *Trajectory) Densities() []float64 {
+	out := make([]float64, len(t.Points))
+	for i, p := range t.Points {
+		out[i] = p.Density
+	}
+	return out
+}
+
+// MeanSparsity returns the average training sparsity, the quantity that
+// drives the paper's memory argument (higher average sparsity = cheaper
+// training).
+func (t *Trajectory) MeanSparsity() float64 {
+	if len(t.Points) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, p := range t.Points {
+		s += p.Sparsity
+	}
+	return s / float64(len(t.Points))
+}
+
+// RelativeTrainingCost implements Section IV-C: the computation cost of a
+// sparse run relative to a dense reference. Epoch i of the sparse run costs
+// spikeRate_s[i] × density_s[i]; epoch j of the dense run costs
+// spikeRate_d[j]. The relative cost is the ratio of the summed costs, so a
+// method that trains for more epochs (e.g. LTH's repeated cycles) pays for
+// them. Returns an error if either run is empty.
+func RelativeTrainingCost(sparse, dense *Trajectory) (float64, error) {
+	if len(sparse.Points) == 0 || len(dense.Points) == 0 {
+		return 0, fmt.Errorf("metrics: empty trajectory (sparse %d, dense %d points)", len(sparse.Points), len(dense.Points))
+	}
+	var num, den float64
+	for _, p := range sparse.Points {
+		num += p.SpikeRate * p.Density
+	}
+	for _, p := range dense.Points {
+		den += p.SpikeRate * 1.0
+	}
+	if den == 0 {
+		return 0, fmt.Errorf("metrics: dense reference has zero spike activity")
+	}
+	return num / den, nil
+}
+
+// SynapticOps estimates event-driven synaptic operations for processing one
+// sample: every active weight fires only when its presynaptic neuron
+// spikes, so ops = denseMACs × density × spikeRate × timesteps.
+func SynapticOps(denseMACs int64, density, spikeRate float64, timesteps int) float64 {
+	return float64(denseMACs) * density * spikeRate * float64(timesteps)
+}
+
+// Accuracy is a convenience pair used in result tables.
+type Accuracy struct {
+	Top1 float64
+}
+
+// Confusion builds a confusion matrix from predictions.
+func Confusion(classes int, preds, labels []int) [][]int {
+	m := make([][]int, classes)
+	for i := range m {
+		m[i] = make([]int, classes)
+	}
+	for i, p := range preds {
+		if p >= 0 && p < classes && labels[i] >= 0 && labels[i] < classes {
+			m[labels[i]][p]++
+		}
+	}
+	return m
+}

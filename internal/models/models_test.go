@@ -1,0 +1,236 @@
+package models
+
+import (
+	"strings"
+	"testing"
+
+	"ndsnn/internal/layers"
+	"ndsnn/internal/snn"
+	"ndsnn/internal/tensor"
+)
+
+func cfgFor(arch string, profile Profile, h int, classes int) Config {
+	return Config{
+		Arch: arch, Classes: classes, InC: 3, InH: h, InW: h,
+		Timesteps: 2, Neuron: snn.DefaultNeuron(), Profile: profile, Seed: 1,
+	}
+}
+
+func TestVGG16PaperParamCount(t *testing.T) {
+	// 13 convs + 3 FCs at full width on 32×32/10-class inputs.
+	// Conv weights: 3·64·9 + 64·64·9 + 64·128·9 + 128·128·9 + 128·256·9 +
+	// 2×256·256·9 + 256·512·9 + 2×512·512·9 + 3×512·512·9 = 14,710,464.
+	// FC: (512·512+512) + (512·512+512) + (512·10+10) = 530,442.
+	// BN affines: conv 2×(64+64+128+128+256×3+512×6) = 8,448 plus the two
+	// classifier BNs 2×(512+512) = 2,048.
+	net := Build(cfgFor("vgg16", ProfilePaper, 32, 10))
+	want := 14710464 + 530442 + 8448 + 2048
+	if got := ParamCount(net); got != want {
+		t.Fatalf("VGG-16 paper params = %d, want %d", got, want)
+	}
+}
+
+func TestResNet19PaperParamCount(t *testing.T) {
+	net := Build(cfgFor("resnet19", ProfilePaper, 32, 10))
+	got := ParamCount(net)
+	// ResNet-19 at full width is ~12.6M parameters; accept the exact
+	// computed value and guard the order of magnitude.
+	if got < 12_000_000 || got > 14_000_000 {
+		t.Fatalf("ResNet-19 paper params = %d, want ~12-14M", got)
+	}
+}
+
+func TestMiniProfilesShrink(t *testing.T) {
+	full := ParamCount(Build(cfgFor("vgg16", ProfilePaper, 32, 10)))
+	mini := ParamCount(Build(cfgFor("vgg16", ProfileMini, 32, 10)))
+	tiny := ParamCount(Build(cfgFor("vgg16", ProfileTiny, 32, 10)))
+	if !(tiny < mini && mini < full) {
+		t.Fatalf("profile ordering violated: %d %d %d", tiny, mini, full)
+	}
+	if mini > full/20 {
+		t.Fatalf("mini profile too large: %d vs %d", mini, full)
+	}
+}
+
+func TestForwardShapesAllArchitectures(t *testing.T) {
+	cases := []struct {
+		arch    string
+		h       int
+		classes int
+	}{
+		{"vgg16", 32, 10},
+		{"vgg16", 64, 200},
+		{"vgg16", 16, 4},
+		{"resnet19", 32, 10},
+		{"resnet19", 64, 200},
+		{"lenet5", 32, 10},
+	}
+	for _, c := range cases {
+		net := Build(cfgFor(c.arch, ProfileTiny, c.h, c.classes))
+		x := tensor.New(2, 3, c.h, c.h)
+		outs := net.Forward(x, false)
+		if len(outs) != 2 {
+			t.Fatalf("%s: %d timestep outputs", c.arch, len(outs))
+		}
+		for _, o := range outs {
+			if o.Dim(0) != 2 || o.Dim(1) != c.classes {
+				t.Fatalf("%s h=%d: output shape %v, want [2 %d]", c.arch, c.h, o.Shape(), c.classes)
+			}
+		}
+	}
+}
+
+func TestBackwardRunsAllArchitectures(t *testing.T) {
+	for _, arch := range []string{"vgg16", "resnet19", "lenet5"} {
+		net := Build(cfgFor(arch, ProfileTiny, 32, 4))
+		x := tensor.New(2, 3, 32, 32)
+		outs := net.Forward(x, true)
+		douts := make([]*tensor.Tensor, len(outs))
+		for i := range douts {
+			douts[i] = tensor.New(outs[i].Shape()...)
+			douts[i].Fill(0.1)
+		}
+		net.Backward(douts)
+		nonzeroGrad := false
+		for _, p := range net.Params() {
+			if p.Grad.CountNonZero() > 0 {
+				nonzeroGrad = true
+				break
+			}
+		}
+		if !nonzeroGrad {
+			t.Fatalf("%s: backward produced all-zero gradients", arch)
+		}
+	}
+}
+
+func TestLeNetGeometryPanicsWhenTooSmall(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("LeNet on 8x8 did not panic")
+		}
+	}()
+	Build(cfgFor("lenet5", ProfilePaper, 8, 10))
+}
+
+func TestUnknownArchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown arch did not panic")
+		}
+	}()
+	Build(cfgFor("alexnet", ProfilePaper, 32, 10))
+}
+
+func TestParamCensus(t *testing.T) {
+	net := Build(cfgFor("lenet5", ProfileTiny, 32, 10))
+	census := ParamCensus(net)
+	total := 0
+	prunable := 0
+	for _, c := range census {
+		total += c.Size
+		if c.Prunable {
+			prunable += c.Size
+		}
+		if c.Name == "" || len(c.Shape) == 0 {
+			t.Fatalf("census entry incomplete: %+v", c)
+		}
+	}
+	if total != ParamCount(net) {
+		t.Fatalf("census total %d != ParamCount %d", total, ParamCount(net))
+	}
+	if prunable != PrunableCount(net) {
+		t.Fatalf("census prunable %d != PrunableCount %d", prunable, PrunableCount(net))
+	}
+	if prunable >= total {
+		t.Fatal("expected some non-prunable params (BN affines, biases)")
+	}
+}
+
+func TestPrunableExcludesBNAndBias(t *testing.T) {
+	net := Build(cfgFor("vgg16", ProfileTiny, 32, 10))
+	for _, p := range net.Params() {
+		prunable := !p.NoPrune
+		isAux := strings.Contains(p.Name, ".bn") || strings.HasSuffix(p.Name, ".gamma") ||
+			strings.HasSuffix(p.Name, ".beta") || strings.HasSuffix(p.Name, ".b")
+		if isAux && prunable {
+			t.Fatalf("aux param %s is marked prunable", p.Name)
+		}
+		if !isAux && !prunable {
+			t.Fatalf("weight param %s is not prunable", p.Name)
+		}
+	}
+}
+
+func TestResNet19HasResidualBlocks(t *testing.T) {
+	net := Build(cfgFor("resnet19", ProfileTiny, 32, 10))
+	blocks := 0
+	for _, l := range net.Layers {
+		if _, ok := l.(*snn.ResidualBlock); ok {
+			blocks++
+		}
+	}
+	if blocks != 8 {
+		t.Fatalf("ResNet-19 has %d residual blocks, want 8 (3+3+2)", blocks)
+	}
+}
+
+func TestVGG16ConvAndFCCount(t *testing.T) {
+	net := Build(cfgFor("vgg16", ProfileTiny, 32, 10))
+	convs, fcs := 0, 0
+	net.Walk(func(l layers.Layer) {
+		switch l.(type) {
+		case *layers.Conv2d:
+			convs++
+		case *layers.Linear:
+			fcs++
+		}
+	})
+	if convs != 13 || fcs != 3 {
+		t.Fatalf("VGG-16 has %d convs and %d FCs, want 13 and 3", convs, fcs)
+	}
+}
+
+func TestResNet19ConvAndFCCount(t *testing.T) {
+	net := Build(cfgFor("resnet19", ProfileTiny, 32, 10))
+	convs, fcs := 0, 0
+	net.Walk(func(l layers.Layer) {
+		switch c := l.(type) {
+		case *layers.Conv2d:
+			// Projection shortcuts (1×1) are not counted in the "19".
+			if c.K == 3 {
+				convs++
+			}
+		case *layers.Linear:
+			fcs++
+		}
+	})
+	if convs != 17 || fcs != 2 {
+		t.Fatalf("ResNet-19 has %d 3x3 convs and %d FCs, want 17 and 2", convs, fcs)
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	if ProfileByName("paper").Width != 1 {
+		t.Fatal("paper profile wrong")
+	}
+	if ProfileByName("tiny").Width != 1.0/16 {
+		t.Fatal("tiny profile wrong")
+	}
+	if ProfileByName("unknown").Name != "mini" {
+		t.Fatal("default profile should be mini")
+	}
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	a := Build(cfgFor("lenet5", ProfileTiny, 32, 10))
+	b := Build(cfgFor("lenet5", ProfileTiny, 32, 10))
+	pa, pb := a.Params(), b.Params()
+	for i := range pa {
+		for j := range pa[i].W.Data {
+			if pa[i].W.Data[j] != pb[i].W.Data[j] {
+				t.Fatal("same seed produced different weights")
+			}
+		}
+	}
+}

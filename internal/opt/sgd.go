@@ -1,0 +1,121 @@
+// Package opt implements the optimizer and learning-rate schedules the
+// paper trains with: SGD with momentum and weight decay, and the SGDR
+// cosine-annealing schedule (also reused for the NDSNN death-ratio decay).
+package opt
+
+import (
+	"math"
+
+	"ndsnn/internal/layers"
+)
+
+// SGD is stochastic gradient descent with classical momentum and decoupled-
+// from-masks weight decay. For masked (sparse) parameters the update is
+// restricted to active weights: after each step the mask is re-applied to
+// both the weights and the velocity, so inactive positions hold no hidden
+// momentum when they are later regrown (matching the SET/RigL reference
+// behaviour of re-initializing grown weights' optimizer state).
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+
+	velocity map[*layers.Param][]float32
+}
+
+// NewSGD constructs the optimizer with the paper's defaults when zeros are
+// passed: momentum 0.9, weight decay 5e-4.
+func NewSGD(lr, momentum, weightDecay float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay,
+		velocity: make(map[*layers.Param][]float32)}
+}
+
+// Step applies one update to every parameter using its accumulated gradient.
+func (o *SGD) Step(params []*layers.Param) {
+	lr := float32(o.LR)
+	mom := float32(o.Momentum)
+	wd := float32(o.WeightDecay)
+	for _, p := range params {
+		v := o.velocity[p]
+		if v == nil {
+			v = make([]float32, p.W.Size())
+			o.velocity[p] = v
+		}
+		gd, wdata := p.Grad.Data, p.W.Data
+		var mask []float32
+		if p.Mask != nil {
+			mask = p.Mask.Data
+		}
+		for i := range wdata {
+			g := gd[i]
+			if wd != 0 && !p.NoDecay {
+				g += wd * wdata[i]
+			}
+			v[i] = mom*v[i] + g
+			wdata[i] -= lr * v[i]
+			if mask != nil && mask[i] == 0 {
+				wdata[i] = 0
+				v[i] = 0
+			}
+		}
+	}
+}
+
+// ResetVelocity clears momentum state (used by LTH when rewinding weights).
+func (o *SGD) ResetVelocity() {
+	o.velocity = make(map[*layers.Param][]float32)
+}
+
+// ClearVelocityAt zeroes the velocity of specific elements of a parameter,
+// used when drop-and-grow rewires the mask mid-training.
+func (o *SGD) ClearVelocityAt(p *layers.Param, idxs []int) {
+	v := o.velocity[p]
+	if v == nil {
+		return
+	}
+	for _, i := range idxs {
+		v[i] = 0
+	}
+}
+
+// CosineLR implements SGDR-style cosine annealing (Loshchilov & Hutter,
+// ICLR 2017) without restarts: lr(e) interpolates from Base to Min over
+// Total epochs along a half cosine.
+type CosineLR struct {
+	Base, Min float64
+	Total     int
+}
+
+// At returns the learning rate for epoch e (clamped to [0, Total]).
+func (s CosineLR) At(e int) float64 {
+	if s.Total <= 0 {
+		return s.Base
+	}
+	if e < 0 {
+		e = 0
+	}
+	if e > s.Total {
+		e = s.Total
+	}
+	return s.Min + 0.5*(s.Base-s.Min)*(1+math.Cos(math.Pi*float64(e)/float64(s.Total)))
+}
+
+// StepLR decays the learning rate by Gamma every StepSize epochs.
+type StepLR struct {
+	Base     float64
+	StepSize int
+	Gamma    float64
+}
+
+// At returns the learning rate for epoch e.
+func (s StepLR) At(e int) float64 {
+	if s.StepSize <= 0 {
+		return s.Base
+	}
+	return s.Base * math.Pow(s.Gamma, float64(e/s.StepSize))
+}
+
+// Schedule yields a learning rate per epoch.
+type Schedule interface {
+	At(epoch int) float64
+}

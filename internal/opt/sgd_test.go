@@ -1,0 +1,157 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"ndsnn/internal/layers"
+	"ndsnn/internal/tensor"
+)
+
+func TestSGDPlainStep(t *testing.T) {
+	p := layers.NewParam("w", tensor.FromSlice([]float32{1, 2}, 2))
+	copy(p.Grad.Data, []float32{0.5, -0.5})
+	o := NewSGD(0.1, 0, 0)
+	o.Step([]*layers.Param{p})
+	if math.Abs(float64(p.W.Data[0]-0.95)) > 1e-6 || math.Abs(float64(p.W.Data[1]-2.05)) > 1e-6 {
+		t.Fatalf("after step: %v, want [0.95 2.05]", p.W.Data)
+	}
+}
+
+func TestSGDMomentumAccumulates(t *testing.T) {
+	// With constant gradient g and momentum m, velocity after two steps is
+	// g·(1+m); weight = w0 - lr·g - lr·g(1+m).
+	p := layers.NewParam("w", tensor.FromSlice([]float32{0}, 1))
+	o := NewSGD(1, 0.9, 0)
+	p.Grad.Data[0] = 1
+	o.Step([]*layers.Param{p})
+	if p.W.Data[0] != -1 {
+		t.Fatalf("after step 1: %v, want -1", p.W.Data[0])
+	}
+	p.Grad.Data[0] = 1
+	o.Step([]*layers.Param{p})
+	if math.Abs(float64(p.W.Data[0]-(-2.9))) > 1e-6 {
+		t.Fatalf("after step 2: %v, want -2.9", p.W.Data[0])
+	}
+}
+
+func TestSGDWeightDecay(t *testing.T) {
+	p := layers.NewParam("w", tensor.FromSlice([]float32{10}, 1))
+	o := NewSGD(0.1, 0, 0.1)
+	o.Step([]*layers.Param{p}) // grad 0, decay pulls toward 0
+	if math.Abs(float64(p.W.Data[0]-9.9)) > 1e-5 {
+		t.Fatalf("after decay step: %v, want 9.9", p.W.Data[0])
+	}
+}
+
+func TestSGDNoDecayParamSkipsDecay(t *testing.T) {
+	p := layers.NewParam("gamma", tensor.FromSlice([]float32{1}, 1))
+	p.NoDecay = true
+	o := NewSGD(0.1, 0, 0.1)
+	o.Step([]*layers.Param{p})
+	if p.W.Data[0] != 1 {
+		t.Fatalf("NoDecay param changed: %v", p.W.Data[0])
+	}
+}
+
+func TestSGDMaskedUpdateKeepsZeros(t *testing.T) {
+	p := layers.NewParam("w", tensor.FromSlice([]float32{1, 0, 3}, 3))
+	p.Mask = tensor.FromSlice([]float32{1, 0, 1}, 3)
+	copy(p.Grad.Data, []float32{1, 5, 1}) // dense gradient, even at masked position
+	o := NewSGD(0.1, 0.9, 0)
+	o.Step([]*layers.Param{p})
+	if p.W.Data[1] != 0 {
+		t.Fatalf("masked weight became %v", p.W.Data[1])
+	}
+	if p.W.Data[0] >= 1 || p.W.Data[2] >= 3 {
+		t.Fatal("active weights not updated")
+	}
+	// Velocity at the masked position must be cleared (no hidden momentum).
+	p.Grad.Zero()
+	p.Mask.Data[1] = 1 // grow the connection
+	o.Step([]*layers.Param{p})
+	if p.W.Data[1] != 0 {
+		t.Fatalf("grown weight moved by stale momentum: %v", p.W.Data[1])
+	}
+}
+
+func TestSGDResetVelocity(t *testing.T) {
+	p := layers.NewParam("w", tensor.FromSlice([]float32{0}, 1))
+	o := NewSGD(1, 0.9, 0)
+	p.Grad.Data[0] = 1
+	o.Step([]*layers.Param{p})
+	o.ResetVelocity()
+	p.W.Data[0] = 0
+	p.Grad.Data[0] = 1
+	o.Step([]*layers.Param{p})
+	if p.W.Data[0] != -1 {
+		t.Fatalf("velocity survived reset: %v", p.W.Data[0])
+	}
+}
+
+func TestSGDClearVelocityAt(t *testing.T) {
+	p := layers.NewParam("w", tensor.FromSlice([]float32{0, 0}, 2))
+	o := NewSGD(1, 0.9, 0)
+	copy(p.Grad.Data, []float32{1, 1})
+	o.Step([]*layers.Param{p})
+	o.ClearVelocityAt(p, []int{0})
+	p.Grad.Zero()
+	o.Step([]*layers.Param{p})
+	// Element 0's momentum was cleared → stays at -1; element 1 coasts.
+	if p.W.Data[0] != -1 {
+		t.Fatalf("cleared element moved: %v", p.W.Data[0])
+	}
+	if p.W.Data[1] != -1.9 {
+		t.Fatalf("uncleared element = %v, want -1.9", p.W.Data[1])
+	}
+}
+
+func TestCosineLRBoundaries(t *testing.T) {
+	s := CosineLR{Base: 0.3, Min: 0.001, Total: 100}
+	if got := s.At(0); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("At(0) = %v, want 0.3", got)
+	}
+	if got := s.At(100); math.Abs(got-0.001) > 1e-12 {
+		t.Fatalf("At(100) = %v, want 0.001", got)
+	}
+	mid := s.At(50)
+	want := 0.001 + 0.5*(0.3-0.001)
+	if math.Abs(mid-want) > 1e-12 {
+		t.Fatalf("At(50) = %v, want %v", mid, want)
+	}
+}
+
+func TestCosineLRMonotoneDecreasing(t *testing.T) {
+	s := CosineLR{Base: 0.1, Min: 0, Total: 50}
+	prev := math.Inf(1)
+	for e := 0; e <= 50; e++ {
+		lr := s.At(e)
+		if lr > prev {
+			t.Fatalf("lr increased at epoch %d", e)
+		}
+		prev = lr
+	}
+}
+
+func TestCosineLRClampsOutOfRange(t *testing.T) {
+	s := CosineLR{Base: 0.1, Min: 0.01, Total: 10}
+	if s.At(-5) != s.At(0) {
+		t.Fatal("negative epoch not clamped")
+	}
+	if s.At(99) != s.At(10) {
+		t.Fatal("epoch beyond total not clamped")
+	}
+}
+
+func TestStepLR(t *testing.T) {
+	s := StepLR{Base: 1, StepSize: 10, Gamma: 0.1}
+	if s.At(0) != 1 || s.At(9) != 1 {
+		t.Fatal("first interval wrong")
+	}
+	if math.Abs(s.At(10)-0.1) > 1e-12 {
+		t.Fatalf("At(10) = %v", s.At(10))
+	}
+	if math.Abs(s.At(25)-0.01) > 1e-12 {
+		t.Fatalf("At(25) = %v", s.At(25))
+	}
+}

@@ -1,0 +1,170 @@
+// Package plot renders the paper's figures as ASCII charts: multi-series
+// line charts (Fig. 1's sparsity-vs-epoch curves, Fig. 4's accuracy-vs-
+// sparsity curves) and grouped bar charts (Fig. 5's normalized training
+// cost). The output is deterministic text, suitable for terminals, logs and
+// EXPERIMENTS.md.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line of (x, y) points.
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// LineChart renders one or more series on a shared grid. Width/height are
+// the plotting-area dimensions in characters.
+type LineChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int
+	Height int
+	// YMin/YMax fix the y-range; when both are zero the range is computed
+	// from the data.
+	YMin, YMax float64
+	Series     []Series
+}
+
+var seriesMarks = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Render draws the chart into a string.
+func (c *LineChart) Render() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 60
+	}
+	if h <= 0 {
+		h = 16
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return c.Title + "\n(no data)\n"
+	}
+	if c.YMin != 0 || c.YMax != 0 {
+		ymin, ymax = c.YMin, c.YMax
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range c.Series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for i := range s.X {
+			col := int(math.Round((s.X[i] - xmin) / (xmax - xmin) * float64(w-1)))
+			y := s.Y[i]
+			if y < ymin {
+				y = ymin
+			}
+			if y > ymax {
+				y = ymax
+			}
+			row := h - 1 - int(math.Round((y-ymin)/(ymax-ymin)*float64(h-1)))
+			if col >= 0 && col < w && row >= 0 && row < h {
+				grid[row][col] = mark
+			}
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for r, row := range grid {
+		var label string
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%8.3f", ymax)
+		case h - 1:
+			label = fmt.Sprintf("%8.3f", ymin)
+		default:
+			label = strings.Repeat(" ", 8)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s+\n", strings.Repeat(" ", 8), strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%s  %-*.6g%*.6g\n", strings.Repeat(" ", 8), w/2, xmin, w-w/2, xmax)
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s   y: %s\n", strings.Repeat(" ", 8), c.XLabel, c.YLabel)
+	}
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "%s   %c %s\n", strings.Repeat(" ", 8), seriesMarks[si%len(seriesMarks)], s.Label)
+	}
+	return b.String()
+}
+
+// Bar is one labeled value in a bar group.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarGroup is a cluster of bars sharing an x-axis label.
+type BarGroup struct {
+	Label string
+	Bars  []Bar
+}
+
+// BarChart renders grouped horizontal bars (deterministic, ASCII).
+type BarChart struct {
+	Title string
+	// Unit annotates values, e.g. "%".
+	Unit   string
+	Width  int
+	Groups []BarGroup
+}
+
+// Render draws the chart into a string.
+func (c *BarChart) Render() string {
+	w := c.Width
+	if w <= 0 {
+		w = 40
+	}
+	maxVal := 0.0
+	maxLabel := 0
+	for _, g := range c.Groups {
+		for _, b := range g.Bars {
+			maxVal = math.Max(maxVal, b.Value)
+			if n := len(b.Label); n > maxLabel {
+				maxLabel = n
+			}
+		}
+	}
+	if maxVal == 0 {
+		maxVal = 1
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for _, g := range c.Groups {
+		fmt.Fprintf(&b, "%s\n", g.Label)
+		for _, bar := range g.Bars {
+			n := int(math.Round(bar.Value / maxVal * float64(w)))
+			if n < 0 {
+				n = 0
+			}
+			fmt.Fprintf(&b, "  %-*s |%s %.2f%s\n", maxLabel, bar.Label, strings.Repeat("█", n), bar.Value, c.Unit)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,98 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLineChartRendersAllSeries(t *testing.T) {
+	c := &LineChart{
+		Title: "sparsity vs epoch",
+		Width: 40, Height: 10,
+		Series: []Series{
+			{Label: "NDSNN", X: []float64{0, 1, 2}, Y: []float64{0.5, 0.7, 0.9}},
+			{Label: "LTH", X: []float64{0, 1, 2}, Y: []float64{0, 0.3, 0.9}},
+		},
+	}
+	out := c.Render()
+	if !strings.Contains(out, "sparsity vs epoch") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "NDSNN") || !strings.Contains(out, "LTH") {
+		t.Fatal("legend missing")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("series marks missing")
+	}
+}
+
+func TestLineChartEmpty(t *testing.T) {
+	c := &LineChart{Title: "empty"}
+	out := c.Render()
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("empty chart rendering = %q", out)
+	}
+}
+
+func TestLineChartDeterministic(t *testing.T) {
+	c := &LineChart{Series: []Series{{Label: "a", X: []float64{0, 1}, Y: []float64{1, 2}}}}
+	if c.Render() != c.Render() {
+		t.Fatal("chart rendering is nondeterministic")
+	}
+}
+
+func TestLineChartFixedRangeClamps(t *testing.T) {
+	c := &LineChart{
+		Width: 20, Height: 5, YMin: 0, YMax: 1,
+		Series: []Series{{Label: "a", X: []float64{0, 1}, Y: []float64{-5, 7}}},
+	}
+	out := c.Render()
+	if !strings.Contains(out, "1.000") || !strings.Contains(out, "0.000") {
+		t.Fatalf("fixed range labels missing:\n%s", out)
+	}
+}
+
+func TestLineChartSingularValues(t *testing.T) {
+	// A flat series and single x must not divide by zero.
+	c := &LineChart{Series: []Series{{Label: "flat", X: []float64{3}, Y: []float64{2}}}}
+	out := c.Render()
+	if out == "" {
+		t.Fatal("no output")
+	}
+}
+
+func TestBarChartRendersValues(t *testing.T) {
+	c := &BarChart{
+		Title: "training cost", Unit: "%", Width: 20,
+		Groups: []BarGroup{
+			{Label: "VGG-16", Bars: []Bar{{"Dense", 100}, {"LTH", 33.5}, {"NDSNN", 10.5}}},
+		},
+	}
+	out := c.Render()
+	for _, want := range []string{"training cost", "VGG-16", "Dense", "100.00%", "10.50%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// The dense bar must be the longest.
+	lines := strings.Split(out, "\n")
+	lenOf := func(name string) int {
+		for _, l := range lines {
+			if strings.Contains(l, name) {
+				return strings.Count(l, "█")
+			}
+		}
+		return -1
+	}
+	if !(lenOf("Dense") > lenOf("LTH") && lenOf("LTH") > lenOf("NDSNN")) {
+		t.Fatalf("bar lengths not ordered:\n%s", out)
+	}
+}
+
+func TestBarChartZeroValues(t *testing.T) {
+	c := &BarChart{Groups: []BarGroup{{Label: "g", Bars: []Bar{{"a", 0}}}}}
+	out := c.Render()
+	if !strings.Contains(out, "0.00") {
+		t.Fatalf("zero bar missing:\n%s", out)
+	}
+}

@@ -1,0 +1,172 @@
+package quant
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ndsnn/internal/layers"
+	"ndsnn/internal/rng"
+	"ndsnn/internal/tensor"
+)
+
+func TestQuantizePreservesZeros(t *testing.T) {
+	w := tensor.FromSlice([]float32{0, 0.5, -0.3, 0}, 4)
+	q, _, err := Quantize(w, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Data[0] != 0 || q.Data[3] != 0 {
+		t.Fatal("zeros not preserved (sparsity would be destroyed)")
+	}
+}
+
+func TestQuantizeBoundedError(t *testing.T) {
+	r := rng.New(1)
+	w := tensor.New(1000)
+	for i := range w.Data {
+		w.Data[i] = r.NormFloat32()
+	}
+	for _, bits := range []int{4, 8, 16} {
+		q, scale, err := Quantize(w, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range w.Data {
+			if e := math.Abs(float64(w.Data[i] - q.Data[i])); e > float64(scale)/2+1e-6 {
+				t.Fatalf("%d-bit error %v exceeds scale/2 = %v", bits, e, scale/2)
+			}
+		}
+	}
+}
+
+func TestQuantizeErrorShrinksWithBits(t *testing.T) {
+	r := rng.New(2)
+	w := tensor.New(500)
+	for i := range w.Data {
+		w.Data[i] = r.NormFloat32()
+	}
+	e4, err := MaxError(w, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e8, err := MaxError(w, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e16, err := MaxError(w, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(e16 < e8 && e8 < e4) {
+		t.Fatalf("errors not decreasing: 4b=%v 8b=%v 16b=%v", e4, e8, e16)
+	}
+}
+
+func TestQuantizeIdempotent(t *testing.T) {
+	// Quantizing an already-quantized tensor changes nothing.
+	r := rng.New(3)
+	w := tensor.New(100)
+	for i := range w.Data {
+		w.Data[i] = r.NormFloat32()
+	}
+	q1, _, err := Quantize(w, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, _, err := Quantize(q1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range q1.Data {
+		if math.Abs(float64(q1.Data[i]-q2.Data[i])) > 1e-6 {
+			t.Fatalf("not idempotent at %d: %v vs %v", i, q1.Data[i], q2.Data[i])
+		}
+	}
+}
+
+func TestQuantizeGridProperty(t *testing.T) {
+	// Every quantized value must be an integer multiple of the scale.
+	f := func(seed uint16) bool {
+		r := rng.New(uint64(seed))
+		w := tensor.New(64)
+		for i := range w.Data {
+			w.Data[i] = r.NormFloat32() * 3
+		}
+		q, scale, err := Quantize(w, 5)
+		if err != nil || scale == 0 {
+			return err == nil
+		}
+		for _, v := range q.Data {
+			ratio := float64(v / scale)
+			if math.Abs(ratio-math.Round(ratio)) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizeAllZerosTensor(t *testing.T) {
+	w := tensor.New(10)
+	q, scale, err := Quantize(w, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scale != 0 || q.CountNonZero() != 0 {
+		t.Fatal("all-zero tensor mishandled")
+	}
+}
+
+func TestQuantizeRejectsBadBits(t *testing.T) {
+	w := tensor.New(4)
+	for _, bits := range []int{0, 1, 17, -3} {
+		if _, _, err := Quantize(w, bits); err == nil {
+			t.Fatalf("bits=%d accepted", bits)
+		}
+	}
+}
+
+func TestQuantizeParamsSkipsNonPrunable(t *testing.T) {
+	w := tensor.FromSlice([]float32{0.111, -0.222}, 2)
+	p1 := layers.NewParam("conv.w", w)
+	bnW := tensor.FromSlice([]float32{1.2345}, 1)
+	p2 := layers.NewParam("bn.gamma", bnW)
+	p2.NoPrune = true
+	scales, err := QuantizeParams([]*layers.Param{p1, p2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := scales["conv.w"]; !ok {
+		t.Fatal("prunable param not quantized")
+	}
+	if _, ok := scales["bn.gamma"]; ok {
+		t.Fatal("non-prunable param quantized")
+	}
+	if p2.W.Data[0] != 1.2345 {
+		t.Fatal("BN affine modified")
+	}
+}
+
+func TestQuantizePreservesMaskConsistency(t *testing.T) {
+	r := rng.New(4)
+	w := tensor.New(100)
+	mask := tensor.New(100)
+	for i := range w.Data {
+		if r.Bernoulli(0.3) {
+			w.Data[i] = r.NormFloat32()
+			mask.Data[i] = 1
+		}
+	}
+	p := layers.NewParam("w", w)
+	p.Mask = mask
+	if _, err := QuantizeParams([]*layers.Param{p}, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckMaskConsistency(); err != nil {
+		t.Fatalf("quantization broke sparsity: %v", err)
+	}
+}

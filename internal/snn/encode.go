@@ -1,0 +1,81 @@
+package snn
+
+import (
+	"math"
+
+	"ndsnn/internal/rng"
+	"ndsnn/internal/tensor"
+)
+
+// InputEncoder transforms a static input tensor into its presentation at
+// timestep t. A nil encoder on Network means direct (constant-current)
+// encoding — the paper's setup, where the first convolution acts as the
+// spike encoder.
+type InputEncoder interface {
+	Encode(x *tensor.Tensor, t int) *tensor.Tensor
+}
+
+// PoissonEncoder emits Bernoulli spike trains whose firing probability is a
+// logistic squash of the (standardized) input intensity — the classic
+// rate-coding front end used by pre-deep-learning SNNs and neuromorphic
+// sensors. It exists as an alternative input path; accuracy is typically
+// below direct encoding at small T, matching the literature.
+type PoissonEncoder struct {
+	// Gain scales the logistic: p = σ(Gain·x). 0 means 1.
+	Gain float32
+	// Rng drives the Bernoulli draws; required.
+	Rng *rng.RNG
+}
+
+// Encode samples one timestep of spikes.
+func (e *PoissonEncoder) Encode(x *tensor.Tensor, t int) *tensor.Tensor {
+	gain := e.Gain
+	if gain == 0 {
+		gain = 1
+	}
+	out := tensor.New(x.Shape()...)
+	for i, v := range x.Data {
+		p := 1 / (1 + math.Exp(-float64(gain*v)))
+		if e.Rng.Float64() < p {
+			out.Data[i] = 1
+		}
+	}
+	return out
+}
+
+// LatencyEncoder emits exactly one spike per input, earlier for stronger
+// inputs: input quantile q fires at timestep floor((1-q)·T). It needs the
+// total timestep count up front.
+type LatencyEncoder struct {
+	// T is the simulation length the spike times are quantized to.
+	T int
+	// Lo and Hi bound the input range mapped onto [0, T); values at or
+	// above Hi fire at t=0, values at or below Lo never fire.
+	Lo, Hi float32
+}
+
+// Encode emits the spikes scheduled for timestep t.
+func (e *LatencyEncoder) Encode(x *tensor.Tensor, t int) *tensor.Tensor {
+	out := tensor.New(x.Shape()...)
+	span := e.Hi - e.Lo
+	if span <= 0 {
+		span = 1
+	}
+	for i, v := range x.Data {
+		q := (v - e.Lo) / span
+		if q <= 0 {
+			continue // never fires
+		}
+		if q > 1 {
+			q = 1
+		}
+		fireAt := int(float32(e.T) * (1 - q))
+		if fireAt >= e.T {
+			fireAt = e.T - 1
+		}
+		if fireAt == t {
+			out.Data[i] = 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package snn_test
+
+import (
+	"math"
+	"testing"
+
+	"ndsnn/internal/rng"
+	"ndsnn/internal/snn"
+	"ndsnn/internal/tensor"
+	"ndsnn/internal/testutil"
+)
+
+func TestHardResetHandComputedSequence(t *testing.T) {
+	// α=0.5, ϑ=1, hard reset. Constant input 1.2:
+	// t0: v=1.2 → spike; t1: v = 0.5·1.2·(1-1) + 1.2 = 1.2 → spike again
+	// (membrane zeroed by the multiplicative reset, then recharged).
+	cfg := snn.NeuronConfig{Alpha: 0.5, Threshold: 1, DetachReset: true, HardReset: true}
+	l := cfg.New()
+	x := tensor.FromSlice([]float32{1.2}, 1, 1)
+	for step := 0; step < 3; step++ {
+		if o := l.Forward(x, false); o.Data[0] != 1 {
+			t.Fatalf("step %d: no spike", step)
+		}
+	}
+}
+
+func TestHardVsSoftResetDiffer(t *testing.T) {
+	// Input 1.6 with ϑ=1: soft reset carries v-ϑ=0.6 forward, hard reset
+	// zeroes the membrane, so the two accumulate differently.
+	soft := snn.NeuronConfig{Alpha: 1, Threshold: 1, DetachReset: true}.New()
+	hard := snn.NeuronConfig{Alpha: 1, Threshold: 1, DetachReset: true, HardReset: true}.New()
+	x := tensor.FromSlice([]float32{0.7}, 1, 1)
+	var softSpikes, hardSpikes int
+	for step := 0; step < 10; step++ {
+		if soft.Forward(x, false).Data[0] == 1 {
+			softSpikes++
+		}
+		if hard.Forward(x, false).Data[0] == 1 {
+			hardSpikes++
+		}
+	}
+	if softSpikes <= hardSpikes {
+		t.Fatalf("soft reset (%d spikes) should out-fire hard reset (%d) at α=1", softSpikes, hardSpikes)
+	}
+}
+
+func TestHardResetSmoothGradients(t *testing.T) {
+	cfg := snn.NeuronConfig{Alpha: 0.6, Threshold: 0.8, DetachReset: false, HardReset: true, Surrogate: snn.ATan{}}
+	l := cfg.New()
+	l.Smooth = true
+	testutil.GradCheck(t, "lif-hardreset-bptt", l, testutil.GradCheckConfig{InShape: []int{2, 5}, Timesteps: 4, Eps: 3e-3, Tol: 4e-2})
+}
+
+func TestHardResetTrainEvalConsistency(t *testing.T) {
+	// Train-mode and eval-mode forwards must produce identical spikes (the
+	// extra caching must not change dynamics).
+	cfg := snn.NeuronConfig{Alpha: 0.7, Threshold: 1, HardReset: true}
+	a, b := cfg.New(), cfg.New()
+	r := rng.New(8)
+	for step := 0; step < 5; step++ {
+		x := tensor.New(2, 4)
+		for i := range x.Data {
+			x.Data[i] = r.NormFloat32()
+		}
+		oa := a.Forward(x, true)
+		ob := b.Forward(x, false)
+		for i := range oa.Data {
+			if oa.Data[i] != ob.Data[i] {
+				t.Fatalf("step %d: train/eval outputs differ", step)
+			}
+		}
+	}
+}
+
+func TestPoissonEncoderRateTracksInput(t *testing.T) {
+	r := rng.New(4)
+	enc := &snn.PoissonEncoder{Rng: r}
+	strong := tensor.New(1, 2000)
+	strong.Fill(3) // σ(3) ≈ 0.95
+	weak := tensor.New(1, 2000)
+	weak.Fill(-3) // σ(-3) ≈ 0.05
+	var strongRate, weakRate float64
+	const T = 20
+	for t2 := 0; t2 < T; t2++ {
+		strongRate += enc.Encode(strong, t2).Mean()
+		weakRate += enc.Encode(weak, t2).Mean()
+	}
+	strongRate /= T
+	weakRate /= T
+	if math.Abs(strongRate-0.953) > 0.02 {
+		t.Fatalf("strong input rate = %v, want ~0.95", strongRate)
+	}
+	if math.Abs(weakRate-0.047) > 0.02 {
+		t.Fatalf("weak input rate = %v, want ~0.05", weakRate)
+	}
+}
+
+func TestPoissonEncoderBinaryOutput(t *testing.T) {
+	enc := &snn.PoissonEncoder{Rng: rng.New(5), Gain: 2}
+	x := tensor.New(4, 7)
+	for i := range x.Data {
+		x.Data[i] = float32(i%5) - 2
+	}
+	out := enc.Encode(x, 0)
+	for _, v := range out.Data {
+		if v != 0 && v != 1 {
+			t.Fatalf("non-binary spike %v", v)
+		}
+	}
+}
+
+func TestLatencyEncoderSingleSpikeTiming(t *testing.T) {
+	enc := &snn.LatencyEncoder{T: 4, Lo: 0, Hi: 1}
+	x := tensor.FromSlice([]float32{1.0, 0.6, 0.3, 0.0}, 4)
+	spikeAt := make([]int, 4)
+	for i := range spikeAt {
+		spikeAt[i] = -1
+	}
+	for t2 := 0; t2 < 4; t2++ {
+		out := enc.Encode(x, t2)
+		for i, v := range out.Data {
+			if v == 1 {
+				if spikeAt[i] != -1 {
+					t.Fatalf("input %d spiked twice", i)
+				}
+				spikeAt[i] = t2
+			}
+		}
+	}
+	// Strongest fires first; zero never fires.
+	if spikeAt[0] != 0 {
+		t.Fatalf("strongest input fired at %d, want 0", spikeAt[0])
+	}
+	if spikeAt[3] != -1 {
+		t.Fatalf("zero input fired at %d, want never", spikeAt[3])
+	}
+	if !(spikeAt[0] <= spikeAt[1] && spikeAt[1] <= spikeAt[2]) {
+		t.Fatalf("latency ordering violated: %v", spikeAt)
+	}
+}
+
+func TestNetworkWithPoissonEncoder(t *testing.T) {
+	r := rng.New(6)
+	net := buildTinyNet(3, false, r)
+	net.Encoder = &snn.PoissonEncoder{Rng: rng.New(7)}
+	x := tensor.New(2, 1, 6, 6)
+	for i := range x.Data {
+		x.Data[i] = r.NormFloat32()
+	}
+	outs := net.Forward(x, false)
+	if len(outs) != 3 {
+		t.Fatalf("timestep outputs = %d", len(outs))
+	}
+	// Encoded presentations differ across timesteps (stochastic), unlike
+	// direct encoding — verify indirectly via spike variability.
+	if outs[0].SameShape(outs[1]) {
+		diff := false
+		for i := range outs[0].Data {
+			if outs[0].Data[i] != outs[1].Data[i] {
+				diff = true
+				break
+			}
+		}
+		_ = diff // identical outputs are possible but rare; no hard assert
+	}
+}

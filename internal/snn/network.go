@@ -1,0 +1,139 @@
+package snn
+
+import (
+	"ndsnn/internal/layers"
+	"ndsnn/internal/tensor"
+)
+
+// LayerWalker is implemented by composite layers (e.g. ResidualBlock) to
+// expose their children for introspection (spike probes, parameter census).
+type LayerWalker interface {
+	WalkLayers(fn func(layers.Layer))
+}
+
+// SpikeRecorder is implemented by layers that count emitted spikes.
+type SpikeRecorder interface {
+	SpikeStats() (sum float64, elems int64)
+	ResetSpikeStats()
+}
+
+// Network is a sequential spiking network unrolled over T timesteps with
+// direct (constant-current) input encoding: the analog input is presented
+// identically at every timestep and the first convolution acts as the spike
+// encoder, the standard setup for directly-trained deep SNNs.
+type Network struct {
+	Layers []layers.Layer
+	// T is the number of simulation timesteps (the paper uses 5, and 2 for
+	// the small-timestep study of Fig. 4).
+	T int
+	// Encoder transforms the input per timestep; nil means direct
+	// (constant-current) encoding, the paper's configuration.
+	Encoder InputEncoder
+}
+
+// Forward resets temporal state and runs T timesteps, returning the output
+// of the final layer at each timestep.
+func (n *Network) Forward(x *tensor.Tensor, train bool) []*tensor.Tensor {
+	n.ResetState()
+	outs := make([]*tensor.Tensor, n.T)
+	for t := 0; t < n.T; t++ {
+		h := x
+		if n.Encoder != nil {
+			h = n.Encoder.Encode(x, t)
+		}
+		for _, l := range n.Layers {
+			h = l.Forward(h, train)
+		}
+		outs[t] = h
+	}
+	return outs
+}
+
+// Backward runs BPTT: timesteps in reverse order, layers in reverse order.
+// douts[t] is the loss gradient w.r.t. the timestep-t output.
+func (n *Network) Backward(douts []*tensor.Tensor) {
+	for t := n.T - 1; t >= 0; t-- {
+		g := douts[t]
+		for i := len(n.Layers) - 1; i >= 0; i-- {
+			g = n.Layers[i].Backward(g)
+		}
+	}
+}
+
+// ResetState clears every layer's temporal state and caches.
+func (n *Network) ResetState() {
+	for _, l := range n.Layers {
+		l.Reset()
+	}
+}
+
+// Params returns all trainable parameters in layer order.
+func (n *Network) Params() []*layers.Param {
+	var ps []*layers.Param
+	for _, l := range n.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrads clears all parameter gradients.
+func (n *Network) ZeroGrads() { layers.ZeroGrads(n.Params()) }
+
+// Walk applies fn to every layer, recursing into composite layers.
+func (n *Network) Walk(fn func(layers.Layer)) {
+	for _, l := range n.Layers {
+		fn(l)
+		if w, ok := l.(LayerWalker); ok {
+			w.WalkLayers(fn)
+		}
+	}
+}
+
+// SpikeRate returns the average firing probability per neuron per timestep
+// across all spiking layers since the last ResetSpikeStats, or 0 if the
+// network has no spiking layers or has not run.
+func (n *Network) SpikeRate() float64 {
+	var sum float64
+	var elems int64
+	n.Walk(func(l layers.Layer) {
+		if rec, ok := l.(SpikeRecorder); ok {
+			s, e := rec.SpikeStats()
+			sum += s
+			elems += e
+		}
+	})
+	if elems == 0 {
+		return 0
+	}
+	return sum / float64(elems)
+}
+
+// ResetSpikeStats zeroes all spike counters.
+func (n *Network) ResetSpikeStats() {
+	n.Walk(func(l layers.Layer) {
+		if rec, ok := l.(SpikeRecorder); ok {
+			rec.ResetSpikeStats()
+		}
+	})
+}
+
+// SetSmooth switches every LIF layer between spiking and smooth mode
+// (smooth mode exists for finite-difference gradient verification).
+func (n *Network) SetSmooth(smooth bool) {
+	n.Walk(func(l layers.Layer) {
+		if lif, ok := l.(*LIF); ok {
+			lif.Smooth = smooth
+		}
+	})
+}
+
+// MeanOutput averages per-timestep outputs into a single [B,Classes] tensor,
+// the rate-decoded prediction.
+func MeanOutput(outs []*tensor.Tensor) *tensor.Tensor {
+	avg := outs[0].Clone()
+	for _, o := range outs[1:] {
+		avg.AddInPlace(o)
+	}
+	avg.Scale(1 / float32(len(outs)))
+	return avg
+}

@@ -1,0 +1,74 @@
+package sparse
+
+import "ndsnn/internal/tensor"
+
+// CSR is a compressed-sparse-row matrix, the storage format the paper's
+// memory-footprint analysis assumes for deployed sparse weights. A 4-D conv
+// weight [F,C,Kh,Kw] is stored as its [F, C·Kh·Kw] reshape, one row per
+// filter.
+type CSR struct {
+	Rows, Cols int
+	// RowPtr has Rows+1 entries; row r's nonzeros live at [RowPtr[r],
+	// RowPtr[r+1]) in ColIdx/Val.
+	RowPtr []int32
+	ColIdx []int32
+	Val    []float32
+}
+
+// EncodeCSR converts a 2-D tensor to CSR, keeping exact non-zeros.
+func EncodeCSR(w *tensor.Tensor) *CSR {
+	if w.NumDims() != 2 {
+		panic("sparse: EncodeCSR requires a 2-D tensor (reshape conv weights first)")
+	}
+	rows, cols := w.Dim(0), w.Dim(1)
+	c := &CSR{Rows: rows, Cols: cols, RowPtr: make([]int32, rows+1)}
+	for r := 0; r < rows; r++ {
+		for j := 0; j < cols; j++ {
+			v := w.Data[r*cols+j]
+			if v != 0 {
+				c.ColIdx = append(c.ColIdx, int32(j))
+				c.Val = append(c.Val, v)
+			}
+		}
+		c.RowPtr[r+1] = int32(len(c.Val))
+	}
+	return c
+}
+
+// Decode reconstructs the dense 2-D tensor.
+func (c *CSR) Decode() *tensor.Tensor {
+	out := tensor.New(c.Rows, c.Cols)
+	for r := 0; r < c.Rows; r++ {
+		for p := c.RowPtr[r]; p < c.RowPtr[r+1]; p++ {
+			out.Data[r*c.Cols+int(c.ColIdx[p])] = c.Val[p]
+		}
+	}
+	return out
+}
+
+// NNZ returns the number of stored non-zeros.
+func (c *CSR) NNZ() int { return len(c.Val) }
+
+// MemoryBits returns the storage cost with weightBits-per-value and
+// idxBits-per-index (column indices plus the Rows+1 row pointers), matching
+// the paper's accounting of (1-θ)·N·(b_w + b_idx) + (F+1)·b_idx per layer.
+func (c *CSR) MemoryBits(weightBits, idxBits int) int64 {
+	return int64(c.NNZ())*int64(weightBits+idxBits) + int64(c.Rows+1)*int64(idxBits)
+}
+
+// MatVec computes y = A·x for the CSR matrix, the event-driven inference
+// primitive: only stored synapses contribute.
+func (c *CSR) MatVec(x []float32) []float32 {
+	if len(x) != c.Cols {
+		panic("sparse: CSR.MatVec dimension mismatch")
+	}
+	y := make([]float32, c.Rows)
+	for r := 0; r < c.Rows; r++ {
+		var s float32
+		for p := c.RowPtr[r]; p < c.RowPtr[r+1]; p++ {
+			s += c.Val[p] * x[c.ColIdx[p]]
+		}
+		y[r] = s
+	}
+	return y
+}

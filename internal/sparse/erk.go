@@ -1,0 +1,113 @@
+// Package sparse implements the sparsity substrate shared by every sparse
+// training method in this repository: layerwise sparsity allocation (ERK and
+// uniform), binary mask construction, deterministic magnitude/gradient top-k
+// selection, compressed sparse row (CSR) storage, and the training/inference
+// memory-footprint model of the paper's Section III-D.
+package sparse
+
+import (
+	"fmt"
+)
+
+// ERKDensities allocates per-layer densities with the Erdős–Rényi-Kernel
+// rule used by SET/RigL and the paper's step ❶: layer l's density is scaled
+// proportionally to (Σ dims)/(Π dims) — for a conv kernel [F,C,Kh,Kw] that
+// is (F+C+Kh+Kw)/(F·C·Kh·Kw) — subject to Σ density_l·N_l = density·Σ N_l.
+// Layers whose scaled density would exceed 1 are fixed dense and the scale
+// factor is re-solved for the rest.
+//
+// shapes are the prunable parameter shapes; density is the global density
+// (1 - sparsity) in (0, 1]. The result has one density per shape, each in
+// (0, 1].
+func ERKDensities(shapes [][]int, density float64) []float64 {
+	if density <= 0 || density > 1 {
+		panic(fmt.Sprintf("sparse: global density %v outside (0,1]", density))
+	}
+	n := len(shapes)
+	sizes := make([]int, n)
+	raw := make([]float64, n)
+	total := 0
+	for i, s := range shapes {
+		size := 1
+		sumDims := 0
+		for _, d := range s {
+			size *= d
+			sumDims += d
+		}
+		sizes[i] = size
+		raw[i] = float64(sumDims) / float64(size)
+		total += size
+	}
+	targetNZ := density * float64(total)
+
+	dense := make([]bool, n)
+	for {
+		var denseNZ, sparseMass float64
+		for i := range shapes {
+			if dense[i] {
+				denseNZ += float64(sizes[i])
+			} else {
+				sparseMass += raw[i] * float64(sizes[i])
+			}
+		}
+		if sparseMass == 0 {
+			break
+		}
+		eps := (targetNZ - denseNZ) / sparseMass
+		overflow := false
+		for i := range shapes {
+			if !dense[i] && eps*raw[i] > 1 {
+				dense[i] = true
+				overflow = true
+			}
+		}
+		if !overflow {
+			out := make([]float64, n)
+			for i := range shapes {
+				if dense[i] {
+					out[i] = 1
+				} else {
+					d := eps * raw[i]
+					if d < 0 {
+						d = 0
+					}
+					out[i] = d
+				}
+			}
+			return out
+		}
+	}
+	// Everything ended up dense (density ~ 1).
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}
+
+// UniformDensities assigns the same density to every layer.
+func UniformDensities(n int, density float64) []float64 {
+	if density <= 0 || density > 1 {
+		panic(fmt.Sprintf("sparse: global density %v outside (0,1]", density))
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = density
+	}
+	return out
+}
+
+// GlobalDensityOf returns the overall density implied by per-layer densities
+// and shapes (the inverse check of ERKDensities).
+func GlobalDensityOf(shapes [][]int, densities []float64) float64 {
+	var nz, total float64
+	for i, s := range shapes {
+		size := 1
+		for _, d := range s {
+			size *= d
+		}
+		nz += densities[i] * float64(size)
+		total += float64(size)
+	}
+	return nz / total
+}

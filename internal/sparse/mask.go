@@ -1,0 +1,147 @@
+package sparse
+
+import (
+	"math"
+	"sort"
+
+	"ndsnn/internal/rng"
+	"ndsnn/internal/tensor"
+)
+
+// RandomMask returns a 0/1 tensor with exactly round(density·size) ones
+// placed uniformly at random — the sparse-from-scratch initialization used
+// by SET, RigL and NDSNN.
+func RandomMask(shape []int, density float64, r *rng.RNG) *tensor.Tensor {
+	m := tensor.New(shape...)
+	k := CountForDensity(m.Size(), density)
+	for _, i := range r.Choice(m.Size(), k) {
+		m.Data[i] = 1
+	}
+	return m
+}
+
+// CountForDensity returns round(density·n) clamped to [0, n].
+func CountForDensity(n int, density float64) int {
+	k := int(math.Round(density * float64(n)))
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// scoredIndex pairs an element index with its selection key.
+type scoredIndex struct {
+	idx int
+	key float32
+}
+
+// selectSmallest returns the indices of the k smallest keys among the
+// candidates, breaking ties by index so selection is deterministic.
+func selectSmallest(cands []scoredIndex, k int) []int {
+	if k >= len(cands) {
+		out := make([]int, len(cands))
+		for i, c := range cands {
+			out[i] = c.idx
+		}
+		return out
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].key != cands[j].key {
+			return cands[i].key < cands[j].key
+		}
+		return cands[i].idx < cands[j].idx
+	})
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = cands[i].idx
+	}
+	return out
+}
+
+func abs32(v float32) float32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// BottomKActive returns the indices of the k active (mask=1) weights with
+// the smallest absolute magnitude — the paper's "drop" set: the smallest
+// positive and largest negative weights, i.e. those closest to zero.
+func BottomKActive(w, mask *tensor.Tensor, k int) []int {
+	if k <= 0 {
+		return nil
+	}
+	cands := make([]scoredIndex, 0, mask.Size())
+	for i, m := range mask.Data {
+		if m != 0 {
+			cands = append(cands, scoredIndex{i, abs32(w.Data[i])})
+		}
+	}
+	return selectSmallest(cands, k)
+}
+
+// TopKInactive returns the indices of the k inactive (mask=0) positions with
+// the largest absolute gradient — the RigL/NDSNN "grow" criterion.
+func TopKInactive(grad, mask *tensor.Tensor, k int) []int {
+	if k <= 0 {
+		return nil
+	}
+	cands := make([]scoredIndex, 0, mask.Size())
+	for i, m := range mask.Data {
+		if m == 0 {
+			cands = append(cands, scoredIndex{i, -abs32(grad.Data[i])})
+		}
+	}
+	return selectSmallest(cands, k)
+}
+
+// RandomInactive returns k inactive positions chosen uniformly at random —
+// the SET grow criterion. If fewer than k positions are inactive, all of
+// them are returned.
+func RandomInactive(mask *tensor.Tensor, k int, r *rng.RNG) []int {
+	if k <= 0 {
+		return nil
+	}
+	var zeros []int
+	for i, m := range mask.Data {
+		if m == 0 {
+			zeros = append(zeros, i)
+		}
+	}
+	if k >= len(zeros) {
+		return zeros
+	}
+	perm := r.Perm(len(zeros))
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = zeros[perm[i]]
+	}
+	return out
+}
+
+// TopKMagnitude returns the indices of the k largest-|w| elements over the
+// whole tensor — the keep-set of magnitude pruning (LTH, ADMM projection).
+func TopKMagnitude(w *tensor.Tensor, k int) []int {
+	if k <= 0 {
+		return nil
+	}
+	cands := make([]scoredIndex, w.Size())
+	for i, v := range w.Data {
+		cands[i] = scoredIndex{i, -abs32(v)}
+	}
+	return selectSmallest(cands, k)
+}
+
+// MaskFromKeep returns a 0/1 tensor of the given shape with ones at the
+// keep indices.
+func MaskFromKeep(shape []int, keep []int) *tensor.Tensor {
+	m := tensor.New(shape...)
+	for _, i := range keep {
+		m.Data[i] = 1
+	}
+	return m
+}

@@ -1,0 +1,66 @@
+package sparse
+
+// Memory-footprint model from the paper's Section III-D.
+//
+// During training, weights and gradients are FP32; a sparse model with
+// sparsity θ stores (1-θ)N weights, t·(1-θ)N gradients across t timesteps,
+// and (1-θ)N column indices plus per-layer row pointers for the CSR
+// topology. For inference the weight precision b_w is platform-specific
+// (Loihi 8 b, HICANN 4 b, FPGA designs 4–16 b).
+
+// Platform describes a neuromorphic deployment target's weight precision.
+type Platform struct {
+	Name string
+	// WeightBits is the synaptic weight precision in bits.
+	WeightBits int
+}
+
+// Platforms lists the deployment targets cited in Section III-D.
+var Platforms = []Platform{
+	{Name: "Loihi", WeightBits: 8},
+	{Name: "HICANN", WeightBits: 4},
+	{Name: "FPGA-SyncNN", WeightBits: 16},
+}
+
+// DefaultIndexBits is the CSR index width b_idx used throughout the paper's
+// analysis (16-bit column indices cover every layer of VGG-16/ResNet-19).
+const DefaultIndexBits = 16
+
+// TrainingBits is the FP32 precision used for weights and gradients during
+// training, per Section III-D.
+const TrainingBits = 32
+
+// TrainingFootprintBits returns the paper's approximate training memory
+//
+//	(1-θ)·((1+t)·N·b_w + N·b_idx)
+//
+// for a model with N total weights at sparsity θ trained over t timesteps
+// with b_w-bit weights/gradients and b_idx-bit sparse indices.
+func TrainingFootprintBits(n int, theta float64, timesteps, bw, bidx int) float64 {
+	return (1 - theta) * (float64(1+timesteps)*float64(n)*float64(bw) + float64(n)*float64(bidx))
+}
+
+// TrainingFootprintExactBits adds the per-layer row-pointer term
+// Σ_l (F_l+1)·b_idx that the approximation drops (F_l = filters in layer l).
+func TrainingFootprintExactBits(n int, filtersPerLayer []int, theta float64, timesteps, bw, bidx int) float64 {
+	total := TrainingFootprintBits(n, theta, timesteps, bw, bidx)
+	for _, f := range filtersPerLayer {
+		total += float64(f+1) * float64(bidx)
+	}
+	return total
+}
+
+// InferenceFootprintBits returns the deployed-model memory
+//
+//	(1-θ)·N·(b_w + b_idx)
+//
+// for platform weight precision b_w.
+func InferenceFootprintBits(n int, theta float64, bw, bidx int) float64 {
+	return (1 - theta) * float64(n) * float64(bw+bidx)
+}
+
+// DenseFootprintBits returns the dense-model memory N·b_w (no indices).
+func DenseFootprintBits(n, bw int) float64 { return float64(n) * float64(bw) }
+
+// BitsToMiB converts bits to mebibytes.
+func BitsToMiB(bits float64) float64 { return bits / 8 / 1024 / 1024 }

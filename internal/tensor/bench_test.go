@@ -1,0 +1,106 @@
+package tensor
+
+import (
+	"testing"
+
+	"ndsnn/internal/rng"
+)
+
+// Micro-benchmarks of the kernels that dominate training time. Sizes mirror
+// the bench-scale models: GEMMs around [32..256]², im2col over 16-32 px
+// feature maps.
+
+func benchTensor(b *testing.B, shape ...int) *Tensor {
+	b.Helper()
+	r := rng.New(1)
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = r.NormFloat32()
+	}
+	return t
+}
+
+func BenchmarkMatMul128(b *testing.B) {
+	x := benchTensor(b, 128, 128)
+	y := benchTensor(b, 128, 128)
+	dst := New(128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(dst, x, y, false)
+	}
+	b.SetBytes(128 * 128 * 128 * 4)
+}
+
+func BenchmarkMatMulABT128(b *testing.B) {
+	x := benchTensor(b, 128, 128)
+	y := benchTensor(b, 128, 128)
+	dst := New(128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulABTInto(dst, x, y, false)
+	}
+}
+
+func BenchmarkMatMulATB128(b *testing.B) {
+	x := benchTensor(b, 128, 128)
+	y := benchTensor(b, 128, 128)
+	dst := New(128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulATBInto(dst, x, y, false)
+	}
+}
+
+func BenchmarkMatMulSparseRows(b *testing.B) {
+	// The GEMM kernel skips zero multiplicands; measure the win at 90%
+	// weight sparsity, the regime sparse training lives in.
+	x := benchTensor(b, 128, 128)
+	r := rng.New(2)
+	for i := range x.Data {
+		if r.Float64() < 0.9 {
+			x.Data[i] = 0
+		}
+	}
+	y := benchTensor(b, 128, 128)
+	dst := New(128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(dst, x, y, false)
+	}
+}
+
+func BenchmarkIm2Col16px(b *testing.B) {
+	src := benchTensor(b, 16, 16, 16)
+	oh := ConvOutSize(16, 3, 1, 1)
+	dst := make([]float32, 16*9*oh*oh)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Im2Col(dst, src.Data, 16, 16, 16, 3, 3, 1, 1, oh, oh)
+	}
+}
+
+func BenchmarkCol2Im16px(b *testing.B) {
+	oh := ConvOutSize(16, 3, 1, 1)
+	col := benchTensor(b, 16*9, oh*oh)
+	dst := make([]float32, 16*16*16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Col2Im(dst, col.Data, 16, 16, 16, 3, 3, 1, 1, oh, oh)
+	}
+}
+
+func BenchmarkMaxPoolBatch(b *testing.B) {
+	x := benchTensor(b, 32, 16, 16, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MaxPool(x, 2, 2)
+	}
+}
+
+func BenchmarkAvgPoolBatch(b *testing.B) {
+	x := benchTensor(b, 32, 16, 16, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AvgPool(x, 2, 2)
+	}
+}

@@ -1,0 +1,136 @@
+package tensor
+
+import "fmt"
+
+// ConvOutSize returns the spatial output size of a convolution or pooling
+// window of size k with the given stride and symmetric zero padding.
+func ConvOutSize(in, k, stride, pad int) int {
+	out := (in+2*pad-k)/stride + 1
+	if out <= 0 {
+		panic(fmt.Sprintf("tensor: conv output size %d for in=%d k=%d stride=%d pad=%d", out, in, k, stride, pad))
+	}
+	return out
+}
+
+// Im2Col expands one input sample src (laid out [C,H,W]) into the column
+// matrix dst (laid out [C*KH*KW, OH*OW] row-major), applying symmetric zero
+// padding. dst must have length C*KH*KW*OH*OW; it is fully overwritten.
+//
+// Row index is (ci*kh + ki)*kw + kj and column index is oy*ow + ox, which
+// matches the [F, C*KH*KW] weight matrix layout used by the Conv2d layer so
+// that output = weight · col.
+func Im2Col(dst, src []float32, c, h, w, kh, kw, stride, pad, oh, ow int) {
+	if len(src) != c*h*w {
+		panic("tensor: Im2Col src length mismatch")
+	}
+	p := oh * ow
+	if len(dst) != c*kh*kw*p {
+		panic("tensor: Im2Col dst length mismatch")
+	}
+	for ci := 0; ci < c; ci++ {
+		chanBase := ci * h * w
+		for ki := 0; ki < kh; ki++ {
+			for kj := 0; kj < kw; kj++ {
+				row := ((ci*kh+ki)*kw + kj) * p
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*stride + ki - pad
+					dstRow := dst[row+oy*ow : row+(oy+1)*ow]
+					if iy < 0 || iy >= h {
+						for ox := range dstRow {
+							dstRow[ox] = 0
+						}
+						continue
+					}
+					srcRow := src[chanBase+iy*w : chanBase+(iy+1)*w]
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*stride + kj - pad
+						if ix < 0 || ix >= w {
+							dstRow[ox] = 0
+						} else {
+							dstRow[ox] = srcRow[ix]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Col2Im scatters the column-matrix gradient col (laid out like Im2Col's
+// dst) back into the input-sample gradient dst (laid out [C,H,W]),
+// accumulating overlapping windows. dst is NOT zeroed first.
+func Col2Im(dst, col []float32, c, h, w, kh, kw, stride, pad, oh, ow int) {
+	if len(dst) != c*h*w {
+		panic("tensor: Col2Im dst length mismatch")
+	}
+	p := oh * ow
+	if len(col) != c*kh*kw*p {
+		panic("tensor: Col2Im col length mismatch")
+	}
+	for ci := 0; ci < c; ci++ {
+		chanBase := ci * h * w
+		for ki := 0; ki < kh; ki++ {
+			for kj := 0; kj < kw; kj++ {
+				row := ((ci*kh+ki)*kw + kj) * p
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*stride + ki - pad
+					if iy < 0 || iy >= h {
+						continue
+					}
+					colRow := col[row+oy*ow : row+(oy+1)*ow]
+					dstRow := dst[chanBase+iy*w : chanBase+(iy+1)*w]
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*stride + kj - pad
+						if ix >= 0 && ix < w {
+							dstRow[ix] += colRow[ox]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Conv2DDirect computes a 2-D convolution by the naive definition. It exists
+// as a slow reference implementation for testing the im2col-based path.
+// x: [B,C,H,W], weight: [F,C,KH,KW], bias: nil or [F]. Returns [B,F,OH,OW].
+func Conv2DDirect(x, weight, bias *Tensor, stride, pad int) *Tensor {
+	b, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	f, wc, kh, kw := weight.Dim(0), weight.Dim(1), weight.Dim(2), weight.Dim(3)
+	if wc != c {
+		panic(fmt.Sprintf("tensor: Conv2DDirect channel mismatch %d vs %d", wc, c))
+	}
+	oh := ConvOutSize(h, kh, stride, pad)
+	ow := ConvOutSize(w, kw, stride, pad)
+	out := New(b, f, oh, ow)
+	for bi := 0; bi < b; bi++ {
+		for fi := 0; fi < f; fi++ {
+			var bv float32
+			if bias != nil {
+				bv = bias.Data[fi]
+			}
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					acc := bv
+					for ci := 0; ci < c; ci++ {
+						for ki := 0; ki < kh; ki++ {
+							iy := oy*stride + ki - pad
+							if iy < 0 || iy >= h {
+								continue
+							}
+							for kj := 0; kj < kw; kj++ {
+								ix := ox*stride + kj - pad
+								if ix < 0 || ix >= w {
+									continue
+								}
+								acc += x.At(bi, ci, iy, ix) * weight.At(fi, ci, ki, kj)
+							}
+						}
+					}
+					out.Set(acc, bi, fi, oy, ox)
+				}
+			}
+		}
+	}
+	return out
+}

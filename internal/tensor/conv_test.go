@@ -1,0 +1,247 @@
+package tensor
+
+import (
+	"testing"
+
+	"ndsnn/internal/rng"
+)
+
+// conv via im2col for one sample, mirroring what the Conv2d layer does.
+func convViaIm2Col(x, weight *Tensor, stride, pad int) *Tensor {
+	b, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	f, _, kh, kw := weight.Dim(0), weight.Dim(1), weight.Dim(2), weight.Dim(3)
+	oh := ConvOutSize(h, kh, stride, pad)
+	ow := ConvOutSize(w, kw, stride, pad)
+	wmat := weight.Reshape(f, c*kh*kw)
+	out := New(b, f, oh, ow)
+	col := make([]float32, c*kh*kw*oh*ow)
+	for bi := 0; bi < b; bi++ {
+		Im2Col(col, x.Data[bi*c*h*w:(bi+1)*c*h*w], c, h, w, kh, kw, stride, pad, oh, ow)
+		y := MatMul(wmat, FromSlice(col, c*kh*kw, oh*ow))
+		copy(out.Data[bi*f*oh*ow:(bi+1)*f*oh*ow], y.Data)
+	}
+	return out
+}
+
+func TestConvOutSize(t *testing.T) {
+	cases := []struct{ in, k, stride, pad, want int }{
+		{32, 3, 1, 1, 32},
+		{32, 3, 2, 1, 16},
+		{32, 2, 2, 0, 16},
+		{5, 5, 1, 0, 1},
+		{64, 3, 1, 1, 64},
+		{7, 3, 2, 1, 4},
+	}
+	for _, c := range cases {
+		if got := ConvOutSize(c.in, c.k, c.stride, c.pad); got != c.want {
+			t.Fatalf("ConvOutSize(%d,%d,%d,%d) = %d, want %d", c.in, c.k, c.stride, c.pad, got, c.want)
+		}
+	}
+}
+
+func TestConvOutSizePanicsWhenInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid ConvOutSize did not panic")
+		}
+	}()
+	ConvOutSize(2, 5, 1, 0)
+}
+
+func TestIm2ColMatchesDirectConv(t *testing.T) {
+	r := rng.New(3)
+	cases := []struct{ b, c, h, w, f, k, stride, pad int }{
+		{1, 1, 4, 4, 1, 3, 1, 1},
+		{2, 3, 8, 8, 4, 3, 1, 1},
+		{2, 3, 8, 8, 4, 3, 2, 1},
+		{1, 2, 5, 7, 3, 3, 1, 0},
+		{2, 4, 6, 6, 2, 5, 1, 2},
+		{1, 1, 6, 6, 1, 1, 1, 0},
+		{3, 2, 9, 9, 5, 3, 3, 1},
+	}
+	for _, cse := range cases {
+		x := randTensor(r, cse.b, cse.c, cse.h, cse.w)
+		w := randTensor(r, cse.f, cse.c, cse.k, cse.k)
+		got := convViaIm2Col(x, w, cse.stride, cse.pad)
+		want := Conv2DDirect(x, w, nil, cse.stride, cse.pad)
+		if !got.SameShape(want) {
+			t.Fatalf("case %+v: shape %v vs %v", cse, got.Shape(), want.Shape())
+		}
+		for i := range want.Data {
+			if !almostEq(got.Data[i], want.Data[i], 1e-4) {
+				t.Fatalf("case %+v: element %d = %v, want %v", cse, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestCol2ImIsIm2ColAdjoint(t *testing.T) {
+	// <im2col(x), y> == <x, col2im(y)> — the defining property of the
+	// adjoint, which is exactly what backward passes rely on.
+	r := rng.New(5)
+	c, h, w, k, stride, pad := 3, 6, 6, 3, 1, 1
+	oh := ConvOutSize(h, k, stride, pad)
+	ow := ConvOutSize(w, k, stride, pad)
+	x := randTensor(r, c, h, w)
+	y := randTensor(r, c*k*k, oh*ow)
+	col := make([]float32, c*k*k*oh*ow)
+	Im2Col(col, x.Data, c, h, w, k, k, stride, pad, oh, ow)
+	lhs := 0.0
+	for i, v := range col {
+		lhs += float64(v) * float64(y.Data[i])
+	}
+	back := make([]float32, c*h*w)
+	Col2Im(back, y.Data, c, h, w, k, k, stride, pad, oh, ow)
+	rhs := 0.0
+	for i, v := range back {
+		rhs += float64(v) * float64(x.Data[i])
+	}
+	if diff := lhs - rhs; diff > 1e-2 || diff < -1e-2 {
+		t.Fatalf("adjoint mismatch: %v vs %v", lhs, rhs)
+	}
+}
+
+func TestCol2ImAccumulates(t *testing.T) {
+	c, h, w, k := 1, 3, 3, 3
+	oh := ConvOutSize(h, k, 1, 1)
+	ow := ConvOutSize(w, k, 1, 1)
+	col := make([]float32, c*k*k*oh*ow)
+	for i := range col {
+		col[i] = 1
+	}
+	dst := make([]float32, c*h*w)
+	Col2Im(dst, col, c, h, w, k, k, 1, 1, oh, ow)
+	// Center pixel participates in all 9 windows.
+	if dst[4] != 9 {
+		t.Fatalf("center accumulation = %v, want 9", dst[4])
+	}
+	// Corner pixel participates in 4 windows (k=3, pad=1).
+	if dst[0] != 4 {
+		t.Fatalf("corner accumulation = %v, want 4", dst[0])
+	}
+}
+
+func TestConv2DDirectKnownValues(t *testing.T) {
+	// 2x2 input, 2x2 kernel of ones, no padding → single output = sum.
+	x := FromSlice([]float32{1, 2, 3, 4}, 1, 1, 2, 2)
+	w := FromSlice([]float32{1, 1, 1, 1}, 1, 1, 2, 2)
+	out := Conv2DDirect(x, w, nil, 1, 0)
+	if out.Size() != 1 || out.Data[0] != 10 {
+		t.Fatalf("conv = %v, want [10]", out.Data)
+	}
+}
+
+func TestConv2DDirectBias(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4}, 1, 1, 2, 2)
+	w := FromSlice([]float32{1, 1, 1, 1}, 1, 1, 2, 2)
+	bias := FromSlice([]float32{0.5}, 1)
+	out := Conv2DDirect(x, w, bias, 1, 0)
+	if out.Data[0] != 10.5 {
+		t.Fatalf("conv+bias = %v, want 10.5", out.Data[0])
+	}
+}
+
+func TestMaxPoolForward(t *testing.T) {
+	x := FromSlice([]float32{
+		1, 2, 5, 3,
+		4, 0, 1, 2,
+		7, 8, 2, 1,
+		0, 3, 4, 9,
+	}, 1, 1, 4, 4)
+	out, idx := MaxPool(x, 2, 2)
+	want := []float32{4, 5, 8, 9}
+	for i, v := range want {
+		if out.Data[i] != v {
+			t.Fatalf("MaxPool[%d] = %v, want %v", i, out.Data[i], v)
+		}
+	}
+	wantIdx := []int32{4, 2, 9, 15}
+	for i, v := range wantIdx {
+		if idx[i] != v {
+			t.Fatalf("MaxPool idx[%d] = %d, want %d", i, idx[i], v)
+		}
+	}
+}
+
+func TestMaxPoolBackwardRouting(t *testing.T) {
+	x := FromSlice([]float32{
+		1, 2, 5, 3,
+		4, 0, 1, 2,
+		7, 8, 2, 1,
+		0, 3, 4, 9,
+	}, 1, 1, 4, 4)
+	out, idx := MaxPool(x, 2, 2)
+	dy := New(out.Shape()...)
+	dy.Fill(1)
+	dx := MaxPoolBackward(dy, idx, x.Shape())
+	// Gradient lands only on the four argmax positions.
+	total := dx.Sum()
+	if total != 4 {
+		t.Fatalf("MaxPoolBackward sum = %v, want 4", total)
+	}
+	for _, i := range []int{4, 2, 9, 15} {
+		if dx.Data[i] != 1 {
+			t.Fatalf("gradient missing at argmax position %d", i)
+		}
+	}
+}
+
+func TestAvgPoolForward(t *testing.T) {
+	x := FromSlice([]float32{
+		1, 2, 5, 3,
+		4, 0, 1, 2,
+		7, 8, 2, 1,
+		0, 3, 4, 9,
+	}, 1, 1, 4, 4)
+	out := AvgPool(x, 2, 2)
+	want := []float32{1.75, 2.75, 4.5, 4}
+	for i, v := range want {
+		if !almostEq(out.Data[i], v, 1e-6) {
+			t.Fatalf("AvgPool[%d] = %v, want %v", i, out.Data[i], v)
+		}
+	}
+}
+
+func TestAvgPoolBackwardUniform(t *testing.T) {
+	x := randTensor(rng.New(1), 2, 3, 4, 4)
+	out := AvgPool(x, 2, 2)
+	dy := New(out.Shape()...)
+	dy.Fill(4)
+	dx := AvgPoolBackward(dy, 2, 2, x.Shape())
+	// Each input element belongs to exactly one 2x2 window → gradient 1.
+	for i, v := range dx.Data {
+		if v != 1 {
+			t.Fatalf("AvgPoolBackward[%d] = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestGlobalAvgPool(t *testing.T) {
+	x := FromSlice([]float32{1, 2, 3, 4}, 1, 1, 2, 2)
+	out := AvgPool(x, 2, 2)
+	if out.Size() != 1 || out.Data[0] != 2.5 {
+		t.Fatalf("global avg = %v, want [2.5]", out.Data)
+	}
+}
+
+func TestParallelForCoversRange(t *testing.T) {
+	hit := make([]int, 10000)
+	ParallelFor(len(hit), 1000, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			hit[i]++
+		}
+	})
+	for i, h := range hit {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+}
+
+func TestParallelForEmpty(t *testing.T) {
+	called := false
+	ParallelFor(0, 10, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("ParallelFor(0) invoked fn")
+	}
+}

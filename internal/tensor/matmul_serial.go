@@ -1,0 +1,80 @@
+package tensor
+
+// Serial GEMM variants. The convolution layer parallelizes across the batch
+// dimension and calls these single-threaded kernels per sample, avoiding
+// nested goroutine fan-out.
+
+// MatMulSerialInto computes dst = a·b (or += when accumulate) on the calling
+// goroutine. Shapes as in MatMulInto.
+func MatMulSerialInto(dst, a, b *Tensor, accumulate bool) {
+	m, k := dims2(a, "MatMulSerial a")
+	_, n := dims2(b, "MatMulSerial b")
+	ad, bd, od := a.Data, b.Data, dst.Data
+	for i := 0; i < m; i++ {
+		orow := od[i*n : (i+1)*n]
+		if !accumulate {
+			for j := range orow {
+				orow[j] = 0
+			}
+		}
+		arow := ad[i*k : (i+1)*k]
+		for l, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := bd[l*n : (l+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulABTSerialInto computes dst = a·bᵀ (or += when accumulate) serially.
+// a: [m,k], b: [n,k], dst: [m,n].
+func MatMulABTSerialInto(dst, a, b *Tensor, accumulate bool) {
+	m, k := dims2(a, "MatMulABTSerial a")
+	n, _ := dims2(b, "MatMulABTSerial b")
+	ad, bd, od := a.Data, b.Data, dst.Data
+	for i := 0; i < m; i++ {
+		arow := ad[i*k : (i+1)*k]
+		for j := 0; j < n; j++ {
+			brow := bd[j*k : (j+1)*k]
+			var s float32
+			for l, av := range arow {
+				s += av * brow[l]
+			}
+			if accumulate {
+				od[i*n+j] += s
+			} else {
+				od[i*n+j] = s
+			}
+		}
+	}
+}
+
+// MatMulATBSerialInto computes dst = aᵀ·b (or += when accumulate) serially.
+// a: [k,m], b: [k,n], dst: [m,n].
+func MatMulATBSerialInto(dst, a, b *Tensor, accumulate bool) {
+	k, m := dims2(a, "MatMulATBSerial a")
+	_, n := dims2(b, "MatMulATBSerial b")
+	ad, bd, od := a.Data, b.Data, dst.Data
+	if !accumulate {
+		for i := range od {
+			od[i] = 0
+		}
+	}
+	for l := 0; l < k; l++ {
+		brow := bd[l*n : (l+1)*n]
+		for i := 0; i < m; i++ {
+			av := ad[l*m+i]
+			if av == 0 {
+				continue
+			}
+			orow := od[i*n : (i+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package tensor
+
+import "fmt"
+
+func assertSameShape(op string, a, b *Tensor) {
+	if !a.SameShape(b) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, a.shape, b.shape))
+	}
+}
+
+// Add returns a new tensor a + b.
+func Add(a, b *Tensor) *Tensor {
+	assertSameShape("Add", a, b)
+	out := New(a.shape...)
+	for i, v := range a.Data {
+		out.Data[i] = v + b.Data[i]
+	}
+	return out
+}
+
+// Sub returns a new tensor a - b.
+func Sub(a, b *Tensor) *Tensor {
+	assertSameShape("Sub", a, b)
+	out := New(a.shape...)
+	for i, v := range a.Data {
+		out.Data[i] = v - b.Data[i]
+	}
+	return out
+}
+
+// Mul returns a new tensor with the elementwise product a * b.
+func Mul(a, b *Tensor) *Tensor {
+	assertSameShape("Mul", a, b)
+	out := New(a.shape...)
+	for i, v := range a.Data {
+		out.Data[i] = v * b.Data[i]
+	}
+	return out
+}
+
+// AddInPlace sets t = t + o.
+func (t *Tensor) AddInPlace(o *Tensor) {
+	assertSameShape("AddInPlace", t, o)
+	for i, v := range o.Data {
+		t.Data[i] += v
+	}
+}
+
+// SubInPlace sets t = t - o.
+func (t *Tensor) SubInPlace(o *Tensor) {
+	assertSameShape("SubInPlace", t, o)
+	for i, v := range o.Data {
+		t.Data[i] -= v
+	}
+}
+
+// MulInPlace sets t = t ⊙ o (elementwise).
+func (t *Tensor) MulInPlace(o *Tensor) {
+	assertSameShape("MulInPlace", t, o)
+	for i, v := range o.Data {
+		t.Data[i] *= v
+	}
+}
+
+// Scale multiplies every element of t by s.
+func (t *Tensor) Scale(s float32) {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+}
+
+// AXPY sets t = t + alpha*x.
+func (t *Tensor) AXPY(alpha float32, x *Tensor) {
+	assertSameShape("AXPY", t, x)
+	for i, v := range x.Data {
+		t.Data[i] += alpha * v
+	}
+}
+
+// Apply replaces every element v with fn(v).
+func (t *Tensor) Apply(fn func(float32) float32) {
+	for i, v := range t.Data {
+		t.Data[i] = fn(v)
+	}
+}
+
+// Map returns a new tensor whose elements are fn applied to t's elements.
+func Map(t *Tensor, fn func(float32) float32) *Tensor {
+	out := New(t.shape...)
+	for i, v := range t.Data {
+		out.Data[i] = fn(v)
+	}
+	return out
+}
+
+// Sum returns the sum of all elements, accumulated in float64 for stability.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.Data {
+		s += float64(v)
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements.
+func (t *Tensor) Mean() float64 { return t.Sum() / float64(len(t.Data)) }
+
+// Max returns the maximum element value.
+func (t *Tensor) Max() float32 {
+	m := t.Data[0]
+	for _, v := range t.Data[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the minimum element value.
+func (t *Tensor) Min() float32 {
+	m := t.Data[0]
+	for _, v := range t.Data[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ArgMaxRow returns, for a 2-D tensor, the column index of the maximum value
+// in row r (ties resolve to the lowest index).
+func (t *Tensor) ArgMaxRow(r int) int {
+	if len(t.shape) != 2 {
+		panic("tensor: ArgMaxRow requires a 2-D tensor")
+	}
+	cols := t.shape[1]
+	row := t.Data[r*cols : (r+1)*cols]
+	best, bestIdx := row[0], 0
+	for j, v := range row[1:] {
+		if v > best {
+			best = v
+			bestIdx = j + 1
+		}
+	}
+	return bestIdx
+}
+
+// CountNonZero returns the number of elements that are exactly non-zero.
+func (t *Tensor) CountNonZero() int {
+	n := 0
+	for _, v := range t.Data {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Dot returns the inner product of a and b, accumulated in float64.
+func Dot(a, b *Tensor) float64 {
+	assertSameShape("Dot", a, b)
+	s := 0.0
+	for i, v := range a.Data {
+		s += float64(v) * float64(b.Data[i])
+	}
+	return s
+}
+
+// Transpose2D returns the transpose of a 2-D tensor as a new tensor.
+func Transpose2D(t *Tensor) *Tensor {
+	if len(t.shape) != 2 {
+		panic("tensor: Transpose2D requires a 2-D tensor")
+	}
+	rows, cols := t.shape[0], t.shape[1]
+	out := New(cols, rows)
+	const block = 32
+	for i0 := 0; i0 < rows; i0 += block {
+		iMax := i0 + block
+		if iMax > rows {
+			iMax = rows
+		}
+		for j0 := 0; j0 < cols; j0 += block {
+			jMax := j0 + block
+			if jMax > cols {
+				jMax = cols
+			}
+			for i := i0; i < iMax; i++ {
+				for j := j0; j < jMax; j++ {
+					out.Data[j*rows+i] = t.Data[i*cols+j]
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// minParallelWork is the smallest number of inner iterations worth spawning a
+// goroutine for; below this the scheduling overhead dominates.
+const minParallelWork = 2048
+
+// ParallelFor splits [0, n) into contiguous chunks and runs fn(lo, hi) on
+// each, using up to GOMAXPROCS goroutines. work is an estimate of the inner
+// cost per index used to decide whether parallelism pays off; callers that do
+// substantial work per index (e.g. a full GEMM row) should pass that inner
+// loop length.
+func ParallelFor(n, work int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	procs := runtime.GOMAXPROCS(0)
+	if procs > n {
+		procs = n
+	}
+	if procs <= 1 || n*work < minParallelWork {
+		fn(0, n)
+		return
+	}
+	chunk := (n + procs - 1) / procs
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

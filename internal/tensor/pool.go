@@ -1,0 +1,133 @@
+package tensor
+
+// MaxPool applies k×k max pooling with the given stride to x of shape
+// [B,C,H,W]. It returns the pooled tensor [B,C,OH,OW] and the flat argmax
+// index (into x.Data) of each output element, which MaxPoolBackward uses to
+// route gradients.
+func MaxPool(x *Tensor, k, stride int) (*Tensor, []int32) {
+	b, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh := ConvOutSize(h, k, stride, 0)
+	ow := ConvOutSize(w, k, stride, 0)
+	out := New(b, c, oh, ow)
+	idx := make([]int32, out.Size())
+	planes := b * c
+	ParallelFor(planes, oh*ow*k*k, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			inBase := p * h * w
+			outBase := p * oh * ow
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					iy0, ix0 := oy*stride, ox*stride
+					best := x.Data[inBase+iy0*w+ix0]
+					bestIdx := int32(inBase + iy0*w + ix0)
+					for ki := 0; ki < k; ki++ {
+						iy := iy0 + ki
+						if iy >= h {
+							break
+						}
+						rowBase := inBase + iy*w
+						for kj := 0; kj < k; kj++ {
+							ix := ix0 + kj
+							if ix >= w {
+								break
+							}
+							v := x.Data[rowBase+ix]
+							if v > best {
+								best = v
+								bestIdx = int32(rowBase + ix)
+							}
+						}
+					}
+					o := outBase + oy*ow + ox
+					out.Data[o] = best
+					idx[o] = bestIdx
+				}
+			}
+		}
+	})
+	return out, idx
+}
+
+// MaxPoolBackward scatters dy (shape of the pooled output) back to a tensor
+// with shape inShape using the argmax indices produced by MaxPool.
+func MaxPoolBackward(dy *Tensor, idx []int32, inShape []int) *Tensor {
+	dx := New(inShape...)
+	for o, g := range dy.Data {
+		dx.Data[idx[o]] += g
+	}
+	return dx
+}
+
+// AvgPool applies k×k average pooling with the given stride to x of shape
+// [B,C,H,W]. Windows are full (no padding); H and W should be divisible by
+// the stride grid for exact behaviour, and ragged edges use the true window
+// element count as the divisor.
+func AvgPool(x *Tensor, k, stride int) *Tensor {
+	b, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh := ConvOutSize(h, k, stride, 0)
+	ow := ConvOutSize(w, k, stride, 0)
+	out := New(b, c, oh, ow)
+	planes := b * c
+	ParallelFor(planes, oh*ow*k*k, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			inBase := p * h * w
+			outBase := p * oh * ow
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					iy0, ix0 := oy*stride, ox*stride
+					var sum float32
+					count := 0
+					for ki := 0; ki < k; ki++ {
+						iy := iy0 + ki
+						if iy >= h {
+							break
+						}
+						rowBase := inBase + iy*w
+						for kj := 0; kj < k; kj++ {
+							ix := ix0 + kj
+							if ix >= w {
+								break
+							}
+							sum += x.Data[rowBase+ix]
+							count++
+						}
+					}
+					out.Data[outBase+oy*ow+ox] = sum / float32(count)
+				}
+			}
+		}
+	})
+	return out
+}
+
+// AvgPoolBackward distributes dy (pooled-output shaped) uniformly back over
+// each pooling window of an input with shape inShape.
+func AvgPoolBackward(dy *Tensor, k, stride int, inShape []int) *Tensor {
+	h, w := inShape[2], inShape[3]
+	oh, ow := dy.Dim(2), dy.Dim(3)
+	dx := New(inShape...)
+	planes := inShape[0] * inShape[1]
+	for p := 0; p < planes; p++ {
+		inBase := p * h * w
+		outBase := p * oh * ow
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				iy0, ix0 := oy*stride, ox*stride
+				count := 0
+				for ki := 0; ki < k && iy0+ki < h; ki++ {
+					for kj := 0; kj < k && ix0+kj < w; kj++ {
+						count++
+					}
+				}
+				g := dy.Data[outBase+oy*ow+ox] / float32(count)
+				for ki := 0; ki < k && iy0+ki < h; ki++ {
+					rowBase := inBase + (iy0+ki)*w
+					for kj := 0; kj < k && ix0+kj < w; kj++ {
+						dx.Data[rowBase+ix0+kj] += g
+					}
+				}
+			}
+		}
+	}
+	return dx
+}

@@ -1,0 +1,161 @@
+// Package tensor implements the dense float32 tensor substrate used by every
+// other package in this repository: n-dimensional row-major arrays with the
+// elementwise, GEMM, convolution (im2col) and pooling kernels needed to train
+// spiking neural networks with BPTT on a CPU.
+//
+// The package deliberately keeps a small surface: a Tensor is a shape plus a
+// flat []float32, operations are explicit functions/methods (no lazy graphs),
+// and the heavy kernels (GEMM, im2col) parallelize across goroutines.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense, row-major, n-dimensional array of float32.
+// The zero value is not usable; construct tensors with New or FromSlice.
+type Tensor struct {
+	shape []int
+	// Data is the backing storage in row-major order. It is exported so hot
+	// loops in other packages can index it directly.
+	Data []float32
+}
+
+// New returns a zero-filled tensor with the given shape.
+// It panics if any dimension is non-positive.
+func New(shape ...int) *Tensor {
+	n := checkShape(shape)
+	return &Tensor{shape: append([]int(nil), shape...), Data: make([]float32, n)}
+}
+
+// FromSlice wraps data (without copying) in a tensor of the given shape.
+// It panics if len(data) does not match the shape's element count.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	n := checkShape(shape)
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: FromSlice data length %d does not match shape %v (%d elements)", len(data), shape, n))
+	}
+	return &Tensor{shape: append([]int(nil), shape...), Data: data}
+}
+
+func checkShape(shape []int) int {
+	if len(shape) == 0 {
+		panic("tensor: empty shape")
+	}
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension in shape %v", shape))
+		}
+		n *= d
+	}
+	return n
+}
+
+// Shape returns a copy of the tensor's shape.
+func (t *Tensor) Shape() []int { return append([]int(nil), t.shape...) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// NumDims returns the number of dimensions.
+func (t *Tensor) NumDims() int { return len(t.shape) }
+
+// Size returns the total number of elements.
+func (t *Tensor) Size() int { return len(t.Data) }
+
+// SameShape reports whether t and o have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.shape) != len(o.shape) {
+		return false
+	}
+	for i, d := range t.shape {
+		if o.shape[i] != d {
+			return false
+		}
+	}
+	return true
+}
+
+// Offset returns the flat index of the element at the given coordinates.
+func (t *Tensor) Offset(idx ...int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: Offset got %d indices for %d dims", len(idx), len(t.shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %d out of range for dim %d (size %d)", x, i, t.shape[i]))
+		}
+		off = off*t.shape[i] + x
+	}
+	return off
+}
+
+// At returns the element at the given coordinates.
+func (t *Tensor) At(idx ...int) float32 { return t.Data[t.Offset(idx...)] }
+
+// Set stores v at the given coordinates.
+func (t *Tensor) Set(v float32, idx ...int) { t.Data[t.Offset(idx...)] = v }
+
+// Clone returns a deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// CopyFrom copies o's data into t. The shapes must match in element count.
+func (t *Tensor) CopyFrom(o *Tensor) {
+	if len(t.Data) != len(o.Data) {
+		panic("tensor: CopyFrom size mismatch")
+	}
+	copy(t.Data, o.Data)
+}
+
+// Reshape returns a view sharing t's data with a new shape.
+// It panics if the element counts differ.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := checkShape(shape)
+	if n != len(t.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elements) to %v (%d elements)", t.shape, len(t.Data), shape, n))
+	}
+	return &Tensor{shape: append([]int(nil), shape...), Data: t.Data}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// String renders a compact description (shape and a few leading values);
+// it is intended for debugging and error messages, not serialization.
+func (t *Tensor) String() string {
+	k := len(t.Data)
+	if k > 8 {
+		k = 8
+	}
+	return fmt.Sprintf("Tensor%v%v…", t.shape, t.Data[:k])
+}
+
+// HasNaN reports whether any element is NaN or ±Inf. Trainers use this as a
+// failure-injection guard: a diverged run is reported instead of silently
+// producing garbage accuracy.
+func (t *Tensor) HasNaN() bool {
+	for _, v := range t.Data {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,155 @@
+// Package testutil provides shared test helpers, most importantly a
+// finite-difference gradient checker for the temporally-unrolled layer
+// protocol. It lives outside the test files so the layers, snn and models
+// packages can all reuse it.
+package testutil
+
+import (
+	"math"
+	"testing"
+
+	"ndsnn/internal/layers"
+	"ndsnn/internal/rng"
+	"ndsnn/internal/tensor"
+)
+
+// GradCheckConfig controls a gradient check.
+type GradCheckConfig struct {
+	// InShape is the input tensor shape (including batch dimension).
+	InShape []int
+	// Timesteps is the number of Forward/Backward steps (BPTT depth).
+	Timesteps int
+	// Eps is the finite-difference step (default 1e-2).
+	Eps float64
+	// Tol is the max allowed |analytic-numeric| / max(1, |numeric|)
+	// (default 2e-2; float32 arithmetic is noisy).
+	Tol float64
+	// MaxChecksPerTensor bounds how many elements are probed per tensor
+	// (default 24).
+	MaxChecksPerTensor int
+	// Seed seeds input/coefficient generation.
+	Seed uint64
+	// SkipInputs disables the input-gradient check (e.g. for layers whose
+	// input gradient is intentionally approximate).
+	SkipInputs bool
+}
+
+func (c *GradCheckConfig) fill() {
+	if c.Eps == 0 {
+		c.Eps = 1e-2
+	}
+	if c.Tol == 0 {
+		c.Tol = 2e-2
+	}
+	if c.MaxChecksPerTensor == 0 {
+		c.MaxChecksPerTensor = 24
+	}
+	if c.Timesteps == 0 {
+		c.Timesteps = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 12345
+	}
+}
+
+// GradCheck validates a layer's Backward against central finite differences
+// of a linear probe loss L = Σ_t <c_t, layer.Forward(x_t)>. It checks both
+// parameter gradients and input gradients.
+func GradCheck(t *testing.T, name string, layer layers.Layer, cfg GradCheckConfig) {
+	t.Helper()
+	cfg.fill()
+	r := rng.New(cfg.Seed)
+
+	xs := make([]*tensor.Tensor, cfg.Timesteps)
+	for i := range xs {
+		xs[i] = tensor.New(cfg.InShape...)
+		for j := range xs[i].Data {
+			xs[i].Data[j] = r.NormFloat32()
+		}
+	}
+
+	// Dry run to discover output shapes, then build probe coefficients.
+	layer.Reset()
+	var outShapes [][]int
+	for _, x := range xs {
+		out := layer.Forward(x.Clone(), false)
+		outShapes = append(outShapes, out.Shape())
+	}
+	layer.Reset()
+	cs := make([]*tensor.Tensor, cfg.Timesteps)
+	for i := range cs {
+		cs[i] = tensor.New(outShapes[i]...)
+		for j := range cs[i].Data {
+			cs[i].Data[j] = r.NormFloat32()
+		}
+	}
+
+	lossOf := func() float64 {
+		layer.Reset()
+		total := 0.0
+		for ti, x := range xs {
+			out := layer.Forward(x.Clone(), true)
+			for j, v := range out.Data {
+				total += float64(cs[ti].Data[j]) * float64(v)
+			}
+		}
+		layer.Reset()
+		return total
+	}
+
+	// Analytic pass.
+	layer.Reset()
+	for _, p := range layer.Params() {
+		p.ZeroGrad()
+	}
+	for _, x := range xs {
+		layer.Forward(x.Clone(), true)
+	}
+	dxs := make([]*tensor.Tensor, cfg.Timesteps)
+	for ti := cfg.Timesteps - 1; ti >= 0; ti-- {
+		dxs[ti] = layer.Backward(cs[ti].Clone())
+	}
+	layer.Reset()
+
+	check := func(kind string, analytic float64, perturb func(delta float32)) {
+		t.Helper()
+		perturb(float32(cfg.Eps))
+		up := lossOf()
+		perturb(float32(-2 * cfg.Eps))
+		down := lossOf()
+		perturb(float32(cfg.Eps))
+		numeric := (up - down) / (2 * cfg.Eps)
+		denom := math.Max(1, math.Abs(numeric))
+		if math.Abs(analytic-numeric)/denom > cfg.Tol {
+			t.Errorf("%s/%s: analytic %v vs numeric %v", name, kind, analytic, numeric)
+		}
+	}
+
+	for _, p := range layer.Params() {
+		idxs := sampleIndices(r, p.W.Size(), cfg.MaxChecksPerTensor)
+		for _, i := range idxs {
+			i := i
+			check(p.Name, float64(p.Grad.Data[i]), func(d float32) { p.W.Data[i] += d })
+		}
+	}
+	if !cfg.SkipInputs {
+		for ti := range xs {
+			idxs := sampleIndices(r, xs[ti].Size(), cfg.MaxChecksPerTensor/2+1)
+			for _, i := range idxs {
+				ti, i := ti, i
+				check("input", float64(dxs[ti].Data[i]), func(d float32) { xs[ti].Data[i] += d })
+			}
+		}
+	}
+}
+
+func sampleIndices(r *rng.RNG, n, maxChecks int) []int {
+	if n <= maxChecks {
+		idxs := make([]int, n)
+		for i := range idxs {
+			idxs[i] = i
+		}
+		return idxs
+	}
+	return r.Choice(n, maxChecks)
+}

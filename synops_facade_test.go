@@ -1,0 +1,43 @@
+package ndsnn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunExperimentSynOpsUnit(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunExperiment("synops", &buf, ExperimentOptions{Scale: "unit"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "synops/sample") {
+		t.Fatalf("synops output:\n%s", out)
+	}
+}
+
+func TestInferenceEngineFacade(t *testing.T) {
+	m, res, err := TrainModel(Config{Method: NDSNN, Arch: "lenet5", Dataset: "cifar10", Sparsity: 0.9, Scale: "unit", Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := m.CompileInference()
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, synOps, denseMACs := eng.EvaluateTest(0)
+	// Engine accuracy must match the training path's evaluation exactly
+	// (same eval-mode semantics).
+	if acc != res.TestAccuracy {
+		t.Fatalf("engine acc %v != training-path acc %v", acc, res.TestAccuracy)
+	}
+	if synOps <= 0 || denseMACs <= 0 || synOps >= denseMACs {
+		t.Fatalf("synops=%v denseMACs=%v", synOps, denseMACs)
+	}
+	img, c, h, w, label := eng.TestSample(0)
+	pred := eng.Classify(img, c, h, w)
+	if pred < 0 || label < 0 || eng.TestLen() == 0 {
+		t.Fatal("sample accessors broken")
+	}
+}
