@@ -12,6 +12,7 @@ import (
 // plus this repository's ablation studies, in presentation order.
 var ExperimentIDs = []string{
 	"fig1", "table1", "table2", "table3", "fig4", "fig5", "memory", "synops",
+	"sparse-gemm",
 	"ablation-grow", "ablation-shape", "ablation-allocation",
 	"ablation-surrogate", "ablation-deltat",
 }
@@ -26,6 +27,7 @@ var ExperimentDescription = map[string]string{
 	"fig5":                "Fig. 5 — normalized training cost of Dense/LTH/NDSNN",
 	"memory":              "Sec. III-D — training/inference memory-footprint model",
 	"synops":              "measured event-driven SynOps vs the Sec. IV-C analytic cost model",
+	"sparse-gemm":         "dense vs CSR training-kernel wall-clock across sparsities (JSON, BENCH_sparse_gemm.json)",
 	"ablation-grow":       "A1 — gradient vs random regrowth",
 	"ablation-shape":      "A2 — cubic vs linear vs step sparsity ramp",
 	"ablation-allocation": "A3 — ERK vs uniform layer allocation",
@@ -144,6 +146,13 @@ func RunExperiment(id string, w io.Writer, opts ExperimentOptions) error {
 		}
 		bench.PrintSynOps(w, r)
 		return nil
+	case "sparse-gemm":
+		iters := 10
+		if opts.Scale == "unit" {
+			iters = 3
+		}
+		rep := bench.RunSparseGEMM([]float64{0.50, 0.90, 0.99}, iters, opts.Seed, progress)
+		return bench.PrintSparseGEMM(w, rep)
 	case "ablation-grow":
 		return runAblation(w, s, opts, bench.RunAblationGrowCriterion)
 	case "ablation-shape":

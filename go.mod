@@ -1,0 +1,3 @@
+module ndsnn
+
+go 1.21

@@ -152,4 +152,7 @@ func globalMagnitudePrune(params []*layers.Param, keep int) {
 		p.Mask.Data[c.idx] = 0
 		p.W.Data[c.idx] = 0
 	}
+	for _, p := range params {
+		p.InvalidateCSR()
+	}
 }

@@ -100,6 +100,7 @@ func trainDST(net *snn.Network, ds *data.Dataset, common train.Common, cfg DSTCo
 		Opt:       sgd,
 		Rng:       r.Split(),
 	}
+	core.ArmSparseCompute(loop, params, grow, cfg.DeltaT, stopStep)
 	loop.Hooks.OnStep = func(step int) {
 		if cfg.DeltaT > 0 && step%cfg.DeltaT == 0 && step < stopStep {
 			rewirer.Apply(step)

@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"ndsnn/internal/rng"
+	"ndsnn/internal/sparse"
+	"ndsnn/internal/tensor"
+)
+
+// Sparse-GEMM microbenchmark: wall-clock of one training step's GEMM trio —
+// forward W·col, backward-data Wᵀ·dy, backward-weight dy·colᵀ (active
+// positions only on the CSR path) — dense vs CSR on a VGG-16-shaped layer,
+// across the sparsity band the Eq. 4 ramp reaches. This is the repository's
+// measured counterpart to the paper's "training FLOPs scale with density"
+// analysis, recorded as BENCH_sparse_gemm.json.
+
+// SparseGEMMCell is one sparsity level's measurement.
+type SparseGEMMCell struct {
+	Sparsity float64 `json:"sparsity"`
+	NNZ      int     `json:"nnz"`
+	// Per-training-step wall-clock (forward + backward-data +
+	// backward-weight), nanoseconds, median of Iters runs.
+	DenseNsPerStep int64   `json:"dense_ns_per_step"`
+	CSRNsPerStep   int64   `json:"csr_ns_per_step"`
+	Speedup        float64 `json:"speedup"`
+	// MaxAbsDiff is the largest |dense−csr| across the forward and
+	// backward-data outputs — the equivalence check riding along with the
+	// timing.
+	MaxAbsDiff float64 `json:"max_abs_diff"`
+}
+
+// SparseGEMMReport is the recorded artifact.
+type SparseGEMMReport struct {
+	Layer      string           `json:"layer"`
+	Rows       int              `json:"rows"`
+	Cols       int              `json:"cols"`
+	Patch      int              `json:"patch"`
+	Iters      int              `json:"iters"`
+	Sparsities []SparseGEMMCell `json:"sparsities"`
+}
+
+// RunSparseGEMM measures dense vs CSR training-step kernels at the given
+// sparsities on a [512, 4608]×[4608, 16] layer (VGG-16 deep stage on a 4×4
+// map), taking the median of iters timed runs per path.
+func RunSparseGEMM(sparsities []float64, iters int, seed uint64, progress Progress) *SparseGEMMReport {
+	const (
+		rows  = 512
+		cols  = 4608
+		patch = 16
+	)
+	rep := &SparseGEMMReport{
+		Layer: "vgg16-conv512 (512 filters × 512·3·3 patch, 4×4 map)",
+		Rows:  rows, Cols: cols, Patch: patch, Iters: iters,
+	}
+	for _, s := range sparsities {
+		r := rng.New(seed + uint64(1000*s))
+		w := tensor.New(rows, cols)
+		mask := tensor.New(rows, cols)
+		for i := range w.Data {
+			if r.Float64() >= s {
+				mask.Data[i] = 1
+				w.Data[i] = r.NormFloat32()
+			}
+		}
+		colT := tensor.New(cols, patch)
+		dy := tensor.New(rows, patch)
+		for i := range colT.Data {
+			colT.Data[i] = r.NormFloat32()
+		}
+		for i := range dy.Data {
+			dy.Data[i] = r.NormFloat32()
+		}
+		c := sparse.EncodeCSRWithMask(w, mask)
+		vals := make([]float32, c.NNZ())
+
+		yD := tensor.New(rows, patch)
+		yC := tensor.New(rows, patch)
+		dcolD := tensor.New(cols, patch)
+		dcolC := tensor.New(cols, patch)
+		dw := tensor.New(rows, cols)
+
+		dense := func() {
+			tensor.MatMulSerialInto(yD, w, colT, false)
+			tensor.MatMulABTSerialInto(dw, dy, colT, true)
+			tensor.MatMulATBSerialInto(dcolD, w, dy, false)
+		}
+		csr := func() {
+			sparse.CSRMatMulSerialInto(yC, c, colT, false)
+			sparse.CSRGradABTSerial(vals, c, dy, colT)
+			sparse.CSRMatMulATBSerialInto(dcolC, c, dy, false)
+		}
+		cell := SparseGEMMCell{
+			Sparsity:       s,
+			NNZ:            c.NNZ(),
+			DenseNsPerStep: medianNs(dense, iters),
+			CSRNsPerStep:   medianNs(csr, iters),
+		}
+		if cell.CSRNsPerStep > 0 {
+			cell.Speedup = float64(cell.DenseNsPerStep) / float64(cell.CSRNsPerStep)
+		}
+		cell.MaxAbsDiff = math.Max(maxAbsDiff32(yD.Data, yC.Data), maxAbsDiff32(dcolD.Data, dcolC.Data))
+		rep.Sparsities = append(rep.Sparsities, cell)
+		report(progress, "sparse-gemm @%.2f: dense=%s csr=%s speedup=%.1fx maxdiff=%.2g",
+			s, time.Duration(cell.DenseNsPerStep), time.Duration(cell.CSRNsPerStep), cell.Speedup, cell.MaxAbsDiff)
+	}
+	return rep
+}
+
+func medianNs(fn func(), iters int) int64 {
+	fn() // warm-up
+	times := make([]int64, 0, iters)
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		fn()
+		times = append(times, time.Since(start).Nanoseconds())
+	}
+	for i := 1; i < len(times); i++ {
+		for j := i; j > 0 && times[j] < times[j-1]; j-- {
+			times[j], times[j-1] = times[j-1], times[j]
+		}
+	}
+	return times[len(times)/2]
+}
+
+func maxAbsDiff32(a, b []float32) float64 {
+	var m float64
+	for i := range a {
+		d := math.Abs(float64(a[i] - b[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// PrintSparseGEMM writes the report as indented JSON (the BENCH artifact
+// format).
+func PrintSparseGEMM(w io.Writer, r *SparseGEMMReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("bench: encode sparse-gemm report: %w", err)
+	}
+	return nil
+}

@@ -71,6 +71,7 @@ func (c *Checkpoint) RestoreInto(params []*layers.Param) error {
 		} else {
 			p.Mask = nil
 		}
+		p.InvalidateCSR()
 	}
 	return nil
 }

@@ -1,0 +1,101 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"ndsnn/internal/core"
+	"ndsnn/internal/layers"
+	"ndsnn/internal/snn"
+	"ndsnn/internal/testutil"
+)
+
+// runNDSNNAtThreshold trains a fresh TinyNet with the CSR path forced on
+// (threshold 1) or off (threshold 0) and returns the outcome plus the
+// trained network. Both runs share seeds, so any divergence means the sparse
+// compute engine changed the training computation.
+func runNDSNNAtThreshold(t *testing.T, threshold float64) (*core.Outcome, *snn.Network) {
+	t.Helper()
+	old := layers.CSRMaxDensity
+	layers.CSRMaxDensity = threshold
+	defer func() { layers.CSRMaxDensity = old }()
+	net := testutil.TinyNet(4, 2, 11)
+	cfg := core.Config{
+		InitialSparsity: 0.5, FinalSparsity: 0.9,
+		DeltaT: 3, DeathRate0: 0.5, DeathRateMin: 0.05,
+		RampFraction: 0.7, StopFraction: 0.9,
+	}
+	out, err := core.TrainNDSNN(net, easyData(), common(3), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, net
+}
+
+// TestCSRTrainingMatchesDenseReference is the rewire-invalidation test: a
+// short NDSNN run (which rewires every ΔT=3 steps) on the CSR compute path
+// must reproduce the dense-path reference run — same losses, same rewire
+// log, same final weights. A stale CSR cache after any drop-and-grow round
+// would diverge within one step.
+func TestCSRTrainingMatchesDenseReference(t *testing.T) {
+	dense, denseNet := runNDSNNAtThreshold(t, 0)
+	csr, csrNet := runNDSNNAtThreshold(t, 1)
+
+	if len(dense.Rewires) == 0 {
+		t.Fatal("reference run recorded no rewires; test exercises nothing")
+	}
+	if len(dense.Rewires) != len(csr.Rewires) {
+		t.Fatalf("rewire rounds: dense %d, csr %d", len(dense.Rewires), len(csr.Rewires))
+	}
+	for i := range dense.Rewires {
+		d, c := dense.Rewires[i], csr.Rewires[i]
+		if d != c {
+			t.Fatalf("rewire round %d differs: dense %+v, csr %+v", i, d, c)
+		}
+	}
+	for e := range dense.History {
+		dl, cl := dense.History[e].Loss, csr.History[e].Loss
+		if math.Abs(dl-cl) > 1e-5 {
+			t.Fatalf("epoch %d loss: dense %v, csr %v", e, dl, cl)
+		}
+	}
+	dp, cp := denseNet.Params(), csrNet.Params()
+	for i := range dp {
+		for j := range dp[i].W.Data {
+			diff := math.Abs(float64(dp[i].W.Data[j] - cp[i].W.Data[j]))
+			if diff > 1e-5 {
+				t.Fatalf("param %s[%d]: dense %v, csr %v", dp[i].Name, j, dp[i].W.Data[j], cp[i].W.Data[j])
+			}
+		}
+		if dp[i].Mask == nil != (cp[i].Mask == nil) {
+			t.Fatalf("param %s mask presence differs", dp[i].Name)
+		}
+		if dp[i].Mask != nil {
+			for j := range dp[i].Mask.Data {
+				if dp[i].Mask.Data[j] != cp[i].Mask.Data[j] {
+					t.Fatalf("param %s mask[%d] differs", dp[i].Name, j)
+				}
+			}
+		}
+	}
+	if math.Abs(dense.TestAcc-csr.TestAcc) > 1e-9 {
+		t.Fatalf("test accuracy: dense %v, csr %v", dense.TestAcc, csr.TestAcc)
+	}
+}
+
+// TestCSRPathEngagesDuringNDSNN guards against the engine silently never
+// activating: at the default threshold, the θᵢ=0.5 initialization already
+// sits at the CSR/dense boundary and the ramp quickly pushes every prunable
+// layer into CSR territory.
+func TestCSRPathEngagesDuringNDSNN(t *testing.T) {
+	_, net := runNDSNNAtThreshold(t, layers.CSRMaxDensity)
+	engaged := 0
+	for _, p := range layers.PrunableParams(net.Params()) {
+		if p.SparseW() != nil {
+			engaged++
+		}
+	}
+	if engaged == 0 {
+		t.Fatal("no prunable parameter ended training on the CSR path")
+	}
+}

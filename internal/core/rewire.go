@@ -133,6 +133,10 @@ func (r *Rewirer) Apply(t int) RewireStats {
 			r.Opt.ClearVelocityAt(p, dropIdx)
 			r.Opt.ClearVelocityAt(p, growIdx)
 		}
+		// The mask topology changed: the layer's cached CSR encoding no
+		// longer matches and must be rebuilt (grown positions would
+		// otherwise be invisible to the sparse kernels).
+		p.InvalidateCSR()
 		stats.Dropped += len(dropIdx)
 		stats.Grown += len(growIdx)
 		stats.ActiveAfter += p.ActiveCount()

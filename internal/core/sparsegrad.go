@@ -1,0 +1,26 @@
+package core
+
+import (
+	"ndsnn/internal/layers"
+	"ndsnn/internal/train"
+)
+
+// ArmSparseCompute attaches the per-batch gradient-mode switch that lets the
+// layers' CSR backward pass skip inactive positions. Weight gradients only
+// feed two consumers: the optimizer, which discards masked positions anyway,
+// and the gradient-growth criterion, which reads magnitudes at *inactive*
+// positions. So every batch may use active-position-only gradients except
+// the ones whose gradients an upcoming GrowByGradient rewire will inspect —
+// those run the dense backward, exactly like RigL's periodic dense gradient
+// evaluation.
+//
+// The switch keys on the same predicate the trainers' OnStep rewire hook
+// uses: a rewire fires after step t when t%deltaT == 0 and t < stopStep.
+func ArmSparseCompute(loop *train.Loop, params []*layers.Param, grow GrowCriterion, deltaT, stopStep int) {
+	loop.Hooks.OnBatchStart = func(step int) {
+		feedsRewire := grow == GrowByGradient && deltaT > 0 && step%deltaT == 0 && step < stopStep
+		for _, p := range params {
+			p.SparseGradOK = !feedsRewire
+		}
+	}
+}

@@ -132,6 +132,7 @@ func TrainNDSNN(net *snn.Network, ds *data.Dataset, common train.Common, cfg Con
 		Rng:       r.Split(),
 	}
 	out := &Outcome{}
+	ArmSparseCompute(loop, params, cfg.Grow, cfg.DeltaT, stopStep)
 	loop.Hooks.OnStep = func(step int) {
 		if cfg.DeltaT > 0 && step%cfg.DeltaT == 0 && step < stopStep {
 			out.Rewires = append(out.Rewires, rewirer.Apply(step))

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"ndsnn/internal/rng"
+	"ndsnn/internal/sparse"
 	"ndsnn/internal/tensor"
 )
 
@@ -52,13 +53,18 @@ func (l *Conv2d) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	ckk := c * l.K * l.K
 	out := tensor.New(b, l.OutC, oh, ow)
 	wmat := l.Weight.W.Reshape(l.OutC, ckk)
+	wcsr := l.Weight.SparseW()
 	tensor.ParallelFor(b, l.OutC*ckk*p, func(lo, hi int) {
 		col := make([]float32, ckk*p)
 		colT := tensor.FromSlice(col, ckk, p)
 		for bi := lo; bi < hi; bi++ {
 			tensor.Im2Col(col, x.Data[bi*c*h*w:(bi+1)*c*h*w], c, h, w, l.K, l.K, l.Stride, l.Pad, oh, ow)
 			yb := tensor.FromSlice(out.Data[bi*l.OutC*p:(bi+1)*l.OutC*p], l.OutC, p)
-			tensor.MatMulSerialInto(yb, wmat, colT, false)
+			if wcsr != nil {
+				sparse.CSRMatMulSerialInto(yb, wcsr, colT, false)
+			} else {
+				tensor.MatMulSerialInto(yb, wmat, colT, false)
+			}
 			if l.Bias != nil {
 				for f := 0; f < l.OutC; f++ {
 					bv := l.Bias.W.Data[f]
@@ -86,6 +92,10 @@ func (l *Conv2d) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	ckk := c * l.K * l.K
 	dx := tensor.New(b, c, h, w)
 	wmat := l.Weight.W.Reshape(l.OutC, ckk)
+	wcsr := l.Weight.SparseW()
+	// dX always rides the CSR path when available; dW does so only when the
+	// trainer has declared active-position-only gradients acceptable.
+	sparseGrad := wcsr != nil && l.Weight.SparseGradOK
 
 	procs := runtime.GOMAXPROCS(0)
 	if procs > b {
@@ -96,6 +106,7 @@ func (l *Conv2d) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	}
 	chunk := (b + procs - 1) / procs
 	dwParts := make([]*tensor.Tensor, 0, procs)
+	valParts := make([][]float32, 0, procs)
 	dbParts := make([][]float32, 0, procs)
 	var wg sync.WaitGroup
 	for lo := 0; lo < b; lo += chunk {
@@ -103,15 +114,22 @@ func (l *Conv2d) Backward(dy *tensor.Tensor) *tensor.Tensor {
 		if hi > b {
 			hi = b
 		}
-		dwLocal := tensor.New(l.OutC, ckk)
-		dwParts = append(dwParts, dwLocal)
+		var dwLocal *tensor.Tensor
+		var valLocal []float32
+		if sparseGrad {
+			valLocal = make([]float32, wcsr.NNZ())
+			valParts = append(valParts, valLocal)
+		} else {
+			dwLocal = tensor.New(l.OutC, ckk)
+			dwParts = append(dwParts, dwLocal)
+		}
 		var dbLocal []float32
 		if l.Bias != nil {
 			dbLocal = make([]float32, l.OutC)
 		}
 		dbParts = append(dbParts, dbLocal)
 		wg.Add(1)
-		go func(lo, hi int, dwLocal *tensor.Tensor, dbLocal []float32) {
+		go func(lo, hi int, dwLocal *tensor.Tensor, valLocal, dbLocal []float32) {
 			defer wg.Done()
 			col := make([]float32, ckk*p)
 			colT := tensor.FromSlice(col, ckk, p)
@@ -120,8 +138,16 @@ func (l *Conv2d) Backward(dy *tensor.Tensor) *tensor.Tensor {
 			for bi := lo; bi < hi; bi++ {
 				tensor.Im2Col(col, x.Data[bi*c*h*w:(bi+1)*c*h*w], c, h, w, l.K, l.K, l.Stride, l.Pad, oh, ow)
 				dyb := tensor.FromSlice(dy.Data[bi*l.OutC*p:(bi+1)*l.OutC*p], l.OutC, p)
-				tensor.MatMulABTSerialInto(dwLocal, dyb, colT, true)
-				tensor.MatMulATBSerialInto(dcolT, wmat, dyb, false)
+				if sparseGrad {
+					sparse.CSRGradABTSerial(valLocal, wcsr, dyb, colT)
+				} else {
+					tensor.MatMulABTSerialInto(dwLocal, dyb, colT, true)
+				}
+				if wcsr != nil {
+					sparse.CSRMatMulATBSerialInto(dcolT, wcsr, dyb, false)
+				} else {
+					tensor.MatMulATBSerialInto(dcolT, wmat, dyb, false)
+				}
 				tensor.Col2Im(dx.Data[bi*c*h*w:(bi+1)*c*h*w], dcol, c, h, w, l.K, l.K, l.Stride, l.Pad, oh, ow)
 				if dbLocal != nil {
 					for f := 0; f < l.OutC; f++ {
@@ -133,12 +159,15 @@ func (l *Conv2d) Backward(dy *tensor.Tensor) *tensor.Tensor {
 					}
 				}
 			}
-		}(lo, hi, dwLocal, dbLocal)
+		}(lo, hi, dwLocal, valLocal, dbLocal)
 	}
 	wg.Wait()
 	gw := l.Weight.Grad.Reshape(l.OutC, ckk)
 	for _, part := range dwParts {
 		gw.AddInPlace(part)
+	}
+	for _, part := range valParts {
+		sparse.AddValsInto(gw, wcsr, part)
 	}
 	if l.Bias != nil {
 		for _, part := range dbParts {

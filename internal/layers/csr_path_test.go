@@ -1,0 +1,187 @@
+package layers_test
+
+import (
+	"math"
+	"testing"
+
+	"ndsnn/internal/layers"
+	"ndsnn/internal/rng"
+	"ndsnn/internal/sparse"
+	"ndsnn/internal/tensor"
+)
+
+// withCSRDensity runs fn with layers.CSRMaxDensity forced to d and restores
+// the previous threshold afterwards. The cached per-param decision must be
+// dropped by the caller (InvalidateCSR) when flipping thresholds on a live
+// parameter.
+func withCSRDensity(d float64, fn func()) {
+	old := layers.CSRMaxDensity
+	layers.CSRMaxDensity = d
+	defer func() { layers.CSRMaxDensity = old }()
+	fn()
+}
+
+func maskParam(p *layers.Param, density float64, r *rng.RNG) {
+	p.Mask = sparse.RandomMask(p.W.Shape(), density, r)
+	p.ApplyMask()
+}
+
+func randInput(r *rng.RNG, shape ...int) *tensor.Tensor {
+	x := tensor.New(shape...)
+	for i := range x.Data {
+		x.Data[i] = r.NormFloat32()
+	}
+	return x
+}
+
+func maxDiff(a, b *tensor.Tensor) float64 {
+	var m float64
+	for i := range a.Data {
+		d := math.Abs(float64(a.Data[i] - b.Data[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// runLayer pushes x through one forward+backward and returns (y, dx, grad).
+func runLayer(l layers.Layer, p *layers.Param, x, dy *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor, *tensor.Tensor) {
+	p.ZeroGrad()
+	y := l.Forward(x.Clone(), true)
+	dx := l.Backward(dy.Clone())
+	return y, dx, p.Grad.Clone()
+}
+
+func TestConv2dCSRPathMatchesDense(t *testing.T) {
+	for _, density := range []float64{0.02, 0.1, 0.4} {
+		r := rng.New(31)
+		l := layers.NewConv2d("c", 4, 8, 3, 1, 1, true, r)
+		maskParam(l.Weight, density, r)
+		x := randInput(r, 2, 4, 6, 6)
+		dy := randInput(r, 2, 8, 6, 6)
+
+		var yD, dxD, gD, yS, dxS, gS *tensor.Tensor
+		withCSRDensity(0, func() { yD, dxD, gD = runLayer(l, l.Weight, x, dy) })
+		l.Weight.InvalidateCSR()
+		withCSRDensity(1, func() {
+			if l.Weight.SparseW() == nil {
+				t.Fatal("CSR path not engaged")
+			}
+			yS, dxS, gS = runLayer(l, l.Weight, x, dy)
+		})
+		l.Weight.InvalidateCSR()
+
+		if d := maxDiff(yD, yS); d > 1e-5 {
+			t.Fatalf("density %v: forward differs by %v", density, d)
+		}
+		if d := maxDiff(dxD, dxS); d > 1e-5 {
+			t.Fatalf("density %v: dx differs by %v", density, d)
+		}
+		// SparseGradOK is false, so gradients must match densely.
+		if d := maxDiff(gD, gS); d > 1e-5 {
+			t.Fatalf("density %v: dense grad differs by %v", density, d)
+		}
+
+		// With SparseGradOK, gradients must match at active positions and be
+		// zero at inactive ones.
+		l.Weight.SparseGradOK = true
+		withCSRDensity(1, func() { _, _, gS = runLayer(l, l.Weight, x, dy) })
+		l.Weight.SparseGradOK = false
+		l.Weight.InvalidateCSR()
+		for i, m := range l.Weight.Mask.Data {
+			if m != 0 {
+				if d := math.Abs(float64(gS.Data[i] - gD.Data[i])); d > 1e-5 {
+					t.Fatalf("density %v: sparse grad at active %d differs by %v", density, i, d)
+				}
+			} else if gS.Data[i] != 0 {
+				t.Fatalf("density %v: sparse grad at inactive %d = %v", density, i, gS.Data[i])
+			}
+		}
+	}
+}
+
+func TestLinearCSRPathMatchesDense(t *testing.T) {
+	for _, density := range []float64{0.02, 0.1, 0.4} {
+		r := rng.New(33)
+		l := layers.NewLinear("fc", 40, 12, true, r)
+		maskParam(l.Weight, density, r)
+		x := randInput(r, 5, 40)
+		dy := randInput(r, 5, 12)
+
+		var yD, dxD, gD, yS, dxS, gS *tensor.Tensor
+		withCSRDensity(0, func() { yD, dxD, gD = runLayer(l, l.Weight, x, dy) })
+		l.Weight.InvalidateCSR()
+		withCSRDensity(1, func() {
+			if l.Weight.SparseW() == nil {
+				t.Fatal("CSR path not engaged")
+			}
+			yS, dxS, gS = runLayer(l, l.Weight, x, dy)
+		})
+		l.Weight.InvalidateCSR()
+
+		if d := maxDiff(yD, yS); d > 1e-5 {
+			t.Fatalf("density %v: forward differs by %v", density, d)
+		}
+		if d := maxDiff(dxD, dxS); d > 1e-5 {
+			t.Fatalf("density %v: dx differs by %v", density, d)
+		}
+		if d := maxDiff(gD, gS); d > 1e-5 {
+			t.Fatalf("density %v: dense grad differs by %v", density, d)
+		}
+
+		l.Weight.SparseGradOK = true
+		withCSRDensity(1, func() { _, _, gS = runLayer(l, l.Weight, x, dy) })
+		l.Weight.SparseGradOK = false
+		l.Weight.InvalidateCSR()
+		for i, m := range l.Weight.Mask.Data {
+			if m != 0 {
+				if d := math.Abs(float64(gS.Data[i] - gD.Data[i])); d > 1e-5 {
+					t.Fatalf("density %v: sparse grad at active %d differs by %v", density, i, d)
+				}
+			} else if gS.Data[i] != 0 {
+				t.Fatalf("density %v: sparse grad at inactive %d = %v", density, i, gS.Data[i])
+			}
+		}
+	}
+}
+
+// TestCSRCacheInvalidationOnMaskChange simulates a drop-and-grow round by
+// hand: grow a previously-inactive weight, invalidate, and check the CSR
+// forward sees it. Without invalidation the grown weight would be invisible
+// to the cached pattern.
+func TestCSRCacheInvalidationOnMaskChange(t *testing.T) {
+	r := rng.New(35)
+	l := layers.NewLinear("fc", 20, 6, false, r)
+	maskParam(l.Weight, 0.2, r)
+	x := randInput(r, 3, 20)
+
+	withCSRDensity(1, func() {
+		_ = l.Forward(x.Clone(), false) // builds the cache
+		// Grow one inactive position and give it a non-zero value (as an
+		// optimizer step after a rewire would).
+		grown := -1
+		for i, m := range l.Weight.Mask.Data {
+			if m == 0 {
+				grown = i
+				break
+			}
+		}
+		if grown < 0 {
+			t.Fatal("no inactive position to grow")
+		}
+		l.Weight.Mask.Data[grown] = 1
+		l.Weight.W.Data[grown] = 2.5
+		l.Weight.InvalidateCSR()
+
+		yS := l.Forward(x.Clone(), false)
+		var yD *tensor.Tensor
+		layers.CSRMaxDensity = 0
+		l.Weight.InvalidateCSR()
+		yD = l.Forward(x.Clone(), false)
+		if d := maxDiff(yD, yS); d > 1e-5 {
+			t.Fatalf("post-grow forward differs by %v (stale CSR cache?)", d)
+		}
+	})
+	l.Weight.InvalidateCSR()
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ndsnn/internal/rng"
+	"ndsnn/internal/sparse"
 	"ndsnn/internal/tensor"
 )
 
@@ -36,7 +37,13 @@ func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.NumDims() != 2 || x.Dim(1) != l.In {
 		panic(fmt.Sprintf("layers: %s expects [B,%d] input, got %v", l.Weight.Name, l.In, x.Shape()))
 	}
-	out := tensor.MatMulABT(x, l.Weight.W)
+	var out *tensor.Tensor
+	if wcsr := l.Weight.SparseW(); wcsr != nil {
+		out = tensor.New(x.Dim(0), l.Out)
+		sparse.MatMulDenseCSRTInto(out, x, wcsr, false)
+	} else {
+		out = tensor.MatMulABT(x, l.Weight.W)
+	}
 	if l.Bias != nil {
 		b := x.Dim(0)
 		for bi := 0; bi < b; bi++ {
@@ -55,7 +62,14 @@ func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // Backward accumulates dW += dyᵀ·x and db += Σ_b dy, and returns dx = dy·W.
 func (l *Linear) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	x := l.xs.pop()
-	tensor.MatMulATBInto(l.Weight.Grad, dy, x, true)
+	wcsr := l.Weight.SparseW()
+	if wcsr != nil && l.Weight.SparseGradOK {
+		vals := make([]float32, wcsr.NNZ())
+		sparse.CSRGradATBInto(vals, wcsr, dy, x)
+		sparse.AddValsInto(l.Weight.Grad, wcsr, vals)
+	} else {
+		tensor.MatMulATBInto(l.Weight.Grad, dy, x, true)
+	}
 	if l.Bias != nil {
 		b := dy.Dim(0)
 		for bi := 0; bi < b; bi++ {
@@ -64,6 +78,11 @@ func (l *Linear) Backward(dy *tensor.Tensor) *tensor.Tensor {
 				l.Bias.Grad.Data[j] += v
 			}
 		}
+	}
+	if wcsr != nil {
+		dx := tensor.New(dy.Dim(0), l.In)
+		sparse.MatMulDenseCSRInto(dx, dy, wcsr, false)
+		return dx
 	}
 	return tensor.MatMul(dy, l.Weight.W)
 }

@@ -3,6 +3,7 @@ package layers
 import (
 	"fmt"
 
+	"ndsnn/internal/sparse"
 	"ndsnn/internal/tensor"
 )
 
@@ -30,17 +31,31 @@ type Param struct {
 	// biases or normalization affines (matching the reference
 	// implementations of SET/RigL/NDSNN).
 	NoPrune bool
+	// SparseGradOK permits backward passes to compute this parameter's
+	// weight gradient only at active (mask=1) positions. The trainers flip
+	// it off for batches whose gradients feed a gradient-growth rewire
+	// decision, which needs magnitudes at inactive positions too. It is
+	// false by default so gradient checks and baselines stay exact.
+	SparseGradOK bool
+
+	// csr caches the CSR encoding of W managed by SparseW/InvalidateCSR;
+	// csrDensity caches the mask's live-weight density for the threshold
+	// check (-1 = not measured since the last invalidation).
+	csr        *sparse.CSR
+	csrDensity float64
 }
 
 // NewParam allocates a parameter with a zero gradient.
 func NewParam(name string, w *tensor.Tensor) *Param {
-	return &Param{Name: name, W: w, Grad: tensor.New(w.Shape()...)}
+	return &Param{Name: name, W: w, Grad: tensor.New(w.Shape()...), csrDensity: -1}
 }
 
 // ZeroGrad clears the accumulated gradient.
 func (p *Param) ZeroGrad() { p.Grad.Zero() }
 
 // ApplyMask zeroes W wherever Mask is zero. It is a no-op for dense params.
+// Callers reach for it right after changing the mask, so it also drops the
+// cached CSR encoding.
 func (p *Param) ApplyMask() {
 	if p.Mask == nil {
 		return
@@ -50,6 +65,7 @@ func (p *Param) ApplyMask() {
 			p.W.Data[i] = 0
 		}
 	}
+	p.InvalidateCSR()
 }
 
 // ActiveCount returns the number of active (mask=1) weights, or the total

@@ -1,0 +1,65 @@
+package layers
+
+import "ndsnn/internal/sparse"
+
+// Sparse compute engine: masked parameters cache a CSR encoding of their
+// weight matrix so Conv2d/Linear can run sparsity-proportional kernels
+// instead of dense GEMM. The cache has two freshness levels:
+//
+//   - Pattern: the CSR topology equals the mask. It is invalidated explicitly
+//     (InvalidateCSR) whenever the mask changes — drop-and-grow rewires, mask
+//     initialization, LTH pruning, checkpoint restores, ApplyMask.
+//   - Values: weight values drift every optimizer step, so SparseW re-gathers
+//     them into the cached pattern on every call. The gather is O(nnz) and
+//     disappears next to the O(nnz·columns) GEMM it feeds.
+//
+// Grown-at-zero weights are part of the pattern (EncodeCSRWithMask keys on
+// the mask, not the value), so a freshly rewired layer computes through the
+// same positions the mask declares live.
+
+// CSRMaxDensity is the live-weight density above which layers stay on the
+// dense GEMM path: around 50% density the per-nonzero index overhead of CSR
+// outweighs the skipped work. It is a variable so tests can force either
+// path (0 disables CSR, 1 enables it at any density); the threshold is
+// consulted on every SparseW call, so changing it affects live parameters
+// without an explicit invalidation.
+var CSRMaxDensity = 0.5
+
+// SparseW returns the cached CSR encoding of the parameter's weight matrix
+// (reshaped to [Dim(0), Size/Dim(0)] — one row per output unit/filter), with
+// values freshly gathered from W. It returns nil when the parameter is
+// unmasked or too dense for CSR to win; callers fall back to dense GEMM.
+//
+// Not safe for concurrent use: layers call it once per Forward/Backward
+// before fanning out across the batch.
+func (p *Param) SparseW() *sparse.CSR {
+	if p.Mask == nil {
+		return nil
+	}
+	if p.csrDensity < 0 {
+		// Count actives once per topology; the pattern is fixed until the
+		// next invalidation, so the density is too.
+		p.csrDensity = float64(p.ActiveCount()) / float64(p.W.Size())
+	}
+	// Compared on every call (O(1)) so flipping CSRMaxDensity takes effect
+	// immediately on live parameters.
+	if p.csrDensity > CSRMaxDensity {
+		return nil
+	}
+	if p.csr != nil {
+		p.csr.GatherValues(p.W)
+		return p.csr
+	}
+	rows := p.W.Dim(0)
+	cols := p.W.Size() / rows
+	p.csr = sparse.EncodeCSRWithMask(p.W.Reshape(rows, cols), p.Mask.Reshape(rows, cols))
+	return p.csr
+}
+
+// InvalidateCSR drops the cached CSR encoding and density. Call after any
+// change to the mask topology; value-only changes (optimizer steps, weight
+// rewinds) do not need it because SparseW re-gathers values on every call.
+func (p *Param) InvalidateCSR() {
+	p.csr = nil
+	p.csrDensity = -1
+}

@@ -15,7 +15,9 @@ type CSR struct {
 	Val    []float32
 }
 
-// EncodeCSR converts a 2-D tensor to CSR, keeping exact non-zeros.
+// EncodeCSR converts a 2-D tensor to CSR, keeping exact non-zeros. Note that
+// this drops active-but-exactly-zero weights (e.g. freshly grown connections);
+// use EncodeCSRWithMask when the mask topology must survive the encoding.
 func EncodeCSR(w *tensor.Tensor) *CSR {
 	if w.NumDims() != 2 {
 		panic("sparse: EncodeCSR requires a 2-D tensor (reshape conv weights first)")
@@ -33,6 +35,49 @@ func EncodeCSR(w *tensor.Tensor) *CSR {
 		c.RowPtr[r+1] = int32(len(c.Val))
 	}
 	return c
+}
+
+// EncodeCSRWithMask converts a 2-D tensor to CSR keyed on a 0/1 mask of the
+// same shape: every mask=1 position is stored, including positions whose
+// value is exactly zero (drop-and-grow regrows connections at zero, and they
+// must stay addressable so later weight updates land in the encoding). The
+// resulting sparsity pattern equals the mask topology exactly.
+func EncodeCSRWithMask(w, mask *tensor.Tensor) *CSR {
+	if w.NumDims() != 2 || mask.NumDims() != 2 {
+		panic("sparse: EncodeCSRWithMask requires 2-D tensors (reshape conv weights first)")
+	}
+	rows, cols := w.Dim(0), w.Dim(1)
+	if mask.Dim(0) != rows || mask.Dim(1) != cols {
+		panic("sparse: EncodeCSRWithMask mask shape mismatch")
+	}
+	c := &CSR{Rows: rows, Cols: cols, RowPtr: make([]int32, rows+1)}
+	for r := 0; r < rows; r++ {
+		for j := 0; j < cols; j++ {
+			if mask.Data[r*cols+j] != 0 {
+				c.ColIdx = append(c.ColIdx, int32(j))
+				c.Val = append(c.Val, w.Data[r*cols+j])
+			}
+		}
+		c.RowPtr[r+1] = int32(len(c.Val))
+	}
+	return c
+}
+
+// GatherValues refreshes Val in place from a dense tensor with Rows·Cols
+// elements, keeping the sparsity pattern fixed. This is the cheap O(nnz)
+// re-encode used between rewire events, when optimizer steps change weight
+// values but not the mask topology.
+func (c *CSR) GatherValues(w *tensor.Tensor) {
+	if w.Size() != c.Rows*c.Cols {
+		panic("sparse: GatherValues size mismatch")
+	}
+	wd := w.Data
+	for r := 0; r < c.Rows; r++ {
+		base := r * c.Cols
+		for p := c.RowPtr[r]; p < c.RowPtr[r+1]; p++ {
+			c.Val[p] = wd[base+int(c.ColIdx[p])]
+		}
+	}
 }
 
 // Decode reconstructs the dense 2-D tensor.

@@ -1,0 +1,112 @@
+package tensor_test
+
+// Dense-vs-CSR kernel benchmarks on a VGG-16-shaped layer: 512 filters over
+// 512×3×3 patches ([512, 4608] weights) on a 4×4 deep-stage feature map.
+// "Train" measures the per-sample GEMM trio one training step runs — forward
+// (W·col), backward-data (Wᵀ·dy) and backward-weight (dy·colᵀ, restricted to
+// active positions on the CSR path) — which is where the paper's "training
+// FLOPs ∝ density" claim must show up as wall-clock.
+//
+// This file is an external test package: the CSR kernels live in
+// internal/sparse, which imports tensor, so an in-package benchmark would be
+// an import cycle.
+
+import (
+	"fmt"
+	"testing"
+
+	"ndsnn/internal/rng"
+	"ndsnn/internal/sparse"
+	"ndsnn/internal/tensor"
+)
+
+const (
+	vggRows  = 512  // filters
+	vggCols  = 4608 // 512·3·3 patch
+	vggPatch = 16   // 4×4 feature map
+)
+
+var benchSparsities = []float64{0.50, 0.90, 0.99}
+
+type gemmOperands struct {
+	w     *tensor.Tensor // [rows, cols] masked weights
+	csr   *sparse.CSR
+	colT  *tensor.Tensor // [cols, patch] im2col columns
+	dy    *tensor.Tensor // [rows, patch] output gradient
+	y     *tensor.Tensor // [rows, patch]
+	dcolT *tensor.Tensor // [cols, patch]
+	dw    *tensor.Tensor // [rows, cols]
+	vals  []float32
+}
+
+func makeOperands(sparsity float64) *gemmOperands {
+	r := rng.New(uint64(1000 * (1 + sparsity)))
+	o := &gemmOperands{
+		w:     tensor.New(vggRows, vggCols),
+		colT:  tensor.New(vggCols, vggPatch),
+		dy:    tensor.New(vggRows, vggPatch),
+		y:     tensor.New(vggRows, vggPatch),
+		dcolT: tensor.New(vggCols, vggPatch),
+		dw:    tensor.New(vggRows, vggCols),
+	}
+	mask := tensor.New(vggRows, vggCols)
+	for i := range o.w.Data {
+		if r.Float64() >= sparsity {
+			mask.Data[i] = 1
+			o.w.Data[i] = r.NormFloat32()
+		}
+	}
+	for i := range o.colT.Data {
+		o.colT.Data[i] = r.NormFloat32()
+	}
+	for i := range o.dy.Data {
+		o.dy.Data[i] = r.NormFloat32()
+	}
+	o.csr = sparse.EncodeCSRWithMask(o.w, mask)
+	o.vals = make([]float32, o.csr.NNZ())
+	return o
+}
+
+func (o *gemmOperands) denseTrainStep() {
+	tensor.MatMulSerialInto(o.y, o.w, o.colT, false)
+	tensor.MatMulABTSerialInto(o.dw, o.dy, o.colT, true)
+	tensor.MatMulATBSerialInto(o.dcolT, o.w, o.dy, false)
+}
+
+func (o *gemmOperands) csrTrainStep() {
+	sparse.CSRMatMulSerialInto(o.y, o.csr, o.colT, false)
+	sparse.CSRGradABTSerial(o.vals, o.csr, o.dy, o.colT)
+	sparse.CSRMatMulATBSerialInto(o.dcolT, o.csr, o.dy, false)
+}
+
+func BenchmarkSparseGEMMForward(b *testing.B) {
+	for _, s := range benchSparsities {
+		o := makeOperands(s)
+		b.Run(fmt.Sprintf("dense/%02.0f", 100*s), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tensor.MatMulSerialInto(o.y, o.w, o.colT, false)
+			}
+		})
+		b.Run(fmt.Sprintf("csr/%02.0f", 100*s), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sparse.CSRMatMulSerialInto(o.y, o.csr, o.colT, false)
+			}
+		})
+	}
+}
+
+func BenchmarkSparseGEMMTrainStep(b *testing.B) {
+	for _, s := range benchSparsities {
+		o := makeOperands(s)
+		b.Run(fmt.Sprintf("dense/%02.0f", 100*s), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				o.denseTrainStep()
+			}
+		})
+		b.Run(fmt.Sprintf("csr/%02.0f", 100*s), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				o.csrTrainStep()
+			}
+		})
+	}
+}

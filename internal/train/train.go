@@ -29,6 +29,11 @@ type EpochStats struct {
 
 // Hooks are optional callbacks invoked by the loop.
 type Hooks struct {
+	// OnBatchStart runs before each batch's forward pass with the step index
+	// that batch will become (Step()+1). Sparse trainers use it to decide,
+	// per batch, whether the backward pass may restrict weight gradients to
+	// active positions or must stay dense for an upcoming growth decision.
+	OnBatchStart func(step int)
 	// OnGradsReady runs after backprop but before the optimizer step, so a
 	// method can add regularizer gradients (ADMM's ρ(W−Z+U) term).
 	OnGradsReady func(step int)
@@ -102,6 +107,9 @@ func (l *Loop) RunEpoch(epoch int) (EpochStats, error) {
 	correct, seen := 0, 0
 	params := l.Net.Params()
 	for _, idxs := range batches {
+		if l.Hooks.OnBatchStart != nil {
+			l.Hooks.OnBatchStart(l.step + 1)
+		}
 		x, labels := l.Dataset.Batch(&l.Dataset.Train, idxs)
 		outs := l.Net.Forward(x, true)
 		batchLoss, grads := loss.CrossEntropyRate(outs, labels)

@@ -2,6 +2,7 @@ package ndsnn
 
 import (
 	"bytes"
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -176,6 +177,38 @@ func TestRunExperimentFig1Unit(t *testing.T) {
 	}
 	if progressLines != 3 {
 		t.Fatalf("progress lines = %d, want 3", progressLines)
+	}
+}
+
+func TestRunExperimentSparseGEMM(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunExperiment("sparse-gemm", &buf, ExperimentOptions{Scale: "unit"}); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Sparsities []struct {
+			Sparsity   float64 `json:"sparsity"`
+			Speedup    float64 `json:"speedup"`
+			MaxAbsDiff float64 `json:"max_abs_diff"`
+		} `json:"sparsities"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("sparse-gemm output is not JSON: %v", err)
+	}
+	if len(rep.Sparsities) != 3 {
+		t.Fatalf("sparse-gemm cells = %d, want 3", len(rep.Sparsities))
+	}
+	for _, c := range rep.Sparsities {
+		if c.MaxAbsDiff > 1e-5 {
+			t.Fatalf("sparsity %v: CSR and dense outputs differ by %v", c.Sparsity, c.MaxAbsDiff)
+		}
+	}
+	// Wall-clock on shared CI runners is noisy, so the timing assertion only
+	// catches a broken engine: at 99% sparsity the expected margin is ~30x,
+	// and CSR landing at less than half dense speed cannot be scheduler
+	// jitter.
+	if last := rep.Sparsities[len(rep.Sparsities)-1]; last.Speedup < 0.5 {
+		t.Fatalf("sparse-gemm @%v: CSR at %.2fx of dense, engine off", last.Sparsity, last.Speedup)
 	}
 }
 
