@@ -12,7 +12,7 @@ import (
 // plus this repository's ablation studies, in presentation order.
 var ExperimentIDs = []string{
 	"fig1", "table1", "table2", "table3", "fig4", "fig5", "memory", "synops",
-	"sparse-gemm",
+	"sparse-gemm", "event-driven",
 	"ablation-grow", "ablation-shape", "ablation-allocation",
 	"ablation-surrogate", "ablation-deltat",
 }
@@ -28,6 +28,7 @@ var ExperimentDescription = map[string]string{
 	"memory":              "Sec. III-D — training/inference memory-footprint model",
 	"synops":              "measured event-driven SynOps vs the Sec. IV-C analytic cost model",
 	"sparse-gemm":         "dense vs CSR training-kernel wall-clock across sparsities (JSON, BENCH_sparse_gemm.json)",
+	"event-driven":        "dual-sparse forward: dense vs CSR vs event-driven vs batched-timestep across spike rates (JSON, BENCH_event_driven.json)",
 	"ablation-grow":       "A1 — gradient vs random regrowth",
 	"ablation-shape":      "A2 — cubic vs linear vs step sparsity ramp",
 	"ablation-allocation": "A3 — ERK vs uniform layer allocation",
@@ -153,6 +154,17 @@ func RunExperiment(id string, w io.Writer, opts ExperimentOptions) error {
 		}
 		rep := bench.RunSparseGEMM([]float64{0.50, 0.90, 0.99}, iters, opts.Seed, progress)
 		return bench.PrintSparseGEMM(w, rep)
+	case "event-driven":
+		iters := 10
+		rates := []float64{0.05, 0.10, 0.15}
+		sparsities := []float64{0.50, 0.90, 0.99}
+		if opts.Scale == "unit" {
+			iters = 3
+			rates = []float64{0.10}
+			sparsities = []float64{0.90}
+		}
+		rep := bench.RunEventDriven(rates, sparsities, iters, 5, opts.Seed, progress)
+		return bench.PrintEventDriven(w, rep)
 	case "ablation-grow":
 		return runAblation(w, s, opts, bench.RunAblationGrowCriterion)
 	case "ablation-shape":

@@ -1,0 +1,226 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"ndsnn/internal/layers"
+	"ndsnn/internal/rng"
+	"ndsnn/internal/snn"
+	"ndsnn/internal/sparse"
+	"ndsnn/internal/tensor"
+)
+
+// Event-driven forward benchmark: the measured counterpart of the dual-
+// sparsity argument. PR 1's sparse-gemm benchmark showed forward cost
+// scaling with weight density; this one shows it additionally scaling with
+// spike occupancy — dense vs weight-only CSR vs the event-driven kernel vs
+// the batched-timestep kernel, on the same VGG-16-shaped layer, across
+// realistic SNN firing rates. Recorded as BENCH_event_driven.json.
+
+// EventDrivenCell is one (spike rate, weight sparsity) measurement.
+type EventDrivenCell struct {
+	SpikeRate      float64 `json:"spike_rate"`
+	WeightSparsity float64 `json:"weight_sparsity"`
+	NNZWeights     int     `json:"nnz_weights"`
+	// SpikeEvents is the number of non-zeros in the im2col spike matrix.
+	SpikeEvents int `json:"spike_events"`
+	// Forward wall-clock per timestep, nanoseconds, median of Iters runs.
+	DenseNs int64 `json:"dense_ns"`
+	// CSRNs is PR 1's weight-only CSR forward.
+	CSRNs int64 `json:"csr_ns"`
+	// EventNs is the dual-sparse event-driven forward.
+	EventNs int64 `json:"event_ns"`
+	// BatchedNs is the per-timestep cost of the batched-timestep kernel
+	// (one row-pointer traversal for all Timesteps passes).
+	BatchedNs int64 `json:"batched_ns"`
+	// SpeedupVsCSR is the headline dual-sparsity gain: event-driven over
+	// weight-only CSR. SpeedupVsDense compounds both sparsities.
+	SpeedupVsCSR   float64 `json:"speedup_vs_csr"`
+	SpeedupVsDense float64 `json:"speedup_vs_dense"`
+	BatchedVsEvent float64 `json:"batched_vs_event"`
+	// MaxAbsDiff is the largest |dense−event| over the forward outputs,
+	// including the batched path — the equivalence check riding along.
+	MaxAbsDiff float64 `json:"max_abs_diff"`
+}
+
+// EventDrivenNetStats is the network-level measured-occupancy rollup: a
+// small conv→LIF stack run through snn.Network with the default gates, so
+// the JSON records what the engine actually skipped, not just kernel
+// microbenchmarks.
+type EventDrivenNetStats struct {
+	// LIFSpikeRate is the firing probability measured by the LIF layers.
+	LIFSpikeRate float64 `json:"lif_spike_rate"`
+	// Occupancy is the spike occupancy measured by the conv event path over
+	// its im2col expansions (what forward work scales with).
+	Occupancy float64 `json:"occupancy"`
+	// EventCoverage is the fraction of sample-timesteps routed through an
+	// event-driven kernel.
+	EventCoverage float64 `json:"event_coverage"`
+	// ColumnOccupancy is the fraction of im2col columns with ≥1 spike.
+	ColumnOccupancy float64 `json:"column_occupancy"`
+}
+
+// EventDrivenReport is the recorded artifact.
+type EventDrivenReport struct {
+	Layer     string `json:"layer"`
+	Rows      int    `json:"rows"`
+	Cols      int    `json:"cols"`
+	Patch     int    `json:"patch"`
+	Timesteps int    `json:"timesteps"`
+	Iters     int    `json:"iters"`
+	// CSRCrossover is the calibrated dense/CSR crossover density for this
+	// layer shape (the adaptive replacement for layers.CSRMaxDensity's 0.5).
+	CSRCrossover float64              `json:"csr_crossover"`
+	Cells        []EventDrivenCell    `json:"cells"`
+	Network      *EventDrivenNetStats `json:"network"`
+}
+
+// RunEventDriven measures dense, weight-only CSR, event-driven and
+// batched-timestep forwards at the given (spikeRate, weightSparsity) grid on
+// a [512, 4608]×[4608, 16] layer (VGG-16 deep stage on a 4×4 map, the same
+// shape as the sparse-gemm benchmark), taking the median of iters timed runs
+// per path, then rolls up measured occupancy from a small spiking network.
+func RunEventDriven(spikeRates, sparsities []float64, iters, timesteps int, seed uint64, progress Progress) *EventDrivenReport {
+	const (
+		rows  = 512
+		cols  = 4608
+		patch = 16
+	)
+	rep := &EventDrivenReport{
+		Layer: "vgg16-conv512 (512 filters × 512·3·3 patch, 4×4 map)",
+		Rows:  rows, Cols: cols, Patch: patch, Timesteps: timesteps, Iters: iters,
+		CSRCrossover: layers.CSRCrossoverDensity(rows, cols, patch),
+	}
+	for _, sp := range sparsities {
+		r := rng.New(seed + uint64(1000*sp))
+		w := tensor.New(rows, cols)
+		mask := tensor.New(rows, cols)
+		for i := range w.Data {
+			if r.Float64() >= sp {
+				mask.Data[i] = 1
+				w.Data[i] = r.NormFloat32()
+			}
+		}
+		c := sparse.EncodeCSRWithMask(w, mask)
+		csc := sparse.NewCSCFromCSR(c)
+		for _, rate := range spikeRates {
+			// One spike raster per timestep: same rate, different patterns,
+			// exactly as T unrolled forward passes would see.
+			bs := make([]*tensor.Tensor, timesteps)
+			evs := make([]*sparse.Events, timesteps)
+			for t := 0; t < timesteps; t++ {
+				b := tensor.New(cols, patch)
+				for i := range b.Data {
+					if r.Float64() < rate {
+						b.Data[i] = 1
+					}
+				}
+				bs[t] = b
+				ev, ok := sparse.EncodeEvents(b)
+				if !ok {
+					panic("bench: spike raster not binary")
+				}
+				evs[t] = ev
+			}
+			yD := tensor.New(rows, patch)
+			yC := tensor.New(rows, patch)
+			yE := tensor.New(rows, patch)
+			yF := tensor.New(rows, timesteps*patch)
+
+			dense := func() { tensor.MatMulSerialInto(yD, w, bs[0], false) }
+			csr := func() { sparse.CSRMatMulSerialInto(yC, c, bs[0], false) }
+			event := func() { sparse.CSCMatMulEventsSerialInto(yE, csc, evs[0], false) }
+			// The batched path pays for the pattern merge inside the timed
+			// region: one weight traversal serves all T timesteps.
+			batched := func() {
+				sparse.CSCMatMulEventsSerialInto(yF, csc, sparse.FuseTimesteps(evs), false)
+			}
+
+			cell := EventDrivenCell{
+				SpikeRate:      rate,
+				WeightSparsity: sp,
+				NNZWeights:     c.NNZ(),
+				SpikeEvents:    evs[0].NNZ(),
+				DenseNs:        medianNs(dense, iters),
+				CSRNs:          medianNs(csr, iters),
+				EventNs:        medianNs(event, iters),
+				BatchedNs:      medianNs(batched, iters) / int64(timesteps),
+			}
+			if cell.EventNs > 0 {
+				cell.SpeedupVsCSR = float64(cell.CSRNs) / float64(cell.EventNs)
+				cell.SpeedupVsDense = float64(cell.DenseNs) / float64(cell.EventNs)
+			}
+			if cell.BatchedNs > 0 {
+				cell.BatchedVsEvent = float64(cell.EventNs) / float64(cell.BatchedNs)
+			}
+			cell.MaxAbsDiff = maxAbsDiff32(yD.Data, yE.Data)
+			// Timestep 0 of the fused output must match the per-timestep
+			// event output exactly.
+			for r := 0; r < rows; r++ {
+				if d := maxAbsDiff32(yE.Data[r*patch:(r+1)*patch], yF.Data[r*timesteps*patch:r*timesteps*patch+patch]); d > cell.MaxAbsDiff {
+					cell.MaxAbsDiff = d
+				}
+			}
+			rep.Cells = append(rep.Cells, cell)
+			report(progress, "event-driven θ=%.2f rate=%.2f: dense=%s csr=%s event=%s batched=%s (event vs csr %.1fx) maxdiff=%.2g",
+				sp, rate, time.Duration(cell.DenseNs), time.Duration(cell.CSRNs),
+				time.Duration(cell.EventNs), time.Duration(cell.BatchedNs), cell.SpeedupVsCSR, cell.MaxAbsDiff)
+		}
+	}
+	rep.Network = measureNetworkOccupancy(seed, timesteps)
+	report(progress, "network rollup: lif-rate=%.3f occupancy=%.3f coverage=%.2f col-occupancy=%.3f",
+		rep.Network.LIFSpikeRate, rep.Network.Occupancy, rep.Network.EventCoverage, rep.Network.ColumnOccupancy)
+	return rep
+}
+
+// measureNetworkOccupancy runs a masked conv→LIF→conv→LIF→linear stack on
+// analog input under the default CSR/event gates and returns the measured
+// event-path statistics.
+func measureNetworkOccupancy(seed uint64, timesteps int) *EventDrivenNetStats {
+	r := rng.New(seed*13 + 5)
+	c1 := layers.NewConv2d("b.c1", 3, 16, 3, 1, 1, false, r)
+	c2 := layers.NewConv2d("b.c2", 16, 16, 3, 1, 1, false, r)
+	fc := layers.NewLinear("b.fc", 16*8*8, 10, false, r)
+	for _, p := range []*layers.Param{c1.Weight, c2.Weight, fc.Weight} {
+		p.Mask = sparse.RandomMask(p.W.Shape(), 0.1, r)
+		p.ApplyMask()
+	}
+	net := &snn.Network{
+		Layers: []layers.Layer{
+			c1, snn.DefaultNeuron().New(),
+			c2, snn.DefaultNeuron().New(),
+			layers.NewFlatten(), fc,
+		},
+		T: timesteps,
+	}
+	x := tensor.New(4, 3, 8, 8)
+	for i := range x.Data {
+		x.Data[i] = r.NormFloat32()
+	}
+	net.Forward(x, false)
+	es := net.EventStats()
+	stats := &EventDrivenNetStats{
+		LIFSpikeRate:    net.SpikeRate(),
+		Occupancy:       es.Occupancy(),
+		EventCoverage:   es.EventCoverage(),
+		ColumnOccupancy: es.ColumnOccupancy(),
+	}
+	for _, p := range []*layers.Param{c1.Weight, c2.Weight, fc.Weight} {
+		p.InvalidateCSR()
+	}
+	return stats
+}
+
+// PrintEventDriven writes the report as indented JSON (the BENCH artifact
+// format).
+func PrintEventDriven(w io.Writer, r *EventDrivenReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("bench: encode event-driven report: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package layers
+
+import (
+	"sync"
+	"time"
+
+	"ndsnn/internal/rng"
+	"ndsnn/internal/sparse"
+	"ndsnn/internal/tensor"
+)
+
+// Adaptive CSRMaxDensity: instead of the hard-coded 0.5 default, measure the
+// density at which the CSR forward kernel actually stops beating dense GEMM
+// on this hardware for a given layer shape. The crossover depends on the
+// relative cost of indexed loads vs contiguous multiply-adds and on how much
+// of the operands fits in cache, so it varies by machine and by shape —
+// measured values on typical x86 are nearer 0.7 than 0.5.
+
+// calibrationCache memoizes measured crossovers per probe shape so a network
+// with many same-shaped layers pays for one probe.
+var calibrationCache struct {
+	sync.Mutex
+	m map[[3]int]float64
+}
+
+// csrProbeIters is the number of timed repetitions per probe point (median
+// taken); small because the probe only needs to rank two kernels, not
+// produce publishable numbers.
+const csrProbeIters = 3
+
+// CSRCrossoverDensity measures the live-weight density at which the CSR
+// forward kernel's wall-clock matches dense GEMM for a [rows,cols]×[cols,
+// patch] product — the calibrated replacement for the CSRMaxDensity default.
+// Oversized shapes are clamped to a cache-friendly proxy (the crossover is a
+// per-element property, so a shrunken probe ranks the kernels the same way
+// at a fraction of the cost), and results are memoized per probe shape. The
+// returned density is clamped to [0.05, 0.95].
+func CSRCrossoverDensity(rows, cols, patch int) float64 {
+	// Clamp to the proxy shape: big enough to escape fixed overheads, small
+	// enough that a full calibration stays in the tens of milliseconds.
+	if rows > 96 {
+		rows = 96
+	}
+	if cols > 768 {
+		cols = 768
+	}
+	if patch > 32 {
+		patch = 32
+	}
+	if patch < 4 {
+		patch = 4
+	}
+	key := [3]int{rows, cols, patch}
+	calibrationCache.Lock()
+	if d, ok := calibrationCache.m[key]; ok {
+		calibrationCache.Unlock()
+		return d
+	}
+	calibrationCache.Unlock()
+
+	d := measureCrossover(rows, cols, patch)
+
+	calibrationCache.Lock()
+	if calibrationCache.m == nil {
+		calibrationCache.m = map[[3]int]float64{}
+	}
+	calibrationCache.m[key] = d
+	calibrationCache.Unlock()
+	return d
+}
+
+func measureCrossover(rows, cols, patch int) float64 {
+	r := rng.New(0x5eed)
+	b := tensor.New(cols, patch)
+	for i := range b.Data {
+		b.Data[i] = r.NormFloat32()
+	}
+	yD := tensor.New(rows, patch)
+	yC := tensor.New(rows, patch)
+	w := tensor.New(rows, cols)
+	mask := tensor.New(rows, cols)
+
+	probes := []float64{0.2, 0.35, 0.5, 0.65, 0.8, 0.95}
+	speedups := make([]float64, len(probes))
+	for i, density := range probes {
+		w.Zero()
+		mask.Zero()
+		for j := range w.Data {
+			if r.Float64() < density {
+				mask.Data[j] = 1
+				w.Data[j] = r.NormFloat32()
+			}
+		}
+		c := sparse.EncodeCSRWithMask(w, mask)
+		dense := medianProbeNs(func() { tensor.MatMulSerialInto(yD, w, b, false) })
+		csr := medianProbeNs(func() { sparse.CSRMatMulSerialInto(yC, c, b, false) })
+		if csr <= 0 {
+			csr = 1
+		}
+		speedups[i] = float64(dense) / float64(csr)
+	}
+	// speedup decreases with density; find where it crosses 1 and linearly
+	// interpolate between the bracketing probes.
+	if speedups[0] < 1 {
+		return 0.05 // CSR never wins at probed densities: keep it nearly off
+	}
+	for i := 1; i < len(probes); i++ {
+		if speedups[i] < 1 {
+			lo, hi := probes[i-1], probes[i]
+			sLo, sHi := speedups[i-1], speedups[i]
+			t := (sLo - 1) / (sLo - sHi)
+			return lo + t*(hi-lo)
+		}
+	}
+	return 0.95 // CSR wins everywhere probed
+}
+
+func medianProbeNs(fn func()) int64 {
+	fn() // warm-up
+	times := make([]int64, 0, csrProbeIters)
+	for i := 0; i < csrProbeIters; i++ {
+		start := time.Now()
+		fn()
+		times = append(times, time.Since(start).Nanoseconds())
+	}
+	for i := 1; i < len(times); i++ {
+		for j := i; j > 0 && times[j] < times[j-1]; j-- {
+			times[j], times[j-1] = times[j-1], times[j]
+		}
+	}
+	return times[len(times)/2]
+}
+
+// CalibrateCSR measures the dense/CSR crossover for this convolution's GEMM
+// shape on inputs of the given spatial size and stores it as the weight's
+// per-param CSRMaxDensity override. Returns the measured crossover.
+func (l *Conv2d) CalibrateCSR(inH, inW int) float64 {
+	oh := tensor.ConvOutSize(inH, l.K, l.Stride, l.Pad)
+	ow := tensor.ConvOutSize(inW, l.K, l.Stride, l.Pad)
+	d := CSRCrossoverDensity(l.OutC, l.InC*l.K*l.K, oh*ow)
+	l.Weight.CSRMaxDensity = d
+	return d
+}
+
+// CalibrateCSR measures the dense/CSR crossover for this linear layer's GEMM
+// shape at the given batch size and stores it as the weight's per-param
+// CSRMaxDensity override. Returns the measured crossover.
+func (l *Linear) CalibrateCSR(batch int) float64 {
+	if batch < 1 {
+		batch = 1
+	}
+	d := CSRCrossoverDensity(l.Out, l.In, batch)
+	l.Weight.CSRMaxDensity = d
+	return d
+}

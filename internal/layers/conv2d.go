@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"ndsnn/internal/metrics"
 	"ndsnn/internal/rng"
 	"ndsnn/internal/sparse"
 	"ndsnn/internal/tensor"
@@ -20,7 +21,8 @@ type Conv2d struct {
 	Weight *Param
 	Bias   *Param
 
-	xs cacheStack[*tensor.Tensor]
+	xs     cacheStack[*tensor.Tensor]
+	events eventTally
 }
 
 // NewConv2d constructs a convolution layer with Kaiming-normal weights.
@@ -42,6 +44,15 @@ func NewConv2d(name string, inC, outC, k, stride, pad int, withBias bool, r *rng
 }
 
 // Forward computes one timestep of the convolution.
+//
+// When the weight is CSR-encoded and the input turns out to be a binary
+// spike tensor (detected while building the im2col expansion), the forward
+// takes the dual-sparse event-driven kernel: work scales with
+// weightDensity × spikeOccupancy instead of weightDensity alone. Inputs
+// whose occupancy exceeds EventMaxRate, or that contain analog values (the
+// first layer under direct encoding, or post-BatchNorm currents), fall back
+// to the weight-only CSR or dense GEMM path. All three paths produce
+// bit-identical outputs.
 func (l *Conv2d) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	b, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	if c != l.InC {
@@ -54,16 +65,55 @@ func (l *Conv2d) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	out := tensor.New(b, l.OutC, oh, ow)
 	wmat := l.Weight.W.Reshape(l.OutC, ckk)
 	wcsr := l.Weight.SparseW()
+	var wcsc *sparse.CSC
+	if wcsr != nil {
+		// The event kernel wants column-compressed weights (spikes select
+		// weight columns); gathered once here, shared read-only by workers.
+		wcsc = l.Weight.SparseWCSC()
+	}
+	maxRate := EventMaxRate
 	tensor.ParallelFor(b, l.OutC*ckk*p, func(lo, hi int) {
 		col := make([]float32, ckk*p)
 		colT := tensor.FromSlice(col, ckk, p)
+		var tally metrics.EventStats
+		var rowPtr, evIdx []int32
+		var colSeen []bool
+		if wcsr != nil {
+			rowPtr = make([]int32, ckk+1)
+			colSeen = make([]bool, p)
+		}
 		for bi := lo; bi < hi; bi++ {
-			tensor.Im2Col(col, x.Data[bi*c*h*w:(bi+1)*c*h*w], c, h, w, l.K, l.K, l.Stride, l.Pad, oh, ow)
+			src := x.Data[bi*c*h*w : (bi+1)*c*h*w]
 			yb := tensor.FromSlice(out.Data[bi*l.OutC*p:(bi+1)*l.OutC*p], l.OutC, p)
+			tally.Forwards++
+			eventDone := false
 			if wcsr != nil {
-				sparse.CSRMatMulSerialInto(yb, wcsr, colT, false)
+				var binary bool
+				evIdx, binary = tensor.Im2ColEvents(col, src, c, h, w, l.K, l.K, l.Stride, l.Pad, oh, ow, rowPtr, evIdx[:0])
+				if binary {
+					ev := sparse.Events{Rows: ckk, Cols: p, RowPtr: rowPtr, ColIdx: evIdx}
+					tally.Entries += int64(ckk * p)
+					tally.ActiveEntries += int64(ev.NNZ())
+					tally.Cols += int64(p)
+					tally.ActiveCols += countActiveCols(evIdx, colSeen)
+					// maxRate > 0 keeps the documented kill switch honest:
+					// at 0, even all-zero (occupancy 0) inputs stay on the
+					// weight-only path.
+					if maxRate > 0 && ev.Occupancy() <= maxRate {
+						sparse.CSCMatMulEventsSerialInto(yb, wcsc, &ev, false)
+						tally.EventForwards++
+						eventDone = true
+					}
+				}
 			} else {
-				tensor.MatMulSerialInto(yb, wmat, colT, false)
+				tensor.Im2Col(col, src, c, h, w, l.K, l.K, l.Stride, l.Pad, oh, ow)
+			}
+			if !eventDone {
+				if wcsr != nil {
+					sparse.CSRMatMulSerialInto(yb, wcsr, colT, false)
+				} else {
+					tensor.MatMulSerialInto(yb, wmat, colT, false)
+				}
 			}
 			if l.Bias != nil {
 				for f := 0; f < l.OutC; f++ {
@@ -75,12 +125,36 @@ func (l *Conv2d) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 				}
 			}
 		}
+		l.events.add(tally)
 	})
 	if train {
 		l.xs.push(x)
 	}
 	return out
 }
+
+// countActiveCols counts the distinct column indices in evIdx, using seen as
+// scratch (reset on entry; must cover every index in evIdx).
+func countActiveCols(evIdx []int32, seen []bool) int64 {
+	for j := range seen {
+		seen[j] = false
+	}
+	var n int64
+	for _, j := range evIdx {
+		if !seen[j] {
+			seen[j] = true
+			n++
+		}
+	}
+	return n
+}
+
+// EventStats returns the event-driven fast-path counters accumulated since
+// the last ResetEventStats.
+func (l *Conv2d) EventStats() metrics.EventStats { return l.events.snapshot() }
+
+// ResetEventStats zeroes the event-path counters.
+func (l *Conv2d) ResetEventStats() { l.events.reset() }
 
 // Backward computes input gradients and accumulates weight/bias gradients
 // for the most recent cached timestep.

@@ -1,0 +1,202 @@
+package layers_test
+
+import (
+	"testing"
+
+	"ndsnn/internal/layers"
+	"ndsnn/internal/rng"
+	"ndsnn/internal/sparse"
+	"ndsnn/internal/tensor"
+)
+
+// withEventRate runs fn with layers.EventMaxRate forced to rate and restores
+// the previous gate afterwards.
+func withEventRate(rate float64, fn func()) {
+	old := layers.EventMaxRate
+	layers.EventMaxRate = rate
+	defer func() { layers.EventMaxRate = old }()
+	fn()
+}
+
+// spikeTensor builds a binary {0,1} tensor with the given firing rate.
+// rate 0 and 1 exercise the all-zero and all-ones edge cases.
+func spikeTensor(r *rng.RNG, rate float64, shape ...int) *tensor.Tensor {
+	x := tensor.New(shape...)
+	for i := range x.Data {
+		if r.Float64() < rate {
+			x.Data[i] = 1
+		}
+	}
+	return x
+}
+
+var eventRates = []float64{0, 0.05, 0.5, 1.0}
+
+// TestConv2dEventPathMatchesDense is the layer-level event-driven ≡ dense
+// property: for binary inputs across spike rates (including all-zero and
+// all-ones), the event-driven forward must match the dense forward within
+// 1e-5 (it is in fact bit-identical).
+func TestConv2dEventPathMatchesDense(t *testing.T) {
+	for _, rate := range eventRates {
+		r := rng.New(201 + uint64(rate*100))
+		l := layers.NewConv2d("c", 4, 8, 3, 1, 1, true, r)
+		maskParam(l.Weight, 0.2, r)
+		x := spikeTensor(r, rate, 2, 4, 6, 6)
+
+		var yD, yE *tensor.Tensor
+		withCSRDensity(0, func() { yD = l.Forward(x.Clone(), false) })
+		l.Weight.InvalidateCSR()
+		withCSRDensity(1, func() {
+			withEventRate(1, func() { yE = l.Forward(x.Clone(), false) })
+		})
+		l.Weight.InvalidateCSR()
+
+		st := l.EventStats()
+		if st.EventForwards != st.Forwards/2 || st.EventForwards == 0 {
+			t.Fatalf("rate %v: event path took %d of %d forwards, want the CSR half", rate, st.EventForwards, st.Forwards)
+		}
+		if d := maxDiff(yD, yE); d > 1e-5 {
+			t.Fatalf("rate %v: event forward differs from dense by %v", rate, d)
+		}
+		// Occupancy is measured over the im2col expansion, so sanity-check
+		// the bounds and the exact edge cases rather than an exact count.
+		if rate == 0 && st.ActiveEntries != 0 {
+			t.Fatalf("all-zero input recorded %d active entries", st.ActiveEntries)
+		}
+		if rate == 1 && st.ActiveCols != st.Cols {
+			t.Fatalf("all-ones input: %d of %d columns active", st.ActiveCols, st.Cols)
+		}
+		if st.ActiveEntries > st.Entries || st.ActiveCols > st.Cols {
+			t.Fatalf("rate %v: counters inconsistent: %+v", rate, st)
+		}
+	}
+}
+
+func TestLinearEventPathMatchesDense(t *testing.T) {
+	for _, rate := range eventRates {
+		r := rng.New(211 + uint64(rate*100))
+		l := layers.NewLinear("fc", 40, 12, true, r)
+		maskParam(l.Weight, 0.15, r)
+		x := spikeTensor(r, rate, 5, 40)
+
+		var yD, yE *tensor.Tensor
+		withCSRDensity(0, func() { yD = l.Forward(x.Clone(), false) })
+		l.Weight.InvalidateCSR()
+		withCSRDensity(1, func() {
+			withEventRate(1, func() { yE = l.Forward(x.Clone(), false) })
+		})
+		l.Weight.InvalidateCSR()
+
+		st := l.EventStats()
+		if st.EventForwards == 0 {
+			t.Fatalf("rate %v: event path never engaged", rate)
+		}
+		if d := maxDiff(yD, yE); d > 1e-5 {
+			t.Fatalf("rate %v: event forward differs from dense by %v", rate, d)
+		}
+	}
+}
+
+// TestEventPathFallsBackOnAnalogInput checks that non-binary inputs are
+// routed to the weight-only CSR kernel and still match dense exactly.
+func TestEventPathFallsBackOnAnalogInput(t *testing.T) {
+	r := rng.New(221)
+	l := layers.NewConv2d("c", 3, 6, 3, 1, 1, false, r)
+	maskParam(l.Weight, 0.2, r)
+	x := randInput(r, 2, 3, 5, 5) // analog currents, not spikes
+
+	var yD, yS *tensor.Tensor
+	withCSRDensity(0, func() { yD = l.Forward(x.Clone(), false) })
+	l.Weight.InvalidateCSR()
+	withCSRDensity(1, func() {
+		withEventRate(1, func() { yS = l.Forward(x.Clone(), false) })
+	})
+	l.Weight.InvalidateCSR()
+
+	if st := l.EventStats(); st.EventForwards != 0 {
+		t.Fatalf("analog input took the event path %d times", st.EventForwards)
+	}
+	if d := maxDiff(yD, yS); d > 1e-5 {
+		t.Fatalf("analog fallback differs from dense by %v", d)
+	}
+}
+
+// TestEventMaxRateGate checks that the occupancy gate routes high-rate spike
+// tensors away from the event kernel.
+func TestEventMaxRateGate(t *testing.T) {
+	r := rng.New(231)
+	l := layers.NewConv2d("c", 3, 6, 3, 1, 1, false, r)
+	maskParam(l.Weight, 0.2, r)
+	x := spikeTensor(r, 0.9, 2, 3, 5, 5)
+	withCSRDensity(1, func() {
+		withEventRate(0.3, func() { l.Forward(x.Clone(), false) })
+	})
+	l.Weight.InvalidateCSR()
+	st := l.EventStats()
+	if st.EventForwards != 0 {
+		t.Fatalf("90%% occupancy input took the event path %d times (gate 0.3)", st.EventForwards)
+	}
+	if st.ActiveEntries == 0 {
+		t.Fatal("binary input not measured despite gate rejection")
+	}
+
+	// EventMaxRate = 0 is a kill switch: even an all-zero input (occupancy
+	// 0) must stay on the weight-only path.
+	l.ResetEventStats()
+	silent := tensor.New(2, 3, 5, 5)
+	withCSRDensity(1, func() {
+		withEventRate(0, func() { l.Forward(silent, false) })
+	})
+	l.Weight.InvalidateCSR()
+	if st := l.EventStats(); st.EventForwards != 0 {
+		t.Fatalf("EventMaxRate=0 still routed %d forwards event-driven", st.EventForwards)
+	}
+}
+
+// TestParamCSRMaxDensityOverride checks that the calibrated per-param
+// threshold overrides the package default in both directions.
+func TestParamCSRMaxDensityOverride(t *testing.T) {
+	r := rng.New(241)
+	p := layers.NewParam("w", tensor.New(8, 20))
+	p.Mask = sparse.RandomMask(p.W.Shape(), 0.5, r)
+	p.ApplyMask()
+
+	withCSRDensity(1, func() {
+		p.CSRMaxDensity = 0.01 // calibrated: CSR never wins for this shape
+		if p.SparseW() != nil {
+			t.Fatal("override low: SparseW should be nil")
+		}
+		p.CSRMaxDensity = 0.99 // calibrated: CSR wins at any density
+		if p.SparseW() == nil {
+			t.Fatal("override high: SparseW should engage")
+		}
+	})
+	p.InvalidateCSR()
+	withCSRDensity(0, func() {
+		p.CSRMaxDensity = 0.99 // override beats the global kill switch too
+		if p.SparseW() == nil {
+			t.Fatal("per-param override should beat the package default")
+		}
+	})
+}
+
+// TestCSRCrossoverDensity sanity-checks the calibration probe: a plausible
+// crossover in range, memoized, and wired through the layer helpers.
+func TestCSRCrossoverDensity(t *testing.T) {
+	d := layers.CSRCrossoverDensity(16, 64, 8)
+	if d < 0.05 || d > 0.95 {
+		t.Fatalf("crossover %v outside [0.05, 0.95]", d)
+	}
+	if d2 := layers.CSRCrossoverDensity(16, 64, 8); d2 != d {
+		t.Fatalf("memoized probe returned %v then %v", d, d2)
+	}
+	r := rng.New(251)
+	conv := layers.NewConv2d("c", 4, 8, 3, 1, 1, false, r)
+	if got := conv.CalibrateCSR(6, 6); got != conv.Weight.CSRMaxDensity || got <= 0 {
+		t.Fatalf("conv calibration not stored: got %v, param %v", got, conv.Weight.CSRMaxDensity)
+	}
+	lin := layers.NewLinear("fc", 64, 16, false, r)
+	if got := lin.CalibrateCSR(4); got != lin.Weight.CSRMaxDensity || got <= 0 {
+		t.Fatalf("linear calibration not stored: got %v, param %v", got, lin.Weight.CSRMaxDensity)
+	}
+}

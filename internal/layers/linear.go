@@ -3,6 +3,7 @@ package layers
 import (
 	"fmt"
 
+	"ndsnn/internal/metrics"
 	"ndsnn/internal/rng"
 	"ndsnn/internal/sparse"
 	"ndsnn/internal/tensor"
@@ -16,7 +17,8 @@ type Linear struct {
 	Weight *Param
 	Bias   *Param
 
-	xs cacheStack[*tensor.Tensor]
+	xs     cacheStack[*tensor.Tensor]
+	events eventTally
 }
 
 // NewLinear constructs a fully-connected layer with Kaiming-normal weights.
@@ -33,17 +35,38 @@ func NewLinear(name string, in, out int, withBias bool, r *rng.RNG) *Linear {
 }
 
 // Forward computes one timestep: y = x·Wᵀ (+ bias).
+//
+// Like Conv2d, a CSR-encoded weight combined with a binary spike input below
+// EventMaxRate occupancy takes the dual-sparse event-driven path (each
+// incoming spike scatter-adds one CSC weight column); analog or dense-weight
+// inputs use the weight-only CSR or dense GEMM. All paths are bit-identical.
 func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.NumDims() != 2 || x.Dim(1) != l.In {
 		panic(fmt.Sprintf("layers: %s expects [B,%d] input, got %v", l.Weight.Name, l.In, x.Shape()))
 	}
 	var out *tensor.Tensor
+	var tally metrics.EventStats
+	tally.Forwards = int64(x.Dim(0))
 	if wcsr := l.Weight.SparseW(); wcsr != nil {
-		out = tensor.New(x.Dim(0), l.Out)
-		sparse.MatMulDenseCSRTInto(out, x, wcsr, false)
+		if ev, ok := sparse.EncodeEvents(x); ok {
+			tally.Entries = int64(x.Size())
+			tally.ActiveEntries = int64(ev.NNZ())
+			// The maxRate > 0 guard keeps EventMaxRate=0 a true kill
+			// switch even for all-zero (occupancy 0) inputs.
+			if maxRate := EventMaxRate; maxRate > 0 && ev.Occupancy() <= maxRate {
+				out = tensor.New(x.Dim(0), l.Out)
+				sparse.MatMulEventsCSCInto(out, ev, l.Weight.SparseWCSC(), false)
+				tally.EventForwards = tally.Forwards
+			}
+		}
+		if out == nil {
+			out = tensor.New(x.Dim(0), l.Out)
+			sparse.MatMulDenseCSRTInto(out, x, wcsr, false)
+		}
 	} else {
 		out = tensor.MatMulABT(x, l.Weight.W)
 	}
+	l.events.add(tally)
 	if l.Bias != nil {
 		b := x.Dim(0)
 		for bi := 0; bi < b; bi++ {
@@ -86,6 +109,13 @@ func (l *Linear) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	}
 	return tensor.MatMul(dy, l.Weight.W)
 }
+
+// EventStats returns the event-driven fast-path counters accumulated since
+// the last ResetEventStats.
+func (l *Linear) EventStats() metrics.EventStats { return l.events.snapshot() }
+
+// ResetEventStats zeroes the event-path counters.
+func (l *Linear) ResetEventStats() { l.events.reset() }
 
 // Params returns the weight and optional bias.
 func (l *Linear) Params() []*Param {

@@ -37,11 +37,18 @@ type Param struct {
 	// decision, which needs magnitudes at inactive positions too. It is
 	// false by default so gradient checks and baselines stay exact.
 	SparseGradOK bool
+	// CSRMaxDensity, when > 0, overrides the package-level CSRMaxDensity
+	// threshold for this parameter — the calibrated per-layer-shape
+	// dense/CSR crossover measured by CalibrateCSR. Zero means "use the
+	// package default".
+	CSRMaxDensity float64
 
-	// csr caches the CSR encoding of W managed by SparseW/InvalidateCSR;
-	// csrDensity caches the mask's live-weight density for the threshold
-	// check (-1 = not measured since the last invalidation).
+	// csr/csc cache the sparse encodings of W managed by
+	// SparseW/SparseWCSC/InvalidateCSR; csrDensity caches the mask's
+	// live-weight density for the threshold check (-1 = not measured since
+	// the last invalidation).
 	csr        *sparse.CSR
+	csc        *sparse.CSC
 	csrDensity float64
 }
 

@@ -23,7 +23,23 @@ import "ndsnn/internal/sparse"
 // path (0 disables CSR, 1 enables it at any density); the threshold is
 // consulted on every SparseW call, so changing it affects live parameters
 // without an explicit invalidation.
+//
+// The 0.5 default is conservative — on most hardware the measured crossover
+// is higher because the dense kernels cannot skip zeros. Use
+// CSRCrossoverDensity / the layers' CalibrateCSR methods to replace it with
+// a measured per-layer-shape threshold (stored in Param.CSRMaxDensity, which
+// overrides this global when set).
 var CSRMaxDensity = 0.5
+
+// EventMaxRate is the spike occupancy (fraction of non-zero activation
+// entries) above which the event-driven forward falls back to the
+// weight-only CSR kernel. The event kernels replace each stored weight's
+// n-wide multiply-add sweep with one indexed add per spike, so they win
+// while occupancy × (indexed-add cost) < (contiguous multiply-add cost);
+// past roughly a third occupancy the scattered writes lose. Like
+// CSRMaxDensity it is a variable so tests and benchmarks can force either
+// path (0 disables the event path, 1 takes it for any binary input).
+var EventMaxRate = 0.3
 
 // SparseW returns the cached CSR encoding of the parameter's weight matrix
 // (reshaped to [Dim(0), Size/Dim(0)] — one row per output unit/filter), with
@@ -33,17 +49,7 @@ var CSRMaxDensity = 0.5
 // Not safe for concurrent use: layers call it once per Forward/Backward
 // before fanning out across the batch.
 func (p *Param) SparseW() *sparse.CSR {
-	if p.Mask == nil {
-		return nil
-	}
-	if p.csrDensity < 0 {
-		// Count actives once per topology; the pattern is fixed until the
-		// next invalidation, so the density is too.
-		p.csrDensity = float64(p.ActiveCount()) / float64(p.W.Size())
-	}
-	// Compared on every call (O(1)) so flipping CSRMaxDensity takes effect
-	// immediately on live parameters.
-	if p.csrDensity > CSRMaxDensity {
+	if !p.csrEligible() {
 		return nil
 	}
 	if p.csr != nil {
@@ -56,10 +62,58 @@ func (p *Param) SparseW() *sparse.CSR {
 	return p.csr
 }
 
-// InvalidateCSR drops the cached CSR encoding and density. Call after any
-// change to the mask topology; value-only changes (optimizer steps, weight
-// rewinds) do not need it because SparseW re-gathers values on every call.
+// csrEligible reports whether the sparse path should engage: the parameter
+// is masked and its live-weight density is at most the effective threshold.
+// The density is counted once per topology (the pattern is fixed until the
+// next invalidation); the threshold is compared on every call (O(1)) so
+// flipping it takes effect immediately on live parameters. A calibrated
+// per-param threshold (CalibrateCSR) overrides the package default.
+func (p *Param) csrEligible() bool {
+	if p.Mask == nil {
+		return false
+	}
+	if p.csrDensity < 0 {
+		p.csrDensity = float64(p.ActiveCount()) / float64(p.W.Size())
+	}
+	limit := CSRMaxDensity
+	if p.CSRMaxDensity > 0 {
+		limit = p.CSRMaxDensity
+	}
+	return p.csrDensity <= limit
+}
+
+// SparseWCSC returns the cached CSC (column-compressed) view of the
+// parameter's weight matrix with freshly gathered values — the access order
+// the event-driven forward needs (incoming spikes select weight columns).
+// It returns nil exactly when SparseW does; the CSC pattern is derived from
+// the CSR pattern and shares its invalidation. Only the CSC values are
+// gathered here, so callers that need both views (the conv forward, for its
+// per-sample dense-input fallback) pay one O(nnz) gather per view, not two.
+//
+// Not safe for concurrent use, like SparseW.
+func (p *Param) SparseWCSC() *sparse.CSC {
+	if !p.csrEligible() {
+		return nil
+	}
+	if p.csc == nil {
+		if p.csr == nil {
+			p.SparseW() // materialize the pattern once
+		}
+		// NewCSCFromCSR copies whatever values the CSR holds, which may be
+		// stale if SparseW was not called this step — re-gather to be safe
+		// (once per topology, O(nnz)).
+		p.csc = sparse.NewCSCFromCSR(p.csr)
+	}
+	p.csc.GatherValues(p.W)
+	return p.csc
+}
+
+// InvalidateCSR drops the cached CSR/CSC encodings and density. Call after
+// any change to the mask topology; value-only changes (optimizer steps,
+// weight rewinds) do not need it because SparseW re-gathers values on every
+// call.
 func (p *Param) InvalidateCSR() {
 	p.csr = nil
+	p.csc = nil
 	p.csrDensity = -1
 }

@@ -96,6 +96,71 @@ func SynapticOps(denseMACs int64, density, spikeRate float64, timesteps int) flo
 	return float64(denseMACs) * density * spikeRate * float64(timesteps)
 }
 
+// EventStats aggregates the per-layer spike-occupancy counters of the
+// event-driven forward engine (layers.EventCounters, rolled up by
+// snn.Network.EventStats). Where SynapticOps predicts skipped work from the
+// analytic spikeRate × density model, these counters record what the engine
+// actually measured — and therefore actually skipped — at each layer's
+// activation matrix.
+type EventStats struct {
+	// Forwards / EventForwards count sample-timesteps processed vs routed
+	// through an event-driven kernel.
+	Forwards, EventForwards int64
+	// Entries / ActiveEntries count activation-matrix entries inspected on
+	// binary inputs vs the subset that were spikes.
+	Entries, ActiveEntries int64
+	// Cols / ActiveCols count im2col output columns vs those with at least
+	// one spike in the receptive field (conv layers only).
+	Cols, ActiveCols int64
+}
+
+// Merge accumulates another layer's (or network's) counters into e.
+func (e *EventStats) Merge(o EventStats) {
+	e.Forwards += o.Forwards
+	e.EventForwards += o.EventForwards
+	e.Entries += o.Entries
+	e.ActiveEntries += o.ActiveEntries
+	e.Cols += o.Cols
+	e.ActiveCols += o.ActiveCols
+}
+
+// Occupancy returns the measured fraction of activation entries that were
+// spikes — the measured counterpart of a trajectory's SpikeRate, and the
+// factor by which the event-driven kernels shrink the forward work.
+func (e EventStats) Occupancy() float64 {
+	if e.Entries == 0 {
+		return 0
+	}
+	return float64(e.ActiveEntries) / float64(e.Entries)
+}
+
+// EventCoverage returns the fraction of sample-timesteps that ran
+// event-driven.
+func (e EventStats) EventCoverage() float64 {
+	if e.Forwards == 0 {
+		return 0
+	}
+	return float64(e.EventForwards) / float64(e.Forwards)
+}
+
+// ColumnOccupancy returns the fraction of im2col output columns with at
+// least one spike — the whole-column skip opportunity left on the table by
+// kernels that only mask columns instead of consuming events.
+func (e EventStats) ColumnOccupancy() float64 {
+	if e.Cols == 0 {
+		return 0
+	}
+	return float64(e.ActiveCols) / float64(e.Cols)
+}
+
+// MeasuredSynOps is SynapticOps with the engine's measured spike occupancy
+// substituted for the analytic spike rate: the synaptic-operation count the
+// dual-sparse forward actually performed, rather than the one the cost model
+// predicts.
+func MeasuredSynOps(denseMACs int64, density float64, e EventStats, timesteps int) float64 {
+	return SynapticOps(denseMACs, density, e.Occupancy(), timesteps)
+}
+
 // Accuracy is a convenience pair used in result tables.
 type Accuracy struct {
 	Top1 float64

@@ -1,0 +1,52 @@
+package snn_test
+
+import (
+	"testing"
+
+	"ndsnn/internal/snn"
+	"ndsnn/internal/tensor"
+)
+
+// TestLIFSpikeStatsHandComputed pins the spike-occupancy counters against a
+// fully hand-computed trace. α=0.5, ϑ=1, soft (subtractive) detached reset:
+//
+//	neuron A, constant current 1.0:
+//	  t0: v=1.0            → spike
+//	  t1: v=0.5·1.0+1.0-1=0.5  → no
+//	  t2: v=0.25+1.0       → spike (1.25 ≥ 1)
+//	neuron B, constant current 0.4:
+//	  t0: 0.4, t1: 0.6, t2: 0.7 → never spikes
+//
+// So after 3 timesteps of a 2-neuron layer: 2 spikes over 6
+// neuron-timesteps.
+func TestLIFSpikeStatsHandComputed(t *testing.T) {
+	cfg := snn.NeuronConfig{Alpha: 0.5, Threshold: 1, DetachReset: true}
+	l := cfg.New()
+	x := tensor.FromSlice([]float32{1.0, 0.4}, 1, 2)
+	perStep := [][2]float32{{1, 0}, {0, 0}, {1, 0}} // expected spikes per timestep
+	for step, want := range perStep {
+		out := l.Forward(x.Clone(), false)
+		for i, w := range want {
+			if out.Data[i] != w {
+				t.Fatalf("t%d neuron %d: spike %v, want %v", step, i, out.Data[i], w)
+			}
+		}
+	}
+	sum, elems := l.SpikeStats()
+	if sum != 2 || elems != 6 {
+		t.Fatalf("SpikeStats = (%v, %v), want (2, 6)", sum, elems)
+	}
+
+	// Counters accumulate across batches until reset.
+	l.Reset()
+	l.Forward(x.Clone(), false) // t0 again: one more spike, 2 more elems
+	sum, elems = l.SpikeStats()
+	if sum != 3 || elems != 8 {
+		t.Fatalf("accumulated SpikeStats = (%v, %v), want (3, 8)", sum, elems)
+	}
+
+	l.ResetSpikeStats()
+	if sum, elems = l.SpikeStats(); sum != 0 || elems != 0 {
+		t.Fatalf("reset SpikeStats = (%v, %v), want (0, 0)", sum, elems)
+	}
+}

@@ -2,6 +2,7 @@ package snn
 
 import (
 	"ndsnn/internal/layers"
+	"ndsnn/internal/metrics"
 	"ndsnn/internal/tensor"
 )
 
@@ -113,6 +114,31 @@ func (n *Network) ResetSpikeStats() {
 	n.Walk(func(l layers.Layer) {
 		if rec, ok := l.(SpikeRecorder); ok {
 			rec.ResetSpikeStats()
+		}
+	})
+}
+
+// EventStats rolls the per-layer event-driven forward counters up into the
+// metrics aggregate: measured spike occupancy, event-path coverage and
+// column occupancy across every sparse-capable layer since the last
+// ResetEventStats. This is the measured side of the efficiency accounting —
+// the LIF layers' SpikeStats say how often neurons fired, these counters say
+// how much forward work the engine skipped because of it.
+func (n *Network) EventStats() metrics.EventStats {
+	var es metrics.EventStats
+	n.Walk(func(l layers.Layer) {
+		if rec, ok := l.(layers.EventRecorder); ok {
+			es.Merge(rec.EventStats())
+		}
+	})
+	return es
+}
+
+// ResetEventStats zeroes every layer's event-path counters.
+func (n *Network) ResetEventStats() {
+	n.Walk(func(l layers.Layer) {
+		if rec, ok := l.(layers.EventRecorder); ok {
+			rec.ResetEventStats()
 		}
 	})
 }

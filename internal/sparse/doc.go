@@ -1,0 +1,53 @@
+// Package sparse implements the sparsity substrate shared by every sparse
+// training method in this repository: layerwise sparsity allocation (ERK and
+// uniform), binary mask construction, deterministic magnitude/gradient top-k
+// selection, compressed sparse row/column storage, the training/inference
+// memory-footprint model of the paper's Section III-D, and the sparse compute
+// engine — the CSR/SDDMM/event kernel zoo behind Conv2d and Linear.
+//
+// # Storage formats
+//
+//   - CSR (csr.go) stores a weight matrix row-compressed, one row per output
+//     unit/filter. EncodeCSRWithMask keys the pattern on the 0/1 mask rather
+//     than the values, so grown-at-zero connections stay addressable;
+//     GatherValues refreshes values in O(nnz) between rewires.
+//   - CSC (event.go) is the column-compressed transpose view used when the
+//     access pattern is "incoming spike selects a weight column" (the
+//     event-driven linear forward).
+//   - Events (event.go) is a values-free CSR pattern of a binary {0,1}
+//     activation: per row, the ascending list of active columns. It is how
+//     spike rasters and im2col spike columns enter the event-driven kernels.
+//
+// # Kernel naming scheme
+//
+// The CSR operand is always called A; dense tensors keep their math-side
+// names (B for the right operand, X for batch-major activations). Suffixes
+// compose left to right:
+//
+//   - "ATB"/"ABT" follow the dense-kernel convention in internal/tensor:
+//     Aᵀ·B and A·Bᵀ respectively. Plain CSRMatMul is A·B.
+//   - "MatMulDenseCSR*" puts the dense operand on the left (X·A, X·Aᵀ),
+//     which lets batch-major activations parallelize over batch rows.
+//   - "Events" means the binary operand is an Events pattern and the kernel
+//     is fully event-driven (work ∝ spike count). "Masked" means a
+//     colActive []bool restricts the dense operand's columns — the
+//     whole-column skip for operands that are sparse but not binary.
+//   - "Batch" means one traversal of A serves all T timesteps of a batch
+//     (the batched-timestep GEMM; pattern and values are shared across
+//     timesteps, only the spike columns differ).
+//   - "Serial" variants run on the calling goroutine, for callers that
+//     already parallelize across the batch (the conv layers); "Into"
+//     variants write (or accumulate) into a caller-owned destination.
+//
+// The gradient kernels CSRGradABTSerial and CSRGradATBInto are SDDMM
+// (sampled dense–dense matrix multiplication) forms: they compute dense·dense
+// products only at the stored positions of a CSR pattern, which is exactly
+// the weight gradient restricted to live weights — dW = dy·colᵀ for conv,
+// dW = dyᵀ·x for linear.
+//
+// Every kernel visits contributions in the same ascending-index order as its
+// dense counterpart and multiplies by exact {0,1} spike values where
+// applicable, so for finite inputs the sparse, event-driven and dense paths
+// produce bit-identical results; the property tests in this package and in
+// internal/layers pin that equivalence.
+package sparse

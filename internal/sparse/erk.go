@@ -1,8 +1,3 @@
-// Package sparse implements the sparsity substrate shared by every sparse
-// training method in this repository: layerwise sparsity allocation (ERK and
-// uniform), binary mask construction, deterministic magnitude/gradient top-k
-// selection, compressed sparse row (CSR) storage, and the training/inference
-// memory-footprint model of the paper's Section III-D.
 package sparse
 
 import (

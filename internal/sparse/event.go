@@ -1,0 +1,348 @@
+package sparse
+
+import (
+	"fmt"
+
+	"ndsnn/internal/tensor"
+)
+
+// Event-driven kernels: the spike-sparsity half of the dual-sparse forward
+// pass. The CSR kernels in gemm.go make training cost scale with live-weight
+// density; the kernels here additionally skip the zeros of the *activation*
+// operand, which for spiking networks is a {0,1} tensor that is mostly zero.
+// Forward cost then scales with weightDensity × spikeRate instead of either
+// alone.
+//
+// Binary inputs are represented as an Events pattern (a value-less CSR: per
+// row, the ascending list of active columns). Because every stored entry is
+// exactly 1, multiplication degenerates to accumulation of weight values, and
+// every kernel visits contributions in the same ascending-index order as the
+// dense kernels — outputs are bit-identical to the dense path.
+
+// Events is the positions-only CSR pattern of a binary {0,1} matrix: row r's
+// active columns are ColIdx[RowPtr[r]:RowPtr[r+1]], ascending. It is the
+// compressed form of a spike raster (one row per im2col patch row or per
+// batch sample) consumed by the event-driven kernels.
+type Events struct {
+	Rows, Cols int
+	// RowPtr has Rows+1 entries delimiting each row's span in ColIdx.
+	RowPtr []int32
+	// ColIdx holds the active-column indices, grouped by row, ascending.
+	ColIdx []int32
+}
+
+// NNZ returns the number of recorded events (active entries).
+func (e *Events) NNZ() int { return len(e.ColIdx) }
+
+// Occupancy returns the fraction of entries that are active — the measured
+// spike rate of the encoded tensor.
+func (e *Events) Occupancy() float64 {
+	if e.Rows*e.Cols == 0 {
+		return 0
+	}
+	return float64(e.NNZ()) / float64(e.Rows*e.Cols)
+}
+
+// EncodeEvents extracts the event pattern of a 2-D binary tensor. It returns
+// ok=false (with a nil pattern) as soon as it sees a value outside {0,1} —
+// the caller then knows the input is analog and falls back to a dense-operand
+// kernel. The scan is O(rows·cols); reuse tensor.Im2ColEvents when the
+// pattern can be extracted during im2col instead.
+func EncodeEvents(t *tensor.Tensor) (*Events, bool) {
+	rows, cols := dims2(t, "EncodeEvents")
+	e := &Events{Rows: rows, Cols: cols, RowPtr: make([]int32, rows+1)}
+	for r := 0; r < rows; r++ {
+		row := t.Data[r*cols : (r+1)*cols]
+		for j, v := range row {
+			if v == 0 {
+				continue
+			}
+			if v != 1 {
+				return nil, false
+			}
+			e.ColIdx = append(e.ColIdx, int32(j))
+		}
+		e.RowPtr[r+1] = int32(len(e.ColIdx))
+	}
+	return e, true
+}
+
+// CSCMatMulEventsSerialInto computes dst = A·B for A in CSC form [m,k] and a
+// binary B [k,n] given as its event pattern — the dual-sparse conv forward:
+// sparse filters × sparse spike columns. The loop nest is inverted relative
+// to the weight-only CSR kernel: spike rows are the outer loop, so each
+// weight *column* (contiguous in CSC) is streamed exactly once per active
+// spike row and the per-event overhead amortizes over the column's stored
+// weights. Work is nnz(W) × spikeRate × n adds instead of the weight-only
+// kernel's nnz(W) × n multiply-adds.
+//
+// For each fixed output element the contributions still arrive in ascending
+// weight-column order (the outer loop), which is the dense kernel's
+// summation order, so results are bit-identical to the dense path. Serial
+// because the conv layers already parallelize across the batch.
+func CSCMatMulEventsSerialInto(dst *tensor.Tensor, a *CSC, ev *Events, accumulate bool) {
+	n := checkCSCMatMulEvents(dst, a, ev)
+	od := dst.Data
+	if !accumulate {
+		for i := range od {
+			od[i] = 0
+		}
+	}
+	for q := 0; q < ev.Rows; q++ {
+		evRow := ev.ColIdx[ev.RowPtr[q]:ev.RowPtr[q+1]]
+		if len(evRow) == 0 {
+			continue
+		}
+		for p := a.ColPtr[q]; p < a.ColPtr[q+1]; p++ {
+			v := a.Val[p]
+			if v == 0 {
+				continue
+			}
+			orow := od[int(a.RowIdx[p])*n:]
+			orow = orow[:n]
+			for _, j := range evRow {
+				orow[j] += v
+			}
+		}
+	}
+}
+
+func checkCSCMatMulEvents(dst *tensor.Tensor, a *CSC, ev *Events) int {
+	if ev.Rows != a.Cols {
+		panic(fmt.Sprintf("sparse: CSCMatMulEvents inner dims %d vs %d", a.Cols, ev.Rows))
+	}
+	dm, dn := dims2(dst, "CSCMatMulEvents dst")
+	if dm != a.Rows || dn != ev.Cols {
+		panic(fmt.Sprintf("sparse: CSCMatMulEvents dst shape [%d,%d], want [%d,%d]", dm, dn, a.Rows, ev.Cols))
+	}
+	return ev.Cols
+}
+
+// FuseTimesteps merges the event patterns of T same-shaped binary matrices
+// (the T timesteps of one sample) into a single pattern over
+// column-concatenated timesteps: row q of the result lists timestep t's
+// active columns shifted by t·Cols, ascending. Feeding the fused pattern to
+// CSCMatMulEventsSerialInto with an [A.Rows, T·Cols] destination computes
+// all T forward passes in ONE traversal of the weight matrix — the
+// batched-timestep GEMM: the pattern and values are shared across timesteps
+// (only the spike columns differ), so every index/value load is amortized
+// by T. Timestep t's output is dst[r, t·Cols : (t+1)·Cols], bit-identical
+// to T per-timestep kernel calls. The merge itself is O(total events).
+func FuseTimesteps(evs []*Events) *Events {
+	if len(evs) == 0 {
+		return &Events{}
+	}
+	rows, cols := evs[0].Rows, evs[0].Cols
+	total := 0
+	for _, ev := range evs {
+		if ev.Rows != rows || ev.Cols != cols {
+			panic(fmt.Sprintf("sparse: FuseTimesteps shape [%d,%d] vs [%d,%d]", ev.Rows, ev.Cols, rows, cols))
+		}
+		total += ev.NNZ()
+	}
+	f := &Events{
+		Rows:   rows,
+		Cols:   len(evs) * cols,
+		RowPtr: make([]int32, rows+1),
+		ColIdx: make([]int32, 0, total),
+	}
+	for q := 0; q < rows; q++ {
+		for t, ev := range evs {
+			off := int32(t * cols)
+			for _, j := range ev.ColIdx[ev.RowPtr[q]:ev.RowPtr[q+1]] {
+				f.ColIdx = append(f.ColIdx, off+j)
+			}
+		}
+		f.RowPtr[q+1] = int32(len(f.ColIdx))
+	}
+	return f
+}
+
+// CSC is a compressed-sparse-column view of a weight matrix: column q's
+// stored rows are RowIdx[ColPtr[q]:ColPtr[q+1]], ascending, with values
+// aligned in Val. It is the access order the event-driven linear forward
+// needs (incoming spikes select weight *columns*), derived from the
+// mask-keyed CSR pattern.
+type CSC struct {
+	Rows, Cols int
+	// ColPtr has Cols+1 entries delimiting each column's span in RowIdx/Val.
+	ColPtr []int32
+	RowIdx []int32
+	Val    []float32
+}
+
+// NewCSCFromCSR transposes a CSR pattern into CSC form (values copied). The
+// two views share no storage; re-gather values with GatherValues after
+// optimizer steps, and rebuild on mask changes alongside the CSR encoding.
+func NewCSCFromCSR(c *CSR) *CSC {
+	t := &CSC{
+		Rows: c.Rows, Cols: c.Cols,
+		ColPtr: make([]int32, c.Cols+1),
+		RowIdx: make([]int32, c.NNZ()),
+		Val:    make([]float32, c.NNZ()),
+	}
+	for _, j := range c.ColIdx {
+		t.ColPtr[j+1]++
+	}
+	for q := 0; q < c.Cols; q++ {
+		t.ColPtr[q+1] += t.ColPtr[q]
+	}
+	next := make([]int32, c.Cols)
+	copy(next, t.ColPtr[:c.Cols])
+	for r := 0; r < c.Rows; r++ {
+		for p := c.RowPtr[r]; p < c.RowPtr[r+1]; p++ {
+			q := c.ColIdx[p]
+			t.RowIdx[next[q]] = int32(r)
+			t.Val[next[q]] = c.Val[p]
+			next[q]++
+		}
+	}
+	return t
+}
+
+// NNZ returns the number of stored non-zeros.
+func (c *CSC) NNZ() int { return len(c.Val) }
+
+// GatherValues refreshes Val in place from a dense tensor with Rows·Cols
+// elements, keeping the pattern fixed — the CSC counterpart of
+// CSR.GatherValues, used between rewire events.
+func (c *CSC) GatherValues(w *tensor.Tensor) {
+	if w.Size() != c.Rows*c.Cols {
+		panic("sparse: CSC.GatherValues size mismatch")
+	}
+	wd := w.Data
+	for q := 0; q < c.Cols; q++ {
+		for p := c.ColPtr[q]; p < c.ColPtr[q+1]; p++ {
+			c.Val[p] = wd[int(c.RowIdx[p])*c.Cols+q]
+		}
+	}
+}
+
+// MatMulEventsCSCInto computes dst = X·Aᵀ for a binary X [bRows,k] given as
+// its event pattern and A in CSC form [m,k] — the dual-sparse linear
+// forward: each incoming spike at feature q scatter-adds weight column q
+// into the output row. Work is nnz(X) × colDensity(A) instead of the
+// weight-only kernel's bRows × nnz(A). Parallelized over X's rows.
+func MatMulEventsCSCInto(dst *tensor.Tensor, ev *Events, a *CSC, accumulate bool) {
+	if ev.Cols != a.Cols {
+		panic(fmt.Sprintf("sparse: MatMulEventsCSC inner dims %d vs %d", ev.Cols, a.Cols))
+	}
+	dm, dn := dims2(dst, "MatMulEventsCSC dst")
+	if dm != ev.Rows || dn != a.Rows {
+		panic(fmt.Sprintf("sparse: MatMulEventsCSC dst shape [%d,%d], want [%d,%d]", dm, dn, ev.Rows, a.Rows))
+	}
+	od := dst.Data
+	rowWork := 2 * (1 + a.NNZ())
+	tensor.ParallelFor(ev.Rows, rowWork, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			orow := od[i*a.Rows : (i+1)*a.Rows]
+			if !accumulate {
+				for j := range orow {
+					orow[j] = 0
+				}
+			}
+			for e := ev.RowPtr[i]; e < ev.RowPtr[i+1]; e++ {
+				q := ev.ColIdx[e]
+				for p := a.ColPtr[q]; p < a.ColPtr[q+1]; p++ {
+					orow[a.RowIdx[p]] += a.Val[p]
+				}
+			}
+		}
+	})
+}
+
+// CSRMatMulMaskedInto is CSRMatMulInto restricted to the active columns of
+// B: dst[:,j] is computed only where colActive[j] (and zeroed elsewhere
+// unless accumulate). colActive[j]=false asserts B's column j is entirely
+// zero, so the skipped outputs are exactly zero in the dense result too.
+// This is the whole-column event skip for operands that are sparse but not
+// binary. Parallelized over A's rows.
+func CSRMatMulMaskedInto(dst *tensor.Tensor, a *CSR, b *tensor.Tensor, colActive []bool, accumulate bool) {
+	n, act := checkCSRMatMulMasked(dst, a, b, colActive)
+	rowWork := len(act) * (1 + a.NNZ()/max1(a.Rows))
+	tensor.ParallelFor(a.Rows, 1+rowWork, func(lo, hi int) {
+		csrMatMulMaskedRows(dst.Data, a, b.Data, n, act, accumulate, lo, hi)
+	})
+}
+
+// CSRMatMulMaskedSerialInto is CSRMatMulMaskedInto on the calling goroutine.
+func CSRMatMulMaskedSerialInto(dst *tensor.Tensor, a *CSR, b *tensor.Tensor, colActive []bool, accumulate bool) {
+	n, act := checkCSRMatMulMasked(dst, a, b, colActive)
+	csrMatMulMaskedRows(dst.Data, a, b.Data, n, act, accumulate, 0, a.Rows)
+}
+
+func csrMatMulMaskedRows(od []float32, a *CSR, bd []float32, n int, act []int32, accumulate bool, lo, hi int) {
+	for r := lo; r < hi; r++ {
+		orow := od[r*n : (r+1)*n]
+		if !accumulate {
+			for j := range orow {
+				orow[j] = 0
+			}
+		}
+		for p := a.RowPtr[r]; p < a.RowPtr[r+1]; p++ {
+			v := a.Val[p]
+			if v == 0 {
+				continue
+			}
+			brow := bd[int(a.ColIdx[p])*n:]
+			brow = brow[:n]
+			for _, j := range act {
+				orow[j] += v * brow[j]
+			}
+		}
+	}
+}
+
+func checkCSRMatMulMasked(dst *tensor.Tensor, a *CSR, b *tensor.Tensor, colActive []bool) (int, []int32) {
+	n := checkCSRMatMul(dst, a, b)
+	if len(colActive) != n {
+		panic(fmt.Sprintf("sparse: CSRMatMulMasked colActive length %d, want %d", len(colActive), n))
+	}
+	act := make([]int32, 0, n)
+	for j, a := range colActive {
+		if a {
+			act = append(act, int32(j))
+		}
+	}
+	return n, act
+}
+
+// MatMulDenseCSRTMaskedInto is MatMulDenseCSRTInto restricted to the active
+// columns of X: terms whose feature index q has colActive[q]=false are
+// skipped. colActive[q]=false asserts X's column q is entirely zero (no
+// sample has a spike at feature q), so skipping it never changes the result.
+// Parallelized over X's rows.
+func MatMulDenseCSRTMaskedInto(dst, x *tensor.Tensor, a *CSR, colActive []bool, accumulate bool) {
+	bRows, k := dims2(x, "MatMulDenseCSRTMasked x")
+	if k != a.Cols {
+		panic(fmt.Sprintf("sparse: MatMulDenseCSRTMasked inner dims %d vs %d", k, a.Cols))
+	}
+	if len(colActive) != k {
+		panic(fmt.Sprintf("sparse: MatMulDenseCSRTMasked colActive length %d, want %d", len(colActive), k))
+	}
+	dm, dn := dims2(dst, "MatMulDenseCSRTMasked dst")
+	if dm != bRows || dn != a.Rows {
+		panic(fmt.Sprintf("sparse: MatMulDenseCSRTMasked dst shape [%d,%d], want [%d,%d]", dm, dn, bRows, a.Rows))
+	}
+	xd, od := x.Data, dst.Data
+	rowWork := 2 * (1 + a.NNZ())
+	tensor.ParallelFor(bRows, rowWork, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xrow := xd[i*k : (i+1)*k]
+			orow := od[i*a.Rows : (i+1)*a.Rows]
+			for r := 0; r < a.Rows; r++ {
+				var s float32
+				for p := a.RowPtr[r]; p < a.RowPtr[r+1]; p++ {
+					if q := a.ColIdx[p]; colActive[q] {
+						s += a.Val[p] * xrow[q]
+					}
+				}
+				if accumulate {
+					orow[r] += s
+				} else {
+					orow[r] = s
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,126 @@
+package tensor
+
+import (
+	"testing"
+
+	"ndsnn/internal/rng"
+)
+
+// spikeInput builds a [c,h,w] binary sample with the given firing rate.
+func spikeInput(c, h, w int, rate float64, r *rng.RNG) []float32 {
+	src := make([]float32, c*h*w)
+	for i := range src {
+		if r.Float64() < rate {
+			src[i] = 1
+		}
+	}
+	return src
+}
+
+func TestIm2ColOccupancyMatchesIm2Col(t *testing.T) {
+	const c, h, w, k, stride, pad = 3, 7, 7, 3, 1, 1
+	oh := ConvOutSize(h, k, stride, pad)
+	ow := ConvOutSize(w, k, stride, pad)
+	p := oh * ow
+	for _, rate := range []float64{0, 0.01, 0.1, 0.5, 1} {
+		r := rng.New(11 + uint64(rate*100))
+		src := spikeInput(c, h, w, rate, r)
+		want := make([]float32, c*k*k*p)
+		Im2Col(want, src, c, h, w, k, k, stride, pad, oh, ow)
+		got := make([]float32, len(want))
+		colActive := make([]bool, p)
+		active := Im2ColOccupancy(got, src, c, h, w, k, k, stride, pad, oh, ow, colActive)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("rate %v: dst[%d] = %v, want %v", rate, i, got[i], want[i])
+			}
+		}
+		count := 0
+		for j := 0; j < p; j++ {
+			any := false
+			for q := 0; q < c*k*k; q++ {
+				if want[q*p+j] != 0 {
+					any = true
+					break
+				}
+			}
+			if any != colActive[j] {
+				t.Fatalf("rate %v: colActive[%d] = %v, want %v", rate, j, colActive[j], any)
+			}
+			if any {
+				count++
+			}
+		}
+		if count != active {
+			t.Fatalf("rate %v: active count %d, want %d", rate, active, count)
+		}
+	}
+}
+
+func TestIm2ColEventsMatchesIm2Col(t *testing.T) {
+	const c, h, w, k, stride, pad = 4, 6, 6, 3, 2, 1
+	oh := ConvOutSize(h, k, stride, pad)
+	ow := ConvOutSize(w, k, stride, pad)
+	p := oh * ow
+	ckk := c * k * k
+	for _, rate := range []float64{0, 0.05, 0.5, 1} {
+		r := rng.New(21 + uint64(rate*100))
+		src := spikeInput(c, h, w, rate, r)
+		want := make([]float32, ckk*p)
+		Im2Col(want, src, c, h, w, k, k, stride, pad, oh, ow)
+		got := make([]float32, len(want))
+		rowPtr := make([]int32, ckk+1)
+		colIdx, binary := Im2ColEvents(got, src, c, h, w, k, k, stride, pad, oh, ow, rowPtr, nil)
+		if !binary {
+			t.Fatalf("rate %v: binary input reported as non-binary", rate)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("rate %v: dst[%d] = %v, want %v", rate, i, got[i], want[i])
+			}
+		}
+		// The events must enumerate exactly the non-zero positions, grouped
+		// by row in ascending column order.
+		e := 0
+		for q := 0; q < ckk; q++ {
+			if int(rowPtr[q]) != e {
+				t.Fatalf("rate %v: rowPtr[%d] = %d, want %d", rate, q, rowPtr[q], e)
+			}
+			for j := 0; j < p; j++ {
+				if want[q*p+j] == 0 {
+					continue
+				}
+				if e >= len(colIdx) || int(colIdx[e]) != j {
+					t.Fatalf("rate %v: event %d: got col %v, want (%d,%d)", rate, e, colIdx[e:], q, j)
+				}
+				e++
+			}
+		}
+		if e != len(colIdx) || int(rowPtr[ckk]) != e {
+			t.Fatalf("rate %v: %d events recorded, want %d (rowPtr end %d)", rate, len(colIdx), e, rowPtr[ckk])
+		}
+	}
+}
+
+func TestIm2ColEventsRejectsNonBinary(t *testing.T) {
+	const c, h, w, k = 2, 4, 4, 3
+	oh := ConvOutSize(h, k, 1, 1)
+	ow := ConvOutSize(w, k, 1, 1)
+	r := rng.New(31)
+	src := spikeInput(c, h, w, 0.3, r)
+	src[5] = 0.5 // analog value: not a spike tensor
+	dst := make([]float32, c*k*k*oh*ow)
+	want := make([]float32, len(dst))
+	Im2Col(want, src, c, h, w, k, k, 1, 1, oh, ow)
+	rowPtr := make([]int32, c*k*k+1)
+	_, binary := Im2ColEvents(dst, src, c, h, w, k, k, 1, 1, oh, ow, rowPtr, nil)
+	if binary {
+		t.Fatal("non-binary input reported as binary")
+	}
+	// The expansion itself must still be complete and correct.
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("dst[%d] = %v, want %v after non-binary bail", i, dst[i], want[i])
+		}
+	}
+}

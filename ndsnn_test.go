@@ -222,3 +222,44 @@ func TestExperimentRegistryComplete(t *testing.T) {
 		t.Fatalf("expected ≥12 experiments, got %d", len(ExperimentIDs))
 	}
 }
+
+func TestRunExperimentEventDriven(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunExperiment("event-driven", &buf, ExperimentOptions{Scale: "unit"}); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		CSRCrossover float64 `json:"csr_crossover"`
+		Cells        []struct {
+			SpikeRate    float64 `json:"spike_rate"`
+			SpeedupVsCSR float64 `json:"speedup_vs_csr"`
+			MaxAbsDiff   float64 `json:"max_abs_diff"`
+		} `json:"cells"`
+		Network *struct {
+			EventCoverage float64 `json:"event_coverage"`
+			Occupancy     float64 `json:"occupancy"`
+		} `json:"network"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("event-driven output is not JSON: %v", err)
+	}
+	if len(rep.Cells) != 1 {
+		t.Fatalf("event-driven unit cells = %d, want 1", len(rep.Cells))
+	}
+	// Equivalence is exact by construction; any drift is an engine bug, not
+	// noise.
+	if d := rep.Cells[0].MaxAbsDiff; d != 0 {
+		t.Fatalf("event-driven and dense outputs differ by %v", d)
+	}
+	// Wall-clock on shared CI runners is noisy; the timing assertion only
+	// catches a broken engine (expected margin at 10%% spikes is ~3x).
+	if s := rep.Cells[0].SpeedupVsCSR; s < 0.5 {
+		t.Fatalf("event kernel at %.2fx of weight-only CSR, engine off", s)
+	}
+	if rep.CSRCrossover <= 0 || rep.CSRCrossover > 1 {
+		t.Fatalf("calibrated crossover %v outside (0,1]", rep.CSRCrossover)
+	}
+	if rep.Network == nil || rep.Network.EventCoverage <= 0 {
+		t.Fatalf("network rollup missing or event path never engaged: %+v", rep.Network)
+	}
+}
