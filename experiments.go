@@ -12,7 +12,7 @@ import (
 // plus this repository's ablation studies, in presentation order.
 var ExperimentIDs = []string{
 	"fig1", "table1", "table2", "table3", "fig4", "fig5", "memory", "synops",
-	"sparse-gemm", "event-driven",
+	"sparse-gemm", "event-driven", "sparse-tape",
 	"ablation-grow", "ablation-shape", "ablation-allocation",
 	"ablation-surrogate", "ablation-deltat",
 }
@@ -29,6 +29,7 @@ var ExperimentDescription = map[string]string{
 	"synops":              "measured event-driven SynOps vs the Sec. IV-C analytic cost model",
 	"sparse-gemm":         "dense vs CSR training-kernel wall-clock across sparsities (JSON, BENCH_sparse_gemm.json)",
 	"event-driven":        "dual-sparse forward: dense vs CSR vs event-driven vs batched-timestep across spike rates (JSON, BENCH_event_driven.json)",
+	"sparse-tape":         "sparse temporal tape: backward speedup + peak BPTT cache memory vs the dense-cache baseline (JSON, BENCH_sparse_tape.json)",
 	"ablation-grow":       "A1 — gradient vs random regrowth",
 	"ablation-shape":      "A2 — cubic vs linear vs step sparsity ramp",
 	"ablation-allocation": "A3 — ERK vs uniform layer allocation",
@@ -165,6 +166,20 @@ func RunExperiment(id string, w io.Writer, opts ExperimentOptions) error {
 		}
 		rep := bench.RunEventDriven(rates, sparsities, iters, 5, opts.Seed, progress)
 		return bench.PrintEventDriven(w, rep)
+	case "sparse-tape":
+		iters := 10
+		rates := []float64{0.05, 0.10, 0.15}
+		sparsities := []float64{0.50, 0.90, 0.99}
+		if opts.Scale == "unit" {
+			iters = 3
+			rates = []float64{0.10}
+			sparsities = []float64{0.90}
+		}
+		rep, err := bench.RunSparseTape(rates, sparsities, iters, 5, opts.Seed, progress)
+		if err != nil {
+			return err
+		}
+		return bench.PrintSparseTape(w, rep)
 	case "ablation-grow":
 		return runAblation(w, s, opts, bench.RunAblationGrowCriterion)
 	case "ablation-shape":

@@ -1,0 +1,321 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"ndsnn/internal/layers"
+	"ndsnn/internal/rng"
+	"ndsnn/internal/snn"
+	"ndsnn/internal/sparse"
+	"ndsnn/internal/tape"
+	"ndsnn/internal/tensor"
+)
+
+// Sparse temporal tape benchmark: the measured counterpart of the tape's two
+// claims. PR 2's event-driven benchmark showed the *forward* scaling with
+// weightDensity × spikeRate; this one shows (a) the *backward* pass doing the
+// same once weight gradients consume the replayed event pattern, and (b) the
+// BPTT activation-cache footprint dropping to ~occupancy of the dense
+// baseline. Gradient equivalence against the dense-cache reference rides
+// along as max_abs_grad_diff. Recorded as BENCH_sparse_tape.json.
+
+// SparseTapeCell is one (spike rate, weight sparsity) measurement on the
+// VGG-16-shaped convolution.
+type SparseTapeCell struct {
+	SpikeRate      float64 `json:"spike_rate"`
+	WeightSparsity float64 `json:"weight_sparsity"`
+	NNZWeights     int     `json:"nnz_weights"`
+	// DenseBackwardNs is the per-timestep BPTT backward wall-clock with dense
+	// activation caches (the PR 2 baseline: T per-timestep replays);
+	// TapeBackwardNs is the time-major tape replay (fused event-pattern SDDMM
+	// + one weight traversal for all T timesteps). Medians of Iters runs.
+	DenseBackwardNs int64 `json:"dense_backward_ns"`
+	TapeBackwardNs  int64 `json:"tape_backward_ns"`
+	// BackwardSpeedup is DenseBackwardNs / TapeBackwardNs.
+	BackwardSpeedup float64 `json:"backward_speedup"`
+	// DenseCacheBytes / TapeCacheBytes is the retained activation-cache
+	// footprint of the T cached timesteps under each representation.
+	DenseCacheBytes int64 `json:"dense_cache_bytes"`
+	TapeCacheBytes  int64 `json:"tape_cache_bytes"`
+	// MemoryReduction is DenseCacheBytes / TapeCacheBytes.
+	MemoryReduction float64 `json:"memory_reduction"`
+	// MaxAbsGradDiff is the largest |dense-cache − tape-replay| over the
+	// weight gradient — the equivalence check riding along (must be ≤ 1e-5).
+	MaxAbsGradDiff float64 `json:"max_abs_grad_diff"`
+}
+
+// SparseTapeNetStats is the network-level rollup: a masked conv→LIF stack
+// trained for one batch under the step-major dense-cache baseline and the
+// time-major tape, comparing wall-clock, peak activation-cache memory and
+// gradients end-to-end.
+type SparseTapeNetStats struct {
+	// StepMajorNs / TimeMajorNs is one forward+backward pass, median of
+	// Iters runs (step-major runs dense caches, time-major runs the tape).
+	StepMajorNs int64 `json:"step_major_ns"`
+	TimeMajorNs int64 `json:"time_major_ns"`
+	// TimeMajorSpeedup is StepMajorNs / TimeMajorNs.
+	TimeMajorSpeedup float64 `json:"time_major_speedup"`
+	// DenseCachePeakBytes / TapeCachePeakBytes is the peak BPTT
+	// activation-cache memory (tape meter high-water mark) at the end of the
+	// training forward, when every timestep of every layer is retained.
+	DenseCachePeakBytes int64 `json:"dense_cache_peak_bytes"`
+	TapeCachePeakBytes  int64 `json:"tape_cache_peak_bytes"`
+	// PeakMemoryReduction is DenseCachePeakBytes / TapeCachePeakBytes.
+	PeakMemoryReduction float64 `json:"peak_memory_reduction"`
+	// MaxAbsGradDiff is the largest parameter-gradient difference between the
+	// two runs (identically seeded networks).
+	MaxAbsGradDiff float64 `json:"max_abs_grad_diff"`
+	// LIFSpikeRate is the measured firing probability feeding the caches.
+	LIFSpikeRate float64 `json:"lif_spike_rate"`
+}
+
+// SparseTapeReport is the recorded artifact.
+type SparseTapeReport struct {
+	Layer     string              `json:"layer"`
+	Rows      int                 `json:"rows"`
+	Cols      int                 `json:"cols"`
+	Patch     int                 `json:"patch"`
+	Batch     int                 `json:"batch"`
+	Timesteps int                 `json:"timesteps"`
+	Iters     int                 `json:"iters"`
+	Cells     []SparseTapeCell    `json:"cells"`
+	Network   *SparseTapeNetStats `json:"network"`
+}
+
+// Gradient-equivalence gates: the fused replay accumulates timesteps in a
+// different order than the step-major reference, so a small absolute
+// difference is expected float noise (~1e-5 on the unnormalized gradient
+// sums of the bench shapes); anything past these bounds is a real
+// divergence and fails the run — this is the check the CI smoke run relies
+// on.
+const (
+	tapeCellGradTol = 1e-4
+	tapeNetGradTol  = 1e-5
+)
+
+// RunSparseTape measures dense-cache vs tape-replay backward passes on a
+// VGG-16-shaped convolution (512 filters × 512·3·3 patch on an 8×8 map, the
+// deep-stage shape of the sparse-gemm and event-driven benchmarks) across a
+// (spikeRate, weightSparsity) grid, then rolls up a network-level
+// time-major-vs-step-major comparison. Active-position-only gradients are
+// armed (the steady-state training configuration); every cell records the
+// gradient difference against the dense-cache reference and the run fails
+// if any exceeds its tolerance.
+func RunSparseTape(spikeRates, sparsities []float64, iters, timesteps int, seed uint64, progress Progress) (*SparseTapeReport, error) {
+	const (
+		inC   = 512
+		outC  = 512
+		side  = 8
+		batch = 2
+	)
+	rep := &SparseTapeReport{
+		Layer: "vgg16-conv512 (512 filters × 512·3·3 patch, 8×8 map)",
+		Rows:  outC, Cols: inC * 9, Patch: side * side, Batch: batch,
+		Timesteps: timesteps, Iters: iters,
+	}
+	for _, sp := range sparsities {
+		for _, rate := range spikeRates {
+			r := rng.New(seed + uint64(1000*sp) + uint64(31*rate*100))
+			conv := layers.NewConv2d("tape.bench", inC, outC, 3, 1, 1, false, r)
+			conv.Weight.Mask = sparse.RandomMask(conv.Weight.W.Shape(), 1-sp, r)
+			conv.Weight.ApplyMask()
+			conv.Weight.SparseGradOK = true
+			// One spike raster per timestep (same rate, different patterns)
+			// and one gradient per timestep, exactly as BPTT sees them.
+			xs := make([]*tensor.Tensor, timesteps)
+			dys := make([]*tensor.Tensor, timesteps)
+			for t := 0; t < timesteps; t++ {
+				xs[t] = tensor.New(batch, inC, side, side)
+				for i := range xs[t].Data {
+					if r.Float64() < rate {
+						xs[t].Data[i] = 1
+					}
+				}
+				dys[t] = tensor.New(batch, outC, side, side)
+				for i := range dys[t].Data {
+					dys[t].Data[i] = r.NormFloat32()
+				}
+			}
+
+			// One measured BPTT replay per mode: time-major forward over the
+			// T timesteps (untimed, train=true records the cache), then the
+			// timed backward. With dense caches BackwardSeq degenerates to T
+			// per-timestep replays — the PR 2 baseline; with the tape it runs
+			// the fused event replay.
+			measure := func(events bool) (backNs int64, cacheBytes int64, grad *tensor.Tensor) {
+				old := tape.CacheEvents
+				tape.CacheEvents = events
+				defer func() { tape.CacheEvents = old }()
+				times := make([]int64, 0, iters)
+				for it := 0; it < iters+1; it++ { // first pass is warm-up
+					base := tape.CacheBytes()
+					conv.ForwardSeq(xs, true)
+					cacheBytes = tape.CacheBytes() - base
+					conv.Weight.ZeroGrad()
+					start := time.Now()
+					conv.BackwardSeq(dys)
+					ns := time.Since(start).Nanoseconds()
+					if it > 0 {
+						times = append(times, ns)
+					}
+				}
+				sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+				grad = conv.Weight.Grad.Clone()
+				return times[len(times)/2] / int64(timesteps), cacheBytes, grad
+			}
+			denseNs, denseBytes, denseGrad := measure(false)
+			tapeNs, tapeBytes, tapeGrad := measure(true)
+
+			cell := SparseTapeCell{
+				SpikeRate:       rate,
+				WeightSparsity:  sp,
+				NNZWeights:      conv.Weight.ActiveCount(),
+				DenseBackwardNs: denseNs,
+				TapeBackwardNs:  tapeNs,
+				DenseCacheBytes: denseBytes,
+				TapeCacheBytes:  tapeBytes,
+				MaxAbsGradDiff:  maxAbsDiff32(denseGrad.Data, tapeGrad.Data),
+			}
+			if tapeNs > 0 {
+				cell.BackwardSpeedup = float64(denseNs) / float64(tapeNs)
+			}
+			if tapeBytes > 0 {
+				cell.MemoryReduction = float64(denseBytes) / float64(tapeBytes)
+			}
+			rep.Cells = append(rep.Cells, cell)
+			conv.Weight.InvalidateCSR()
+			report(progress, "sparse-tape θ=%.2f rate=%.2f: backward/t dense=%s tape=%s (%.1fx) cache %d→%d B (%.1fx) graddiff=%.2g",
+				sp, rate, time.Duration(denseNs), time.Duration(tapeNs), cell.BackwardSpeedup,
+				denseBytes, tapeBytes, cell.MemoryReduction, cell.MaxAbsGradDiff)
+			if cell.MaxAbsGradDiff > tapeCellGradTol {
+				return rep, fmt.Errorf("bench: sparse-tape θ=%.2f rate=%.2f: tape gradients diverge from the dense reference by %g (tolerance %g)",
+					sp, rate, cell.MaxAbsGradDiff, tapeCellGradTol)
+			}
+		}
+	}
+	rep.Network = measureTapeNetwork(seed, timesteps, iters, progress)
+	if rep.Network.MaxAbsGradDiff > tapeNetGradTol {
+		return rep, fmt.Errorf("bench: sparse-tape network rollup: time-major gradients diverge from the step-major reference by %g (tolerance %g)",
+			rep.Network.MaxAbsGradDiff, tapeNetGradTol)
+	}
+	return rep, nil
+}
+
+// measureTapeNetwork runs one training batch through identically-seeded
+// masked conv→LIF stacks: step-major with dense caches (the PR 2 baseline)
+// vs time-major with the tape, comparing wall-clock, peak cache bytes and
+// every parameter gradient.
+func measureTapeNetwork(seed uint64, timesteps, iters int, progress Progress) *SparseTapeNetStats {
+	build := func() *snn.Network {
+		r := rng.New(seed*17 + 3)
+		c1 := layers.NewConv2d("n.c1", 3, 16, 3, 1, 1, false, r)
+		c2 := layers.NewConv2d("n.c2", 16, 16, 3, 1, 1, false, r)
+		fc := layers.NewLinear("n.fc", 16*8*8, 10, false, r)
+		mr := rng.New(seed*19 + 7)
+		for _, p := range []*layers.Param{c1.Weight, c2.Weight, fc.Weight} {
+			p.Mask = sparse.RandomMask(p.W.Shape(), 0.1, mr)
+			p.ApplyMask()
+			p.SparseGradOK = true
+		}
+		return &snn.Network{
+			Layers: []layers.Layer{
+				c1, snn.DefaultNeuron().New(),
+				c2, snn.DefaultNeuron().New(),
+				layers.NewFlatten(), fc,
+			},
+			T: timesteps,
+		}
+	}
+	r := rng.New(seed*23 + 11)
+	x := tensor.New(8, 3, 8, 8)
+	for i := range x.Data {
+		x.Data[i] = r.NormFloat32()
+	}
+
+	// The loss gradient is fixed across iterations and modes (the final layer
+	// always emits [8,10] per timestep), so it stays outside the timed region.
+	dr := rng.New(seed * 29)
+	douts := make([]*tensor.Tensor, timesteps)
+	for t := range douts {
+		douts[t] = tensor.New(8, 10)
+		for i := range douts[t].Data {
+			douts[t].Data[i] = dr.NormFloat32()
+		}
+	}
+
+	run := func(net *snn.Network, events bool) (ns, peak int64, grads []*tensor.Tensor, spikeRate float64) {
+		old := tape.CacheEvents
+		tape.CacheEvents = events
+		defer func() { tape.CacheEvents = old }()
+		times := make([]int64, 0, iters)
+		for it := 0; it < iters+1; it++ {
+			base := tape.CacheBytes()
+			net.ZeroGrads()
+			start := time.Now()
+			net.Forward(x, true)
+			// After the training forward every timestep of every layer is
+			// retained, so the current size is the pass's high-water mark.
+			tape.ResetPeak()
+			peak = tape.PeakBytes() - base
+			net.Backward(douts)
+			ns = time.Since(start).Nanoseconds()
+			if it > 0 {
+				times = append(times, ns)
+			}
+		}
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		for _, p := range net.Params() {
+			grads = append(grads, p.Grad.Clone())
+		}
+		return times[len(times)/2], peak, grads, net.SpikeRate()
+	}
+
+	dense := build()
+	denseNs, densePeak, denseGrads, spikeRate := run(dense, false)
+	taped := build()
+	taped.TimeMajor = true
+	tapeNs, tapePeak, tapeGrads, _ := run(taped, true)
+
+	stats := &SparseTapeNetStats{
+		StepMajorNs:         denseNs,
+		TimeMajorNs:         tapeNs,
+		DenseCachePeakBytes: densePeak,
+		TapeCachePeakBytes:  tapePeak,
+		LIFSpikeRate:        spikeRate,
+	}
+	if tapeNs > 0 {
+		stats.TimeMajorSpeedup = float64(denseNs) / float64(tapeNs)
+	}
+	if tapePeak > 0 {
+		stats.PeakMemoryReduction = float64(densePeak) / float64(tapePeak)
+	}
+	for i := range denseGrads {
+		if d := maxAbsDiff32(denseGrads[i].Data, tapeGrads[i].Data); d > stats.MaxAbsGradDiff {
+			stats.MaxAbsGradDiff = d
+		}
+	}
+	for _, net := range []*snn.Network{dense, taped} {
+		for _, p := range net.Params() {
+			p.InvalidateCSR()
+		}
+	}
+	report(progress, "network rollup: step-major=%s time-major=%s (%.2fx) peak cache %d→%d B (%.1fx) lif-rate=%.3f graddiff=%.2g",
+		time.Duration(denseNs), time.Duration(tapeNs), stats.TimeMajorSpeedup,
+		densePeak, tapePeak, stats.PeakMemoryReduction, spikeRate, stats.MaxAbsGradDiff)
+	return stats
+}
+
+// PrintSparseTape writes the report as indented JSON (the BENCH artifact
+// format).
+func PrintSparseTape(w io.Writer, r *SparseTapeReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("bench: encode sparse-tape report: %w", err)
+	}
+	return nil
+}

@@ -8,6 +8,7 @@ import (
 	"ndsnn/internal/metrics"
 	"ndsnn/internal/rng"
 	"ndsnn/internal/sparse"
+	"ndsnn/internal/tape"
 	"ndsnn/internal/tensor"
 )
 
@@ -21,7 +22,9 @@ type Conv2d struct {
 	Weight *Param
 	Bias   *Param
 
-	xs     cacheStack[*tensor.Tensor]
+	// xs is the layer's BPTT tape: per-timestep inputs, event-encoded when
+	// they are binary spike tensors (see package tape). Backward replays it.
+	xs     tape.Stack
 	events eventTally
 }
 
@@ -43,6 +46,90 @@ func NewConv2d(name string, inC, outC, k, stride, pad int, withBias bool, r *rng
 	return l
 }
 
+// convScratch bundles the per-worker buffers of the im2col/GEMM loop.
+type convScratch struct {
+	col     []float32
+	colT    *tensor.Tensor
+	rowPtr  []int32
+	evIdx   []int32
+	colSeen []bool
+}
+
+func newConvScratch(ckk, p int, withEvents bool) *convScratch {
+	s := &convScratch{col: make([]float32, ckk*p)}
+	s.colT = tensor.FromSlice(s.col, ckk, p)
+	if withEvents {
+		s.rowPtr = make([]int32, ckk+1)
+		s.colSeen = make([]bool, p)
+	}
+	return s
+}
+
+func (l *Conv2d) geometry(x *tensor.Tensor) (b, c, h, w, oh, ow, p, ckk int) {
+	b, c, h, w = x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if c != l.InC {
+		panic(fmt.Sprintf("layers: %s expects %d input channels, got %d", l.Weight.Name, l.InC, c))
+	}
+	oh = tensor.ConvOutSize(h, l.K, l.Stride, l.Pad)
+	ow = tensor.ConvOutSize(w, l.K, l.Stride, l.Pad)
+	p = oh * ow
+	ckk = c * l.K * l.K
+	return
+}
+
+// forwardSample runs one sample-timestep's GEMM into yb (shape [OutC, p]),
+// choosing between the event-driven, weight-only CSR and dense paths exactly
+// as documented on Forward, and adds the bias.
+func (l *Conv2d) forwardSample(yb *tensor.Tensor, src []float32, c, h, w, oh, ow int,
+	wmat *tensor.Tensor, wcsr *sparse.CSR, wcsc *sparse.CSC, s *convScratch,
+	tally *metrics.EventStats, maxRate float64) {
+	p := oh * ow
+	ckk := c * l.K * l.K
+	tally.Forwards++
+	eventDone := false
+	if wcsr != nil {
+		var binary bool
+		s.evIdx, binary = tensor.Im2ColEvents(s.col, src, c, h, w, l.K, l.K, l.Stride, l.Pad, oh, ow, s.rowPtr, s.evIdx[:0])
+		if binary {
+			ev := sparse.Events{Rows: ckk, Cols: p, RowPtr: s.rowPtr, ColIdx: s.evIdx}
+			tally.Entries += int64(ckk * p)
+			tally.ActiveEntries += int64(ev.NNZ())
+			tally.Cols += int64(p)
+			tally.ActiveCols += countActiveCols(s.evIdx, s.colSeen)
+			// maxRate > 0 keeps the documented kill switch honest: at 0, even
+			// all-zero (occupancy 0) inputs stay on the weight-only path.
+			if maxRate > 0 && ev.Occupancy() <= maxRate {
+				sparse.CSCMatMulEventsSerialInto(yb, wcsc, &ev, false)
+				tally.EventForwards++
+				eventDone = true
+			}
+		}
+	} else {
+		tensor.Im2Col(s.col, src, c, h, w, l.K, l.K, l.Stride, l.Pad, oh, ow)
+	}
+	if !eventDone {
+		if wcsr != nil {
+			sparse.CSRMatMulSerialInto(yb, wcsr, s.colT, false)
+		} else {
+			tensor.MatMulSerialInto(yb, wmat, s.colT, false)
+		}
+	}
+	l.addBias(yb, p)
+}
+
+func (l *Conv2d) addBias(yb *tensor.Tensor, p int) {
+	if l.Bias == nil {
+		return
+	}
+	for f := 0; f < l.OutC; f++ {
+		bv := l.Bias.W.Data[f]
+		row := yb.Data[f*p : (f+1)*p]
+		for j := range row {
+			row[j] += bv
+		}
+	}
+}
+
 // Forward computes one timestep of the convolution.
 //
 // When the weight is CSR-encoded and the input turns out to be a binary
@@ -53,15 +140,11 @@ func NewConv2d(name string, inC, outC, k, stride, pad int, withBias bool, r *rng
 // first layer under direct encoding, or post-BatchNorm currents), fall back
 // to the weight-only CSR or dense GEMM path. All three paths produce
 // bit-identical outputs.
+//
+// During training the input is recorded on the layer's tape — event-encoded
+// when binary — and Backward replays it.
 func (l *Conv2d) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	b, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
-	if c != l.InC {
-		panic(fmt.Sprintf("layers: %s expects %d input channels, got %d", l.Weight.Name, l.InC, c))
-	}
-	oh := tensor.ConvOutSize(h, l.K, l.Stride, l.Pad)
-	ow := tensor.ConvOutSize(w, l.K, l.Stride, l.Pad)
-	p := oh * ow
-	ckk := c * l.K * l.K
+	b, c, h, w, oh, ow, p, ckk := l.geometry(x)
 	out := tensor.New(b, l.OutC, oh, ow)
 	wmat := l.Weight.W.Reshape(l.OutC, ckk)
 	wcsr := l.Weight.SparseW()
@@ -73,64 +156,136 @@ func (l *Conv2d) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	maxRate := EventMaxRate
 	tensor.ParallelFor(b, l.OutC*ckk*p, func(lo, hi int) {
-		col := make([]float32, ckk*p)
-		colT := tensor.FromSlice(col, ckk, p)
+		s := newConvScratch(ckk, p, wcsr != nil)
 		var tally metrics.EventStats
-		var rowPtr, evIdx []int32
-		var colSeen []bool
-		if wcsr != nil {
-			rowPtr = make([]int32, ckk+1)
-			colSeen = make([]bool, p)
-		}
 		for bi := lo; bi < hi; bi++ {
 			src := x.Data[bi*c*h*w : (bi+1)*c*h*w]
 			yb := tensor.FromSlice(out.Data[bi*l.OutC*p:(bi+1)*l.OutC*p], l.OutC, p)
-			tally.Forwards++
-			eventDone := false
-			if wcsr != nil {
-				var binary bool
-				evIdx, binary = tensor.Im2ColEvents(col, src, c, h, w, l.K, l.K, l.Stride, l.Pad, oh, ow, rowPtr, evIdx[:0])
-				if binary {
-					ev := sparse.Events{Rows: ckk, Cols: p, RowPtr: rowPtr, ColIdx: evIdx}
-					tally.Entries += int64(ckk * p)
-					tally.ActiveEntries += int64(ev.NNZ())
-					tally.Cols += int64(p)
-					tally.ActiveCols += countActiveCols(evIdx, colSeen)
-					// maxRate > 0 keeps the documented kill switch honest:
-					// at 0, even all-zero (occupancy 0) inputs stay on the
-					// weight-only path.
-					if maxRate > 0 && ev.Occupancy() <= maxRate {
-						sparse.CSCMatMulEventsSerialInto(yb, wcsc, &ev, false)
-						tally.EventForwards++
-						eventDone = true
+			l.forwardSample(yb, src, c, h, w, oh, ow, wmat, wcsr, wcsc, s, &tally, maxRate)
+		}
+		l.events.add(tally)
+	})
+	if train {
+		l.xs.Push(x)
+	}
+	return out
+}
+
+// ForwardSeq is the time-major fast path: it processes all T timesteps of a
+// batch in one call. When the weight is CSR-encoded and a sample's inputs
+// are binary across every timestep (with fused occupancy at most
+// EventMaxRate), the T event patterns are merged with sparse.FuseTimesteps
+// and a single CSCMatMulEventsSerialInto computes all T products in one
+// traversal of the weight matrix — the batched-timestep GEMM, end-to-end.
+// Samples with analog or high-occupancy timesteps fall back to the same
+// per-timestep decisions Forward makes. Outputs are bit-identical to T
+// Forward calls, and the tape records the same per-timestep entries.
+func (l *Conv2d) ForwardSeq(xs []*tensor.Tensor, train bool) []*tensor.Tensor {
+	T := len(xs)
+	if T == 0 {
+		return nil
+	}
+	wcsr := l.Weight.SparseW()
+	if wcsr == nil || T == 1 {
+		// No fusion opportunity: drive the per-timestep path.
+		outs := make([]*tensor.Tensor, T)
+		for t, x := range xs {
+			outs[t] = l.Forward(x, train)
+		}
+		return outs
+	}
+	b, c, h, w, oh, ow, p, ckk := l.geometry(xs[0])
+	for _, x := range xs[1:] {
+		if !x.SameShape(xs[0]) {
+			panic(fmt.Sprintf("layers: %s ForwardSeq timestep shapes diverge: %v vs %v", l.Weight.Name, x.Shape(), xs[0].Shape()))
+		}
+	}
+	wmat := l.Weight.W.Reshape(l.OutC, ckk)
+	wcsc := l.Weight.SparseWCSC()
+	outs := make([]*tensor.Tensor, T)
+	for t := range outs {
+		outs[t] = tensor.New(b, l.OutC, oh, ow)
+	}
+	maxRate := EventMaxRate
+	chw := c * h * w
+	tensor.ParallelFor(b, T*l.OutC*ckk*p, func(lo, hi int) {
+		s := newConvScratch(ckk, p, true)
+		// Per-timestep pattern buffers, reused across samples; the fused call
+		// needs all T patterns alive at once.
+		rowPtrs := make([][]int32, T)
+		evIdxs := make([][]int32, T)
+		evs := make([]*sparse.Events, T)
+		for t := range rowPtrs {
+			rowPtrs[t] = make([]int32, ckk+1)
+		}
+		var flat []int32
+		ybuf := tensor.New(l.OutC, T*p)
+		var tally metrics.EventStats
+		for bi := lo; bi < hi; bi++ {
+			// Pass 1: extract every timestep's event pattern straight from
+			// the input (O(chw + K²·nnz) — the fused kernel never reads a
+			// dense column matrix); abandon fusion on the first analog
+			// timestep.
+			fusable := true
+			totalNNZ := 0
+			for t := 0; t < T; t++ {
+				src := xs[t].Data[bi*chw : (bi+1)*chw]
+				flat = flat[:0]
+				for i, v := range src {
+					if v == 0 {
+						continue
 					}
+					if v != 1 {
+						fusable = false
+						break
+					}
+					flat = append(flat, int32(i))
+				}
+				if !fusable {
+					break
+				}
+				evIdxs[t] = tensor.Im2ColPatternFromEvents(flat, c, h, w, l.K, l.K, l.Stride, l.Pad, oh, ow, rowPtrs[t], evIdxs[t][:0])
+				evs[t] = &sparse.Events{Rows: ckk, Cols: p, RowPtr: rowPtrs[t], ColIdx: evIdxs[t]}
+				totalNNZ += evs[t].NNZ()
+			}
+			occ := float64(totalNNZ) / float64(T*ckk*p)
+			if fusable && maxRate > 0 && occ <= maxRate {
+				for t := 0; t < T; t++ {
+					tally.Forwards++
+					tally.EventForwards++
+					tally.Entries += int64(ckk * p)
+					tally.ActiveEntries += int64(evs[t].NNZ())
+					tally.Cols += int64(p)
+					tally.ActiveCols += countActiveCols(evIdxs[t], s.colSeen)
+				}
+				fused := sparse.FuseTimesteps(evs)
+				sparse.CSCMatMulEventsSerialInto(ybuf, wcsc, fused, false)
+				// Timestep t's output is ybuf[:, t·p:(t+1)·p].
+				for t := 0; t < T; t++ {
+					yb := tensor.FromSlice(outs[t].Data[bi*l.OutC*p:(bi+1)*l.OutC*p], l.OutC, p)
+					for f := 0; f < l.OutC; f++ {
+						copy(yb.Data[f*p:(f+1)*p], ybuf.Data[f*T*p+t*p:f*T*p+(t+1)*p])
+					}
+					l.addBias(yb, p)
 				}
 			} else {
-				tensor.Im2Col(col, src, c, h, w, l.K, l.K, l.Stride, l.Pad, oh, ow)
-			}
-			if !eventDone {
-				if wcsr != nil {
-					sparse.CSRMatMulSerialInto(yb, wcsr, colT, false)
-				} else {
-					tensor.MatMulSerialInto(yb, wmat, colT, false)
-				}
-			}
-			if l.Bias != nil {
-				for f := 0; f < l.OutC; f++ {
-					bv := l.Bias.W.Data[f]
-					row := yb.Data[f*p : (f+1)*p]
-					for j := range row {
-						row[j] += bv
-					}
+				// Mixed or high-occupancy sample: per-timestep decisions,
+				// identical to Forward (which re-tallies from scratch).
+				for t := 0; t < T; t++ {
+					src := xs[t].Data[bi*chw : (bi+1)*chw]
+					yb := tensor.FromSlice(outs[t].Data[bi*l.OutC*p:(bi+1)*l.OutC*p], l.OutC, p)
+					l.forwardSample(yb, src, c, h, w, oh, ow, wmat, wcsr, wcsc, s, &tally, maxRate)
 				}
 			}
 		}
 		l.events.add(tally)
 	})
 	if train {
-		l.xs.push(x)
+		for _, x := range xs {
+			l.xs.Push(x)
+		}
 	}
-	return out
+	return outs
 }
 
 // countActiveCols counts the distinct column indices in evIdx, using seen as
@@ -156,21 +311,15 @@ func (l *Conv2d) EventStats() metrics.EventStats { return l.events.snapshot() }
 // ResetEventStats zeroes the event-path counters.
 func (l *Conv2d) ResetEventStats() { l.events.reset() }
 
-// Backward computes input gradients and accumulates weight/bias gradients
-// for the most recent cached timestep.
-func (l *Conv2d) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	x := l.xs.pop()
-	b, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
-	oh, ow := dy.Dim(2), dy.Dim(3)
-	p := oh * ow
-	ckk := c * l.K * l.K
-	dx := tensor.New(b, c, h, w)
-	wmat := l.Weight.W.Reshape(l.OutC, ckk)
-	wcsr := l.Weight.SparseW()
-	// dX always rides the CSR path when available; dW does so only when the
-	// trainer has declared active-position-only gradients acceptable.
-	sparseGrad := wcsr != nil && l.Weight.SparseGradOK
-
+// parallelGrad is the shared batch-partition/gradient-reduction scaffolding
+// of the backward paths: it splits [0,b) across up to GOMAXPROCS workers,
+// hands each a private gradient accumulator (a pattern-aligned vals slice
+// when sparseGrad, else a dense dW tensor; plus a bias part when the layer
+// has one), and after all workers finish folds the parts into
+// Weight.Grad/Bias.Grad. body processes samples [lo,hi) and must only write
+// its own accumulators.
+func (l *Conv2d) parallelGrad(b, ckk int, wcsr *sparse.CSR, sparseGrad bool,
+	body func(lo, hi int, dwLocal *tensor.Tensor, valLocal, dbLocal []float32)) {
 	procs := runtime.GOMAXPROCS(0)
 	if procs > b {
 		procs = b
@@ -205,34 +354,7 @@ func (l *Conv2d) Backward(dy *tensor.Tensor) *tensor.Tensor {
 		wg.Add(1)
 		go func(lo, hi int, dwLocal *tensor.Tensor, valLocal, dbLocal []float32) {
 			defer wg.Done()
-			col := make([]float32, ckk*p)
-			colT := tensor.FromSlice(col, ckk, p)
-			dcol := make([]float32, ckk*p)
-			dcolT := tensor.FromSlice(dcol, ckk, p)
-			for bi := lo; bi < hi; bi++ {
-				tensor.Im2Col(col, x.Data[bi*c*h*w:(bi+1)*c*h*w], c, h, w, l.K, l.K, l.Stride, l.Pad, oh, ow)
-				dyb := tensor.FromSlice(dy.Data[bi*l.OutC*p:(bi+1)*l.OutC*p], l.OutC, p)
-				if sparseGrad {
-					sparse.CSRGradABTSerial(valLocal, wcsr, dyb, colT)
-				} else {
-					tensor.MatMulABTSerialInto(dwLocal, dyb, colT, true)
-				}
-				if wcsr != nil {
-					sparse.CSRMatMulATBSerialInto(dcolT, wcsr, dyb, false)
-				} else {
-					tensor.MatMulATBSerialInto(dcolT, wmat, dyb, false)
-				}
-				tensor.Col2Im(dx.Data[bi*c*h*w:(bi+1)*c*h*w], dcol, c, h, w, l.K, l.K, l.Stride, l.Pad, oh, ow)
-				if dbLocal != nil {
-					for f := 0; f < l.OutC; f++ {
-						var s float32
-						for _, v := range dyb.Data[f*p : (f+1)*p] {
-							s += v
-						}
-						dbLocal[f] += s
-					}
-				}
-			}
+			body(lo, hi, dwLocal, valLocal, dbLocal)
 		}(lo, hi, dwLocal, valLocal, dbLocal)
 	}
 	wg.Wait()
@@ -250,7 +372,184 @@ func (l *Conv2d) Backward(dy *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	}
+}
+
+// Backward computes input gradients and accumulates weight/bias gradients
+// for the most recent cached timestep, replaying the tape: an event-encoded
+// record rebuilds the im2col event pattern straight from the recorded
+// spikes, and when active-position-only gradients are allowed the weight
+// gradient consumes the pattern directly (CSRGradABTEventsSerial), skipping
+// zero-spike rows — backward-weight work then scales with
+// weightDensity × spikeOccupancy like the forward pass.
+func (l *Conv2d) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	rec := l.xs.Pop()
+	shape := rec.Shape()
+	b, c, h, w := shape[0], shape[1], shape[2], shape[3]
+	oh, ow := dy.Dim(2), dy.Dim(3)
+	p := oh * ow
+	ckk := c * l.K * l.K
+	chw := c * h * w
+	dx := tensor.New(b, c, h, w)
+	wmat := l.Weight.W.Reshape(l.OutC, ckk)
+	wcsr := l.Weight.SparseW()
+	xDense := rec.Dense()
+	xEv := rec.Events()
+	// dX always rides the CSR path when available; dW does so only when the
+	// trainer has declared active-position-only gradients acceptable.
+	sparseGrad := wcsr != nil && l.Weight.SparseGradOK
+
+	l.parallelGrad(b, ckk, wcsr, sparseGrad, func(lo, hi int, dwLocal *tensor.Tensor, valLocal, dbLocal []float32) {
+		col := make([]float32, ckk*p)
+		colT := tensor.FromSlice(col, ckk, p)
+		dcol := make([]float32, ckk*p)
+		dcolT := tensor.FromSlice(dcol, ckk, p)
+		var xbuf []float32
+		var rowPtr, evIdx []int32
+		if xEv != nil {
+			rowPtr = make([]int32, ckk+1)
+			if !sparseGrad {
+				xbuf = make([]float32, chw)
+			}
+		}
+		for bi := lo; bi < hi; bi++ {
+			var ev *sparse.Events
+			if xEv != nil && sparseGrad {
+				// Replay: rebuild this sample's im2col event pattern straight
+				// from the recorded input-space events — O(K²·nnz), no dense
+				// expansion; the events SDDMM below never reads the column
+				// matrix.
+				flat := xEv.ColIdx[xEv.RowPtr[bi]:xEv.RowPtr[bi+1]]
+				evIdx = tensor.Im2ColPatternFromEvents(flat, c, h, w, l.K, l.K, l.Stride, l.Pad, oh, ow, rowPtr, evIdx[:0])
+				ev = &sparse.Events{Rows: ckk, Cols: p, RowPtr: rowPtr, ColIdx: evIdx}
+			} else if xEv != nil {
+				// Dense weight gradients need the full column matrix: decode
+				// the sample's spikes, expand, erase in O(nnz).
+				xEv.ScatterRowInto(bi, xbuf, 1)
+				tensor.Im2Col(col, xbuf, c, h, w, l.K, l.K, l.Stride, l.Pad, oh, ow)
+				xEv.ScatterRowInto(bi, xbuf, 0)
+			} else {
+				tensor.Im2Col(col, xDense.Data[bi*chw:(bi+1)*chw], c, h, w, l.K, l.K, l.Stride, l.Pad, oh, ow)
+			}
+			dyb := tensor.FromSlice(dy.Data[bi*l.OutC*p:(bi+1)*l.OutC*p], l.OutC, p)
+			if sparseGrad {
+				if ev != nil {
+					sparse.CSRGradABTEventsSerial(valLocal, wcsr, dyb, ev)
+				} else {
+					sparse.CSRGradABTSerial(valLocal, wcsr, dyb, colT)
+				}
+			} else {
+				tensor.MatMulABTSerialInto(dwLocal, dyb, colT, true)
+			}
+			if wcsr != nil {
+				sparse.CSRMatMulATBSerialInto(dcolT, wcsr, dyb, false)
+			} else {
+				tensor.MatMulATBSerialInto(dcolT, wmat, dyb, false)
+			}
+			tensor.Col2Im(dx.Data[bi*chw:(bi+1)*chw], dcol, c, h, w, l.K, l.K, l.Stride, l.Pad, oh, ow)
+			if dbLocal != nil {
+				for f := 0; f < l.OutC; f++ {
+					var s float32
+					for _, v := range dyb.Data[f*p : (f+1)*p] {
+						s += v
+					}
+					dbLocal[f] += s
+				}
+			}
+		}
+	})
 	return dx
+}
+
+// BackwardSeq consumes all T timestep gradients at once — the time-major
+// backward replay. When every recorded timestep is event-encoded, the weight
+// is CSR and active-position-only gradients are armed, the T im2col event
+// patterns are rebuilt straight from the tape, merged by FuseTimesteps, and
+// consumed by ONE events SDDMM against the column-concatenated dy — and
+// backward-data likewise pays a single weight traversal for all T timesteps.
+// The per-position pattern overhead and the CSR index loads amortize by T,
+// which is where the tape's backward speedup lives. Anything else falls back
+// to T Backward calls in reverse order. Input gradients are bit-identical to
+// the step-major replay; weight/bias gradients accumulate the timesteps in
+// ascending instead of descending order (float rounding only).
+func (l *Conv2d) BackwardSeq(dys []*tensor.Tensor) []*tensor.Tensor {
+	T := len(dys)
+	wcsr := l.Weight.SparseW()
+	fused := T > 1 && wcsr != nil && l.Weight.SparseGradOK && l.xs.Len() >= T
+	if fused {
+		for i := 0; i < T; i++ {
+			if !l.xs.Peek(i).IsEvents() {
+				fused = false
+				break
+			}
+		}
+	}
+	if !fused {
+		dxs := make([]*tensor.Tensor, T)
+		for t := T - 1; t >= 0; t-- {
+			dxs[t] = l.Backward(dys[t])
+		}
+		return dxs
+	}
+	recs := make([]*sparse.Events, T)
+	var shape []int
+	for t := T - 1; t >= 0; t-- {
+		rec := l.xs.Pop()
+		recs[t] = rec.Events()
+		shape = rec.Shape()
+	}
+	b, c, h, w := shape[0], shape[1], shape[2], shape[3]
+	oh, ow := dys[0].Dim(2), dys[0].Dim(3)
+	p := oh * ow
+	ckk := c * l.K * l.K
+	chw := c * h * w
+	dxs := make([]*tensor.Tensor, T)
+	for t := range dxs {
+		dxs[t] = tensor.New(b, c, h, w)
+	}
+
+	l.parallelGrad(b, ckk, wcsr, true, func(lo, hi int, _ *tensor.Tensor, valLocal, dbLocal []float32) {
+		rowPtrs := make([][]int32, T)
+		evIdxs := make([][]int32, T)
+		evs := make([]*sparse.Events, T)
+		for t := range rowPtrs {
+			rowPtrs[t] = make([]int32, ckk+1)
+		}
+		dyF := tensor.New(l.OutC, T*p)
+		dcolF := tensor.New(ckk, T*p)
+		dcol := make([]float32, ckk*p)
+		for bi := lo; bi < hi; bi++ {
+			for t := 0; t < T; t++ {
+				flat := recs[t].ColIdx[recs[t].RowPtr[bi]:recs[t].RowPtr[bi+1]]
+				evIdxs[t] = tensor.Im2ColPatternFromEvents(flat, c, h, w, l.K, l.K, l.Stride, l.Pad, oh, ow, rowPtrs[t], evIdxs[t][:0])
+				evs[t] = &sparse.Events{Rows: ckk, Cols: p, RowPtr: rowPtrs[t], ColIdx: evIdxs[t]}
+				// Column-concatenate the timestep gradients: dyF[f] holds
+				// [t0 | t1 | …], matching the fused pattern's layout.
+				src := dys[t].Data[bi*l.OutC*p : (bi+1)*l.OutC*p]
+				for f := 0; f < l.OutC; f++ {
+					copy(dyF.Data[f*T*p+t*p:f*T*p+(t+1)*p], src[f*p:(f+1)*p])
+				}
+			}
+			evF := sparse.FuseTimesteps(evs)
+			sparse.CSRGradABTEventsSerial(valLocal, wcsr, dyF, evF)
+			sparse.CSRMatMulATBSerialInto(dcolF, wcsr, dyF, false)
+			for t := 0; t < T; t++ {
+				for cc := 0; cc < ckk; cc++ {
+					copy(dcol[cc*p:(cc+1)*p], dcolF.Data[cc*T*p+t*p:cc*T*p+(t+1)*p])
+				}
+				tensor.Col2Im(dxs[t].Data[bi*chw:(bi+1)*chw], dcol, c, h, w, l.K, l.K, l.Stride, l.Pad, oh, ow)
+			}
+			if dbLocal != nil {
+				for f := 0; f < l.OutC; f++ {
+					var s float32
+					for _, v := range dyF.Data[f*T*p : (f+1)*T*p] {
+						s += v
+					}
+					dbLocal[f] += s
+				}
+			}
+		}
+	})
+	return dxs
 }
 
 // Params returns the weight and optional bias.
@@ -262,4 +561,4 @@ func (l *Conv2d) Params() []*Param {
 }
 
 // Reset drops cached timesteps.
-func (l *Conv2d) Reset() { l.xs.clear() }
+func (l *Conv2d) Reset() { l.xs.Clear() }

@@ -6,6 +6,7 @@ import (
 	"ndsnn/internal/metrics"
 	"ndsnn/internal/rng"
 	"ndsnn/internal/sparse"
+	"ndsnn/internal/tape"
 	"ndsnn/internal/tensor"
 )
 
@@ -17,7 +18,9 @@ type Linear struct {
 	Weight *Param
 	Bias   *Param
 
-	xs     cacheStack[*tensor.Tensor]
+	// xs is the layer's BPTT tape: per-timestep inputs, event-encoded when
+	// they are binary spike tensors (see package tape). Backward replays it.
+	xs     tape.Stack
 	events eventTally
 }
 
@@ -40,6 +43,8 @@ func NewLinear(name string, in, out int, withBias bool, r *rng.RNG) *Linear {
 // EventMaxRate occupancy takes the dual-sparse event-driven path (each
 // incoming spike scatter-adds one CSC weight column); analog or dense-weight
 // inputs use the weight-only CSR or dense GEMM. All paths are bit-identical.
+// During training the input is recorded on the layer's tape, event-encoded
+// when binary.
 func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.NumDims() != 2 || x.Dim(1) != l.In {
 		panic(fmt.Sprintf("layers: %s expects [B,%d] input, got %v", l.Weight.Name, l.In, x.Shape()))
@@ -77,21 +82,34 @@ func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		}
 	}
 	if train {
-		l.xs.push(x)
+		l.xs.Push(x)
 	}
 	return out
 }
 
-// Backward accumulates dW += dyᵀ·x and db += Σ_b dy, and returns dx = dy·W.
+// Backward accumulates dW += dyᵀ·x and db += Σ_b dy, and returns dx = dy·W,
+// replaying the tape for x. Three backward-weight kernels serve the sparse
+// path: an event-encoded record feeds CSRGradATBEventsInto directly (work
+// scales with the recorded spike count), and dense records choose between
+// the column-strided reference and the blocked/transposed SDDMM by layer
+// width (GradATBTransposeMinCols).
 func (l *Linear) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	x := l.xs.pop()
+	rec := l.xs.Pop()
 	wcsr := l.Weight.SparseW()
 	if wcsr != nil && l.Weight.SparseGradOK {
 		vals := make([]float32, wcsr.NNZ())
-		sparse.CSRGradATBInto(vals, wcsr, dy, x)
+		if rec.IsEvents() {
+			sparse.CSRGradATBEventsInto(vals, wcsr, dy, rec.Events())
+		} else if wcsr.Cols >= GradATBTransposeMinCols {
+			sparse.CSRGradATBTransposedInto(vals, wcsr, dy, rec.Dense())
+		} else {
+			sparse.CSRGradATBInto(vals, wcsr, dy, rec.Dense())
+		}
 		sparse.AddValsInto(l.Weight.Grad, wcsr, vals)
 	} else {
-		tensor.MatMulATBInto(l.Weight.Grad, dy, x, true)
+		// Dense weight gradients (growth batches, unmasked layers) need the
+		// full activation; Materialize is transient, one timestep at a time.
+		tensor.MatMulATBInto(l.Weight.Grad, dy, rec.Materialize(), true)
 	}
 	if l.Bias != nil {
 		b := dy.Dim(0)
@@ -126,4 +144,4 @@ func (l *Linear) Params() []*Param {
 }
 
 // Reset drops cached timesteps.
-func (l *Linear) Reset() { l.xs.clear() }
+func (l *Linear) Reset() { l.xs.Clear() }

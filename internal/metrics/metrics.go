@@ -102,6 +102,12 @@ func SynapticOps(denseMACs int64, density, spikeRate float64, timesteps int) flo
 // analytic spikeRate × density model, these counters record what the engine
 // actually measured — and therefore actually skipped — at each layer's
 // activation matrix.
+//
+// The counters are cumulative since their last reset, not per-Forward: any
+// consumer that reports per-window figures (an epoch, a benchmark iteration)
+// must call the network's ResetEventStats at the window start, exactly as
+// train.Loop.RunEpoch does, or MeasuredSynOps and friends will silently
+// accumulate every Forward since the counters were born.
 type EventStats struct {
 	// Forwards / EventForwards count sample-timesteps processed vs routed
 	// through an event-driven kernel.
@@ -156,7 +162,9 @@ func (e EventStats) ColumnOccupancy() float64 {
 // MeasuredSynOps is SynapticOps with the engine's measured spike occupancy
 // substituted for the analytic spike rate: the synaptic-operation count the
 // dual-sparse forward actually performed, rather than the one the cost model
-// predicts.
+// predicts. Pass counters covering exactly one report window (see the
+// EventStats reset discipline above); occupancy is a ratio, so mixing
+// windows skews it toward whichever saw more traffic.
 func MeasuredSynOps(denseMACs int64, density float64, e EventStats, timesteps int) float64 {
 	return SynapticOps(denseMACs, density, e.Occupancy(), timesteps)
 }

@@ -2,6 +2,7 @@ package snn
 
 import (
 	"ndsnn/internal/layers"
+	"ndsnn/internal/tape"
 	"ndsnn/internal/tensor"
 )
 
@@ -63,8 +64,11 @@ type LIF struct {
 	v     *tensor.Tensor // membrane potential after the current timestep
 	oPrev *tensor.Tensor // previous timestep's spikes (for the reset term)
 	vs    []*tensor.Tensor
-	os    []*tensor.Tensor // per-timestep outputs, cached for hard reset
-	gNext *tensor.Tensor   // ε[t+1] carried between Backward calls
+	// os tapes the per-timestep outputs needed by the hard-reset backward;
+	// spiking-mode outputs are binary and get event-encoded (~spikeRate of
+	// the dense footprint), smooth-mode outputs stay dense automatically.
+	os    tape.Stack
+	gNext *tensor.Tensor // ε[t+1] carried between Backward calls
 
 	spikeSum   float64
 	spikeElems int64
@@ -114,7 +118,7 @@ func (l *LIF) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if train {
 		l.vs = append(l.vs, vNew)
 		if cfg.HardReset {
-			l.os = append(l.os, out)
+			l.os.Push(out)
 		}
 	}
 	return out
@@ -137,11 +141,10 @@ func (l *LIF) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	}
 	var od []float32
 	if cfg.HardReset {
-		if len(l.os) == 0 {
+		if l.os.Len() == 0 {
 			panic("snn: hard-reset LIF missing cached outputs")
 		}
-		od = l.os[len(l.os)-1].Data
-		l.os = l.os[:len(l.os)-1]
+		od = l.os.Pop().Materialize().Data
 	}
 	for i := range dyd {
 		do := dyd[i]
@@ -176,7 +179,7 @@ func (l *LIF) Reset() {
 	l.v = nil
 	l.oPrev = nil
 	l.vs = nil
-	l.os = nil
+	l.os.Clear()
 	l.gNext = nil
 }
 

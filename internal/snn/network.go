@@ -3,6 +3,7 @@ package snn
 import (
 	"ndsnn/internal/layers"
 	"ndsnn/internal/metrics"
+	"ndsnn/internal/tape"
 	"ndsnn/internal/tensor"
 )
 
@@ -30,11 +31,21 @@ type Network struct {
 	// Encoder transforms the input per timestep; nil means direct
 	// (constant-current) encoding, the paper's configuration.
 	Encoder InputEncoder
+	// TimeMajor routes Forward/Backward through the tape execution engine:
+	// each layer processes all T timesteps before the next layer runs, which
+	// lets Conv2d fuse the timesteps of a sample into one weight traversal
+	// (sparse.FuseTimesteps). Outputs and gradients are identical to the
+	// step-major schedule — only execution order and speed change.
+	TimeMajor bool
 }
 
 // Forward resets temporal state and runs T timesteps, returning the output
-// of the final layer at each timestep.
+// of the final layer at each timestep. With TimeMajor set it delegates to
+// ForwardTimeMajor.
 func (n *Network) Forward(x *tensor.Tensor, train bool) []*tensor.Tensor {
+	if n.TimeMajor {
+		return n.ForwardTimeMajor(x, train)
+	}
 	n.ResetState()
 	outs := make([]*tensor.Tensor, n.T)
 	for t := 0; t < n.T; t++ {
@@ -50,15 +61,50 @@ func (n *Network) Forward(x *tensor.Tensor, train bool) []*tensor.Tensor {
 	return outs
 }
 
-// Backward runs BPTT: timesteps in reverse order, layers in reverse order.
-// douts[t] is the loss gradient w.r.t. the timestep-t output.
+// ForwardTimeMajor resets temporal state and runs the network layer-major:
+// all T timestep inputs are materialized up front and tape.Run drives each
+// layer across the whole sequence (SequenceLayer fast paths engage here).
+// Equivalent to Forward for these temporally-unrolled feedforward networks.
+func (n *Network) ForwardTimeMajor(x *tensor.Tensor, train bool) []*tensor.Tensor {
+	n.ResetState()
+	xs := make([]*tensor.Tensor, n.T)
+	for t := 0; t < n.T; t++ {
+		h := x
+		if n.Encoder != nil {
+			h = n.Encoder.Encode(x, t)
+		}
+		xs[t] = h
+	}
+	return tape.Run(tapeLayers(n.Layers), xs, train)
+}
+
+// Backward runs BPTT. douts[t] is the loss gradient w.r.t. the timestep-t
+// output. Step-major: timesteps in reverse order, layers in reverse order;
+// with TimeMajor set, layers in reverse order with all timesteps replayed
+// per layer (the order the per-layer tapes and the LIF error recursion
+// expect either way — the two schedules accumulate identical gradients).
 func (n *Network) Backward(douts []*tensor.Tensor) {
+	if n.TimeMajor {
+		tape.RunBackward(tapeLayers(n.Layers), douts)
+		return
+	}
 	for t := n.T - 1; t >= 0; t-- {
 		g := douts[t]
 		for i := len(n.Layers) - 1; i >= 0; i-- {
 			g = n.Layers[i].Backward(g)
 		}
 	}
+}
+
+// tapeLayers adapts the layer slice to the execution engine's interface
+// (satisfied structurally; the tape package does not import the layer
+// library).
+func tapeLayers(ls []layers.Layer) []tape.Layer {
+	out := make([]tape.Layer, len(ls))
+	for i, l := range ls {
+		out[i] = l
+	}
+	return out
 }
 
 // ResetState clears every layer's temporal state and caches.

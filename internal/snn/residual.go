@@ -5,6 +5,7 @@ import (
 
 	"ndsnn/internal/layers"
 	"ndsnn/internal/rng"
+	"ndsnn/internal/tape"
 	"ndsnn/internal/tensor"
 )
 
@@ -63,6 +64,26 @@ func (b *ResidualBlock) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		panic(fmt.Sprintf("snn: residual shapes diverge: %v vs %v", h.Shape(), sc.Shape()))
 	}
 	return b.LIF2.Forward(tensor.Add(h, sc), train)
+}
+
+// ForwardSeq runs all T timesteps time-major through both paths: the
+// sublayer chains are driven by the tape engine (so the inner convolutions
+// get the fused batched-timestep GEMM), then the per-timestep addition and
+// output neuron run in order. Identical to T Forward calls.
+func (b *ResidualBlock) ForwardSeq(xs []*tensor.Tensor, train bool) []*tensor.Tensor {
+	main := tape.Run([]tape.Layer{b.Conv1, b.BN1, b.LIF1, b.Conv2, b.BN2}, xs, train)
+	sc := xs
+	if b.SCConv != nil {
+		sc = tape.Run([]tape.Layer{b.SCConv, b.SCBN}, xs, train)
+	}
+	outs := make([]*tensor.Tensor, len(xs))
+	for t := range xs {
+		if !main[t].SameShape(sc[t]) {
+			panic(fmt.Sprintf("snn: residual shapes diverge: %v vs %v", main[t].Shape(), sc[t].Shape()))
+		}
+		outs[t] = b.LIF2.Forward(tensor.Add(main[t], sc[t]), train)
+	}
+	return outs
 }
 
 // Backward reverses one timestep through both paths.

@@ -1,0 +1,196 @@
+package snn_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ndsnn/internal/layers"
+	"ndsnn/internal/rng"
+	"ndsnn/internal/snn"
+	"ndsnn/internal/tape"
+	"ndsnn/internal/tensor"
+)
+
+// The acceptance property of the sparse temporal tape: running a network
+// time-major with event-encoded activation caches must reproduce the
+// step-major dense-cache reference — forward outputs and every parameter
+// gradient — within 1e-5, across sparse-gradient modes, architectures
+// (sequential and residual) and neuron variants (soft and hard reset).
+
+// buildEquivNet constructs a masked spiking stack deterministically from
+// seed. kind is "plain" or "residual"; hardReset switches the LIF variant.
+func buildEquivNet(seed uint64, kind string, hardReset bool) *snn.Network {
+	r := rng.New(seed)
+	neuron := snn.DefaultNeuron()
+	neuron.HardReset = hardReset
+	mask := func(p *layers.Param, density float64, mr *rng.RNG) {
+		p.Mask = tensor.New(p.W.Shape()...)
+		for i := range p.Mask.Data {
+			if mr.Float64() < density {
+				p.Mask.Data[i] = 1
+			}
+		}
+		p.ApplyMask()
+	}
+	switch kind {
+	case "plain":
+		c1 := layers.NewConv2d("c1", 3, 6, 3, 1, 1, false, r)
+		c2 := layers.NewConv2d("c2", 6, 6, 3, 1, 1, true, r)
+		fc := layers.NewLinear("fc", 6*6*6, 5, true, r)
+		mr := rng.New(seed * 7)
+		mask(c1.Weight, 0.1, mr)
+		mask(c2.Weight, 0.1, mr)
+		mask(fc.Weight, 0.1, mr)
+		return &snn.Network{
+			Layers: []layers.Layer{
+				c1, neuron.New(),
+				c2, neuron.New(),
+				layers.NewFlatten(), fc,
+			},
+			T: 4,
+		}
+	case "residual":
+		c1 := layers.NewConv2d("c1", 3, 6, 3, 1, 1, false, r)
+		blk := snn.NewResidualBlock("b1", 6, 8, 2, neuron, r)
+		fc := layers.NewLinear("fc", 8*3*3, 5, false, r)
+		mr := rng.New(seed * 7)
+		mask(c1.Weight, 0.1, mr)
+		mask(blk.Conv1.Weight, 0.1, mr)
+		mask(blk.Conv2.Weight, 0.1, mr)
+		mask(fc.Weight, 0.1, mr)
+		return &snn.Network{
+			Layers: []layers.Layer{
+				c1, neuron.New(),
+				blk,
+				layers.NewFlatten(), fc,
+			},
+			T: 4,
+		}
+	}
+	panic("unknown kind " + kind)
+}
+
+// runEquivNet runs one forward+backward on deterministic data and returns
+// the per-timestep outputs and all parameter gradients.
+func runEquivNet(net *snn.Network, seed uint64, sparseGrad bool) ([]*tensor.Tensor, []*tensor.Tensor) {
+	r := rng.New(seed * 13)
+	x := tensor.New(3, 3, 6, 6)
+	for i := range x.Data {
+		x.Data[i] = r.NormFloat32()
+	}
+	for _, p := range net.Params() {
+		p.SparseGradOK = sparseGrad
+	}
+	outs := net.Forward(x, true)
+	douts := make([]*tensor.Tensor, len(outs))
+	for t, o := range outs {
+		douts[t] = tensor.New(o.Shape()...)
+		for i := range douts[t].Data {
+			douts[t].Data[i] = r.NormFloat32()
+		}
+	}
+	net.ZeroGrads()
+	net.Backward(douts)
+	var grads []*tensor.Tensor
+	for _, p := range net.Params() {
+		grads = append(grads, p.Grad)
+	}
+	return outs, grads
+}
+
+func maxDiffT(a, b *tensor.Tensor) float64 {
+	var d float64
+	for i := range a.Data {
+		x := float64(a.Data[i] - b.Data[i])
+		if x < 0 {
+			x = -x
+		}
+		if x > d {
+			d = x
+		}
+	}
+	return d
+}
+
+func TestTapeTimeMajorMatchesDenseReference(t *testing.T) {
+	oldD, oldR := layers.CSRMaxDensity, layers.EventMaxRate
+	layers.CSRMaxDensity, layers.EventMaxRate = 1, 1
+	defer func() { layers.CSRMaxDensity, layers.EventMaxRate = oldD, oldR }()
+
+	for _, kind := range []string{"plain", "residual"} {
+		for _, hardReset := range []bool{false, true} {
+			for _, sparseGrad := range []bool{false, true} {
+				name := fmt.Sprintf("%s/hard=%v/sparseGrad=%v", kind, hardReset, sparseGrad)
+				seed := uint64(97)
+
+				// Reference: step-major, dense caches (the PR 2 behavior).
+				ref := buildEquivNet(seed, kind, hardReset)
+				var refOuts, refGrads []*tensor.Tensor
+				oldCache := tape.CacheEvents
+				tape.CacheEvents = false
+				refOuts, refGrads = runEquivNet(ref, seed, sparseGrad)
+				tape.CacheEvents = oldCache
+
+				// Tape path: time-major execution, event-encoded caches.
+				got := buildEquivNet(seed, kind, hardReset)
+				got.TimeMajor = true
+				gotOuts, gotGrads := runEquivNet(got, seed, sparseGrad)
+
+				for tt := range refOuts {
+					if d := maxDiffT(refOuts[tt], gotOuts[tt]); d > 1e-5 {
+						t.Fatalf("%s: timestep %d forward differs by %v", name, tt, d)
+					}
+				}
+				if len(refGrads) != len(gotGrads) {
+					t.Fatalf("%s: grad count %d vs %d", name, len(refGrads), len(gotGrads))
+				}
+				for i := range refGrads {
+					if d := maxDiffT(refGrads[i], gotGrads[i]); d > 1e-5 {
+						t.Fatalf("%s: grad %d differs by %v (tape replay vs dense reference)", name, i, d)
+					}
+				}
+				for _, p := range append(ref.Params(), got.Params()...) {
+					p.InvalidateCSR()
+				}
+			}
+		}
+	}
+}
+
+// TestTapeCachesAreEventEncoded pins the memory story: during a training
+// forward over binary spike activations, the tape retains event-encoded
+// caches that are measurably smaller than the dense baseline's.
+func TestTapeCachesAreEventEncoded(t *testing.T) {
+	oldD, oldR := layers.CSRMaxDensity, layers.EventMaxRate
+	layers.CSRMaxDensity, layers.EventMaxRate = 1, 1
+	defer func() { layers.CSRMaxDensity, layers.EventMaxRate = oldD, oldR }()
+
+	seed := uint64(131)
+	measure := func(events bool) int64 {
+		old := tape.CacheEvents
+		tape.CacheEvents = events
+		defer func() { tape.CacheEvents = old }()
+		net := buildEquivNet(seed, "plain", false)
+		base := tape.CacheBytes()
+		r := rng.New(seed * 13)
+		x := tensor.New(3, 3, 6, 6)
+		for i := range x.Data {
+			x.Data[i] = r.NormFloat32()
+		}
+		net.Forward(x, true)
+		retained := tape.CacheBytes() - base
+		net.ResetState() // release the caches
+		for _, p := range net.Params() {
+			p.InvalidateCSR()
+		}
+		if got := tape.CacheBytes(); got != base {
+			t.Fatalf("ResetState leaked %d tape bytes", got-base)
+		}
+		return retained
+	}
+	dense := measure(false)
+	tape1 := measure(true)
+	if tape1 >= dense {
+		t.Fatalf("event caches (%d B) not smaller than dense caches (%d B)", tape1, dense)
+	}
+}

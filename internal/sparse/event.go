@@ -34,6 +34,20 @@ type Events struct {
 // NNZ returns the number of recorded events (active entries).
 func (e *Events) NNZ() int { return len(e.ColIdx) }
 
+// ScatterRowInto sets dst[j] = v at every active column j of row r, leaving
+// other entries untouched. With v=1 over a zeroed buffer it decodes one row
+// of the binary matrix; calling again with v=0 erases exactly what was
+// written, which is how tape replay reuses one scratch row across a batch in
+// O(nnz) instead of re-zeroing the whole buffer.
+func (e *Events) ScatterRowInto(r int, dst []float32, v float32) {
+	for _, j := range e.ColIdx[e.RowPtr[r]:e.RowPtr[r+1]] {
+		dst[j] = v
+	}
+}
+
+// RowNNZ returns the number of active entries in row r.
+func (e *Events) RowNNZ(r int) int { return int(e.RowPtr[r+1] - e.RowPtr[r]) }
+
 // Occupancy returns the fraction of entries that are active — the measured
 // spike rate of the encoded tensor.
 func (e *Events) Occupancy() float64 {
@@ -156,6 +170,111 @@ func FuseTimesteps(evs []*Events) *Events {
 		f.RowPtr[q+1] = int32(len(f.ColIdx))
 	}
 	return f
+}
+
+// CSRGradABTEventsSerial is CSRGradABTSerial with the b operand given as the
+// event pattern of a binary matrix — the tape-replay form of the conv weight
+// gradient: vals[p] += Σ_j a[r,j]·b[c,j] degenerates to accumulating a[r,j]
+// over b's recorded events, so backward-weight work scales with
+// nnz(pattern) × spike occupancy instead of nnz(pattern) × q. Rows of the
+// pattern with zero recorded spikes are skipped entirely. Contributions
+// arrive in ascending-j order (the dense kernel's summation order, minus its
+// exact-zero terms), so results match the dense path within float rounding.
+// a is [pattern.Rows, q]; evB is [pattern.Cols, q]. Serial because the conv
+// layer parallelizes across the batch.
+func CSRGradABTEventsSerial(vals []float32, pattern *CSR, a *tensor.Tensor, evB *Events) {
+	am, q := dims2(a, "CSRGradABTEvents a")
+	if am != pattern.Rows {
+		panic(fmt.Sprintf("sparse: CSRGradABTEvents a rows %d vs pattern rows %d", am, pattern.Rows))
+	}
+	if evB.Rows != pattern.Cols || evB.Cols != q {
+		panic(fmt.Sprintf("sparse: CSRGradABTEvents events [%d,%d] vs pattern cols %d, q %d", evB.Rows, evB.Cols, pattern.Cols, q))
+	}
+	if len(vals) != pattern.NNZ() {
+		panic(fmt.Sprintf("sparse: CSRGradABTEvents vals length %d, want %d", len(vals), pattern.NNZ()))
+	}
+	ad := a.Data
+	for r := 0; r < pattern.Rows; r++ {
+		arow := ad[r*q : (r+1)*q]
+		for p := pattern.RowPtr[r]; p < pattern.RowPtr[r+1]; p++ {
+			c := int(pattern.ColIdx[p])
+			lo, hi := evB.RowPtr[c], evB.RowPtr[c+1]
+			if lo == hi {
+				continue // zero-spike row: the whole dot product is zero
+			}
+			var s float32
+			for _, j := range evB.ColIdx[lo:hi] {
+				s += arow[j]
+			}
+			vals[p] += s
+		}
+	}
+}
+
+// CSRGradATBEventsInto is CSRGradATBInto with the b operand given as the
+// event pattern of a binary matrix — the tape-replay form of the linear
+// weight gradient: vals[p] += Σ_i a[i,r]·b[i,c] becomes a gather of a's
+// column r over the samples that spiked at feature c. The kernel
+// column-compresses the event pattern (which samples spiked at each feature)
+// and transposes a once, so the inner loop reads one contiguous a row with
+// O(spikes-at-c) indexed gathers. a is [batch, pattern.Rows]; evB is
+// [batch, pattern.Cols]. Parallelized over pattern rows.
+func CSRGradATBEventsInto(vals []float32, pattern *CSR, a *tensor.Tensor, evB *Events) {
+	ab, m := dims2(a, "CSRGradATBEvents a")
+	if evB.Rows != ab {
+		panic(fmt.Sprintf("sparse: CSRGradATBEvents batch dims %d vs %d", ab, evB.Rows))
+	}
+	if m != pattern.Rows || evB.Cols != pattern.Cols {
+		panic(fmt.Sprintf("sparse: CSRGradATBEvents operands [%d,%d]/[%d,%d] vs pattern [%d,%d]", ab, m, evB.Rows, evB.Cols, pattern.Rows, pattern.Cols))
+	}
+	if len(vals) != pattern.NNZ() {
+		panic(fmt.Sprintf("sparse: CSRGradATBEvents vals length %d, want %d", len(vals), pattern.NNZ()))
+	}
+	ad := a.Data
+	aT := make([]float32, m*ab)
+	for i := 0; i < ab; i++ {
+		for r := 0; r < m; r++ {
+			aT[r*ab+i] = ad[i*m+r]
+		}
+	}
+	// Column-compress the events: colPtr/sampleIdx list, per feature c, the
+	// ascending sample indices that spiked at c (a counting sort, O(nnz)).
+	k := evB.Cols
+	colPtr := make([]int32, k+1)
+	for _, c := range evB.ColIdx {
+		colPtr[c+1]++
+	}
+	for c := 0; c < k; c++ {
+		colPtr[c+1] += colPtr[c]
+	}
+	sampleIdx := make([]int32, evB.NNZ())
+	next := make([]int32, k)
+	copy(next, colPtr[:k])
+	for i := 0; i < evB.Rows; i++ {
+		for p := evB.RowPtr[i]; p < evB.RowPtr[i+1]; p++ {
+			c := evB.ColIdx[p]
+			sampleIdx[next[c]] = int32(i)
+			next[c]++
+		}
+	}
+	rowWork := 2 * (2 + evB.NNZ()/max1(pattern.Rows))
+	tensor.ParallelFor(pattern.Rows, rowWork, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			arow := aT[r*ab : (r+1)*ab]
+			for p := pattern.RowPtr[r]; p < pattern.RowPtr[r+1]; p++ {
+				c := pattern.ColIdx[p]
+				clo, chi := colPtr[c], colPtr[c+1]
+				if clo == chi {
+					continue
+				}
+				var s float32
+				for _, i := range sampleIdx[clo:chi] {
+					s += arow[i]
+				}
+				vals[p] += s
+			}
+		}
+	})
 }
 
 // CSC is a compressed-sparse-column view of a weight matrix: column q's

@@ -252,6 +252,59 @@ func CSRGradATBInto(vals []float32, pattern *CSR, a, b *tensor.Tensor) {
 	})
 }
 
+// CSRGradATBTransposedInto computes exactly what CSRGradATBInto computes —
+// vals[p] += Σ_i a[i,r]·b[i,c] at every stored position — but first
+// transposes both operands into [rows, batch] scratch so the per-position dot
+// product streams two contiguous rows instead of walking a and b
+// column-strided. The O(batch·(m+k)) transpose is amortized over
+// nnz(pattern) dot products of length batch, which wins on wide layers where
+// the column stride defeats the cache; the summation order per position is
+// unchanged (i ascending), so results are bit-identical to CSRGradATBInto.
+// Parallelized over pattern rows.
+func CSRGradATBTransposedInto(vals []float32, pattern *CSR, a, b *tensor.Tensor) {
+	ab, m := dims2(a, "CSRGradATBTransposed a")
+	bb, k := dims2(b, "CSRGradATBTransposed b")
+	if ab != bb {
+		panic(fmt.Sprintf("sparse: CSRGradATBTransposed batch dims %d vs %d", ab, bb))
+	}
+	if m != pattern.Rows || k != pattern.Cols {
+		panic(fmt.Sprintf("sparse: CSRGradATBTransposed operands [%d,%d]/[%d,%d] vs pattern [%d,%d]", ab, m, bb, k, pattern.Rows, pattern.Cols))
+	}
+	if len(vals) != pattern.NNZ() {
+		panic(fmt.Sprintf("sparse: CSRGradATBTransposed vals length %d, want %d", len(vals), pattern.NNZ()))
+	}
+	ad, bd := a.Data, b.Data
+	aT := make([]float32, m*ab)
+	for i := 0; i < ab; i++ {
+		row := ad[i*m : (i+1)*m]
+		for r, v := range row {
+			aT[r*ab+i] = v
+		}
+	}
+	bT := make([]float32, k*ab)
+	for i := 0; i < ab; i++ {
+		row := bd[i*k : (i+1)*k]
+		for c, v := range row {
+			bT[c*ab+i] = v
+		}
+	}
+	rowWork := ab * (2 + pattern.NNZ()/max1(pattern.Rows))
+	tensor.ParallelFor(pattern.Rows, rowWork, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			arow := aT[r*ab : (r+1)*ab]
+			for p := pattern.RowPtr[r]; p < pattern.RowPtr[r+1]; p++ {
+				brow := bT[int(pattern.ColIdx[p])*ab:]
+				brow = brow[:ab]
+				var s float32
+				for i, av := range arow {
+					s += av * brow[i]
+				}
+				vals[p] += s
+			}
+		}
+	})
+}
+
 func checkCSRGrad(vals []float32, pattern *CSR, a, b *tensor.Tensor, wantARows, wantBRows int) int {
 	am, q := dims2(a, "CSRGrad a")
 	bk, q2 := dims2(b, "CSRGrad b")

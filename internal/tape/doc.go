@@ -1,0 +1,38 @@
+// Package tape implements the sparse temporal tape: the BPTT
+// activation-cache subsystem and the time-major execution engine of the
+// training stack.
+//
+// # Why a tape
+//
+// BPTT over T timesteps forces every layer to retain what its backward pass
+// needs for each timestep. Before this package, those caches were dense
+// tensors — even though almost all of them are binary spike rasters that are
+// mostly zero at realistic firing rates. A Stack records each per-timestep
+// activation as a Rec that is either event-encoded (a sparse.Events pattern,
+// ~occupancy× the dense footprint) or dense (analog inputs, e.g. the first
+// convolution under direct encoding or post-BatchNorm currents). The backward
+// pass replays the tape: recorded event patterns are consumed directly by the
+// event-aware gradient kernels in internal/sparse, so backward-weight work
+// scales with weightDensity × spikeRate like the forward pass does.
+//
+// Every push and pop updates a package-level memory meter
+// (CacheBytes/PeakBytes), so peak BPTT activation-cache memory is a measured
+// quantity rather than a model — the sparse-tape benchmark records it.
+//
+// # Time-major execution
+//
+// Run drives a layer pipeline across all T timesteps one layer at a time
+// (time-major) instead of all layers one timestep at a time (step-major).
+// The two orders are equivalent for temporally-unrolled feedforward networks
+// — inter-layer data flow is per-timestep and recurrence lives inside a
+// layer — but time-major hands each layer its whole input sequence at once,
+// which lets Conv2d fuse the T event patterns of a sample
+// (sparse.FuseTimesteps) and compute all T forward passes in one traversal
+// of the weight matrix. Layers opt into the fused path by implementing
+// SequenceLayer; everything else is driven per timestep in order, which is
+// exactly what the step-major schedule would have done to it.
+//
+// The package sits just above internal/sparse and internal/tensor; the layer
+// library stores its caches in tape Stacks, and internal/snn's Network drives
+// whole networks through Run/RunBackward when its TimeMajor flag is set.
+package tape

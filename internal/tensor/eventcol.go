@@ -50,6 +50,63 @@ func Im2ColOccupancy(dst, src []float32, c, h, w, kh, kw, stride, pad, oh, ow in
 	return active
 }
 
+// Im2ColPatternFromEvents computes the same CSR-style event pattern
+// Im2ColEvents extracts — row r's active output columns, ascending — directly
+// from the input-space non-zero pattern of one sample, without touching a
+// dense column matrix at all. flat lists the sample's non-zero positions as
+// ascending flat C·H·W indices (one row of the tape's recorded event
+// pattern); rowPtr must have length C·KH·KW+1; colIdx is appended to and
+// returned (pass colIdx[:0] to reuse its backing array).
+//
+// This is the tape-replay fast path: work is O(KH·KW·nnz) instead of the
+// O(C·KH·KW·OH·OW) dense expansion, so rebuilding a timestep's pattern costs
+// ~occupancy of what the forward paid. The output is identical to what
+// Im2ColEvents would produce for the decoded tensor (pinned by test).
+func Im2ColPatternFromEvents(flat []int32, c, h, w, kh, kw, stride, pad, oh, ow int, rowPtr []int32, colIdx []int32) []int32 {
+	if len(rowPtr) != c*kh*kw+1 {
+		panic("tensor: Im2ColPatternFromEvents rowPtr length mismatch")
+	}
+	rowPtr[0] = 0
+	start := 0
+	for ci := 0; ci < c; ci++ {
+		chanBase := int32(ci * h * w)
+		chanHi := chanBase + int32(h*w)
+		end := start
+		for end < len(flat) && flat[end] < chanHi {
+			end++
+		}
+		spikes := flat[start:end]
+		for ki := 0; ki < kh; ki++ {
+			for kj := 0; kj < kw; kj++ {
+				r := (ci*kh+ki)*kw + kj
+				// Spikes ascend in (iy,ix), so the emitted output columns
+				// j = oy·OW+ox ascend too — the CSR invariant.
+				for _, f := range spikes {
+					rel := int(f - chanBase)
+					iy := rel / w
+					ix := rel - iy*w
+					ty := iy + pad - ki
+					tx := ix + pad - kj
+					if ty < 0 || tx < 0 {
+						continue
+					}
+					if stride != 1 && (ty%stride != 0 || tx%stride != 0) {
+						continue
+					}
+					oy := ty / stride
+					ox := tx / stride
+					if oy < oh && ox < ow {
+						colIdx = append(colIdx, int32(oy*ow+ox))
+					}
+				}
+				rowPtr[r+1] = int32(len(colIdx))
+			}
+		}
+		start = end
+	}
+	return colIdx
+}
+
 // Im2ColEvents is Im2Col plus event extraction: while filling dst it appends
 // the column index of every non-zero entry to colIdx (row-major, so the
 // result is grouped by row in ascending column order — exactly a CSR

@@ -102,6 +102,57 @@ func TestIm2ColEventsMatchesIm2Col(t *testing.T) {
 	}
 }
 
+// TestIm2ColPatternFromEventsMatchesIm2ColEvents pins the tape-replay
+// pattern rebuild against the forward's extraction: for every geometry and
+// rate, expanding the input-space event list must yield exactly the pattern
+// Im2ColEvents records while filling the dense column matrix.
+func TestIm2ColPatternFromEventsMatchesIm2ColEvents(t *testing.T) {
+	geoms := []struct{ c, h, w, k, stride, pad int }{
+		{3, 7, 7, 3, 1, 1},
+		{2, 8, 8, 3, 2, 1},
+		{4, 5, 6, 1, 1, 0},
+		{1, 9, 9, 5, 2, 2},
+		{2, 6, 6, 3, 3, 0},
+	}
+	for _, g := range geoms {
+		for _, rate := range []float64{0, 0.1, 0.5, 1} {
+			r := rng.New(91 + uint64(rate*100) + uint64(g.k*g.stride))
+			src := spikeInput(g.c, g.h, g.w, rate, r)
+			oh := ConvOutSize(g.h, g.k, g.stride, g.pad)
+			ow := ConvOutSize(g.w, g.k, g.stride, g.pad)
+			ckk := g.c * g.k * g.k
+			dst := make([]float32, ckk*oh*ow)
+			wantPtr := make([]int32, ckk+1)
+			wantIdx, binary := Im2ColEvents(dst, src, g.c, g.h, g.w, g.k, g.k, g.stride, g.pad, oh, ow, wantPtr, nil)
+			if !binary {
+				t.Fatal("binary input rejected")
+			}
+			// The input-space event list: ascending flat indices of non-zeros.
+			var flat []int32
+			for i, v := range src {
+				if v != 0 {
+					flat = append(flat, int32(i))
+				}
+			}
+			gotPtr := make([]int32, ckk+1)
+			gotIdx := Im2ColPatternFromEvents(flat, g.c, g.h, g.w, g.k, g.k, g.stride, g.pad, oh, ow, gotPtr, nil)
+			for i, p := range wantPtr {
+				if gotPtr[i] != p {
+					t.Fatalf("%+v rate %v: rowPtr[%d] = %d, want %d", g, rate, i, gotPtr[i], p)
+				}
+			}
+			if len(gotIdx) != len(wantIdx) {
+				t.Fatalf("%+v rate %v: %d events, want %d", g, rate, len(gotIdx), len(wantIdx))
+			}
+			for i, j := range wantIdx {
+				if gotIdx[i] != j {
+					t.Fatalf("%+v rate %v: event %d = col %d, want %d", g, rate, i, gotIdx[i], j)
+				}
+			}
+		}
+	}
+}
+
 func TestIm2ColEventsRejectsNonBinary(t *testing.T) {
 	const c, h, w, k = 2, 4, 4, 3
 	oh := ConvOutSize(h, k, 1, 1)

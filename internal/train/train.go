@@ -14,6 +14,7 @@ import (
 	"ndsnn/internal/opt"
 	"ndsnn/internal/rng"
 	"ndsnn/internal/snn"
+	"ndsnn/internal/tape"
 )
 
 // EpochStats summarizes one training epoch.
@@ -25,6 +26,16 @@ type EpochStats struct {
 	Sparsity  float64
 	LR        float64
 	Steps     int
+	// Occupancy is the spike occupancy the event-driven engine measured over
+	// this epoch's activation matrices (0 when no sparse-capable layer ran
+	// event-aware). The engine counters are reset at every epoch start, so
+	// this — and anything derived from it, e.g. metrics.MeasuredSynOps — is
+	// a per-epoch figure rather than a running total.
+	Occupancy float64
+	// PeakCacheBytes is the high-water mark of BPTT activation-cache memory
+	// (tape.PeakBytes) over the epoch: the measured training-memory cost the
+	// sparse temporal tape shrinks.
+	PeakCacheBytes int64
 }
 
 // Hooks are optional callbacks invoked by the loop.
@@ -99,6 +110,11 @@ func (l *Loop) RunEpoch(epoch int) (EpochStats, error) {
 	lr := l.Schedule.At(epoch)
 	l.Opt.LR = lr
 	l.Net.ResetSpikeStats()
+	// The event-path counters are cumulative since their last reset; without
+	// this, per-epoch reports (measured occupancy, MeasuredSynOps) would
+	// silently accumulate across every Forward of the run.
+	l.Net.ResetEventStats()
+	tape.ResetPeak()
 	batches := data.ShuffledBatches(l.Dataset.Train.N(), l.BatchSize, l.Rng)
 	if l.MaxBatches > 0 && len(batches) > l.MaxBatches {
 		batches = batches[:l.MaxBatches]
@@ -131,13 +147,15 @@ func (l *Loop) RunEpoch(epoch int) (EpochStats, error) {
 		return EpochStats{}, fmt.Errorf("train: epoch %d saw no data", epoch)
 	}
 	stats := EpochStats{
-		Epoch:     epoch,
-		Loss:      totalLoss / float64(seen),
-		TrainAcc:  float64(correct) / float64(seen),
-		SpikeRate: l.Net.SpikeRate(),
-		Sparsity:  layers.GlobalSparsity(layers.PrunableParams(params)),
-		LR:        lr,
-		Steps:     len(batches),
+		Epoch:          epoch,
+		Loss:           totalLoss / float64(seen),
+		TrainAcc:       float64(correct) / float64(seen),
+		SpikeRate:      l.Net.SpikeRate(),
+		Sparsity:       layers.GlobalSparsity(layers.PrunableParams(params)),
+		LR:             lr,
+		Steps:          len(batches),
+		Occupancy:      l.Net.EventStats().Occupancy(),
+		PeakCacheBytes: tape.PeakBytes(),
 	}
 	for _, p := range params {
 		if p.W.HasNaN() {

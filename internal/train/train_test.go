@@ -5,8 +5,10 @@ import (
 	"testing"
 
 	"ndsnn/internal/data"
+	"ndsnn/internal/layers"
 	"ndsnn/internal/opt"
 	"ndsnn/internal/rng"
+	"ndsnn/internal/tensor"
 	"ndsnn/internal/testutil"
 	"ndsnn/internal/train"
 )
@@ -45,6 +47,52 @@ func TestLoopRunsAndRecordsStats(t *testing.T) {
 		}
 		if h.LR <= 0 {
 			t.Fatalf("lr = %v", h.LR)
+		}
+	}
+}
+
+// TestLoopResetsEventStatsPerEpoch pins the per-report-window reset: the
+// event-path counters (and anything derived from them, e.g. measured
+// occupancy / MeasuredSynOps) must cover one epoch, not accumulate across
+// every Network.Forward of the run.
+func TestLoopResetsEventStatsPerEpoch(t *testing.T) {
+	loop, _ := newLoop(3, 0)
+	// Force the sparse-capable layers onto the counting path.
+	oldD, oldR := layers.CSRMaxDensity, layers.EventMaxRate
+	layers.CSRMaxDensity, layers.EventMaxRate = 1, 1
+	defer func() { layers.CSRMaxDensity, layers.EventMaxRate = oldD, oldR }()
+	r := rng.New(99)
+	for _, p := range layers.PrunableParams(loop.Net.Params()) {
+		p.Mask = tensor.New(p.W.Shape()...)
+		for i := range p.Mask.Data {
+			if r.Float64() < 0.2 {
+				p.Mask.Data[i] = 1
+			}
+		}
+		p.ApplyMask()
+	}
+	defer func() {
+		for _, p := range loop.Net.Params() {
+			p.InvalidateCSR()
+		}
+	}()
+	var perEpoch []int64
+	loop.Hooks.OnEpochEnd = func(stats train.EpochStats) {
+		perEpoch = append(perEpoch, loop.Net.EventStats().Forwards)
+		if stats.PeakCacheBytes <= 0 {
+			t.Errorf("epoch %d: PeakCacheBytes = %d, want > 0 during BPTT", stats.Epoch, stats.PeakCacheBytes)
+		}
+	}
+	if _, err := loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(perEpoch) != 3 || perEpoch[0] == 0 {
+		t.Fatalf("per-epoch forward counters %v", perEpoch)
+	}
+	// Identical work per epoch ⇒ identical (not growing) counters.
+	for i := 1; i < len(perEpoch); i++ {
+		if perEpoch[i] != perEpoch[0] {
+			t.Fatalf("event counters accumulated across epochs: %v", perEpoch)
 		}
 	}
 }
