@@ -40,6 +40,37 @@ func (e *InferenceEngine) TestSample(i int) (img []float32, c, h, w, label int) 
 // TestLen returns the number of test samples available.
 func (e *InferenceEngine) TestLen() int { return e.ds.Test.N() }
 
+// QuantInfo summarizes an integer engine's storage and coverage: which
+// precision it runs at, how many compute stages execute in integer, the
+// stored-synapse census (including synapses whose level rounded to zero —
+// dead weight the integer kernels skip), and the packed value-storage bytes
+// against the float32 engine's 4 bytes per synapse.
+type QuantInfo struct {
+	Bits                           int
+	QuantizedStages, ComputeStages int
+	StoredSynapses, ZeroQuantized  int64
+	PackedValueBytes               int64
+	FloatValueBytes                int64
+}
+
+// QuantInfo returns the integer-storage summary for engines built by
+// CompileQuantizedInference, or nil for float engines.
+func (e *InferenceEngine) QuantInfo() *QuantInfo {
+	s := e.eng.QuantStats()
+	if s == nil {
+		return nil
+	}
+	return &QuantInfo{
+		Bits:             s.Bits,
+		QuantizedStages:  s.QuantizedStages,
+		ComputeStages:    s.ComputeStages,
+		StoredSynapses:   s.StoredSynapses,
+		ZeroQuantized:    s.ZeroQuantized,
+		PackedValueBytes: s.PackedValueBytes,
+		FloatValueBytes:  s.FloatValueBytes,
+	}
+}
+
 // EvaluateTest classifies up to n test samples (0 = all) and returns
 // accuracy plus the measured efficiency: synaptic operations per sample and
 // the dense-MAC bound a non-event implementation would pay.

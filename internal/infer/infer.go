@@ -72,7 +72,38 @@ type Engine struct {
 	T       int
 	classes int
 	synOps  int64
+	quant   *QuantStats
+	// qweights records, per integer stage, the trained parameter and the
+	// QCSR it was quantized to — the mapping QuantizeNetWeights uses to
+	// materialize the dequantized float reference.
+	qweights []quantizedWeight
 }
+
+// QuantStats summarizes the integer engine's storage: how many compute
+// stages run in integer, the stored synapse census, and the value-storage
+// bytes of the packed representation versus the float32 engine. Nil on
+// float engines.
+type QuantStats struct {
+	// Bits is the requested weight precision.
+	Bits int
+	// QuantizedStages counts conv/linear stages computing in integer;
+	// ComputeStages counts all conv/linear stages (the difference runs in
+	// float32 — analog-input stages such as the direct-encoding first conv).
+	QuantizedStages, ComputeStages int
+	// StoredSynapses counts synapses stored by quantized stages;
+	// ZeroQuantized of them rounded to level zero and are skipped by the
+	// integer kernels (the measured SynOps reduction of quantization).
+	StoredSynapses, ZeroQuantized int64
+	// PackedValueBytes is the quantized value storage of the quantized
+	// stages (two synapses per byte at 4 bits); FloatValueBytes is what the
+	// float32 engine stores for the same synapses (4 bytes each). Index and
+	// scale storage is identical between the two engines and excluded.
+	PackedValueBytes, FloatValueBytes int64
+}
+
+// QuantStats returns the integer-storage summary, or nil for a float
+// engine.
+func (e *Engine) QuantStats() *QuantStats { return e.quant }
 
 // SynOps returns the synaptic operations accumulated since the last
 // ResetStats: one op per (event × active synapse) accumulate.
@@ -99,7 +130,8 @@ func (e *Engine) DenseMACsPerTimestep() int64 {
 // training, as with any deployment export).
 func Compile(net *snn.Network) (*Engine, error) {
 	e := &Engine{T: net.T}
-	stages, err := compileLayers(net.Layers, &e.synOps)
+	c := &compiler{eng: e}
+	stages, err := c.compile(net.Layers)
 	if err != nil {
 		return nil, err
 	}
@@ -107,7 +139,44 @@ func Compile(net *snn.Network) (*Engine, error) {
 	return e, nil
 }
 
-func compileLayers(ls []layers.Layer, ops *int64) ([]stage, error) {
+// CompileQuantized builds the integer engine: conv/linear stages whose
+// inputs are spike trains store QCSR-quantized weights (per-output-channel
+// power-of-two scales, int8 levels, packed two-per-byte at 4 bits) and
+// accumulate events in int32 — the accumulator only returns to float at the
+// stage boundary, where the dequantization scale and the folded BN affine
+// apply before the next LIF threshold compare. Stages fed analog activations
+// (the direct-encoding first conv, anything after average pooling) stay in
+// float32, the standard mixed-precision deployment split; QuantStats reports
+// the resulting coverage. bits spans the Sec. III-D platform range, 2–16.
+func CompileQuantized(net *snn.Network, bits int) (*Engine, error) {
+	if bits < 2 || bits > 16 {
+		return nil, fmt.Errorf("infer: unsupported bit width %d (want 2..16)", bits)
+	}
+	e := &Engine{T: net.T, quant: &QuantStats{Bits: bits}}
+	c := &compiler{eng: e, bits: bits}
+	stages, err := c.compile(net.Layers)
+	if err != nil {
+		return nil, err
+	}
+	e.stages = stages
+	return e, nil
+}
+
+// compiler walks the layer list turning layers into stages. It tracks
+// whether the activation flowing into the next stage is a binary spike
+// train — the precondition for integer event accumulation: LIF outputs are
+// {0,1}, max pooling and reshapes preserve binaryness, while the network
+// input (direct encoding), average pooling and standalone BN affines are
+// analog. With bits set, conv/linear stages compile to integer exactly when
+// their input is binary.
+type compiler struct {
+	eng    *Engine
+	bits   int  // 0 compiles the float32 engine
+	binary bool // is the current activation a {0,1} spike train?
+}
+
+func (c *compiler) compile(ls []layers.Layer) ([]stage, error) {
+	ops := &c.eng.synOps
 	var out []stage
 	for i := 0; i < len(ls); i++ {
 		switch l := ls[i].(type) {
@@ -119,7 +188,17 @@ func compileLayers(ls []layers.Layer, ops *int64) ([]stage, error) {
 					i++
 				}
 			}
-			out = append(out, newConvStage(l, bn, ops))
+			if c.quantizing() {
+				s, err := newQConvStage(l, bn, c.bits, ops, c.eng)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, s)
+			} else {
+				out = append(out, newConvStage(l, bn, ops))
+			}
+			c.countComputeStage()
+			c.binary = false
 		case *layers.Linear:
 			var bn *layers.BatchNorm
 			if i+1 < len(ls) {
@@ -128,21 +207,35 @@ func compileLayers(ls []layers.Layer, ops *int64) ([]stage, error) {
 					i++
 				}
 			}
-			out = append(out, newLinearStage(l, bn, ops))
+			if c.quantizing() {
+				s, err := newQLinearStage(l, bn, c.bits, ops, c.eng)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, s)
+			} else {
+				out = append(out, newLinearStage(l, bn, ops))
+			}
+			c.countComputeStage()
+			c.binary = false
 		case *layers.BatchNorm:
 			out = append(out, newAffineStage(l))
+			c.binary = false
 		case *snn.LIF:
 			out = append(out, &lifStage{cfg: l.Config})
+			c.binary = true
 		case *layers.MaxPool2d:
+			// Max pooling of {0,1} spikes stays {0,1}.
 			out = append(out, &maxPoolStage{k: l.K, stride: l.Stride})
 		case *layers.AvgPool2d:
 			out = append(out, &avgPoolStage{k: l.K, stride: l.Stride})
+			c.binary = false
 		case *layers.Flatten:
 			out = append(out, &flattenStage{})
 		case *layers.Dropout:
 			// Identity at inference.
 		case *snn.ResidualBlock:
-			rs, err := compileResidual(l, ops)
+			rs, err := c.compileResidual(l)
 			if err != nil {
 				return nil, err
 			}
@@ -154,18 +247,31 @@ func compileLayers(ls []layers.Layer, ops *int64) ([]stage, error) {
 	return out, nil
 }
 
-func compileResidual(b *snn.ResidualBlock, ops *int64) (stage, error) {
-	main, err := compileLayers([]layers.Layer{b.Conv1, b.BN1, b.LIF1, b.Conv2, b.BN2}, ops)
+func (c *compiler) quantizing() bool { return c.bits > 0 && c.binary }
+
+func (c *compiler) countComputeStage() {
+	if c.eng.quant != nil {
+		c.eng.quant.ComputeStages++
+	}
+}
+
+func (c *compiler) compileResidual(b *snn.ResidualBlock) (stage, error) {
+	// Both paths see the block's input, so the shortcut restarts from the
+	// main path's entry binaryness; the block's output LIF re-binarizes.
+	binaryIn := c.binary
+	main, err := c.compile([]layers.Layer{b.Conv1, b.BN1, b.LIF1, b.Conv2, b.BN2})
 	if err != nil {
 		return nil, err
 	}
 	var shortcut []stage
 	if b.SCConv != nil {
-		shortcut, err = compileLayers([]layers.Layer{b.SCConv, b.SCBN}, ops)
+		c.binary = binaryIn
+		shortcut, err = c.compile([]layers.Layer{b.SCConv, b.SCBN})
 		if err != nil {
 			return nil, err
 		}
 	}
+	c.binary = true
 	return &residualStage{main: main, shortcut: shortcut, out: &lifStage{cfg: b.LIF2.Config}}, nil
 }
 

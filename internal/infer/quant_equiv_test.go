@@ -1,0 +1,205 @@
+package infer_test
+
+import (
+	"math"
+	"testing"
+
+	"ndsnn/internal/core"
+	"ndsnn/internal/data"
+	"ndsnn/internal/infer"
+	"ndsnn/internal/models"
+	"ndsnn/internal/snn"
+	"ndsnn/internal/tensor"
+	"ndsnn/internal/testutil"
+	"ndsnn/internal/train"
+)
+
+// assertBitIdentical pins the integer engine against the float engine
+// running on the dequantized weights: the QCSR grid uses power-of-two
+// scales, so every float partial sum the reference performs is exact and
+// the two engines must agree bit for bit.
+func assertBitIdentical(t *testing.T, qeng, ref *infer.Engine, ds *data.Dataset, samples int) {
+	t.Helper()
+	pix := ds.Config.C * ds.Config.H * ds.Config.W
+	for i := 0; i < samples; i++ {
+		sample := tensor.FromSlice(ds.Test.Images[i*pix:(i+1)*pix], ds.Config.C, ds.Config.H, ds.Config.W)
+		got := qeng.Infer(sample)
+		want := ref.Infer(sample)
+		if len(got) != len(want) {
+			t.Fatalf("sample %d: %d scores vs %d", i, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("sample %d score %d: integer engine %v != dequantized float reference %v (must be bit-identical)",
+					i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// quantEquivCheck compiles the integer engine at bits, materializes the
+// dequantized float reference via QuantizeNetWeights, and pins bitwise
+// equality (plus training-path agreement at the float engine's tolerance).
+func quantEquivCheck(t *testing.T, net *snn.Network, ds *data.Dataset, bits, samples int) {
+	t.Helper()
+	qeng, err := infer.CompileQuantized(net, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore, err := infer.QuantizeNetWeights(net, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restore()
+	ref, err := infer.Compile(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, qeng, ref, ds, samples)
+	// And the fake-quantized training-path forward agrees at the float
+	// engine's established tolerance (BN-fold op-order rounding only).
+	pix := ds.Config.C * ds.Config.H * ds.Config.W
+	for i := 0; i < samples; i++ {
+		x, _ := ds.Batch(&ds.Test, []int{i})
+		want := snn.MeanOutput(net.Forward(x, false))
+		sample := tensor.FromSlice(ds.Test.Images[i*pix:(i+1)*pix], ds.Config.C, ds.Config.H, ds.Config.W)
+		got := qeng.Infer(sample)
+		for j := range got {
+			if math.Abs(float64(got[j]-want.Data[j])) > 2e-4 {
+				t.Fatalf("sample %d score %d: integer engine %v vs fake-quantized training path %v", i, j, got[j], want.Data[j])
+			}
+		}
+	}
+}
+
+func TestQuantizedEngineBitIdenticalTinyNet(t *testing.T) {
+	ds := data.SynthEasy(4, 64, 16, 51)
+	net := testutil.TinyNet(4, 3, 21)
+	trainBriefly(t, net, ds)
+	for _, bits := range []int{8, 4, 16} {
+		quantEquivCheck(t, net, ds, bits, 8)
+	}
+}
+
+func TestQuantizedEngineBitIdenticalSparseModel(t *testing.T) {
+	// The deployment case: NDSNN-trained sparse weights, quantized.
+	ds := data.SynthEasy(4, 64, 16, 53)
+	net := testutil.TinyNet(4, 2, 26)
+	_, err := core.TrainNDSNN(net, ds, train.Common{
+		Epochs: 3, BatchSize: 16, LR: 0.05, Momentum: 0.9, WeightDecay: 5e-4, Seed: 2,
+	}, core.Config{InitialSparsity: 0.5, FinalSparsity: 0.9, DeltaT: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quantEquivCheck(t, net, ds, 8, 8)
+	quantEquivCheck(t, net, ds, 4, 8)
+}
+
+func TestQuantizedEngineBitIdenticalResNet(t *testing.T) {
+	ds := data.SynthSmall(4, 32, 8, 55)
+	net := models.Build(models.Config{
+		Arch: "resnet19", Classes: 4, InC: 3, InH: 16, InW: 16,
+		Timesteps: 2, Neuron: snn.DefaultNeuron(), Profile: models.ProfileTiny, Seed: 6,
+	})
+	trainBriefly(t, net, ds)
+	quantEquivCheck(t, net, ds, 8, 3)
+}
+
+func TestQuantizedEngineBitIdenticalLeNetAvgPool(t *testing.T) {
+	// Average pooling produces graded events, so LeNet only quantizes its
+	// spike-fed tail; the mixed integer/float pipeline must still match the
+	// dequantized reference bit for bit.
+	ds := data.Generate(data.Config{
+		Name: "t", Classes: 4, C: 3, H: 32, W: 32,
+		TrainN: 32, TestN: 8, Noise: 0.2, Jitter: 0.05, Seed: 9,
+	})
+	net := models.Build(models.Config{
+		Arch: "lenet5", Classes: 4, InC: 3, InH: 32, InW: 32,
+		Timesteps: 2, Neuron: snn.DefaultNeuron(), Profile: models.ProfileTiny, Seed: 8,
+	})
+	trainBriefly(t, net, ds)
+	qeng, err := infer.CompileQuantized(net, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := qeng.QuantStats()
+	if st.QuantizedStages == 0 || st.QuantizedStages >= st.ComputeStages {
+		t.Fatalf("LeNet coverage should be partial (analog avg-pool inputs): %d of %d", st.QuantizedStages, st.ComputeStages)
+	}
+	quantEquivCheck(t, net, ds, 8, 4)
+}
+
+func TestQuantizedEngineSkipsAnalogFirstConv(t *testing.T) {
+	ds := data.SynthEasy(4, 32, 8, 57)
+	net := testutil.TinyNet(4, 2, 31)
+	trainBriefly(t, net, ds)
+	qeng, err := infer.CompileQuantized(net, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := qeng.QuantStats()
+	// TinyNet has conv1 (analog direct-encoded input), conv2 and fc
+	// (spike-fed): exactly two of three stages quantize.
+	if st.ComputeStages != 3 || st.QuantizedStages != 2 {
+		t.Fatalf("TinyNet coverage %d of %d, want 2 of 3", st.QuantizedStages, st.ComputeStages)
+	}
+	if st.FloatValueBytes != 4*st.PackedValueBytes {
+		t.Fatalf("int8 value storage not 4x smaller: packed=%d float=%d", st.PackedValueBytes, st.FloatValueBytes)
+	}
+}
+
+func TestQuantizedEngineSynOpsDropWithPrecision(t *testing.T) {
+	// Lower precision rounds more weights to level zero; the integer
+	// kernels skip them, so measured SynOps must not increase as precision
+	// falls — and must drop strictly at 2 bits for real weight
+	// distributions.
+	ds := data.SynthEasy(4, 64, 16, 59)
+	net := testutil.TinyNet(4, 2, 36)
+	trainBriefly(t, net, ds)
+	pix := ds.Config.C * ds.Config.H * ds.Config.W
+	sample := tensor.FromSlice(ds.Test.Images[:pix], 3, 16, 16)
+	opsAt := func(bits int) int64 {
+		eng, err := infer.CompileQuantized(net, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.ResetStats()
+		eng.Infer(sample)
+		return eng.SynOps()
+	}
+	ops16, ops8, ops2 := opsAt(16), opsAt(8), opsAt(2)
+	if ops8 > ops16 || ops2 > ops8 {
+		t.Fatalf("SynOps increased with coarser quantization: 16b=%d 8b=%d 2b=%d", ops16, ops8, ops2)
+	}
+	if ops2 >= ops16 {
+		t.Fatalf("2-bit SynOps %d not below 16-bit %d (zero-rounded synapses must stop costing work)", ops2, ops16)
+	}
+}
+
+func TestQuantizeNetWeightsRestores(t *testing.T) {
+	ds := data.SynthEasy(4, 32, 8, 61)
+	net := testutil.TinyNet(4, 2, 41)
+	trainBriefly(t, net, ds)
+	eng, err := infer.Compile(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pix := ds.Config.C * ds.Config.H * ds.Config.W
+	sample := tensor.FromSlice(ds.Test.Images[:pix], 3, 16, 16)
+	before := eng.Infer(sample)
+	restore, err := infer.QuantizeNetWeights(net, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore()
+	eng2, err := infer.Compile(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := eng2.Infer(sample)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("QuantizeNetWeights restore did not reproduce the original network")
+		}
+	}
+}

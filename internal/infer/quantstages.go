@@ -1,0 +1,322 @@
+package infer
+
+import (
+	"fmt"
+
+	"ndsnn/internal/layers"
+	"ndsnn/internal/quant"
+	"ndsnn/internal/snn"
+	"ndsnn/internal/sparse"
+	"ndsnn/internal/tensor"
+)
+
+// Quantized stages: the integer twins of convStage/linearStage. Weights are
+// stored as QCSR levels (per-output-channel power-of-two scales) and events
+// accumulate in int32; the accumulator leaves integer exactly once per
+// output element and timestep, at the requantization affine
+//
+//	y = bnScale·(s·acc + bias) + bnShift  =  M·acc + C
+//
+// with M = bnScale·s the composed requantization multiplier (a shift of
+// bnScale, since s is a power of two) and C = bnScale·bias + bnShift. The
+// affine is evaluated in the factored form — the same float operation order
+// as the float stages — so the integer engine is bit-identical to the float
+// engine running on the dequantized weights: s is a power of two, making
+// every dequantized level s·q and every partial sum s·Σq exact in float32.
+
+// quantizedWeight records which trained parameter an integer stage
+// quantized, and to what.
+type quantizedWeight struct {
+	p *layers.Param
+	q *quant.QCSR
+}
+
+// quantizeWeight encodes a parameter's weight matrix (value-keyed: exact
+// zeros — masked-out weights — are not stored) and quantizes it onto the
+// per-channel QCSR grid, registering the pair on the engine.
+func quantizeWeight(p *layers.Param, bits int, e *Engine) (*quant.QCSR, error) {
+	rows := p.W.Dim(0)
+	w2d := p.W.Reshape(rows, p.W.Size()/rows)
+	q, err := quant.QuantizeCSR(sparse.EncodeCSR(w2d), bits, true)
+	if err != nil {
+		return nil, err
+	}
+	e.qweights = append(e.qweights, quantizedWeight{p: p, q: q})
+	st := e.quant
+	st.QuantizedStages++
+	st.StoredSynapses += int64(q.NNZ())
+	for p := 0; p < q.NNZ(); p++ {
+		if q.Level(p) == 0 {
+			st.ZeroQuantized++
+		}
+	}
+	st.PackedValueBytes += q.PackedValueBytes()
+	st.FloatValueBytes += 4 * int64(q.NNZ())
+	return q, nil
+}
+
+// qconvEntry is one active quantized synapse of an event-driven
+// convolution, grouped by presynaptic channel.
+type qconvEntry struct {
+	f      int32 // output channel
+	ki, kj int32 // kernel offsets
+	q      int32 // quantized level (dequantize with deq[f])
+}
+
+// qconvStage is the integer event-driven convolution with optional folded
+// BN. Geometry and post-accumulation op order mirror convStage exactly.
+type qconvStage struct {
+	inC, outC, k, stride, pad int
+	perChannel                [][]qconvEntry
+	deq                       []float32 // per-output-channel dequantization scale
+	bias                      []float32 // conv bias (may be nil)
+	scale, shift              []float32 // folded BN (may be nil)
+	ops                       *int64
+	inHW                      int
+	acc                       []int32 // reused int32 accumulator
+}
+
+func newQConvStage(l *layers.Conv2d, bn *layers.BatchNorm, bits int, ops *int64, e *Engine) (*qconvStage, error) {
+	qc, err := quantizeWeight(l.Weight, bits, e)
+	if err != nil {
+		return nil, err
+	}
+	s := &qconvStage{
+		inC: l.InC, outC: l.OutC, k: l.K, stride: l.Stride, pad: l.Pad,
+		perChannel: make([][]qconvEntry, l.InC),
+		deq:        make([]float32, l.OutC),
+		ops:        ops,
+	}
+	kk := l.K * l.K
+	for f := 0; f < l.OutC; f++ {
+		s.deq[f] = qc.RowScale(f)
+		for p := qc.RowPtr[f]; p < qc.RowPtr[f+1]; p++ {
+			lv := qc.Level(int(p))
+			if lv == 0 {
+				continue // dead synapse: rounded to zero at this precision
+			}
+			col := int(qc.ColIdx[p])
+			ci := col / kk
+			ki := (col % kk) / l.K
+			kj := col % l.K
+			s.perChannel[ci] = append(s.perChannel[ci], qconvEntry{int32(f), int32(ki), int32(kj), lv})
+		}
+	}
+	if l.Bias != nil {
+		s.bias = append([]float32(nil), l.Bias.W.Data...)
+	}
+	if bn != nil {
+		s.scale, s.shift = bnFold(bn)
+	}
+	return s, nil
+}
+
+func (s *qconvStage) denseMACs() int64 {
+	return convDenseMACs(s.inHW, s.outC, s.inC, s.k, s.stride, s.pad)
+}
+
+func (s *qconvStage) step(in *act) *act {
+	h, w := in.shape[1], in.shape[2]
+	s.inHW = h * w
+	oh := tensor.ConvOutSize(h, s.k, s.stride, s.pad)
+	ow := tensor.ConvOutSize(w, s.k, s.stride, s.pad)
+	out := newAct([]int{s.outC, oh, ow})
+	p := oh * ow
+	s.acc = growInt32(s.acc, s.outC*p)
+	var ops int64
+	for _, ev := range in.events {
+		if ev.Val != 1 {
+			panic(fmt.Sprintf("infer: quantized conv stage received non-binary event %v (compile-time binary propagation violated)", ev.Val))
+		}
+		idx := int(ev.Idx)
+		ci := idx / (h * w)
+		rem := idx % (h * w)
+		y := rem / w
+		x := rem % w
+		for _, en := range s.perChannel[ci] {
+			ny := y + s.pad - int(en.ki)
+			nx := x + s.pad - int(en.kj)
+			if ny < 0 || nx < 0 || ny%s.stride != 0 || nx%s.stride != 0 {
+				continue
+			}
+			oy, ox := ny/s.stride, nx/s.stride
+			if oy >= oh || ox >= ow {
+				continue
+			}
+			s.acc[int(en.f)*p+oy*ow+ox] += en.q
+			ops++
+		}
+	}
+	*s.ops += ops
+	for f := 0; f < s.outC; f++ {
+		d := s.deq[f]
+		var b float32
+		if s.bias != nil {
+			b = s.bias[f]
+		}
+		arow := s.acc[f*p : (f+1)*p]
+		row := out.data[f*p : (f+1)*p]
+		if s.scale != nil {
+			sc, sh := s.scale[f], s.shift[f]
+			for i := range row {
+				row[i] = sc*(d*float32(arow[i])+b) + sh
+			}
+		} else if b != 0 {
+			for i := range row {
+				row[i] = d*float32(arow[i]) + b
+			}
+		} else {
+			for i := range row {
+				row[i] = d * float32(arow[i])
+			}
+		}
+	}
+	out.refreshEvents()
+	return out
+}
+
+func (s *qconvStage) reset() {}
+
+// qlinearStage is the integer event-driven fully-connected layer: incoming
+// spike indices select quantized weight columns via the int8/int4 CSC
+// kernels (packed nibbles computed from directly at 4 bits), accumulating
+// into int32; 9–16-bit levels take an equivalent int16 entry walk.
+type qlinearStage struct {
+	in, out      int
+	w8           *sparse.CSCInt8 // bits ≤ 8, except packed 4-bit
+	w4           *sparse.CSCInt4 // bits == 4
+	perInput     [][]qlinEntry   // bits ≥ 9
+	deq          []float32
+	bias         []float32
+	scale, shift []float32
+	ops          *int64
+	acc          []int32
+	idxs         []int32
+}
+
+// qlinEntry is one stored synapse of the 9–16-bit fallback walk.
+type qlinEntry struct {
+	out int32
+	q   int32
+}
+
+func newQLinearStage(l *layers.Linear, bn *layers.BatchNorm, bits int, ops *int64, e *Engine) (*qlinearStage, error) {
+	qc, err := quantizeWeight(l.Weight, bits, e)
+	if err != nil {
+		return nil, err
+	}
+	s := &qlinearStage{in: l.In, out: l.Out, deq: make([]float32, l.Out), ops: ops}
+	for o := 0; o < l.Out; o++ {
+		s.deq[o] = qc.RowScale(o)
+	}
+	switch {
+	case bits == 4:
+		s.w4 = qc.CSCInt4()
+	case bits <= 8:
+		s.w8 = qc.CSCInt8()
+	default:
+		s.perInput = make([][]qlinEntry, l.In)
+		for o := 0; o < l.Out; o++ {
+			for p := qc.RowPtr[o]; p < qc.RowPtr[o+1]; p++ {
+				if lv := qc.Level(int(p)); lv != 0 {
+					s.perInput[qc.ColIdx[p]] = append(s.perInput[qc.ColIdx[p]], qlinEntry{int32(o), lv})
+				}
+			}
+		}
+	}
+	if l.Bias != nil {
+		s.bias = append([]float32(nil), l.Bias.W.Data...)
+	}
+	if bn != nil {
+		s.scale, s.shift = bnFold(bn)
+	}
+	return s, nil
+}
+
+func (s *qlinearStage) denseMACs() int64 { return int64(s.in) * int64(s.out) }
+
+func (s *qlinearStage) step(in *act) *act {
+	out := newAct([]int{s.out})
+	s.acc = growInt32(s.acc, s.out)
+	s.idxs = s.idxs[:0]
+	for _, ev := range in.events {
+		if ev.Val != 1 {
+			panic(fmt.Sprintf("infer: quantized linear stage received non-binary event %v (compile-time binary propagation violated)", ev.Val))
+		}
+		s.idxs = append(s.idxs, ev.Idx)
+	}
+	switch {
+	case s.w4 != nil:
+		*s.ops += sparse.CSCAccumulateColumnsInt4(s.acc, s.w4, s.idxs)
+	case s.w8 != nil:
+		*s.ops += sparse.CSCAccumulateColumnsInt8(s.acc, s.w8, s.idxs)
+	default:
+		var ops int64
+		for _, q := range s.idxs {
+			for _, en := range s.perInput[q] {
+				s.acc[en.out] += en.q
+				ops++
+			}
+		}
+		*s.ops += ops
+	}
+	for o := range out.data {
+		v := s.deq[o] * float32(s.acc[o])
+		var b float32
+		if s.bias != nil {
+			b = s.bias[o]
+		}
+		if s.scale != nil {
+			out.data[o] = s.scale[o]*(v+b) + s.shift[o]
+		} else {
+			out.data[o] = v + b
+		}
+	}
+	out.refreshEvents()
+	return out
+}
+
+func (s *qlinearStage) reset() {}
+
+// growInt32 returns a zeroed int32 buffer of length n, reusing buf's
+// storage when it is large enough.
+func growInt32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// QuantizeNetWeights fake-quantizes, in place, exactly the weights that
+// CompileQuantized(net, bits) computes in integer — the spike-fed
+// conv/linear layers — onto the QCSR grid (per-output-channel power-of-two
+// scales). The mutated float network is the dequantized reference the
+// integer engine is pinned against: its eval-mode forward, and the float
+// engine compiled from it, produce bit-identical outputs to the integer
+// engine at ≤8 bits. The returned restore function undoes the mutation
+// (and drops any cached CSR encodings built from the quantized values).
+func QuantizeNetWeights(net *snn.Network, bits int) (restore func(), err error) {
+	eng, err := CompileQuantized(net, bits)
+	if err != nil {
+		return nil, err
+	}
+	snapshots := make([]*tensor.Tensor, len(eng.qweights))
+	params := make([]*layers.Param, len(eng.qweights))
+	for i, qw := range eng.qweights {
+		snapshots[i] = qw.p.W.Clone()
+		params[i] = qw.p
+		dq := qw.q.Dequantize().Decode()
+		qw.p.W.CopyFrom(dq.Reshape(qw.p.W.Shape()...))
+		qw.p.InvalidateCSR()
+	}
+	return func() {
+		for i, p := range params {
+			p.W.CopyFrom(snapshots[i])
+			p.InvalidateCSR()
+		}
+	}, nil
+}

@@ -70,13 +70,19 @@ func newConvStage(l *layers.Conv2d, bn *layers.BatchNorm, ops *int64) *convStage
 }
 
 func (s *convStage) denseMACs() int64 {
-	// Dense implementation: outC·inC·k²·outHW MACs.
-	if s.inHW == 0 {
+	return convDenseMACs(s.inHW, s.outC, s.inC, s.k, s.stride, s.pad)
+}
+
+// convDenseMACs is the dense-implementation MAC bound of a convolution —
+// outC·inC·k²·outHW — from the last seen (square) spatial size, shared by
+// the float and integer conv stages.
+func convDenseMACs(inHW, outC, inC, k, stride, pad int) int64 {
+	if inHW == 0 {
 		return 0
 	}
-	inH := int(math.Sqrt(float64(s.inHW)))
-	oh := tensor.ConvOutSize(inH, s.k, s.stride, s.pad)
-	return int64(s.outC*s.inC*s.k*s.k) * int64(oh*oh)
+	inH := int(math.Sqrt(float64(inHW)))
+	oh := tensor.ConvOutSize(inH, k, stride, pad)
+	return int64(outC*inC*k*k) * int64(oh*oh)
 }
 
 func (s *convStage) step(in *act) *act {

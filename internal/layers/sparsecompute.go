@@ -121,6 +121,11 @@ func (p *Param) SparseWCSC() *sparse.CSC {
 	return p.csc
 }
 
+// CSRCached reports whether a CSR encoding is currently cached — an
+// introspection hook for tests that pin the cache-discipline contract
+// (e.g. that weight-mutating operations like quantization invalidate).
+func (p *Param) CSRCached() bool { return p.csr != nil }
+
 // InvalidateCSR drops the cached CSR/CSC encodings and density. Call after
 // any change to the mask topology; value-only changes (optimizer steps,
 // weight rewinds) do not need it because SparseW re-gathers values on every

@@ -1,0 +1,291 @@
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"ndsnn/internal/sparse"
+)
+
+// QCSR is a sparse weight matrix quantized to signed integer levels — the
+// packed deployment form of the Sec. III-D platforms (Loihi 8-bit synapses,
+// HICANN 4-bit, SyncNN-style FPGA designs up to 16-bit). The sparsity
+// pattern is *shared* with the float CSR it was quantized from (RowPtr and
+// ColIdx alias the source arrays — one row per output channel/filter, the
+// same [F, C·Kh·Kw] reshape as layers.Param's cached encoding); only the
+// value storage changes:
+//
+//   - Bits ≤ 8: one int8 level per stored synapse (Q). At exactly 4 bits the
+//     deployment layout additionally packs two levels per byte (Packed),
+//     which is what the integer linear kernels compute from and what the
+//     memory accounting reports.
+//   - Bits 9–16: one int16 level per synapse (Q16).
+//
+// Scales are powers of two (Po2Scale), per output channel by default, so
+// dequantization level·scale is exact in float32 and hardware requantizes
+// with a shift instead of a multiplier. value = level × scale(row).
+type QCSR struct {
+	Rows, Cols int
+	// Bits is the signed level width: levels span [-(2^(Bits-1)-1), 2^(Bits-1)-1].
+	Bits int
+	// PerChannel records whether Scales holds one scale per row (true) or a
+	// single per-tensor scale (false).
+	PerChannel bool
+	// RowPtr/ColIdx alias the source CSR's index arrays (shared pattern).
+	RowPtr []int32
+	ColIdx []int32
+	// Q holds one quantized level per stored synapse when Bits ≤ 8.
+	Q []int8
+	// Q16 holds the levels when Bits ≥ 9.
+	Q16 []int16
+	// Packed is the two-levels-per-byte deployment layout, present only when
+	// Bits == 4 (low nibble = even entry, high nibble = odd entry).
+	Packed []byte
+	// Scales has Rows entries (PerChannel) or one (per-tensor), every entry a
+	// power of two or zero (all-zero row).
+	Scales []float32
+}
+
+// Po2Scale returns the smallest power of two ≥ maxAbs/levels for a signed
+// bits-wide grid — the quantization step such that round(v/scale) never
+// exceeds ±levels and requantization is a bit shift. Zero maxAbs yields a
+// zero scale (the all-zero row quantizes to all-zero levels).
+func Po2Scale(maxAbs float32, bits int) float32 {
+	if maxAbs == 0 {
+		return 0
+	}
+	levels := float64(int32(1)<<(bits-1) - 1)
+	frac, exp := math.Frexp(float64(maxAbs) / levels)
+	if frac == 0.5 {
+		exp--
+	}
+	return float32(math.Ldexp(1, exp))
+}
+
+// QuantizeCSR quantizes a float CSR onto the bits-wide power-of-two grid,
+// sharing the source's index arrays. With perChannel each row (output
+// channel) gets its own scale from its max absolute value — the standard
+// deployment choice, and what the BN-fold requantization multiplier
+// composes with; otherwise one per-tensor scale covers the whole matrix.
+func QuantizeCSR(c *sparse.CSR, bits int, perChannel bool) (*QCSR, error) {
+	if bits < 2 || bits > 16 {
+		return nil, fmt.Errorf("quant: unsupported bit width %d", bits)
+	}
+	q := &QCSR{
+		Rows: c.Rows, Cols: c.Cols, Bits: bits, PerChannel: perChannel,
+		RowPtr: c.RowPtr, ColIdx: c.ColIdx,
+	}
+	if perChannel {
+		q.Scales = make([]float32, c.Rows)
+		for r := 0; r < c.Rows; r++ {
+			q.Scales[r] = Po2Scale(maxAbsRange(c.Val[c.RowPtr[r]:c.RowPtr[r+1]]), bits)
+		}
+	} else {
+		q.Scales = []float32{Po2Scale(maxAbsRange(c.Val), bits)}
+	}
+	levels := int32(1)<<(bits-1) - 1
+	quantize := func(r int, v float32) int32 {
+		s := q.RowScale(r)
+		if s == 0 {
+			return 0
+		}
+		l := int32(math.Round(float64(v / s)))
+		if l > levels {
+			l = levels
+		}
+		if l < -levels {
+			l = -levels
+		}
+		return l
+	}
+	if bits <= 8 {
+		q.Q = make([]int8, c.NNZ())
+		for r := 0; r < c.Rows; r++ {
+			for p := c.RowPtr[r]; p < c.RowPtr[r+1]; p++ {
+				q.Q[p] = int8(quantize(r, c.Val[p]))
+			}
+		}
+		if bits == 4 {
+			q.Packed = PackInt4(q.Q)
+		}
+	} else {
+		q.Q16 = make([]int16, c.NNZ())
+		for r := 0; r < c.Rows; r++ {
+			for p := c.RowPtr[r]; p < c.RowPtr[r+1]; p++ {
+				q.Q16[p] = int16(quantize(r, c.Val[p]))
+			}
+		}
+	}
+	return q, nil
+}
+
+func maxAbsRange(vals []float32) float32 {
+	m := float32(0)
+	for _, v := range vals {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// NNZ returns the number of stored synapses.
+func (q *QCSR) NNZ() int { return len(q.ColIdx) }
+
+// Level returns the quantized integer level of stored entry p.
+func (q *QCSR) Level(p int) int32 {
+	if q.Q16 != nil {
+		return int32(q.Q16[p])
+	}
+	return int32(q.Q[p])
+}
+
+// RowScale returns the dequantization scale for row r (the per-tensor scale
+// when PerChannel is false).
+func (q *QCSR) RowScale(r int) float32 {
+	if q.PerChannel {
+		return q.Scales[r]
+	}
+	return q.Scales[0]
+}
+
+// Dequantize reconstructs the float CSR (level × scale per entry), sharing
+// the index arrays. Because scales are powers of two the reconstruction is
+// exact in float32: it is the reference grid the integer engine's outputs
+// are pinned against.
+func (q *QCSR) Dequantize() *sparse.CSR {
+	c := &sparse.CSR{
+		Rows: q.Rows, Cols: q.Cols,
+		RowPtr: q.RowPtr, ColIdx: q.ColIdx,
+		Val: make([]float32, q.NNZ()),
+	}
+	for r := 0; r < q.Rows; r++ {
+		s := q.RowScale(r)
+		for p := q.RowPtr[r]; p < q.RowPtr[r+1]; p++ {
+			c.Val[p] = float32(q.Level(int(p))) * s
+		}
+	}
+	return c
+}
+
+// PackedValueBytes returns the deployed byte count of the value storage
+// alone: ⌈nnz/2⌉ at 4 bits (two per byte), nnz at 5–8 bits, 2·nnz at 9–16
+// bits. Indices and scales are accounted separately (MemoryBits) because
+// the float engine pays them identically.
+func (q *QCSR) PackedValueBytes() int64 {
+	switch {
+	case q.Packed != nil:
+		return int64(len(q.Packed))
+	case q.Q16 != nil:
+		return 2 * int64(q.NNZ())
+	default:
+		return int64(q.NNZ())
+	}
+}
+
+// MemoryBits returns the full deployed storage cost with idxBits-wide
+// indices: packed values + column indices + row pointers + the float32
+// scales. It is the quantized counterpart of sparse.CSR.MemoryBits.
+func (q *QCSR) MemoryBits(idxBits int) int64 {
+	return 8*q.PackedValueBytes() +
+		int64(q.NNZ())*int64(idxBits) +
+		int64(q.Rows+1)*int64(idxBits) +
+		int64(len(q.Scales))*32
+}
+
+// CSCInt8 transposes the quantized matrix into the column-compressed
+// integer form the event-driven linear kernels consume (incoming spikes
+// select weight columns). Levels that quantized to exactly zero are dropped
+// — they are dead synapses, and skipping them is where the measured SynOps
+// reduction of quantization comes from. Requires Bits ≤ 8.
+func (q *QCSR) CSCInt8() *sparse.CSCInt8 {
+	if q.Q == nil {
+		panic(fmt.Sprintf("quant: CSCInt8 requires ≤8-bit levels (have %d)", q.Bits))
+	}
+	nnz := 0
+	for _, l := range q.Q {
+		if l != 0 {
+			nnz++
+		}
+	}
+	t := &sparse.CSCInt8{
+		Rows: q.Rows, Cols: q.Cols,
+		ColPtr: make([]int32, q.Cols+1),
+		RowIdx: make([]int32, nnz),
+		Q:      make([]int8, nnz),
+	}
+	for p, j := range q.ColIdx {
+		if q.Q[p] != 0 {
+			t.ColPtr[j+1]++
+		}
+	}
+	for j := 0; j < q.Cols; j++ {
+		t.ColPtr[j+1] += t.ColPtr[j]
+	}
+	next := make([]int32, q.Cols)
+	copy(next, t.ColPtr[:q.Cols])
+	for r := 0; r < q.Rows; r++ {
+		for p := q.RowPtr[r]; p < q.RowPtr[r+1]; p++ {
+			if q.Q[p] == 0 {
+				continue
+			}
+			j := q.ColIdx[p]
+			t.RowIdx[next[j]] = int32(r)
+			t.Q[next[j]] = q.Q[p]
+			next[j]++
+		}
+	}
+	return t
+}
+
+// CSCInt4 is CSCInt8 with the values re-packed two-per-byte — the HICANN
+// deployment form, computed from directly by the packed int4 kernel.
+// Requires Bits == 4.
+func (q *QCSR) CSCInt4() *sparse.CSCInt4 {
+	if q.Bits != 4 {
+		panic(fmt.Sprintf("quant: CSCInt4 requires 4-bit levels (have %d)", q.Bits))
+	}
+	c8 := q.CSCInt8()
+	return &sparse.CSCInt4{
+		Rows: c8.Rows, Cols: c8.Cols,
+		ColPtr: c8.ColPtr, RowIdx: c8.RowIdx,
+		Packed: PackInt4(c8.Q),
+	}
+}
+
+// PackInt4 packs signed 4-bit levels (each in [-7,7]) two per byte: entry 2i
+// in the low nibble of byte i, entry 2i+1 in the high nibble. An odd count
+// leaves the final high nibble zero. Levels outside the 4-bit range panic —
+// they indicate quantization at the wrong width, not recoverable input.
+func PackInt4(q []int8) []byte {
+	out := make([]byte, (len(q)+1)/2)
+	for i, v := range q {
+		if v < -7 || v > 7 {
+			panic(fmt.Sprintf("quant: level %d at entry %d outside int4 range", v, i))
+		}
+		nib := byte(v) & 0xF
+		if i%2 == 0 {
+			out[i/2] = nib
+		} else {
+			out[i/2] |= nib << 4
+		}
+	}
+	return out
+}
+
+// UnpackInt4 reverses PackInt4, returning the first n sign-extended levels.
+func UnpackInt4(packed []byte, n int) []int8 {
+	out := make([]int8, n)
+	for i := range out {
+		b := packed[i/2]
+		if i%2 == 0 {
+			out[i] = int8(b<<4) >> 4
+		} else {
+			out[i] = int8(b) >> 4
+		}
+	}
+	return out
+}

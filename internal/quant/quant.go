@@ -55,6 +55,12 @@ func Quantize(w *tensor.Tensor, bits int) (*tensor.Tensor, float32, error) {
 // returning per-tensor scales keyed by name. Masks and non-prunable
 // parameters (BN affines, biases) are untouched, matching mixed-precision
 // deployments that keep normalization in higher precision.
+//
+// Mutating W drops the parameter's cached CSR/CSC encodings: small weights
+// round to exactly zero under quantization, and an encoding gathered from
+// the pre-quantization values would keep paying synaptic work (and stale
+// density) for those dead synapses. Callers restoring the weights afterwards
+// must invalidate again (EvaluateQuantized does).
 func QuantizeParams(params []*layers.Param, bits int) (map[string]float32, error) {
 	scales := make(map[string]float32, len(params))
 	for _, p := range params {
@@ -66,6 +72,7 @@ func QuantizeParams(params []*layers.Param, bits int) (map[string]float32, error
 			return nil, err
 		}
 		p.W.CopyFrom(q)
+		p.InvalidateCSR()
 		scales[p.Name] = scale
 	}
 	return scales, nil

@@ -1,0 +1,154 @@
+package sparse
+
+import "fmt"
+
+// Integer event kernels: the deployed-arithmetic half of the event-driven
+// story. The float kernels in event.go make inference work scale with
+// weightDensity × spikeRate; the kernels here additionally compute in the
+// integer precision the Sec. III-D platforms actually ship (Loihi 8-bit,
+// HICANN 4-bit) — per incoming spike, one signed-integer column accumulate
+// into an int32 accumulator, mirroring CSCMatMulEventsSerialInto with the
+// multiply dropped entirely (binary events × integer levels = adds). The
+// accumulator only returns to float at the layer boundary, where a single
+// per-channel requantization scale applies (see internal/quant.QCSR).
+
+// CSCInt8 is a column-compressed weight matrix quantized to signed 8-bit
+// levels: column q's stored rows are RowIdx[ColPtr[q]:ColPtr[q+1]],
+// ascending, with levels aligned in Q. Values are levels, not weights —
+// dequantize with the owning QCSR's per-row scale.
+type CSCInt8 struct {
+	Rows, Cols int
+	// ColPtr has Cols+1 entries delimiting each column's span in RowIdx/Q.
+	ColPtr []int32
+	RowIdx []int32
+	// Q holds the signed 8-bit quantized levels.
+	Q []int8
+}
+
+// NNZ returns the number of stored synapses.
+func (c *CSCInt8) NNZ() int { return len(c.RowIdx) }
+
+// CSCAccumulateColumnsInt8 is the int8 event kernel: for every event column
+// q in cols (the flat indices of one timestep's incoming spikes), it
+// accumulates weight column q into the int32 accumulator —
+// acc[RowIdx[p]] += Q[p] for each stored synapse p of the column. Integer
+// accumulation is exact, so the order of events cannot change the result.
+// It returns the number of accumulates performed (the SynOps of the call).
+func CSCAccumulateColumnsInt8(acc []int32, a *CSCInt8, cols []int32) int64 {
+	if len(acc) != a.Rows {
+		panic(fmt.Sprintf("sparse: CSCAccumulateColumnsInt8 acc length %d, want %d", len(acc), a.Rows))
+	}
+	var ops int64
+	for _, q := range cols {
+		for p := a.ColPtr[q]; p < a.ColPtr[q+1]; p++ {
+			acc[a.RowIdx[p]] += int32(a.Q[p])
+			ops++
+		}
+	}
+	return ops
+}
+
+// CSCMatMulEventsInt8SerialInto computes dst = A·B for A in int8 CSC form
+// [m,k] and a binary B [k,n] given as its event pattern — the integer twin
+// of CSCMatMulEventsSerialInto, with dst an int32 accumulator laid out
+// row-major [m,n]. Multiplication by {0,1} spikes degenerates to integer
+// accumulation of levels, which is exact at any summation order.
+func CSCMatMulEventsInt8SerialInto(dst []int32, a *CSCInt8, ev *Events, accumulate bool) {
+	n := checkCSCMatMulEventsInt(len(dst), a.Rows, a.Cols, ev)
+	if !accumulate {
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
+	for q := 0; q < ev.Rows; q++ {
+		evRow := ev.ColIdx[ev.RowPtr[q]:ev.RowPtr[q+1]]
+		if len(evRow) == 0 {
+			continue
+		}
+		for p := a.ColPtr[q]; p < a.ColPtr[q+1]; p++ {
+			v := int32(a.Q[p])
+			orow := dst[int(a.RowIdx[p])*n:]
+			orow = orow[:n]
+			for _, j := range evRow {
+				orow[j] += v
+			}
+		}
+	}
+}
+
+// CSCInt4 is CSCInt8 with the levels packed two per byte (low nibble =
+// even entry, high nibble = odd entry, sign-extended on read) — the HICANN
+// 4-bit deployment layout. The kernels unpack nibbles inline, so packed
+// storage is also what is computed from.
+type CSCInt4 struct {
+	Rows, Cols int
+	// ColPtr has Cols+1 entries delimiting each column's span in RowIdx.
+	ColPtr []int32
+	RowIdx []int32
+	// Packed holds ⌈nnz/2⌉ bytes of two-per-byte signed 4-bit levels.
+	Packed []byte
+}
+
+// NNZ returns the number of stored synapses.
+func (c *CSCInt4) NNZ() int { return len(c.RowIdx) }
+
+// Level returns the sign-extended 4-bit level of stored entry p.
+func (c *CSCInt4) Level(p int32) int32 {
+	b := c.Packed[p>>1]
+	if p&1 == 0 {
+		return int32(int8(b<<4) >> 4)
+	}
+	return int32(int8(b) >> 4)
+}
+
+// CSCAccumulateColumnsInt4 is CSCAccumulateColumnsInt8 over the packed
+// 4-bit layout: per event column, each stored nibble is sign-extended and
+// added into the int32 accumulator. Returns the accumulate count.
+func CSCAccumulateColumnsInt4(acc []int32, a *CSCInt4, cols []int32) int64 {
+	if len(acc) != a.Rows {
+		panic(fmt.Sprintf("sparse: CSCAccumulateColumnsInt4 acc length %d, want %d", len(acc), a.Rows))
+	}
+	var ops int64
+	for _, q := range cols {
+		for p := a.ColPtr[q]; p < a.ColPtr[q+1]; p++ {
+			acc[a.RowIdx[p]] += a.Level(p)
+			ops++
+		}
+	}
+	return ops
+}
+
+// CSCMatMulEventsInt4SerialInto is CSCMatMulEventsInt8SerialInto over the
+// packed 4-bit layout.
+func CSCMatMulEventsInt4SerialInto(dst []int32, a *CSCInt4, ev *Events, accumulate bool) {
+	n := checkCSCMatMulEventsInt(len(dst), a.Rows, a.Cols, ev)
+	if !accumulate {
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
+	for q := 0; q < ev.Rows; q++ {
+		evRow := ev.ColIdx[ev.RowPtr[q]:ev.RowPtr[q+1]]
+		if len(evRow) == 0 {
+			continue
+		}
+		for p := a.ColPtr[q]; p < a.ColPtr[q+1]; p++ {
+			v := a.Level(p)
+			orow := dst[int(a.RowIdx[p])*n:]
+			orow = orow[:n]
+			for _, j := range evRow {
+				orow[j] += v
+			}
+		}
+	}
+}
+
+func checkCSCMatMulEventsInt(dstLen, rows, cols int, ev *Events) int {
+	if ev.Rows != cols {
+		panic(fmt.Sprintf("sparse: CSCMatMulEventsInt inner dims %d vs %d", cols, ev.Rows))
+	}
+	if dstLen != rows*ev.Cols {
+		panic(fmt.Sprintf("sparse: CSCMatMulEventsInt dst length %d, want %d", dstLen, rows*ev.Cols))
+	}
+	return ev.Cols
+}

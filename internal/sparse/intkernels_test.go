@@ -1,0 +1,143 @@
+package sparse
+
+import (
+	"testing"
+
+	"ndsnn/internal/rng"
+	"ndsnn/internal/tensor"
+)
+
+// randomIntCSC builds matching float CSC / int8 CSC / packed int4 CSC views
+// of the same random integer-valued sparse matrix (levels in [-7,7] so all
+// three precisions represent it exactly).
+func randomIntCSC(rows, cols int, density float64, r *rng.RNG) (*CSC, *CSCInt8, *CSCInt4) {
+	w := tensor.New(rows, cols)
+	mask := tensor.New(rows, cols)
+	for i := range w.Data {
+		if r.Float64() < density {
+			l := int8(r.Float64()*15) - 7
+			if l == 0 {
+				l = 1
+			}
+			w.Data[i] = float32(l)
+			mask.Data[i] = 1
+		}
+	}
+	csc := NewCSCFromCSR(EncodeCSRWithMask(w, mask))
+	i8 := &CSCInt8{
+		Rows: csc.Rows, Cols: csc.Cols,
+		ColPtr: csc.ColPtr, RowIdx: csc.RowIdx,
+		Q: make([]int8, csc.NNZ()),
+	}
+	for p, v := range csc.Val {
+		i8.Q[p] = int8(v)
+	}
+	packed := make([]byte, (len(i8.Q)+1)/2)
+	for p, v := range i8.Q {
+		nib := byte(v) & 0xF
+		if p%2 == 0 {
+			packed[p/2] = nib
+		} else {
+			packed[p/2] |= nib << 4
+		}
+	}
+	i4 := &CSCInt4{Rows: csc.Rows, Cols: csc.Cols, ColPtr: csc.ColPtr, RowIdx: csc.RowIdx, Packed: packed}
+	return csc, i8, i4
+}
+
+func randomEvents(rows, cols int, rate float64, r *rng.RNG) (*Events, *tensor.Tensor) {
+	b := tensor.New(rows, cols)
+	for i := range b.Data {
+		if r.Float64() < rate {
+			b.Data[i] = 1
+		}
+	}
+	ev, ok := EncodeEvents(b)
+	if !ok {
+		panic("sparse: test raster not binary")
+	}
+	return ev, b
+}
+
+func TestCSCAccumulateColumnsIntMatchesFloatKernel(t *testing.T) {
+	r := rng.New(41)
+	for _, rate := range []float64{0, 0.1, 0.5, 1} {
+		csc, i8, i4 := randomIntCSC(17, 29, 0.4, r)
+		ev, _ := randomEvents(29, 1, rate, r)
+		// The float reference: one event column per active row of ev.
+		var cols []int32
+		for q := 0; q < ev.Rows; q++ {
+			if ev.RowNNZ(q) > 0 {
+				cols = append(cols, int32(q))
+			}
+		}
+		want := tensor.New(17, 1)
+		CSCMatMulEventsSerialInto(want, csc, ev, false)
+
+		acc8 := make([]int32, 17)
+		ops8 := CSCAccumulateColumnsInt8(acc8, i8, cols)
+		acc4 := make([]int32, 17)
+		ops4 := CSCAccumulateColumnsInt4(acc4, i4, cols)
+		if ops8 != ops4 {
+			t.Fatalf("rate=%v: int8 ops %d != int4 ops %d", rate, ops8, ops4)
+		}
+		var wantOps int64
+		for _, q := range cols {
+			wantOps += int64(i8.ColPtr[q+1] - i8.ColPtr[q])
+		}
+		if ops8 != wantOps {
+			t.Fatalf("rate=%v: reported ops %d, want %d", rate, ops8, wantOps)
+		}
+		for i := range acc8 {
+			if float32(acc8[i]) != want.Data[i] || acc4[i] != acc8[i] {
+				t.Fatalf("rate=%v row %d: int8=%d int4=%d float=%v", rate, i, acc8[i], acc4[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestCSCMatMulEventsIntMatchesFloatKernel(t *testing.T) {
+	r := rng.New(43)
+	for _, rate := range []float64{0, 0.05, 0.3, 1} {
+		csc, i8, i4 := randomIntCSC(23, 31, 0.35, r)
+		ev, _ := randomEvents(31, 7, rate, r)
+		want := tensor.New(23, 7)
+		CSCMatMulEventsSerialInto(want, csc, ev, false)
+		got8 := make([]int32, 23*7)
+		CSCMatMulEventsInt8SerialInto(got8, i8, ev, false)
+		got4 := make([]int32, 23*7)
+		CSCMatMulEventsInt4SerialInto(got4, i4, ev, false)
+		for i := range got8 {
+			if float32(got8[i]) != want.Data[i] || got4[i] != got8[i] {
+				t.Fatalf("rate=%v entry %d: int8=%d int4=%d float=%v", rate, i, got8[i], got4[i], want.Data[i])
+			}
+		}
+		// Accumulate mode adds on top instead of overwriting.
+		CSCMatMulEventsInt8SerialInto(got8, i8, ev, true)
+		CSCMatMulEventsInt4SerialInto(got4, i4, ev, true)
+		for i := range got8 {
+			if got8[i] != 2*int32(want.Data[i]) || got4[i] != got8[i] {
+				t.Fatalf("accumulate rate=%v entry %d: int8=%d int4=%d want %v", rate, i, got8[i], got4[i], 2*int32(want.Data[i]))
+			}
+		}
+	}
+}
+
+func TestCSCInt4LevelSignExtension(t *testing.T) {
+	levels := []int8{-7, -1, 0, 1, 7, 3, -4}
+	packed := make([]byte, (len(levels)+1)/2)
+	for p, v := range levels {
+		nib := byte(v) & 0xF
+		if p%2 == 0 {
+			packed[p/2] = nib
+		} else {
+			packed[p/2] |= nib << 4
+		}
+	}
+	c := &CSCInt4{Rows: 1, Cols: 1, RowIdx: make([]int32, len(levels)), Packed: packed}
+	for p, v := range levels {
+		if got := c.Level(int32(p)); got != int32(v) {
+			t.Fatalf("entry %d: Level=%d, want %d", p, got, v)
+		}
+	}
+}
