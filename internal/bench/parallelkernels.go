@@ -1,0 +1,364 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"ndsnn/internal/rng"
+	"ndsnn/internal/sparse"
+	"ndsnn/internal/tensor"
+)
+
+// Parallel-kernels benchmark: the measured side of the thread-scalable
+// sparse kernel layer. On the VGG-16-shaped convolution (512 filters ×
+// 512·3·3 patch, 8×8 map) at the paper's operating point (90% weight
+// sparsity, 10% spike rate) it measures
+//
+//   - the banded parallel event forward (sparse.CSCMatMulEventsInto) against
+//     the serial kernel at 1/2/4/8 workers, with the bit-identity check
+//     riding along (max-abs diff must be exactly 0 — the banded kernel
+//     preserves the serial summation order);
+//   - the row-blocked parallel events SDDMM (sparse.CSRGradABTEventsInto)
+//     against the serial backward-weight kernel, same worker sweep, diff
+//     gated at the gradient tolerance;
+//   - the register-blocked int8/int4 column accumulates against their scalar
+//     reference kernels (exact integer equality required) — the ROADMAP
+//     "Integer SIMD" latency item;
+//   - a GOMAXPROCS ∈ {1,2,8} equivalence sweep re-checking the diffs under
+//     every thread budget, which is the CI smoke's determinism gate.
+//
+// Thread speedups are hardware-bound: HostCPUs records how many cores the
+// measuring host actually had, since worker counts beyond it cannot show
+// wall-clock gains (the determinism checks still exercise them). Recorded as
+// BENCH_parallel_kernels.json.
+
+// ParallelKernelCell is one worker-count measurement of a kernel pair.
+type ParallelKernelCell struct {
+	Workers int `json:"workers"`
+	// SerialNs / ParallelNs is the wall-clock per kernel call, median of
+	// Iters runs.
+	SerialNs   int64 `json:"serial_ns"`
+	ParallelNs int64 `json:"parallel_ns"`
+	// Speedup is SerialNs / ParallelNs.
+	Speedup float64 `json:"speedup"`
+	// MaxAbsDiff vs the serial kernel: must be 0 for the forward (banded
+	// scatter preserves the serial summation order) and ≤ the gradient
+	// tolerance for the SDDMM.
+	MaxAbsDiff float64 `json:"max_abs_diff"`
+}
+
+// IntKernelCell compares one register-blocked integer accumulate against
+// its scalar reference.
+type IntKernelCell struct {
+	Bits     int   `json:"bits"`
+	ScalarNs int64 `json:"scalar_ns"`
+	// UnrolledNs is the register-blocked kernel's wall-clock.
+	UnrolledNs int64 `json:"unrolled_ns"`
+	// Speedup is ScalarNs / UnrolledNs.
+	Speedup float64 `json:"speedup"`
+	// MaxAbsDiff must be 0: integer accumulation is exact at any order.
+	MaxAbsDiff float64 `json:"max_abs_diff"`
+}
+
+// GOMAXPROCSDiff records the equivalence re-check under one thread budget.
+type GOMAXPROCSDiff struct {
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// ForwardMaxAbsDiff is the banded-vs-serial forward diff (must be 0);
+	// GradMaxAbsDiff is the parallel-vs-serial SDDMM diff (≤ tolerance).
+	ForwardMaxAbsDiff float64 `json:"forward_max_abs_diff"`
+	GradMaxAbsDiff    float64 `json:"grad_max_abs_diff"`
+}
+
+// ParallelKernelsReport is the recorded artifact.
+type ParallelKernelsReport struct {
+	Layer          string  `json:"layer"`
+	Rows           int     `json:"rows"`
+	Cols           int     `json:"cols"`
+	Patch          int     `json:"patch"`
+	WeightSparsity float64 `json:"weight_sparsity"`
+	SpikeRate      float64 `json:"spike_rate"`
+	NNZWeights     int     `json:"nnz_weights"`
+	Iters          int     `json:"iters"`
+	// HostCPUs is runtime.NumCPU() on the measuring host — the hard ceiling
+	// on any thread speedup in this file.
+	HostCPUs int `json:"host_cpus"`
+	// GOMAXPROCS is the thread budget the timing cells ran under.
+	GOMAXPROCS int                  `json:"gomaxprocs"`
+	Forward    []ParallelKernelCell `json:"forward"`
+	Backward   []ParallelKernelCell `json:"backward"`
+	IntKernels []IntKernelCell      `json:"int_kernels"`
+	ProcSweep  []GOMAXPROCSDiff     `json:"gomaxprocs_sweep"`
+}
+
+// parallelKernelsGradTol is the SDDMM equivalence gate. The row-blocked
+// kernel computes every stored position with the serial arithmetic, so the
+// expected diff is exactly 0; the gate allows the issue-spec gradient
+// tolerance.
+const parallelKernelsGradTol = 1e-5
+
+// RunParallelKernels measures the parallel event kernels against their
+// serial forms on the VGG-16-shaped bench layer and fails on any equivalence
+// violation. workerCounts defaults to {1,2,4,8} when nil.
+func RunParallelKernels(workerCounts []int, iters int, seed uint64, progress Progress) (*ParallelKernelsReport, error) {
+	const (
+		outC     = 512
+		ckk      = 512 * 9
+		patch    = 64 // 8×8 map
+		sparsity = 0.90
+		rate     = 0.10
+	)
+	if workerCounts == nil {
+		workerCounts = []int{1, 2, 4, 8}
+	}
+	r := rng.New(seed*41 + 13)
+	w, wcsr := benchMaskedCSR(outC, ckk, 1-sparsity, r)
+	_ = w
+	wcsc := sparse.NewCSCFromCSR(wcsr)
+	spikes := tensor.New(ckk, patch)
+	for i := range spikes.Data {
+		if r.Float64() < rate {
+			spikes.Data[i] = 1
+		}
+	}
+	ev, ok := sparse.EncodeEvents(spikes)
+	if !ok {
+		return nil, fmt.Errorf("bench: parallel-kernels spike raster rejected as non-binary")
+	}
+	dy := tensor.New(outC, patch)
+	for i := range dy.Data {
+		dy.Data[i] = r.NormFloat32()
+	}
+
+	rep := &ParallelKernelsReport{
+		Layer: "vgg16-conv512 (512 filters × 512·3·3 patch, 8×8 map)",
+		Rows:  outC, Cols: ckk, Patch: patch,
+		WeightSparsity: sparsity, SpikeRate: rate,
+		NNZWeights: wcsr.NNZ(), Iters: iters,
+		HostCPUs:   runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	serialFwd := tensor.New(outC, patch)
+	fwdNs := medianNs(func() {
+		sparse.CSCMatMulEventsSerialInto(serialFwd, wcsc, ev, false)
+	}, iters)
+	serialGrad := make([]float32, wcsr.NNZ())
+	gradNs := medianNs(func() {
+		for i := range serialGrad {
+			serialGrad[i] = 0
+		}
+		sparse.CSRGradABTEventsSerial(serialGrad, wcsr, dy, ev)
+	}, iters)
+
+	for _, workers := range workerCounts {
+		bands := sparse.NewCSCBands(wcsr, workers)
+		parFwd := tensor.New(outC, patch)
+		pns := medianNs(func() {
+			sparse.CSCMatMulEventsInto(parFwd, bands, ev, false)
+		}, iters)
+		cell := ParallelKernelCell{
+			Workers: workers, SerialNs: fwdNs, ParallelNs: pns,
+			MaxAbsDiff: maxAbsDiff32(serialFwd.Data, parFwd.Data),
+		}
+		if pns > 0 {
+			cell.Speedup = float64(fwdNs) / float64(pns)
+		}
+		rep.Forward = append(rep.Forward, cell)
+		report(progress, "parallel-kernels forward workers=%d: serial=%s parallel=%s (%.2fx) diff=%g",
+			workers, time.Duration(fwdNs), time.Duration(pns), cell.Speedup, cell.MaxAbsDiff)
+		if cell.MaxAbsDiff != 0 {
+			return rep, fmt.Errorf("bench: parallel-kernels forward workers=%d: banded kernel diverged from serial by %g (must be bit-identical)",
+				workers, cell.MaxAbsDiff)
+		}
+
+		parGrad := make([]float32, wcsr.NNZ())
+		gns := medianNs(func() {
+			for i := range parGrad {
+				parGrad[i] = 0
+			}
+			sparse.CSRGradABTEventsInto(parGrad, wcsr, dy, ev, workers)
+		}, iters)
+		gcell := ParallelKernelCell{
+			Workers: workers, SerialNs: gradNs, ParallelNs: gns,
+			MaxAbsDiff: maxAbsDiff32(serialGrad, parGrad),
+		}
+		if gns > 0 {
+			gcell.Speedup = float64(gradNs) / float64(gns)
+		}
+		rep.Backward = append(rep.Backward, gcell)
+		report(progress, "parallel-kernels backward workers=%d: serial=%s parallel=%s (%.2fx) diff=%g",
+			workers, time.Duration(gradNs), time.Duration(gns), gcell.Speedup, gcell.MaxAbsDiff)
+		if gcell.MaxAbsDiff > parallelKernelsGradTol {
+			return rep, fmt.Errorf("bench: parallel-kernels backward workers=%d: parallel SDDMM diverged from serial by %g (tolerance %g)",
+				workers, gcell.MaxAbsDiff, parallelKernelsGradTol)
+		}
+	}
+
+	intCells, err := runIntKernelCells(wcsr, ev, iters, progress)
+	if err != nil {
+		return rep, err
+	}
+	rep.IntKernels = intCells
+
+	sweep, err := runProcSweep(wcsr, wcsc, ev, dy, serialFwd, serialGrad, progress)
+	if err != nil {
+		return rep, err
+	}
+	rep.ProcSweep = sweep
+	return rep, nil
+}
+
+// benchMaskedCSR builds a [rows,cols] weight matrix at the given density and
+// its mask-keyed CSR encoding.
+func benchMaskedCSR(rows, cols int, density float64, r *rng.RNG) (*tensor.Tensor, *sparse.CSR) {
+	w := tensor.New(rows, cols)
+	mask := tensor.New(rows, cols)
+	for i := range w.Data {
+		if r.Float64() < density {
+			mask.Data[i] = 1
+			w.Data[i] = r.NormFloat32()
+		}
+	}
+	return w, sparse.EncodeCSRWithMask(w, mask)
+}
+
+// runIntKernelCells measures the register-blocked int8/int4 column
+// accumulates against their scalar references on the bench layer's pattern
+// and one timestep's spike columns.
+func runIntKernelCells(wcsr *sparse.CSR, ev *sparse.Events, iters int, progress Progress) ([]IntKernelCell, error) {
+	q8 := &sparse.CSCInt8{Rows: wcsr.Rows, Cols: wcsr.Cols}
+	csc := sparse.NewCSCFromCSR(wcsr)
+	q8.ColPtr = csc.ColPtr
+	q8.RowIdx = csc.RowIdx
+	q8.Q = make([]int8, len(csc.Val))
+	for i, v := range csc.Val {
+		lv := int(v * 32)
+		if lv > 127 {
+			lv = 127
+		}
+		if lv < -127 {
+			lv = -127
+		}
+		q8.Q[i] = int8(lv)
+	}
+	q4 := &sparse.CSCInt4{Rows: q8.Rows, Cols: q8.Cols, ColPtr: q8.ColPtr, RowIdx: q8.RowIdx,
+		Packed: make([]byte, (len(q8.RowIdx)+1)/2)}
+	for p, lv := range q8.Q {
+		nib := byte(int(lv)>>4) & 0xF
+		if p&1 == 0 {
+			q4.Packed[p>>1] |= nib
+		} else {
+			q4.Packed[p>>1] |= nib << 4
+		}
+	}
+	// One timestep's incoming spike columns: the rows of the event pattern
+	// that fired anywhere (the event matmul's outer loop, flattened).
+	var cols []int32
+	for q := 0; q < ev.Rows; q++ {
+		if ev.RowNNZ(q) > 0 {
+			cols = append(cols, int32(q))
+		}
+	}
+
+	var out []IntKernelCell
+	accA := make([]int32, q8.Rows)
+	accB := make([]int32, q8.Rows)
+	measure := func(bits int, scalar, unrolled func([]int32)) (IntKernelCell, error) {
+		sNs := medianNs(func() {
+			for i := range accA {
+				accA[i] = 0
+			}
+			scalar(accA)
+		}, iters)
+		uNs := medianNs(func() {
+			for i := range accB {
+				accB[i] = 0
+			}
+			unrolled(accB)
+		}, iters)
+		var diff float64
+		for i := range accA {
+			if d := accA[i] - accB[i]; d != 0 {
+				if fd := float64(d); fd > diff || -fd > diff {
+					if fd < 0 {
+						fd = -fd
+					}
+					diff = fd
+				}
+			}
+		}
+		cell := IntKernelCell{Bits: bits, ScalarNs: sNs, UnrolledNs: uNs, MaxAbsDiff: diff}
+		if uNs > 0 {
+			cell.Speedup = float64(sNs) / float64(uNs)
+		}
+		report(progress, "parallel-kernels int%d accumulate: scalar=%s unrolled=%s (%.2fx) diff=%g",
+			bits, time.Duration(sNs), time.Duration(uNs), cell.Speedup, diff)
+		if diff != 0 {
+			return cell, fmt.Errorf("bench: parallel-kernels int%d accumulate diverged from scalar by %g (integer kernels must be exact)", bits, diff)
+		}
+		return cell, nil
+	}
+	c8, err := measure(8,
+		func(acc []int32) { sparse.CSCAccumulateColumnsInt8Scalar(acc, q8, cols) },
+		func(acc []int32) { sparse.CSCAccumulateColumnsInt8(acc, q8, cols) })
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, c8)
+	c4, err := measure(4,
+		func(acc []int32) { sparse.CSCAccumulateColumnsInt4Scalar(acc, q4, cols) },
+		func(acc []int32) { sparse.CSCAccumulateColumnsInt4(acc, q4, cols) })
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, c4)
+	return out, nil
+}
+
+// runProcSweep re-checks the parallel kernels' equivalence under GOMAXPROCS
+// ∈ {1, 2, 8}: the diffs must be independent of the thread budget (that is
+// the determinism guarantee — band and block boundaries come from the
+// Workers knob, never from GOMAXPROCS).
+func runProcSweep(wcsr *sparse.CSR, wcsc *sparse.CSC, ev *sparse.Events, dy *tensor.Tensor,
+	serialFwd *tensor.Tensor, serialGrad []float32, progress Progress) ([]GOMAXPROCSDiff, error) {
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	bands := sparse.NewCSCBands(wcsr, 8)
+	var out []GOMAXPROCSDiff
+	for _, procs := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(procs)
+		fwd := tensor.New(serialFwd.Dim(0), serialFwd.Dim(1))
+		sparse.CSCMatMulEventsInto(fwd, bands, ev, false)
+		grad := make([]float32, len(serialGrad))
+		sparse.CSRGradABTEventsInto(grad, wcsr, dy, ev, 8)
+		d := GOMAXPROCSDiff{
+			GOMAXPROCS:        procs,
+			ForwardMaxAbsDiff: maxAbsDiff32(serialFwd.Data, fwd.Data),
+			GradMaxAbsDiff:    maxAbsDiff32(serialGrad, grad),
+		}
+		out = append(out, d)
+		report(progress, "parallel-kernels GOMAXPROCS=%d: forward diff=%g grad diff=%g",
+			procs, d.ForwardMaxAbsDiff, d.GradMaxAbsDiff)
+		if d.ForwardMaxAbsDiff != 0 {
+			return out, fmt.Errorf("bench: parallel-kernels GOMAXPROCS=%d: forward diverged by %g (must be bit-identical)", procs, d.ForwardMaxAbsDiff)
+		}
+		if d.GradMaxAbsDiff > parallelKernelsGradTol {
+			return out, fmt.Errorf("bench: parallel-kernels GOMAXPROCS=%d: gradients diverged by %g (tolerance %g)", procs, d.GradMaxAbsDiff, parallelKernelsGradTol)
+		}
+	}
+	return out, nil
+}
+
+// PrintParallelKernels writes the report as indented JSON (the BENCH
+// artifact format).
+func PrintParallelKernels(w io.Writer, r *ParallelKernelsReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("bench: encode parallel-kernels report: %w", err)
+	}
+	return nil
+}

@@ -64,13 +64,18 @@ type qconvEntry struct {
 }
 
 // qconvStage is the integer event-driven convolution with optional folded
-// BN. Geometry and post-accumulation op order mirror convStage exactly.
+// BN. Geometry and post-accumulation op order mirror convStage exactly,
+// including the sparse.Workers output-channel banding
+// (bandEntriesByChannel): integer accumulation is exact at any order, but
+// the banded walk nevertheless preserves the serial per-element event
+// order, matching the float stage's determinism argument.
 type qconvStage struct {
 	inC, outC, k, stride, pad int
 	perChannel                [][]qconvEntry
-	deq                       []float32 // per-output-channel dequantization scale
-	bias                      []float32 // conv bias (may be nil)
-	scale, shift              []float32 // folded BN (may be nil)
+	bands                     [][][]qconvEntry // [band][channel]entries; nil when serial
+	deq                       []float32        // per-output-channel dequantization scale
+	bias                      []float32        // conv bias (may be nil)
+	scale, shift              []float32        // folded BN (may be nil)
 	ops                       *int64
 	inHW                      int
 	acc                       []int32 // reused int32 accumulator
@@ -102,6 +107,8 @@ func newQConvStage(l *layers.Conv2d, bn *layers.BatchNorm, bits int, ops *int64,
 			s.perChannel[ci] = append(s.perChannel[ci], qconvEntry{int32(f), int32(ki), int32(kj), lv})
 		}
 	}
+	s.bands = bandEntriesByChannel(s.perChannel, l.OutC, sparse.EffectiveWorkers(l.OutC),
+		func(en qconvEntry) int32 { return en.f })
 	if l.Bias != nil {
 		s.bias = append([]float32(nil), l.Bias.W.Data...)
 	}
@@ -123,29 +130,23 @@ func (s *qconvStage) step(in *act) *act {
 	out := newAct([]int{s.outC, oh, ow})
 	p := oh * ow
 	s.acc = growInt32(s.acc, s.outC*p)
-	var ops int64
 	for _, ev := range in.events {
 		if ev.Val != 1 {
 			panic(fmt.Sprintf("infer: quantized conv stage received non-binary event %v (compile-time binary propagation violated)", ev.Val))
 		}
-		idx := int(ev.Idx)
-		ci := idx / (h * w)
-		rem := idx % (h * w)
-		y := rem / w
-		x := rem % w
-		for _, en := range s.perChannel[ci] {
-			ny := y + s.pad - int(en.ki)
-			nx := x + s.pad - int(en.kj)
-			if ny < 0 || nx < 0 || ny%s.stride != 0 || nx%s.stride != 0 {
-				continue
-			}
-			oy, ox := ny/s.stride, nx/s.stride
-			if oy >= oh || ox >= ow {
-				continue
-			}
-			s.acc[int(en.f)*p+oy*ow+ox] += en.q
-			ops++
+	}
+	var ops int64
+	if s.bands != nil {
+		bandOps := make([]int64, len(s.bands))
+		tensor.ParallelStrips(len(s.bands), func(b int) {
+			bandOps[b] = qconvScatterEvents(s.acc, in.events, s.bands[b],
+				h, w, oh, ow, p, s.stride, s.pad)
+		})
+		for _, n := range bandOps {
+			ops += n
 		}
+	} else {
+		ops = qconvScatterEvents(s.acc, in.events, s.perChannel, h, w, oh, ow, p, s.stride, s.pad)
 	}
 	*s.ops += ops
 	for f := 0; f < s.outC; f++ {
@@ -176,6 +177,36 @@ func (s *qconvStage) step(in *act) *act {
 }
 
 func (s *qconvStage) reset() {}
+
+// qconvScatterEvents accumulates every (spike × quantized synapse)
+// contribution of one timestep into the int32 accumulator — convScatterEvents
+// with the multiply dropped (binary events × integer levels = adds). Returns
+// the accumulate count (SynOps).
+func qconvScatterEvents(acc []int32, events []Event, perChannel [][]qconvEntry,
+	h, w, oh, ow, p, stride, pad int) int64 {
+	var ops int64
+	for _, ev := range events {
+		idx := int(ev.Idx)
+		ci := idx / (h * w)
+		rem := idx % (h * w)
+		y := rem / w
+		x := rem % w
+		for _, en := range perChannel[ci] {
+			ny := y + pad - int(en.ki)
+			nx := x + pad - int(en.kj)
+			if ny < 0 || nx < 0 || ny%stride != 0 || nx%stride != 0 {
+				continue
+			}
+			oy, ox := ny/stride, nx/stride
+			if oy >= oh || ox >= ow {
+				continue
+			}
+			acc[int(en.f)*p+oy*ow+ox] += en.q
+			ops++
+		}
+	}
+	return ops
+}
 
 // qlinearStage is the integer event-driven fully-connected layer: incoming
 // spike indices select quantized weight columns via the int8/int4 CSC

@@ -5,6 +5,7 @@ import (
 
 	"ndsnn/internal/layers"
 	"ndsnn/internal/snn"
+	"ndsnn/internal/sparse"
 	"ndsnn/internal/tensor"
 )
 
@@ -29,12 +30,17 @@ type convEntry struct {
 	w      float32
 }
 
-// convStage is an event-driven convolution with optional folded BN.
+// convStage is an event-driven convolution with optional folded BN. When
+// compiled with sparse.Workers > 1 the synapse table is pre-bucketed into
+// that many output-channel bands (balanced by synapse count; see
+// bandEntriesByChannel) and step scatters every band concurrently on the
+// shared worker pool.
 type convStage struct {
 	inC, outC, k, stride, pad int
 	perChannel                [][]convEntry
-	bias                      []float32 // conv bias (may be nil)
-	scale, shift              []float32 // folded BN (may be nil)
+	bands                     [][][]convEntry // [band][channel]entries; nil when serial
+	bias                      []float32       // conv bias (may be nil)
+	scale, shift              []float32       // folded BN (may be nil)
 	ops                       *int64
 	activeSynapses            int64
 	inHW                      int // last seen spatial size (for dense MACs)
@@ -60,6 +66,8 @@ func newConvStage(l *layers.Conv2d, bn *layers.BatchNorm, ops *int64) *convStage
 			}
 		}
 	}
+	s.bands = bandEntriesByChannel(s.perChannel, l.OutC, sparse.EffectiveWorkers(l.OutC),
+		func(en convEntry) int32 { return en.f })
 	if l.Bias != nil {
 		s.bias = append([]float32(nil), l.Bias.W.Data...)
 	}
@@ -67,6 +75,63 @@ func newConvStage(l *layers.Conv2d, bn *layers.BatchNorm, ops *int64) *convStage
 		s.scale, s.shift = bnFold(bn)
 	}
 	return s
+}
+
+// bandEntriesByChannel splits a per-channel synapse table (entries ascending
+// in output unit fOf(entry) within each channel, as the compile loops
+// produce them) into `workers` output-unit bands balanced by synapse count —
+// the shared banding of the float and quantized conv stages. Bands write
+// disjoint output rows, so they scatter concurrently without
+// synchronization, and each output element still receives its contributions
+// in the serial event order: banded stepping is bit-identical to serial
+// stepping. It returns nil for workers <= 1 — the serial layout. Each
+// band's per-channel slices alias the original table (contiguous f-runs),
+// so banding costs no synapse copies.
+func bandEntriesByChannel[E any](perChannel [][]E, outC, workers int, fOf func(E) int32) [][][]E {
+	if workers <= 1 {
+		return nil
+	}
+	perF := make([]int64, outC+1)
+	var total int64
+	for _, entries := range perChannel {
+		total += int64(len(entries))
+		for _, en := range entries {
+			perF[fOf(en)+1]++
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	for f := 0; f < outC; f++ {
+		perF[f+1] += perF[f]
+	}
+	bands := make([][][]E, 0, workers)
+	f := 0
+	for b := 0; b < workers; b++ {
+		target := total * int64(b+1) / int64(workers)
+		fHi := f
+		for fHi < outC && (b == workers-1 || perF[fHi] < target) {
+			fHi++
+		}
+		if b == workers-1 {
+			fHi = outC
+		}
+		band := make([][]E, len(perChannel))
+		for c, entries := range perChannel {
+			lo := 0
+			for lo < len(entries) && int(fOf(entries[lo])) < f {
+				lo++
+			}
+			hi := lo
+			for hi < len(entries) && int(fOf(entries[hi])) < fHi {
+				hi++
+			}
+			band[c] = entries[lo:hi]
+		}
+		bands = append(bands, band)
+		f = fHi
+	}
+	return bands
 }
 
 func (s *convStage) denseMACs() int64 {
@@ -94,26 +159,20 @@ func (s *convStage) step(in *act) *act {
 	out := newAct([]int{s.outC, oh, ow})
 	p := oh * ow
 	var ops int64
-	for _, ev := range in.events {
-		idx := int(ev.Idx)
-		ci := idx / (h * w)
-		rem := idx % (h * w)
-		y := rem / w
-		x := rem % w
-		for _, en := range s.perChannel[ci] {
-			// Output position such that y = oy·stride + ki - pad.
-			ny := y + s.pad - int(en.ki)
-			nx := x + s.pad - int(en.kj)
-			if ny < 0 || nx < 0 || ny%s.stride != 0 || nx%s.stride != 0 {
-				continue
-			}
-			oy, ox := ny/s.stride, nx/s.stride
-			if oy >= oh || ox >= ow {
-				continue
-			}
-			out.data[int(en.f)*p+oy*ow+ox] += en.w * ev.Val
-			ops++
+	if s.bands != nil {
+		// Parallel scatter: every band streams the same events in the same
+		// order into its private output-channel rows — bit-identical to the
+		// serial walk below, at any GOMAXPROCS.
+		bandOps := make([]int64, len(s.bands))
+		tensor.ParallelStrips(len(s.bands), func(b int) {
+			bandOps[b] = convScatterEvents(out.data, in.events, s.bands[b],
+				h, w, oh, ow, p, s.stride, s.pad)
+		})
+		for _, n := range bandOps {
+			ops += n
 		}
+	} else {
+		ops = convScatterEvents(out.data, in.events, s.perChannel, h, w, oh, ow, p, s.stride, s.pad)
 	}
 	*s.ops += ops
 	for f := 0; f < s.outC; f++ {
@@ -138,6 +197,36 @@ func (s *convStage) step(in *act) *act {
 }
 
 func (s *convStage) reset() {}
+
+// convScatterEvents accumulates every (event × synapse) contribution of one
+// timestep into the output buffer — the shared inner walk of the serial and
+// banded float conv stage. Returns the accumulate count (SynOps).
+func convScatterEvents(out []float32, events []Event, perChannel [][]convEntry,
+	h, w, oh, ow, p, stride, pad int) int64 {
+	var ops int64
+	for _, ev := range events {
+		idx := int(ev.Idx)
+		ci := idx / (h * w)
+		rem := idx % (h * w)
+		y := rem / w
+		x := rem % w
+		for _, en := range perChannel[ci] {
+			// Output position such that y = oy·stride + ki - pad.
+			ny := y + pad - int(en.ki)
+			nx := x + pad - int(en.kj)
+			if ny < 0 || nx < 0 || ny%stride != 0 || nx%stride != 0 {
+				continue
+			}
+			oy, ox := ny/stride, nx/stride
+			if oy >= oh || ox >= ow {
+				continue
+			}
+			out[int(en.f)*p+oy*ow+ox] += en.w * ev.Val
+			ops++
+		}
+	}
+	return ops
+}
 
 // linearEntry is one active synapse of an event-driven linear layer,
 // grouped by presynaptic index.

@@ -79,9 +79,11 @@ func (l *Conv2d) geometry(x *tensor.Tensor) (b, c, h, w, oh, ow, p, ckk int) {
 
 // forwardSample runs one sample-timestep's GEMM into yb (shape [OutC, p]),
 // choosing between the event-driven, weight-only CSR and dense paths exactly
-// as documented on Forward, and adds the bias.
+// as documented on Forward, and adds the bias. A non-nil wbands routes the
+// event path through the banded parallel kernel (sparse.Workers > 1);
+// outputs are bit-identical either way.
 func (l *Conv2d) forwardSample(yb *tensor.Tensor, src []float32, c, h, w, oh, ow int,
-	wmat *tensor.Tensor, wcsr *sparse.CSR, wcsc *sparse.CSC, s *convScratch,
+	wmat *tensor.Tensor, wcsr *sparse.CSR, wcsc *sparse.CSC, wbands *sparse.CSCBands, s *convScratch,
 	tally *metrics.EventStats, maxRate float64) {
 	p := oh * ow
 	ckk := c * l.K * l.K
@@ -99,7 +101,11 @@ func (l *Conv2d) forwardSample(yb *tensor.Tensor, src []float32, c, h, w, oh, ow
 			// maxRate > 0 keeps the documented kill switch honest: at 0, even
 			// all-zero (occupancy 0) inputs stay on the weight-only path.
 			if maxRate > 0 && ev.Occupancy() <= maxRate {
-				sparse.CSCMatMulEventsSerialInto(yb, wcsc, &ev, false)
+				if wbands != nil {
+					sparse.CSCMatMulEventsInto(yb, wbands, &ev, false)
+				} else {
+					sparse.CSCMatMulEventsSerialInto(yb, wcsc, &ev, false)
+				}
 				tally.EventForwards++
 				eventDone = true
 			}
@@ -149,10 +155,20 @@ func (l *Conv2d) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	wmat := l.Weight.W.Reshape(l.OutC, ckk)
 	wcsr := l.Weight.SparseW()
 	var wcsc *sparse.CSC
+	var wbands *sparse.CSCBands
 	if wcsr != nil {
 		// The event kernel wants column-compressed weights (spikes select
 		// weight columns); gathered once here, shared read-only by workers.
-		wcsc = l.Weight.SparseWCSC()
+		// Batches too narrow to fill sparse.Workers batch-parallel lanes
+		// take the row-banded bucketing instead: the per-sample event GEMM
+		// itself fans out (bit-identical results). Wide batches already
+		// saturate the host, so they skip the banded gather entirely.
+		if b < sparse.EffectiveWorkers(l.OutC) {
+			wbands = l.Weight.SparseWCSCBands()
+		}
+		if wbands == nil {
+			wcsc = l.Weight.SparseWCSC()
+		}
 	}
 	maxRate := EventMaxRate
 	tensor.ParallelFor(b, l.OutC*ckk*p, func(lo, hi int) {
@@ -161,7 +177,7 @@ func (l *Conv2d) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		for bi := lo; bi < hi; bi++ {
 			src := x.Data[bi*c*h*w : (bi+1)*c*h*w]
 			yb := tensor.FromSlice(out.Data[bi*l.OutC*p:(bi+1)*l.OutC*p], l.OutC, p)
-			l.forwardSample(yb, src, c, h, w, oh, ow, wmat, wcsr, wcsc, s, &tally, maxRate)
+			l.forwardSample(yb, src, c, h, w, oh, ow, wmat, wcsr, wcsc, wbands, s, &tally, maxRate)
 		}
 		l.events.add(tally)
 	})
@@ -201,7 +217,16 @@ func (l *Conv2d) ForwardSeq(xs []*tensor.Tensor, train bool) []*tensor.Tensor {
 		}
 	}
 	wmat := l.Weight.W.Reshape(l.OutC, ckk)
-	wcsc := l.Weight.SparseWCSC()
+	// Same narrow-batch gate as Forward: kernel-level fan-out only when the
+	// batch dimension cannot fill the workers on its own.
+	var wbands *sparse.CSCBands
+	if b < sparse.EffectiveWorkers(l.OutC) {
+		wbands = l.Weight.SparseWCSCBands()
+	}
+	var wcsc *sparse.CSC
+	if wbands == nil {
+		wcsc = l.Weight.SparseWCSC()
+	}
 	outs := make([]*tensor.Tensor, T)
 	for t := range outs {
 		outs[t] = tensor.New(b, l.OutC, oh, ow)
@@ -259,7 +284,11 @@ func (l *Conv2d) ForwardSeq(xs []*tensor.Tensor, train bool) []*tensor.Tensor {
 					tally.ActiveCols += countActiveCols(evIdxs[t], s.colSeen)
 				}
 				fused := sparse.FuseTimesteps(evs)
-				sparse.CSCMatMulEventsSerialInto(ybuf, wcsc, fused, false)
+				if wbands != nil {
+					sparse.CSCMatMulEventsInto(ybuf, wbands, fused, false)
+				} else {
+					sparse.CSCMatMulEventsSerialInto(ybuf, wcsc, fused, false)
+				}
 				// Timestep t's output is ybuf[:, t·p:(t+1)·p].
 				for t := 0; t < T; t++ {
 					yb := tensor.FromSlice(outs[t].Data[bi*l.OutC*p:(bi+1)*l.OutC*p], l.OutC, p)
@@ -274,7 +303,7 @@ func (l *Conv2d) ForwardSeq(xs []*tensor.Tensor, train bool) []*tensor.Tensor {
 				for t := 0; t < T; t++ {
 					src := xs[t].Data[bi*chw : (bi+1)*chw]
 					yb := tensor.FromSlice(outs[t].Data[bi*l.OutC*p:(bi+1)*l.OutC*p], l.OutC, p)
-					l.forwardSample(yb, src, c, h, w, oh, ow, wmat, wcsr, wcsc, s, &tally, maxRate)
+					l.forwardSample(yb, src, c, h, w, oh, ow, wmat, wcsr, wcsc, wbands, s, &tally, maxRate)
 				}
 			}
 		}
@@ -397,6 +426,12 @@ func (l *Conv2d) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	// dX always rides the CSR path when available; dW does so only when the
 	// trainer has declared active-position-only gradients acceptable.
 	sparseGrad := wcsr != nil && l.Weight.SparseGradOK
+	// Kernel-level SDDMM fan-out pays off only when the batch partition
+	// leaves workers idle; wide batches keep the serial per-sample kernels.
+	kernelWorkers := 1
+	if wcsr != nil && b < sparse.EffectiveWorkers(wcsr.Rows) {
+		kernelWorkers = sparse.EffectiveWorkers(wcsr.Rows)
+	}
 
 	l.parallelGrad(b, ckk, wcsr, sparseGrad, func(lo, hi int, dwLocal *tensor.Tensor, valLocal, dbLocal []float32) {
 		col := make([]float32, ckk*p)
@@ -432,10 +467,13 @@ func (l *Conv2d) Backward(dy *tensor.Tensor) *tensor.Tensor {
 			}
 			dyb := tensor.FromSlice(dy.Data[bi*l.OutC*p:(bi+1)*l.OutC*p], l.OutC, p)
 			if sparseGrad {
+				// kernelWorkers > 1 fans the SDDMM out over nnz-balanced row
+				// blocks of the weight pattern (bit-identical accumulation;
+				// each vals[p] is owned by one worker).
 				if ev != nil {
-					sparse.CSRGradABTEventsSerial(valLocal, wcsr, dyb, ev)
+					sparse.CSRGradABTEventsInto(valLocal, wcsr, dyb, ev, kernelWorkers)
 				} else {
-					sparse.CSRGradABTSerial(valLocal, wcsr, dyb, colT)
+					sparse.CSRGradABTInto(valLocal, wcsr, dyb, colT, kernelWorkers)
 				}
 			} else {
 				tensor.MatMulABTSerialInto(dwLocal, dyb, colT, true)
@@ -506,6 +544,12 @@ func (l *Conv2d) BackwardSeq(dys []*tensor.Tensor) []*tensor.Tensor {
 	for t := range dxs {
 		dxs[t] = tensor.New(b, c, h, w)
 	}
+	// Kernel-level SDDMM fan-out only when the batch partition leaves
+	// workers idle, as in Backward.
+	kernelWorkers := 1
+	if b < sparse.EffectiveWorkers(wcsr.Rows) {
+		kernelWorkers = sparse.EffectiveWorkers(wcsr.Rows)
+	}
 
 	l.parallelGrad(b, ckk, wcsr, true, func(lo, hi int, _ *tensor.Tensor, valLocal, dbLocal []float32) {
 		rowPtrs := make([][]int32, T)
@@ -530,7 +574,7 @@ func (l *Conv2d) BackwardSeq(dys []*tensor.Tensor) []*tensor.Tensor {
 				}
 			}
 			evF := sparse.FuseTimesteps(evs)
-			sparse.CSRGradABTEventsSerial(valLocal, wcsr, dyF, evF)
+			sparse.CSRGradABTEventsInto(valLocal, wcsr, dyF, evF, kernelWorkers)
 			sparse.CSRMatMulATBSerialInto(dcolF, wcsr, dyF, false)
 			for t := 0; t < T; t++ {
 				for cc := 0; cc < ckk; cc++ {

@@ -60,7 +60,20 @@ func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			// switch even for all-zero (occupancy 0) inputs.
 			if maxRate := EventMaxRate; maxRate > 0 && ev.Occupancy() <= maxRate {
 				out = tensor.New(x.Dim(0), l.Out)
-				sparse.MatMulEventsCSCInto(out, ev, l.Weight.SparseWCSC(), false)
+				// Batches too narrow to fill sparse.Workers sample-parallel
+				// lanes take the banded kernel: workers own output-feature
+				// bands instead of samples. Bit-identical either way. The
+				// width check comes first so wide batches never pay the
+				// banded encoding's O(nnz) value gather just to discard it.
+				var bands *sparse.CSCBands
+				if x.Dim(0) < sparse.EffectiveWorkers(l.Out) {
+					bands = l.Weight.SparseWCSCBands()
+				}
+				if bands != nil {
+					sparse.MatMulEventsCSCBandsInto(out, ev, bands, false)
+				} else {
+					sparse.MatMulEventsCSCInto(out, ev, l.Weight.SparseWCSC(), false)
+				}
 				tally.EventForwards = tally.Forwards
 			}
 		}
@@ -126,6 +139,69 @@ func (l *Linear) Backward(dy *tensor.Tensor) *tensor.Tensor {
 		return dx
 	}
 	return tensor.MatMul(dy, l.Weight.W)
+}
+
+// BackwardSeq consumes all T timestep gradients at once — the linear layer's
+// time-major fused replay, mirroring Conv2d.BackwardSeq. When every recorded
+// timestep is event-encoded, the weight is CSR and active-position-only
+// gradients are armed, the T recorded spike patterns are row-stacked into one
+// [T·B, In] pattern (sparse.StackTimesteps: timesteps become extra batch
+// samples) and consumed by ONE events SDDMM against the row-stacked dy, and
+// backward-data likewise pays a single weight traversal for all T timesteps —
+// the fused-dy replay the per-timestep Backward repeated T times. Anything
+// else falls back to T Backward calls in reverse order. Input gradients are
+// bit-identical to the per-timestep replay; weight/bias gradients accumulate
+// the timesteps in ascending instead of descending order (float rounding
+// only).
+func (l *Linear) BackwardSeq(dys []*tensor.Tensor) []*tensor.Tensor {
+	T := len(dys)
+	wcsr := l.Weight.SparseW()
+	fused := T > 1 && wcsr != nil && l.Weight.SparseGradOK && l.xs.Len() >= T
+	if fused {
+		for i := 0; i < T; i++ {
+			if !l.xs.Peek(i).IsEvents() {
+				fused = false
+				break
+			}
+		}
+	}
+	if !fused {
+		dxs := make([]*tensor.Tensor, T)
+		for t := T - 1; t >= 0; t-- {
+			dxs[t] = l.Backward(dys[t])
+		}
+		return dxs
+	}
+	recs := make([]*sparse.Events, T)
+	for t := T - 1; t >= 0; t-- {
+		recs[t] = l.xs.Pop().Events()
+	}
+	b := dys[0].Dim(0)
+	dyS := tensor.New(T*b, l.Out)
+	for t, dy := range dys {
+		copy(dyS.Data[t*b*l.Out:(t+1)*b*l.Out], dy.Data)
+	}
+	evS := sparse.StackTimesteps(recs)
+	vals := make([]float32, wcsr.NNZ())
+	sparse.CSRGradATBEventsInto(vals, wcsr, dyS, evS)
+	sparse.AddValsInto(l.Weight.Grad, wcsr, vals)
+	if l.Bias != nil {
+		for i := 0; i < T*b; i++ {
+			row := dyS.Data[i*l.Out : (i+1)*l.Out]
+			for j, v := range row {
+				l.Bias.Grad.Data[j] += v
+			}
+		}
+	}
+	// One weight traversal serves every timestep's input gradient; the
+	// per-timestep views alias disjoint slices of the stacked result.
+	dxS := tensor.New(T*b, l.In)
+	sparse.MatMulDenseCSRInto(dxS, dyS, wcsr, false)
+	dxs := make([]*tensor.Tensor, T)
+	for t := range dxs {
+		dxs[t] = tensor.FromSlice(dxS.Data[t*b*l.In:(t+1)*b*l.In], b, l.In)
+	}
+	return dxs
 }
 
 // EventStats returns the event-driven fast-path counters accumulated since

@@ -1,0 +1,226 @@
+package layers_test
+
+import (
+	"runtime"
+	"testing"
+
+	"ndsnn/internal/layers"
+	"ndsnn/internal/rng"
+	"ndsnn/internal/sparse"
+	"ndsnn/internal/tensor"
+)
+
+// Layer-level pins for the thread-scalable kernel engine: with the
+// sparse.Workers knob on, forward outputs must stay bit-identical to the
+// serial (Workers=0) configuration and backward gradients within 1e-5 (they
+// are in fact bit-identical for a fixed batch partition), swept across
+// GOMAXPROCS and spike rates. These are the tests the CI GOMAXPROCS=1-vs-4
+// smoke and the race job lean on.
+
+// withWorkers runs fn with the sparse.Workers knob forced to w.
+func withWorkers(w int, fn func()) {
+	old := sparse.Workers
+	sparse.Workers = w
+	defer func() { sparse.Workers = old }()
+	fn()
+}
+
+// withProcs runs fn under each GOMAXPROCS in the sweep.
+func withProcs(fn func(procs int)) {
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	for _, procs := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(procs)
+		fn(procs)
+	}
+}
+
+func TestConv2dParallelForwardBitIdentical(t *testing.T) {
+	withProcs(func(procs int) {
+		for _, rate := range eventRates {
+			r := rng.New(701 + uint64(rate*100))
+			l := layers.NewConv2d("c", 4, 16, 3, 1, 1, true, r)
+			maskParam(l.Weight, 0.2, r)
+			x := spikeTensor(r, rate, 3, 4, 6, 6)
+			var ySerial, yPar *tensor.Tensor
+			withCSRDensity(1, func() {
+				withEventRate(1, func() {
+					withWorkers(0, func() { ySerial = l.Forward(x.Clone(), false) })
+					withWorkers(8, func() { yPar = l.Forward(x.Clone(), false) })
+				})
+			})
+			l.Weight.InvalidateCSR()
+			for i := range ySerial.Data {
+				if ySerial.Data[i] != yPar.Data[i] {
+					t.Fatalf("procs=%d rate=%v: parallel conv forward not bit-identical at %d", procs, rate, i)
+				}
+			}
+		}
+	})
+}
+
+func TestConv2dParallelBackwardMatchesSerial(t *testing.T) {
+	withProcs(func(procs int) {
+		for _, rate := range eventRates {
+			run := func(workers int) (*tensor.Tensor, *tensor.Tensor) {
+				r := rng.New(709 + uint64(rate*100))
+				l := layers.NewConv2d("c", 4, 16, 3, 1, 1, false, r)
+				maskParam(l.Weight, 0.2, r)
+				l.Weight.SparseGradOK = true
+				x := spikeTensor(r, rate, 3, 4, 6, 6)
+				dy := tensor.New(3, 16, 6, 6)
+				for i := range dy.Data {
+					dy.Data[i] = r.NormFloat32()
+				}
+				var dx *tensor.Tensor
+				withCSRDensity(1, func() {
+					withEventRate(1, func() {
+						withWorkers(workers, func() {
+							l.Forward(x, true)
+							dx = l.Backward(dy)
+						})
+					})
+				})
+				return l.Weight.Grad.Clone(), dx
+			}
+			gSerial, dxSerial := run(0)
+			gPar, dxPar := run(8)
+			if d := maxDiff(gSerial, gPar); d > 1e-5 {
+				t.Fatalf("procs=%d rate=%v: parallel conv weight grad differs by %v", procs, rate, d)
+			}
+			if d := maxDiff(dxSerial, dxPar); d > 1e-5 {
+				t.Fatalf("procs=%d rate=%v: parallel conv input grad differs by %v", procs, rate, d)
+			}
+		}
+	})
+}
+
+func TestLinearParallelForwardBitIdentical(t *testing.T) {
+	withProcs(func(procs int) {
+		for _, rate := range eventRates {
+			r := rng.New(719 + uint64(rate*100))
+			l := layers.NewLinear("fc", 40, 24, true, r)
+			maskParam(l.Weight, 0.2, r)
+			// Batch narrower than the worker count: the banded kernel engages.
+			x := spikeTensor(r, rate, 3, 40)
+			var ySerial, yPar *tensor.Tensor
+			withCSRDensity(1, func() {
+				withEventRate(1, func() {
+					withWorkers(0, func() { ySerial = l.Forward(x.Clone(), false) })
+					withWorkers(8, func() { yPar = l.Forward(x.Clone(), false) })
+				})
+			})
+			l.Weight.InvalidateCSR()
+			for i := range ySerial.Data {
+				if ySerial.Data[i] != yPar.Data[i] {
+					t.Fatalf("procs=%d rate=%v: banded linear forward not bit-identical at %d", procs, rate, i)
+				}
+			}
+		}
+	})
+}
+
+// TestLinearBackwardSeqMatchesPerTimestep pins the fused time-major linear
+// replay (one stacked events SDDMM + one backward-data weight traversal)
+// against T per-timestep Backward calls: input gradients bit-identical,
+// weight/bias gradients within float reordering tolerance.
+func TestLinearBackwardSeqMatchesPerTimestep(t *testing.T) {
+	const T, b, in, out = 4, 3, 40, 12
+	for _, rate := range eventRates {
+		build := func() (*layers.Linear, []*tensor.Tensor, []*tensor.Tensor) {
+			r := rng.New(727 + uint64(rate*100))
+			l := layers.NewLinear("fc", in, out, true, r)
+			maskParam(l.Weight, 0.25, r)
+			l.Weight.SparseGradOK = true
+			xs := make([]*tensor.Tensor, T)
+			dys := make([]*tensor.Tensor, T)
+			for t2 := 0; t2 < T; t2++ {
+				xs[t2] = spikeTensor(r, rate, b, in)
+				dys[t2] = tensor.New(b, out)
+				for i := range dys[t2].Data {
+					dys[t2].Data[i] = r.NormFloat32()
+				}
+			}
+			return l, xs, dys
+		}
+
+		var gRef, bRef *tensor.Tensor
+		var dxRef []*tensor.Tensor
+		withCSRDensity(1, func() {
+			withEventRate(1, func() {
+				// Reference: per-timestep replay in reverse order.
+				l, xs, dys := build()
+				for _, x := range xs {
+					l.Forward(x, true)
+				}
+				dxRef = make([]*tensor.Tensor, T)
+				for t2 := T - 1; t2 >= 0; t2-- {
+					dxRef[t2] = l.Backward(dys[t2])
+				}
+				gRef, bRef = l.Weight.Grad.Clone(), l.Bias.Grad.Clone()
+
+				// Fused: BackwardSeq consumes the whole tape at once.
+				l2, xs2, dys2 := build()
+				for _, x := range xs2 {
+					l2.Forward(x, true)
+				}
+				dxs := l2.BackwardSeq(dys2)
+				if d := maxDiff(gRef, l2.Weight.Grad); d > 1e-5 {
+					t.Fatalf("rate %v: fused linear weight grad differs by %v", rate, d)
+				}
+				if d := maxDiff(bRef, l2.Bias.Grad); d > 1e-5 {
+					t.Fatalf("rate %v: fused linear bias grad differs by %v", rate, d)
+				}
+				for t2 := 0; t2 < T; t2++ {
+					for i := range dxRef[t2].Data {
+						if dxRef[t2].Data[i] != dxs[t2].Data[i] {
+							t.Fatalf("rate %v: fused dx[%d] not bit-identical at %d", rate, t2, i)
+						}
+					}
+				}
+			})
+		})
+	}
+}
+
+// TestLinearBackwardSeqFallsBackOnDenseRecords pins the fused path's gate:
+// analog (dense-recorded) timesteps must take the per-timestep fallback and
+// still produce correct gradients.
+func TestLinearBackwardSeqFallsBackOnDenseRecords(t *testing.T) {
+	const T, b, in, out = 3, 2, 20, 8
+	build := func() *layers.Linear {
+		br := rng.New(733)
+		bl := layers.NewLinear("fc", in, out, false, br)
+		maskParam(bl.Weight, 0.3, br)
+		bl.Weight.SparseGradOK = true
+		return bl
+	}
+	l, ref := build(), build()
+	r := rng.New(739)
+
+	xs := make([]*tensor.Tensor, T)
+	dys := make([]*tensor.Tensor, T)
+	for t2 := 0; t2 < T; t2++ {
+		xs[t2] = tensor.New(b, in)
+		dys[t2] = tensor.New(b, out)
+		for i := range xs[t2].Data {
+			xs[t2].Data[i] = r.NormFloat32() // analog: dense records
+		}
+		for i := range dys[t2].Data {
+			dys[t2].Data[i] = r.NormFloat32()
+		}
+	}
+	withCSRDensity(1, func() {
+		for _, x := range xs {
+			l.Forward(x.Clone(), true)
+			ref.Forward(x.Clone(), true)
+		}
+		l.BackwardSeq(dys)
+		for t2 := T - 1; t2 >= 0; t2-- {
+			ref.Backward(dys[t2])
+		}
+	})
+	if d := maxDiff(ref.Weight.Grad, l.Weight.Grad); d != 0 {
+		t.Fatalf("dense-record fallback grads differ by %v", d)
+	}
+}

@@ -77,18 +77,26 @@ type Config struct {
 	Seed uint64
 }
 
-// Build constructs the requested architecture.
+// Build constructs the requested architecture. Networks are built with
+// TimeMajor execution on — every trainer and bench that goes through the
+// model zoo runs the tape engine's layer-major schedule, which is where the
+// fused-timestep kernels live. The step-major loop remains in snn.Network
+// as the equivalence-test reference (and for hand-built networks, whose
+// zero-value TimeMajor stays false).
 func Build(cfg Config) *snn.Network {
+	var net *snn.Network
 	switch cfg.Arch {
 	case "vgg16":
-		return VGG16(cfg)
+		net = VGG16(cfg)
 	case "resnet19":
-		return ResNet19(cfg)
+		net = ResNet19(cfg)
 	case "lenet5":
-		return LeNet5(cfg)
+		net = LeNet5(cfg)
 	default:
 		panic(fmt.Sprintf("models: unknown architecture %q", cfg.Arch))
 	}
+	net.TimeMajor = true
+	return net
 }
 
 // vgg16Plan is the classic 13-convolution layout; "M" entries are 2×2 max

@@ -33,9 +33,12 @@ type Network struct {
 	Encoder InputEncoder
 	// TimeMajor routes Forward/Backward through the tape execution engine:
 	// each layer processes all T timesteps before the next layer runs, which
-	// lets Conv2d fuse the timesteps of a sample into one weight traversal
-	// (sparse.FuseTimesteps). Outputs and gradients are identical to the
-	// step-major schedule — only execution order and speed change.
+	// lets Conv2d/Linear fuse the timesteps of a sample into one weight
+	// traversal each way (sparse.FuseTimesteps / sparse.StackTimesteps).
+	// Outputs and gradients are identical to the step-major schedule — only
+	// execution order and speed change. Networks from the model zoo
+	// (internal/models.Build) set it; the zero value keeps the step-major
+	// loop, which survives as the equivalence-test reference.
 	TimeMajor bool
 }
 

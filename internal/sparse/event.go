@@ -102,22 +102,27 @@ func CSCMatMulEventsSerialInto(dst *tensor.Tensor, a *CSC, ev *Events, accumulat
 			od[i] = 0
 		}
 	}
-	for q := 0; q < ev.Rows; q++ {
-		evRow := ev.ColIdx[ev.RowPtr[q]:ev.RowPtr[q+1]]
-		if len(evRow) == 0 {
-			continue
-		}
-		for p := a.ColPtr[q]; p < a.ColPtr[q+1]; p++ {
-			v := a.Val[p]
-			if v == 0 {
-				continue
-			}
-			orow := od[int(a.RowIdx[p])*n:]
-			orow = orow[:n]
-			for _, j := range evRow {
-				orow[j] += v
-			}
-		}
+	cscMatMulEventsBand(od, a, ev, n)
+}
+
+// addEventsUnrolled accumulates orow[j] += v at every event column j — the
+// register-blocked inner loop shared by the float CSC event kernels. Four
+// (index, add) pairs are kept in flight per iteration, which removes most of
+// the per-event loop and bounds-check overhead of the scalar form. Every
+// event column is a distinct element and each receives exactly one add, in
+// the same left-to-right order as the scalar loop, so results are
+// bit-identical at any unroll factor.
+func addEventsUnrolled(orow []float32, v float32, evRow []int32) {
+	n := len(evRow) &^ 3
+	for e := 0; e < n; e += 4 {
+		j0, j1, j2, j3 := evRow[e], evRow[e+1], evRow[e+2], evRow[e+3]
+		orow[j0] += v
+		orow[j1] += v
+		orow[j2] += v
+		orow[j3] += v
+	}
+	for _, j := range evRow[n:] {
+		orow[j] += v
 	}
 }
 
@@ -172,6 +177,45 @@ func FuseTimesteps(evs []*Events) *Events {
 	return f
 }
 
+// StackTimesteps concatenates the event patterns of T same-shaped binary
+// matrices along the *row* dimension: the result has T·Rows rows, timestep
+// t's sample i at row t·Rows+i, columns unchanged. Where FuseTimesteps
+// column-concatenates (one weight traversal serves T *outputs*, the forward
+// fusion), StackTimesteps row-concatenates — timesteps become extra batch
+// samples, which is the backward fusion for batch-major kernels:
+// CSRGradATBEventsInto over the stacked pattern and the row-stacked dy
+// computes all T timestep gradients in one weight-pattern traversal, and one
+// MatMulDenseCSRInto over the stacked dy yields every timestep's input
+// gradient in one weight traversal. The merge is O(total events).
+func StackTimesteps(evs []*Events) *Events {
+	if len(evs) == 0 {
+		return &Events{}
+	}
+	rows, cols := evs[0].Rows, evs[0].Cols
+	total := 0
+	for _, ev := range evs {
+		if ev.Rows != rows || ev.Cols != cols {
+			panic(fmt.Sprintf("sparse: StackTimesteps shape [%d,%d] vs [%d,%d]", ev.Rows, ev.Cols, rows, cols))
+		}
+		total += ev.NNZ()
+	}
+	s := &Events{
+		Rows:   len(evs) * rows,
+		Cols:   cols,
+		RowPtr: make([]int32, len(evs)*rows+1),
+		ColIdx: make([]int32, 0, total),
+	}
+	r := 0
+	for _, ev := range evs {
+		for q := 0; q < rows; q++ {
+			s.ColIdx = append(s.ColIdx, ev.ColIdx[ev.RowPtr[q]:ev.RowPtr[q+1]]...)
+			r++
+			s.RowPtr[r] = int32(len(s.ColIdx))
+		}
+	}
+	return s
+}
+
 // CSRGradABTEventsSerial is CSRGradABTSerial with the b operand given as the
 // event pattern of a binary matrix — the tape-replay form of the conv weight
 // gradient: vals[p] += Σ_j a[r,j]·b[c,j] degenerates to accumulating a[r,j]
@@ -193,22 +237,7 @@ func CSRGradABTEventsSerial(vals []float32, pattern *CSR, a *tensor.Tensor, evB 
 	if len(vals) != pattern.NNZ() {
 		panic(fmt.Sprintf("sparse: CSRGradABTEvents vals length %d, want %d", len(vals), pattern.NNZ()))
 	}
-	ad := a.Data
-	for r := 0; r < pattern.Rows; r++ {
-		arow := ad[r*q : (r+1)*q]
-		for p := pattern.RowPtr[r]; p < pattern.RowPtr[r+1]; p++ {
-			c := int(pattern.ColIdx[p])
-			lo, hi := evB.RowPtr[c], evB.RowPtr[c+1]
-			if lo == hi {
-				continue // zero-spike row: the whole dot product is zero
-			}
-			var s float32
-			for _, j := range evB.ColIdx[lo:hi] {
-				s += arow[j]
-			}
-			vals[p] += s
-		}
-	}
+	csrGradABTEventsRows(vals, pattern, a.Data, q, evB, 0, pattern.Rows)
 }
 
 // CSRGradATBEventsInto is CSRGradATBInto with the b operand given as the

@@ -1,0 +1,336 @@
+package sparse
+
+import (
+	"fmt"
+
+	"ndsnn/internal/tensor"
+)
+
+// Thread-scalable event kernels. The serial kernels in event.go were
+// single-threaded by design ("the conv layers already parallelize across the
+// batch"), which leaves an ~NumCPU× factor on the table whenever the batch
+// dimension is narrower than the host — small-batch training, timestep-fused
+// calls, and single-sample inference. The kernels here parallelize *inside*
+// one call while keeping the serial kernels' exact summation order:
+//
+//   - Scatter-style kernels (CSC event matmul) are parallelized by
+//     pre-bucketing the weight matrix into disjoint destination row bands
+//     (CSCBands). Every worker streams the same spike events in the same
+//     ascending order but only accumulates the synapses landing in its band,
+//     so each output element receives its contributions in exactly the serial
+//     kernel's order — results are bit-identical to the serial (and dense)
+//     path, independent of GOMAXPROCS and of the band count.
+//   - Gather-style kernels (the SDDMM weight gradients) are parallelized over
+//     contiguous row blocks of the pattern, balanced by stored-entry count.
+//     Each vals[p] is computed by exactly one worker with the serial
+//     arithmetic, so these too are bit-identical to their serial kernels.
+//
+// Workers is the single knob gating every parallel path.
+
+// Workers is the kernel-parallelism knob: the number of strips the parallel
+// event kernels split their work into. 0 (the default) and 1 preserve the
+// serial kernels exactly — the configuration tests pin bit-identical serial
+// order against. Values > 1 engage the banded/blocked parallel kernels; the
+// results remain bit-identical to serial for the forward kernels and for the
+// SDDMM gradients (each stored position is computed by one worker in serial
+// order), so the knob trades nothing but determinism *of scheduling*, never
+// of results. Typical setting: runtime.GOMAXPROCS(0). Not intended to be
+// changed while kernels are in flight.
+var Workers = 0
+
+// EffectiveWorkers clamps the Workers knob to [1, n]: kernels call it with
+// their natural strip-count ceiling (number of bands, pattern rows, …).
+func EffectiveWorkers(n int) int {
+	w := Workers
+	if w < 1 {
+		w = 1
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// CSCBands is a compressed-sparse-column weight matrix pre-bucketed into
+// disjoint destination row bands: Bands[b] holds exactly the stored synapses
+// whose row index falls in [RowLo[b], RowLo[b+1]), with absolute row indices.
+// Running the serial CSC event kernel once per band — all bands over the
+// same events, concurrently — writes disjoint destination rows and visits
+// each output element's contributions in the serial order, which is how
+// CSCMatMulEventsInto parallelizes scatter without giving up bit-exactness.
+// Band boundaries are balanced by stored-synapse count so skewed row
+// occupancy does not serialize the call.
+type CSCBands struct {
+	Rows, Cols int
+	// RowLo has len(Bands)+1 entries: band b owns rows [RowLo[b], RowLo[b+1]).
+	RowLo []int32
+	Bands []*CSC
+}
+
+// NewCSCBands buckets a CSR-encoded weight matrix into `bands` row bands of
+// approximately equal stored-synapse count (boundaries from the CSR's row
+// pointer, which is already the nnz prefix sum) and builds a CSC per band.
+// With bands <= 1 the result is the whole matrix as one band, sharing the
+// plain NewCSCFromCSR layout. The build is O(nnz + rows + bands·cols), paid
+// once per mask topology; refresh values with GatherValues between optimizer
+// steps like the flat CSC.
+func NewCSCBands(c *CSR, bands int) *CSCBands {
+	if bands < 1 {
+		bands = 1
+	}
+	if bands > c.Rows && c.Rows > 0 {
+		bands = c.Rows
+	}
+	bounds := nnzRowBlocks(c.RowPtr, c.Rows, bands)
+	out := &CSCBands{Rows: c.Rows, Cols: c.Cols, RowLo: bounds}
+	for b := 0; b+1 < len(bounds); b++ {
+		out.Bands = append(out.Bands, cscFromCSRRows(c, int(bounds[b]), int(bounds[b+1])))
+	}
+	return out
+}
+
+// NNZ returns the number of stored synapses across all bands.
+func (t *CSCBands) NNZ() int {
+	n := 0
+	for _, b := range t.Bands {
+		n += b.NNZ()
+	}
+	return n
+}
+
+// GatherValues refreshes every band's values in place from a dense tensor
+// with Rows·Cols elements, keeping the patterns fixed — the banded
+// counterpart of CSC.GatherValues. Bands refresh concurrently (their value
+// arrays are disjoint).
+func (t *CSCBands) GatherValues(w *tensor.Tensor) {
+	if w.Size() != t.Rows*t.Cols {
+		panic("sparse: CSCBands.GatherValues size mismatch")
+	}
+	tensor.ParallelStrips(len(t.Bands), func(b int) {
+		t.Bands[b].GatherValues(w)
+	})
+}
+
+// cscFromCSRRows builds a CSC holding only the CSR's rows [rlo, rhi), with
+// absolute row indices (so kernels index the full destination directly).
+func cscFromCSRRows(c *CSR, rlo, rhi int) *CSC {
+	nnz := int(c.RowPtr[rhi] - c.RowPtr[rlo])
+	t := &CSC{
+		Rows: c.Rows, Cols: c.Cols,
+		ColPtr: make([]int32, c.Cols+1),
+		RowIdx: make([]int32, nnz),
+		Val:    make([]float32, nnz),
+	}
+	for p := c.RowPtr[rlo]; p < c.RowPtr[rhi]; p++ {
+		t.ColPtr[c.ColIdx[p]+1]++
+	}
+	for q := 0; q < c.Cols; q++ {
+		t.ColPtr[q+1] += t.ColPtr[q]
+	}
+	next := make([]int32, c.Cols)
+	copy(next, t.ColPtr[:c.Cols])
+	for r := rlo; r < rhi; r++ {
+		for p := c.RowPtr[r]; p < c.RowPtr[r+1]; p++ {
+			q := c.ColIdx[p]
+			t.RowIdx[next[q]] = int32(r)
+			t.Val[next[q]] = c.Val[p]
+			next[q]++
+		}
+	}
+	return t
+}
+
+// nnzRowBlocks partitions rows [0, rows) into `blocks` contiguous blocks of
+// approximately equal stored-entry count using the CSR row-pointer prefix
+// sums. It returns blocks+1 ascending boundaries (some blocks may be empty
+// on degenerate distributions). Boundaries depend only on the pattern and
+// the block count — never on scheduling — which is what makes every kernel
+// built on this partition deterministic.
+func nnzRowBlocks(rowPtr []int32, rows, blocks int) []int32 {
+	if blocks < 1 {
+		blocks = 1
+	}
+	bounds := make([]int32, blocks+1)
+	bounds[blocks] = int32(rows)
+	nnz := int64(rowPtr[rows])
+	r := 0
+	for b := 1; b < blocks; b++ {
+		// Targets in int64: nnz·b wraps int32 past ~2^31/blocks stored
+		// entries, which would silently collapse the balancing.
+		target := int32(nnz * int64(b) / int64(blocks))
+		for r < rows && rowPtr[r] < target {
+			r++
+		}
+		bounds[b] = int32(r)
+	}
+	return bounds
+}
+
+// CSCMatMulEventsInto computes dst = A·B for A as a row-banded CSC and a
+// binary B given as its event pattern — the parallel form of
+// CSCMatMulEventsSerialInto. Each band streams the full event list into its
+// private destination row band concurrently, so for every output element the
+// contributions arrive in the serial kernel's ascending spike-row order:
+// outputs are bit-identical to the serial (and dense) path at any band count
+// and any GOMAXPROCS. Work per call is unchanged except for ~bands× extra
+// event-row pointer reads, which amortize over each column's stored weights.
+func CSCMatMulEventsInto(dst *tensor.Tensor, a *CSCBands, ev *Events, accumulate bool) {
+	if ev.Rows != a.Cols {
+		panic(fmt.Sprintf("sparse: CSCMatMulEvents inner dims %d vs %d", a.Cols, ev.Rows))
+	}
+	dm, dn := dims2(dst, "CSCMatMulEvents dst")
+	if dm != a.Rows || dn != ev.Cols {
+		panic(fmt.Sprintf("sparse: CSCMatMulEvents dst shape [%d,%d], want [%d,%d]", dm, dn, a.Rows, ev.Cols))
+	}
+	n := ev.Cols
+	od := dst.Data
+	tensor.ParallelStrips(len(a.Bands), func(b int) {
+		if !accumulate {
+			band := od[int(a.RowLo[b])*n : int(a.RowLo[b+1])*n]
+			for i := range band {
+				band[i] = 0
+			}
+		}
+		cscMatMulEventsBand(od, a.Bands[b], ev, n)
+	})
+}
+
+// cscMatMulEventsBand is the shared inner loop of the serial and banded
+// float event kernels: ascending spike rows outer, each stored weight
+// column streamed once per active spike row, unrolled event accumulate.
+func cscMatMulEventsBand(od []float32, a *CSC, ev *Events, n int) {
+	for q := 0; q < ev.Rows; q++ {
+		evRow := ev.ColIdx[ev.RowPtr[q]:ev.RowPtr[q+1]]
+		if len(evRow) == 0 {
+			continue
+		}
+		for p := a.ColPtr[q]; p < a.ColPtr[q+1]; p++ {
+			v := a.Val[p]
+			if v == 0 {
+				continue
+			}
+			orow := od[int(a.RowIdx[p])*n:]
+			addEventsUnrolled(orow[:n], v, evRow)
+		}
+	}
+}
+
+// MatMulEventsCSCBandsInto computes dst = X·Aᵀ for a binary X given as its
+// event pattern and A as a row-banded CSC — the parallel form of
+// MatMulEventsCSCInto for batches too narrow to saturate the host (the
+// linear layer's usual situation once conv batch workers own the cores).
+// Workers own output-feature bands instead of sample rows: band b scatters
+// every sample's events through its private synapse bucket into
+// dst[:, RowLo[b]:RowLo[b+1]], visiting contributions in the serial event
+// order, so outputs are bit-identical to the serial path.
+func MatMulEventsCSCBandsInto(dst *tensor.Tensor, ev *Events, a *CSCBands, accumulate bool) {
+	if ev.Cols != a.Cols {
+		panic(fmt.Sprintf("sparse: MatMulEventsCSCBands inner dims %d vs %d", ev.Cols, a.Cols))
+	}
+	dm, dn := dims2(dst, "MatMulEventsCSCBands dst")
+	if dm != ev.Rows || dn != a.Rows {
+		panic(fmt.Sprintf("sparse: MatMulEventsCSCBands dst shape [%d,%d], want [%d,%d]", dm, dn, ev.Rows, a.Rows))
+	}
+	od := dst.Data
+	tensor.ParallelStrips(len(a.Bands), func(b int) {
+		band := a.Bands[b]
+		blo, bhi := int(a.RowLo[b]), int(a.RowLo[b+1])
+		for i := 0; i < ev.Rows; i++ {
+			orow := od[i*a.Rows : (i+1)*a.Rows]
+			if !accumulate {
+				seg := orow[blo:bhi]
+				for j := range seg {
+					seg[j] = 0
+				}
+			}
+			for e := ev.RowPtr[i]; e < ev.RowPtr[i+1]; e++ {
+				q := ev.ColIdx[e]
+				for p := band.ColPtr[q]; p < band.ColPtr[q+1]; p++ {
+					orow[band.RowIdx[p]] += band.Val[p]
+				}
+			}
+		}
+	})
+}
+
+// CSRGradABTEventsInto is CSRGradABTEventsSerial parallelized over contiguous
+// row blocks of the pattern, balanced by stored-entry count. vals[p] is
+// written by exactly one worker using the serial per-position arithmetic
+// (ascending recorded-event order), so the accumulated gradients are
+// bit-identical to the serial kernel at any worker count. workers <= 1
+// degenerates to the serial kernel on the calling goroutine.
+func CSRGradABTEventsInto(vals []float32, pattern *CSR, a *tensor.Tensor, evB *Events, workers int) {
+	am, q := dims2(a, "CSRGradABTEvents a")
+	if am != pattern.Rows {
+		panic(fmt.Sprintf("sparse: CSRGradABTEvents a rows %d vs pattern rows %d", am, pattern.Rows))
+	}
+	if evB.Rows != pattern.Cols || evB.Cols != q {
+		panic(fmt.Sprintf("sparse: CSRGradABTEvents events [%d,%d] vs pattern cols %d, q %d", evB.Rows, evB.Cols, pattern.Cols, q))
+	}
+	if len(vals) != pattern.NNZ() {
+		panic(fmt.Sprintf("sparse: CSRGradABTEvents vals length %d, want %d", len(vals), pattern.NNZ()))
+	}
+	if workers > pattern.Rows {
+		workers = pattern.Rows
+	}
+	if workers <= 1 {
+		csrGradABTEventsRows(vals, pattern, a.Data, q, evB, 0, pattern.Rows)
+		return
+	}
+	bounds := nnzRowBlocks(pattern.RowPtr, pattern.Rows, workers)
+	tensor.ParallelStrips(workers, func(b int) {
+		csrGradABTEventsRows(vals, pattern, a.Data, q, evB, int(bounds[b]), int(bounds[b+1]))
+	})
+}
+
+func csrGradABTEventsRows(vals []float32, pattern *CSR, ad []float32, q int, evB *Events, rlo, rhi int) {
+	for r := rlo; r < rhi; r++ {
+		arow := ad[r*q : (r+1)*q]
+		for p := pattern.RowPtr[r]; p < pattern.RowPtr[r+1]; p++ {
+			c := int(pattern.ColIdx[p])
+			lo, hi := evB.RowPtr[c], evB.RowPtr[c+1]
+			if lo == hi {
+				continue
+			}
+			var s float32
+			for _, j := range evB.ColIdx[lo:hi] {
+				s += arow[j]
+			}
+			vals[p] += s
+		}
+	}
+}
+
+// CSRGradABTInto is CSRGradABTSerial (the dense-operand SDDMM) parallelized
+// over contiguous nnz-balanced row blocks of the pattern, with the same
+// one-worker-per-position bit-exactness argument as CSRGradABTEventsInto.
+// workers <= 1 degenerates to the serial kernel.
+func CSRGradABTInto(vals []float32, pattern *CSR, a, b *tensor.Tensor, workers int) {
+	q := checkCSRGrad(vals, pattern, a, b, pattern.Rows, pattern.Cols)
+	if workers > pattern.Rows {
+		workers = pattern.Rows
+	}
+	if workers <= 1 {
+		csrGradABTRows(vals, pattern, a.Data, b.Data, q, 0, pattern.Rows)
+		return
+	}
+	bounds := nnzRowBlocks(pattern.RowPtr, pattern.Rows, workers)
+	tensor.ParallelStrips(workers, func(blk int) {
+		csrGradABTRows(vals, pattern, a.Data, b.Data, q, int(bounds[blk]), int(bounds[blk+1]))
+	})
+}
+
+func csrGradABTRows(vals []float32, pattern *CSR, ad, bd []float32, q, rlo, rhi int) {
+	for r := rlo; r < rhi; r++ {
+		arow := ad[r*q : (r+1)*q]
+		for p := pattern.RowPtr[r]; p < pattern.RowPtr[r+1]; p++ {
+			brow := bd[int(pattern.ColIdx[p])*q:]
+			brow = brow[:q]
+			var s float32
+			for j, av := range arow {
+				s += av * brow[j]
+			}
+			vals[p] += s
+		}
+	}
+}

@@ -1,0 +1,345 @@
+package sparse
+
+import (
+	"runtime"
+	"testing"
+
+	"ndsnn/internal/rng"
+	"ndsnn/internal/tensor"
+)
+
+// Tests for the thread-scalable kernel layer: every parallel kernel is
+// pinned against the serial kernel it parallelizes — bit-identical for the
+// banded forward scatters and the row-blocked SDDMMs, exact for the integer
+// accumulates — swept across GOMAXPROCS, worker counts and spike rates. The
+// sweeps double as -race coverage of every parallel code path.
+
+var testGOMAXPROCS = []int{1, 2, 8}
+
+// withGOMAXPROCS runs fn under each swept GOMAXPROCS, restoring the original
+// value afterwards.
+func withGOMAXPROCS(t *testing.T, fn func(procs int)) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	for _, procs := range testGOMAXPROCS {
+		runtime.GOMAXPROCS(procs)
+		fn(procs)
+	}
+}
+
+// setWorkers sets the kernel-parallelism knob for the test's duration.
+func setWorkers(t *testing.T, w int) {
+	t.Helper()
+	old := Workers
+	Workers = w
+	t.Cleanup(func() { Workers = old })
+}
+
+func TestNNZRowBlocksPartition(t *testing.T) {
+	r := rng.New(601)
+	_, c := maskedWeights(37, 53, 0.2, r)
+	for _, blocks := range []int{1, 2, 3, 8, 37} {
+		bounds := nnzRowBlocks(c.RowPtr, c.Rows, blocks)
+		if len(bounds) != blocks+1 {
+			t.Fatalf("blocks=%d: %d boundaries", blocks, len(bounds))
+		}
+		if bounds[0] != 0 || bounds[blocks] != int32(c.Rows) {
+			t.Fatalf("blocks=%d: bounds %v do not span rows", blocks, bounds)
+		}
+		for b := 0; b < blocks; b++ {
+			if bounds[b] > bounds[b+1] {
+				t.Fatalf("blocks=%d: non-monotone bounds %v", blocks, bounds)
+			}
+		}
+	}
+}
+
+func TestCSCBandsCoverMatrix(t *testing.T) {
+	r := rng.New(607)
+	w, c := maskedWeights(29, 31, 0.3, r)
+	for _, bands := range []int{1, 2, 4, 29} {
+		bb := NewCSCBands(c, bands)
+		if bb.NNZ() != c.NNZ() {
+			t.Fatalf("bands=%d: nnz %d, want %d", bands, bb.NNZ(), c.NNZ())
+		}
+		// Every stored entry must fall inside its band's row range.
+		for b, band := range bb.Bands {
+			for _, ri := range band.RowIdx {
+				if ri < bb.RowLo[b] || ri >= bb.RowLo[b+1] {
+					t.Fatalf("bands=%d: row %d escaped band %d [%d,%d)", bands, ri, b, bb.RowLo[b], bb.RowLo[b+1])
+				}
+			}
+		}
+		// GatherValues refreshes after a weight change.
+		w.Data[0] += 1 // (0,0) may or may not be stored; gather is global either way
+		bb.GatherValues(w)
+		flat := NewCSCFromCSR(c)
+		flat.GatherValues(w)
+		for _, band := range bb.Bands {
+			for q := 0; q < band.Cols; q++ {
+				for p := band.ColPtr[q]; p < band.ColPtr[q+1]; p++ {
+					want := w.Data[int(band.RowIdx[p])*band.Cols+q]
+					if band.Val[p] != want {
+						t.Fatalf("bands=%d: stale value at row %d col %d", bands, band.RowIdx[p], q)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCSCMatMulEventsParallelBitIdentical(t *testing.T) {
+	const m, k, n = 33, 47, 24
+	withGOMAXPROCS(t, func(procs int) {
+		for _, workers := range []int{2, 3, 8} {
+			for _, rate := range spikeRates {
+				r := rng.New(613 + uint64(workers*100) + uint64(rate*10))
+				_, c := maskedWeights(m, k, 0.25, r)
+				csc := NewCSCFromCSR(c)
+				bands := NewCSCBands(c, workers)
+				ev, ok := EncodeEvents(spikeMatrix(k, n, rate, r))
+				if !ok {
+					t.Fatal("binary operand rejected")
+				}
+				want := tensor.New(m, n)
+				CSCMatMulEventsSerialInto(want, csc, ev, false)
+				got := tensor.New(m, n)
+				CSCMatMulEventsInto(got, bands, ev, false)
+				for i := range want.Data {
+					if want.Data[i] != got.Data[i] {
+						t.Fatalf("procs=%d workers=%d rate=%v: banded kernel not bit-identical at %d (%v vs %v)",
+							procs, workers, rate, i, got.Data[i], want.Data[i])
+					}
+				}
+				// Accumulate mode adds on top of prior contents like the serial kernel.
+				CSCMatMulEventsSerialInto(want, csc, ev, true)
+				CSCMatMulEventsInto(got, bands, ev, true)
+				if d := maxAbsDiffT(want, got); d != 0 {
+					t.Fatalf("procs=%d workers=%d rate=%v: accumulate differs by %v", procs, workers, rate, d)
+				}
+			}
+		}
+	})
+}
+
+func TestMatMulEventsCSCBandsBitIdentical(t *testing.T) {
+	const b, k, m = 7, 40, 21
+	withGOMAXPROCS(t, func(procs int) {
+		for _, workers := range []int{2, 4, 8} {
+			for _, rate := range spikeRates {
+				r := rng.New(617 + uint64(workers*100) + uint64(rate*10))
+				_, c := maskedWeights(m, k, 0.3, r)
+				csc := NewCSCFromCSR(c)
+				bands := NewCSCBands(c, workers)
+				ev, ok := EncodeEvents(spikeMatrix(b, k, rate, r))
+				if !ok {
+					t.Fatal("binary operand rejected")
+				}
+				want := tensor.New(b, m)
+				MatMulEventsCSCInto(want, ev, csc, false)
+				got := tensor.New(b, m)
+				MatMulEventsCSCBandsInto(got, ev, bands, false)
+				for i := range want.Data {
+					if want.Data[i] != got.Data[i] {
+						t.Fatalf("procs=%d workers=%d rate=%v: banded linear kernel not bit-identical at %d", procs, workers, rate, i)
+					}
+				}
+			}
+		}
+	})
+}
+
+func TestCSRGradABTEventsParallelMatchesSerial(t *testing.T) {
+	const m, k, q = 19, 33, 24
+	withGOMAXPROCS(t, func(procs int) {
+		for _, workers := range []int{1, 2, 8} {
+			for _, rate := range spikeRates {
+				r := rng.New(619 + uint64(workers*100) + uint64(rate*10))
+				_, c := maskedWeights(m, k, 0.3, r)
+				dy := tensor.New(m, q)
+				for i := range dy.Data {
+					dy.Data[i] = r.NormFloat32()
+				}
+				ev, ok := EncodeEvents(spikeMatrix(k, q, rate, r))
+				if !ok {
+					t.Fatal("binary operand rejected")
+				}
+				want := make([]float32, c.NNZ())
+				CSRGradABTEventsSerial(want, c, dy, ev)
+				got := make([]float32, c.NNZ())
+				CSRGradABTEventsInto(got, c, dy, ev, workers)
+				if d := maxAbsDiff(want, got); d != 0 {
+					t.Fatalf("procs=%d workers=%d rate=%v: parallel events SDDMM differs by %v", procs, workers, rate, d)
+				}
+			}
+		}
+	})
+}
+
+func TestCSRGradABTParallelMatchesSerial(t *testing.T) {
+	const m, k, q = 17, 29, 21
+	withGOMAXPROCS(t, func(procs int) {
+		for _, workers := range []int{2, 8} {
+			r := rng.New(631 + uint64(workers))
+			_, c := maskedWeights(m, k, 0.35, r)
+			dy := tensor.New(m, q)
+			col := tensor.New(k, q)
+			for i := range dy.Data {
+				dy.Data[i] = r.NormFloat32()
+			}
+			for i := range col.Data {
+				col.Data[i] = r.NormFloat32()
+			}
+			want := make([]float32, c.NNZ())
+			CSRGradABTSerial(want, c, dy, col)
+			got := make([]float32, c.NNZ())
+			CSRGradABTInto(got, c, dy, col, workers)
+			if d := maxAbsDiff(want, got); d != 0 {
+				t.Fatalf("procs=%d workers=%d: parallel dense SDDMM differs by %v", procs, workers, d)
+			}
+		}
+	})
+}
+
+func TestStackTimesteps(t *testing.T) {
+	r := rng.New(641)
+	const rows, cols, T = 5, 11, 3
+	evs := make([]*Events, T)
+	mats := make([]*tensor.Tensor, T)
+	for t2 := 0; t2 < T; t2++ {
+		mats[t2] = spikeMatrix(rows, cols, 0.3, r)
+		evs[t2], _ = EncodeEvents(mats[t2])
+	}
+	s := StackTimesteps(evs)
+	if s.Rows != T*rows || s.Cols != cols {
+		t.Fatalf("stacked shape [%d,%d], want [%d,%d]", s.Rows, s.Cols, T*rows, cols)
+	}
+	// Row t·rows+i of the stack must decode to timestep t's sample i.
+	buf := make([]float32, cols)
+	for t2 := 0; t2 < T; t2++ {
+		for i := 0; i < rows; i++ {
+			for j := range buf {
+				buf[j] = 0
+			}
+			s.ScatterRowInto(t2*rows+i, buf, 1)
+			for j := 0; j < cols; j++ {
+				if buf[j] != mats[t2].Data[i*cols+j] {
+					t.Fatalf("stacked row %d col %d = %v, want %v", t2*rows+i, j, buf[j], mats[t2].Data[i*cols+j])
+				}
+			}
+		}
+	}
+	// Edge cases: T=1 reproduces the input; empty input yields an empty pattern.
+	one := StackTimesteps(evs[:1])
+	if one.NNZ() != evs[0].NNZ() || one.Rows != rows {
+		t.Fatalf("T=1 stack changed the pattern")
+	}
+	empty := StackTimesteps(nil)
+	if empty.NNZ() != 0 {
+		t.Fatalf("empty stack has events")
+	}
+}
+
+func TestInt8AccumulateUnrolledMatchesScalar(t *testing.T) {
+	r := rng.New(653)
+	qc := randomCSCInt8(37, 41, 0.3, r)
+	for _, rate := range spikeRates {
+		cols := eventColumns(41, rate, r)
+		// Duplicate columns exercise repeated accumulation into the same rows.
+		cols = append(cols, cols...)
+		want := make([]int32, qc.Rows)
+		wops := CSCAccumulateColumnsInt8Scalar(want, qc, cols)
+		got := make([]int32, qc.Rows)
+		gops := CSCAccumulateColumnsInt8(got, qc, cols)
+		if wops != gops {
+			t.Fatalf("rate %v: ops %d vs %d", rate, gops, wops)
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("rate %v: unrolled int8 accumulate differs at %d: %d vs %d", rate, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestInt4AccumulateUnrolledMatchesScalar(t *testing.T) {
+	r := rng.New(659)
+	q8 := randomCSCInt8(23, 29, 0.4, r)
+	qc := int4FromInt8(q8)
+	for _, rate := range spikeRates {
+		cols := eventColumns(29, rate, r)
+		want := make([]int32, qc.Rows)
+		wops := CSCAccumulateColumnsInt4Scalar(want, qc, cols)
+		got := make([]int32, qc.Rows)
+		gops := CSCAccumulateColumnsInt4(got, qc, cols)
+		if wops != gops {
+			t.Fatalf("rate %v: ops %d vs %d", rate, gops, wops)
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("rate %v: unrolled int4 accumulate differs at %d: %d vs %d", rate, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// randomCSCInt8 builds a random int8 CSC at the given density.
+func randomCSCInt8(rows, cols int, density float64, r *rng.RNG) *CSCInt8 {
+	c := &CSCInt8{Rows: rows, Cols: cols, ColPtr: make([]int32, cols+1)}
+	for q := 0; q < cols; q++ {
+		for ri := 0; ri < rows; ri++ {
+			if r.Float64() < density {
+				c.RowIdx = append(c.RowIdx, int32(ri))
+				c.Q = append(c.Q, int8(r.Intn(255)-127))
+			}
+		}
+		c.ColPtr[q+1] = int32(len(c.RowIdx))
+	}
+	return c
+}
+
+// int4FromInt8 packs an int8 CSC's pattern with 4-bit levels derived from
+// the int8 levels (clamped to [-8,7]).
+func int4FromInt8(c *CSCInt8) *CSCInt4 {
+	out := &CSCInt4{
+		Rows: c.Rows, Cols: c.Cols,
+		ColPtr: c.ColPtr, RowIdx: c.RowIdx,
+		Packed: make([]byte, (len(c.RowIdx)+1)/2),
+	}
+	for p, q := range c.Q {
+		lv := int(q) >> 4 // [-8, 7]
+		nib := byte(lv) & 0xF
+		if p&1 == 0 {
+			out.Packed[p>>1] |= nib
+		} else {
+			out.Packed[p>>1] |= nib << 4
+		}
+	}
+	return out
+}
+
+// eventColumns draws the active-column index list of one timestep.
+func eventColumns(k int, rate float64, r *rng.RNG) []int32 {
+	var cols []int32
+	for q := 0; q < k; q++ {
+		if r.Float64() < rate {
+			cols = append(cols, int32(q))
+		}
+	}
+	return cols
+}
+
+func TestEffectiveWorkers(t *testing.T) {
+	setWorkers(t, 0)
+	if EffectiveWorkers(100) != 1 {
+		t.Fatalf("Workers=0 must mean serial")
+	}
+	setWorkers(t, 8)
+	if EffectiveWorkers(100) != 8 {
+		t.Fatalf("Workers=8 clamped wrongly")
+	}
+	if EffectiveWorkers(3) != 3 {
+		t.Fatalf("EffectiveWorkers must clamp to the strip ceiling")
+	}
+}

@@ -1,6 +1,7 @@
 package tape
 
 import (
+	"runtime"
 	"sync/atomic"
 
 	"ndsnn/internal/sparse"
@@ -91,22 +92,18 @@ type Stack struct {
 // binary ({0,1} valued) and its occupancy is at most CacheMaxRate; otherwise
 // it records the tensor itself. The event pattern is extracted over the
 // [Dim(0), Size/Dim(0)] flattening (one row per batch sample). The gate is
-// checked with a scan before anything is allocated, so rejected (analog or
-// hot) pushes cost no garbage.
+// checked with a scan before the pattern is allocated — rejected (analog or
+// hot) pushes stop at the first disqualifying value and allocate nothing
+// beyond the parallel scan's per-strip counters; on large tensors the scan
+// fans out over the tensor worker pool (chunked counts, each strip bailing
+// at the same occupancy limit — the accept/reject decision is identical to
+// the serial scan's).
 func (s *Stack) Push(x *tensor.Tensor) {
 	if CacheEvents {
 		limit := int(CacheMaxRate * float64(x.Size()))
-		nnz := 0
-		binary := true
-		for _, v := range x.Data {
-			if v == 0 {
-				continue
-			}
-			if v != 1 || nnz >= limit {
-				binary = false
-				break
-			}
-			nnz++
+		nnz, binary := scanBinary(x.Data, limit)
+		if binary && nnz > limit {
+			binary = false
 		}
 		if binary {
 			rows := x.Dim(0)
@@ -118,6 +115,52 @@ func (s *Stack) Push(x *tensor.Tensor) {
 		}
 	}
 	s.PushDense(x)
+}
+
+// scanBinaryStripMin is the tensor size below which the Push gate scan stays
+// on the calling goroutine.
+const scanBinaryStripMin = 1 << 15
+
+// scanBinary counts the non-zero entries of data and reports whether every
+// entry is in {0,1} with at most `limit` non-zeros. Large tensors are
+// scanned in parallel strips on the shared worker pool (one strip per
+// GOMAXPROCS, counts merged — exact, so the result cannot depend on
+// scheduling); each strip stops early at the first non-binary value or once
+// its own count passes the limit (a strip's count bounds the total from
+// below, so bailing is sound). A false result may carry a partial count;
+// callers must only use nnz when binary is true.
+func scanBinary(data []float32, limit int) (nnz int, binary bool) {
+	strips := runtime.GOMAXPROCS(0)
+	if len(data) < scanBinaryStripMin || strips <= 1 {
+		return scanBinaryRange(data, limit)
+	}
+	counts := make([]int, strips)
+	oks := make([]bool, strips)
+	for s := range oks {
+		oks[s] = true // strips the partition does not invoke are vacuously ok
+	}
+	tensor.ParallelForStriped(len(data), strips, func(strip, lo, hi int) {
+		counts[strip], oks[strip] = scanBinaryRange(data[lo:hi], limit)
+	})
+	binary = true
+	for s := 0; s < strips; s++ {
+		nnz += counts[s]
+		binary = binary && oks[s]
+	}
+	return nnz, binary
+}
+
+func scanBinaryRange(data []float32, limit int) (nnz int, binary bool) {
+	for _, v := range data {
+		if v == 0 {
+			continue
+		}
+		if v != 1 || nnz >= limit {
+			return nnz, false
+		}
+		nnz++
+	}
+	return nnz, true
 }
 
 // PushDense records x as-is, bypassing event encoding (used by the

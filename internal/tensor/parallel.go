@@ -1,19 +1,42 @@
 package tensor
 
-import (
-	"runtime"
-	"sync"
-)
+import "runtime"
 
-// minParallelWork is the smallest number of inner iterations worth spawning a
-// goroutine for; below this the scheduling overhead dominates.
-const minParallelWork = 2048
+// MinParallelWork is the smallest number of scalar inner operations worth
+// splitting across workers; below it scheduling overhead dominates. It is a
+// variable (previously a constant) so benchmark sweeps can chart the
+// crossover and latency-sensitive callers can tune it; 0 or negative
+// restores the default. Not intended to be changed concurrently with running
+// kernels.
+var MinParallelWork = 2048
+
+func minWork() int {
+	if MinParallelWork <= 0 {
+		return 2048
+	}
+	return MinParallelWork
+}
+
+// parallelWorthIt reports whether n iterations of `work` inner operations
+// each clear the MinParallelWork bar. Phrased as a division so the check
+// cannot overflow at any magnitude: on large layers n·work exceeds int
+// ranges (e.g. a 512-filter conv hands ParallelFor work ≈ OutC·ckk·p ≈ 2^31
+// per sample), and the old product form wrapped negative and silently forced
+// the serial path.
+func parallelWorthIt(n, work int) bool {
+	if work < 1 {
+		work = 1
+	}
+	need := (int64(minWork()) + int64(work) - 1) / int64(work)
+	return int64(n) >= need
+}
 
 // ParallelFor splits [0, n) into contiguous chunks and runs fn(lo, hi) on
-// each, using up to GOMAXPROCS goroutines. work is an estimate of the inner
-// cost per index used to decide whether parallelism pays off; callers that do
-// substantial work per index (e.g. a full GEMM row) should pass that inner
-// loop length.
+// each, using up to GOMAXPROCS workers from the persistent pool. work is an
+// estimate of the inner cost per index used to decide whether parallelism
+// pays off; callers that do substantial work per index (e.g. a full GEMM
+// row) should pass that inner loop length. Chunk boundaries depend only on n
+// and GOMAXPROCS, never on scheduling.
 func ParallelFor(n, work int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -22,22 +45,61 @@ func ParallelFor(n, work int, fn func(lo, hi int)) {
 	if procs > n {
 		procs = n
 	}
-	if procs <= 1 || n*work < minParallelWork {
+	if procs <= 1 || !parallelWorthIt(n, work) {
 		fn(0, n)
 		return
 	}
 	chunk := (n + procs - 1) / procs
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
+	tasks := (n + chunk - 1) / chunk
+	run(tasks, func(t int) {
+		lo := t * chunk
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
+		fn(lo, hi)
+	})
+}
+
+// ParallelForStriped splits [0, n) into exactly `strips` contiguous chunks
+// and runs fn(strip, lo, hi) on each concurrently, passing the strip index so
+// scatter-style kernels can give every strip a private accumulator (or a
+// disjoint destination band) and merge in fixed strip order. Unlike
+// ParallelFor, the partition is controlled by the caller, not GOMAXPROCS:
+// results that depend on the chunking (float summation grouping, band
+// boundaries) are therefore reproducible on any machine for a given strip
+// count. Strips beyond n collapse (every index runs exactly once; empty
+// strips are not invoked).
+func ParallelForStriped(n, strips int, fn func(strip, lo, hi int)) {
+	if n <= 0 || strips < 1 {
+		return
 	}
-	wg.Wait()
+	if strips > n {
+		strips = n
+	}
+	if strips == 1 {
+		fn(0, 0, n)
+		return
+	}
+	chunk := (n + strips - 1) / strips
+	tasks := (n + chunk - 1) / chunk
+	run(tasks, func(t int) {
+		lo := t * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		fn(t, lo, hi)
+	})
+}
+
+// ParallelStrips runs fn(strip) for strip = 0..strips-1 concurrently on the
+// worker pool — the primitive under kernels whose per-strip work is not an
+// index range (e.g. row-banded sparse matrices, where each strip owns a
+// pre-bucketed band). fn must confine its writes to strip-private state.
+func ParallelStrips(strips int, fn func(strip int)) {
+	if strips <= 0 {
+		return
+	}
+	run(strips, fn)
 }

@@ -1,0 +1,75 @@
+package tensor
+
+import "sync"
+
+// Persistent worker pool behind ParallelFor/ParallelForStriped. The previous
+// implementation spawned a fresh goroutine per chunk per call; on kernels
+// invoked thousands of times per training step the spawn/exit churn is
+// measurable and, worse, unbounded fan-out composes badly with nested
+// parallelism (batch workers invoking parallel kernels). The pool keeps a
+// bounded free list of parked goroutines: submit hands a task to a parked
+// worker when one is available and spawns otherwise, so submission never
+// blocks — nested parallel sections cannot deadlock, they just borrow more
+// workers. Workers park themselves back on the free list after each task and
+// retire when the list is full, so the steady-state goroutine count tracks
+// the peak concurrency actually requested, not call volume.
+//
+// Determinism note: the pool schedules *which goroutine* runs a chunk, never
+// *what* the chunks are. Chunk boundaries are computed by the caller from
+// (n, chunk count) alone, so results that depend only on the chunk partition
+// — e.g. the striped kernels in internal/sparse — are reproducible across
+// runs and machines regardless of how the pool interleaves execution.
+
+// maxIdleWorkers bounds the parked-goroutine free list. Past this, finishing
+// workers exit instead of parking. 64 comfortably covers GOMAXPROCS on the
+// hosts this engine targets plus one level of nesting.
+const maxIdleWorkers = 64
+
+var idleWorkers = make(chan chan func(), maxIdleWorkers)
+
+// submit runs fn on a pool worker: a parked one when available, a freshly
+// spawned one otherwise. It never blocks on worker availability.
+func submit(fn func()) {
+	select {
+	case w := <-idleWorkers:
+		w <- fn
+	default:
+		w := make(chan func())
+		go worker(w)
+		w <- fn
+	}
+}
+
+// worker executes tasks from its private channel, re-parking itself on the
+// free list between tasks and exiting when the list is full.
+func worker(w chan func()) {
+	for fn := range w {
+		fn()
+		select {
+		case idleWorkers <- w:
+		default:
+			return
+		}
+	}
+}
+
+// run executes fn(0..tasks-1) concurrently — task 0 on the calling
+// goroutine (saving one handoff), the rest on pool workers — and returns
+// when all complete.
+func run(tasks int, fn func(task int)) {
+	if tasks <= 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(tasks - 1)
+	for t := 1; t < tasks; t++ {
+		t := t
+		submit(func() {
+			defer wg.Done()
+			fn(t)
+		})
+	}
+	fn(0)
+	wg.Wait()
+}

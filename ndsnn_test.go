@@ -60,6 +60,38 @@ func TestTrainFacadeDeterministic(t *testing.T) {
 	}
 }
 
+// TestTrainKernelWorkersBitIdentical is the facade-level determinism pin of
+// the thread-scalable kernel engine: an entire training run — forwards,
+// event replays, SDDMM gradients, drop-and-grow rewires — must be
+// bit-identical with kernel-level parallelism on and off, because every
+// parallel kernel preserves the serial summation order.
+func TestTrainKernelWorkersBitIdentical(t *testing.T) {
+	old := SetKernelWorkers(0)
+	defer SetKernelWorkers(old)
+	a, err := Train(unitCfg(NDSNN, 0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetKernelWorkers(8)
+	b, err := Train(unitCfg(NDSNN, 0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TestAccuracy != b.TestAccuracy || a.FinalSparsity != b.FinalSparsity {
+		t.Fatalf("workers=8 run diverged: acc %v vs %v, sparsity %v vs %v",
+			b.TestAccuracy, a.TestAccuracy, b.FinalSparsity, a.FinalSparsity)
+	}
+	if len(a.History) != len(b.History) {
+		t.Fatalf("history lengths diverged: %d vs %d", len(a.History), len(b.History))
+	}
+	for i := range a.History {
+		if a.History[i].Loss != b.History[i].Loss {
+			t.Fatalf("epoch %d loss diverged: %v vs %v (parallel kernels must be bit-identical)",
+				i, b.History[i].Loss, a.History[i].Loss)
+		}
+	}
+}
+
 func TestRelativeTrainingCostFacade(t *testing.T) {
 	dense, err := Train(unitCfg(Dense, 0))
 	if err != nil {
