@@ -13,7 +13,7 @@ import (
 var ExperimentIDs = []string{
 	"fig1", "table1", "table2", "table3", "fig4", "fig5", "memory", "synops",
 	"sparse-gemm", "event-driven", "sparse-tape", "quant-infer",
-	"parallel-kernels",
+	"parallel-kernels", "serving",
 	"ablation-grow", "ablation-shape", "ablation-allocation",
 	"ablation-surrogate", "ablation-deltat",
 }
@@ -33,6 +33,7 @@ var ExperimentDescription = map[string]string{
 	"sparse-tape":         "sparse temporal tape: backward speedup + peak BPTT cache memory vs the dense-cache baseline (JSON, BENCH_sparse_tape.json)",
 	"quant-infer":         "integer event-driven inference: float32 engine vs int8/int4/int16 QCSR per Sec. III-D platform (JSON, BENCH_quant_infer.json)",
 	"parallel-kernels":    "thread-scalable event kernels: serial vs banded/blocked parallel + scalar vs unrolled integer accumulates (JSON, BENCH_parallel_kernels.json)",
+	"serving":             "multi-tenant serving: coalesced-batch throughput + p50/p99 latency across concurrency levels, bit-identical to serial (JSON, BENCH_serving.json)",
 	"ablation-grow":       "A1 — gradient vs random regrowth",
 	"ablation-shape":      "A2 — cubic vs linear vs step sparsity ramp",
 	"ablation-allocation": "A3 — ERK vs uniform layer allocation",
@@ -206,6 +207,22 @@ func RunExperiment(id string, w io.Writer, opts ExperimentOptions) error {
 			return err
 		}
 		return bench.PrintQuantInfer(w, rep)
+	case "serving":
+		// LeNet-5 keeps the per-request compute small enough that queueing
+		// and coalescing — not raw engine latency — dominate the cells.
+		concurrency := []int{1, 4, 16, 32}
+		maxBatches := []int{1, 4, 16}
+		requests := 384
+		if opts.Scale == "unit" {
+			concurrency = []int{1, 8, 32}
+			maxBatches = []int{1, 8}
+			requests = 96
+		}
+		rep, err := bench.RunServing(s, "lenet5", 0.80, concurrency, maxBatches, requests, opts.Seed, progress)
+		if err != nil {
+			return err
+		}
+		return bench.PrintServing(w, rep)
 	case "ablation-grow":
 		return runAblation(w, s, opts, bench.RunAblationGrowCriterion)
 	case "ablation-shape":

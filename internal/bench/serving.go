@@ -1,0 +1,268 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ndsnn/internal/infer"
+	"ndsnn/internal/models"
+	"ndsnn/internal/serve"
+	"ndsnn/internal/snn"
+	"ndsnn/internal/tensor"
+)
+
+// Serving benchmark: the multi-tenant layer over the compiled event engine.
+// An NDSNN-trained model is compiled once and served to closed-loop load
+// generators at several concurrency levels and coalescing limits, measuring
+// per-request latency percentiles, throughput, and the realized batch size —
+// and checking every served score vector bit-for-bit against the serial
+// single-caller engine (the re-entrancy guarantee, enforced: any mismatch
+// fails the run). Recorded as BENCH_serving.json.
+
+// ServingCell is one load-generator measurement.
+type ServingCell struct {
+	// Engine is "float32" or "int8" (the QCSR integer engine).
+	Engine string `json:"engine"`
+	// Concurrency is the number of closed-loop clients (each keeps exactly
+	// one request in flight).
+	Concurrency int `json:"concurrency"`
+	// MaxBatch / LingerNs are the server's coalescing knobs for this cell.
+	MaxBatch int   `json:"max_batch"`
+	LingerNs int64 `json:"linger_ns"`
+	// Requests is how many requests the cell completed.
+	Requests int `json:"requests"`
+	// ThroughputRPS is completed requests per second of wall-clock.
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// P50Ns / P99Ns are per-request latency percentiles.
+	P50Ns int64 `json:"p50_ns"`
+	P99Ns int64 `json:"p99_ns"`
+	// MeanBatch is the realized coalescing factor over Batches engine passes.
+	MeanBatch float64 `json:"mean_batch"`
+	Batches   int64   `json:"batches"`
+	// Rejected counts ErrOverloaded fast-fails (0 in these closed-loop cells:
+	// the queue is sized to the client count).
+	Rejected int64 `json:"rejected"`
+	// Mismatches counts served score vectors that differed from the serial
+	// reference in any bit. Must be 0.
+	Mismatches int64 `json:"mismatches"`
+}
+
+// ServingReport is the recorded artifact.
+type ServingReport struct {
+	Arch     string  `json:"arch"`
+	Sparsity float64 `json:"sparsity"`
+	Samples  int     `json:"samples"`
+	// SerialNsPerSample is the single-caller float32 engine baseline the
+	// latency cells compare against.
+	SerialNsPerSample int64         `json:"serial_ns_per_sample"`
+	Cells             []ServingCell `json:"cells"`
+}
+
+// RunServing trains one NDSNN model, compiles the float32 engine (and the
+// int8 QCSR engine for the final cell), and drives the serving layer with
+// closed-loop load generators: a concurrency sweep at a fixed coalescing
+// limit, a coalescing sweep at the top concurrency, and an int8 cell at the
+// top concurrency. Every served score vector is checked bit-for-bit against
+// the serial single-caller reference; any mismatch (or a non-finite latency
+// percentile) is an error — the CI smoke gate.
+func RunServing(s Scale, arch string, sparsity float64, concurrency, maxBatches []int, requests int, seed uint64, progress Progress) (*ServingReport, error) {
+	ds := s.Dataset(CIFAR10, 2000+seed)
+	net := models.Build(models.Config{
+		Arch: arch, Classes: ds.Config.Classes,
+		InC: ds.Config.C, InH: ds.Config.H, InW: ds.Config.W,
+		Timesteps: s.Timesteps, Neuron: snn.DefaultNeuron(),
+		Profile: s.Profile, Seed: seed*13 + 5,
+	})
+	spec := Spec{Method: MethodNDSNN, Arch: arch, Dataset: CIFAR10, Sparsity: sparsity, Seed: seed}
+	if _, err := RunOn(s, spec, ds, net); err != nil {
+		return nil, err
+	}
+
+	n := ds.Test.N()
+	if n > 32 {
+		n = 32
+	}
+	pix := ds.Config.C * ds.Config.H * ds.Config.W
+	samples := make([]*tensor.Tensor, n)
+	for i := range samples {
+		samples[i] = tensor.FromSlice(ds.Test.Images[i*pix:(i+1)*pix], ds.Config.C, ds.Config.H, ds.Config.W)
+	}
+
+	feng, err := infer.Compile(net)
+	if err != nil {
+		return nil, err
+	}
+	fref, serialNs := serialReference(feng, samples)
+	rep := &ServingReport{
+		Arch: arch, Sparsity: sparsity, Samples: n,
+		SerialNsPerSample: serialNs,
+	}
+	report(progress, "serving serial fp32: %s/sample over %d samples", time.Duration(serialNs), n)
+
+	topConc := concurrency[len(concurrency)-1]
+	fixedBatch := maxBatches[len(maxBatches)-1]
+
+	// Concurrency sweep at the largest coalescing limit: p50/p99 and
+	// throughput as clients pile on.
+	for _, c := range concurrency {
+		cell := runServingCell(feng, samples, fref, "float32", c, fixedBatch, servingLinger(fixedBatch), requests)
+		rep.Cells = append(rep.Cells, cell)
+		report(progress, "serving fp32 c=%d batch≤%d: %.0f req/s p50=%s p99=%s mean batch %.2f",
+			c, fixedBatch, cell.ThroughputRPS, time.Duration(cell.P50Ns), time.Duration(cell.P99Ns), cell.MeanBatch)
+	}
+	// Coalescing sweep at the top concurrency: throughput scaling with the
+	// batch limit.
+	for _, b := range maxBatches {
+		if b == fixedBatch {
+			continue // already measured at topConc above
+		}
+		cell := runServingCell(feng, samples, fref, "float32", topConc, b, servingLinger(b), requests)
+		rep.Cells = append(rep.Cells, cell)
+		report(progress, "serving fp32 c=%d batch≤%d: %.0f req/s p50=%s p99=%s mean batch %.2f",
+			topConc, b, cell.ThroughputRPS, time.Duration(cell.P50Ns), time.Duration(cell.P99Ns), cell.MeanBatch)
+	}
+	// Integer engine at the top concurrency: the serving layer is
+	// engine-agnostic and the bit-identity guarantee holds for QCSR too.
+	qeng, err := infer.CompileQuantized(net, 8)
+	if err != nil {
+		return nil, err
+	}
+	qref, _ := serialReference(qeng, samples)
+	qcell := runServingCell(qeng, samples, qref, "int8", topConc, fixedBatch, servingLinger(fixedBatch), requests)
+	rep.Cells = append(rep.Cells, qcell)
+	report(progress, "serving int8 c=%d batch≤%d: %.0f req/s p50=%s p99=%s mean batch %.2f",
+		topConc, fixedBatch, qcell.ThroughputRPS, time.Duration(qcell.P50Ns), time.Duration(qcell.P99Ns), qcell.MeanBatch)
+
+	for _, cell := range rep.Cells {
+		if cell.Mismatches != 0 {
+			return nil, fmt.Errorf("bench: %s serving at concurrency %d diverged from the serial engine on %d requests (must be bit-identical)",
+				cell.Engine, cell.Concurrency, cell.Mismatches)
+		}
+		if cell.P99Ns <= 0 || cell.P50Ns <= 0 {
+			return nil, fmt.Errorf("bench: %s serving at concurrency %d produced a non-positive latency percentile (p50=%d p99=%d)",
+				cell.Engine, cell.Concurrency, cell.P50Ns, cell.P99Ns)
+		}
+	}
+	return rep, nil
+}
+
+// servingLinger picks the cell's linger: a short window when coalescing is
+// possible (lets batches fill under bursty arrivals), none at batch 1.
+func servingLinger(maxBatch int) time.Duration {
+	if maxBatch <= 1 {
+		return 0
+	}
+	return 100 * time.Microsecond
+}
+
+// serialReference runs the single-caller engine over the samples, returning
+// the reference score vectors and the wall-clock per sample.
+func serialReference(eng *infer.Engine, samples []*tensor.Tensor) ([][]float32, int64) {
+	ref := make([][]float32, len(samples))
+	start := time.Now()
+	for i, s := range samples {
+		ref[i] = eng.Infer(s)
+	}
+	return ref, time.Since(start).Nanoseconds() / int64(len(samples))
+}
+
+// runServingCell drives one server with `concurrency` closed-loop clients
+// until `requests` requests complete, checking every response against the
+// serial reference.
+func runServingCell(eng *infer.Engine, samples []*tensor.Tensor, ref [][]float32,
+	engine string, concurrency, maxBatch int, linger time.Duration, requests int) ServingCell {
+	srv := serve.New(eng, serve.Config{
+		MaxBatch: maxBatch,
+		Linger:   linger,
+		// Closed-loop clients have one request in flight each, so the queue
+		// never needs to hold more than the client count.
+		MaxQueue: concurrency + maxBatch,
+	})
+	defer srv.Close()
+
+	var next, mismatches atomic.Int64
+	lats := make([][]int64, concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < concurrency; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for {
+				k := next.Add(1) - 1
+				if k >= int64(requests) {
+					return
+				}
+				idx := int(k) % len(samples)
+				t0 := time.Now()
+				scores, err := srv.Infer(context.Background(), samples[idx])
+				if err != nil {
+					mismatches.Add(1)
+					continue
+				}
+				lats[g] = append(lats[g], time.Since(t0).Nanoseconds())
+				for j := range scores {
+					if scores[j] != ref[idx][j] {
+						mismatches.Add(1)
+						break
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []int64
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	st := srv.Stats()
+	cell := ServingCell{
+		Engine: engine, Concurrency: concurrency,
+		MaxBatch: maxBatch, LingerNs: linger.Nanoseconds(),
+		Requests:   len(all),
+		MeanBatch:  st.MeanBatch(),
+		Batches:    st.Batches,
+		Rejected:   st.Rejected,
+		Mismatches: mismatches.Load(),
+	}
+	if elapsed > 0 {
+		cell.ThroughputRPS = float64(len(all)) / elapsed.Seconds()
+	}
+	if len(all) > 0 {
+		cell.P50Ns = percentileNs(all, 50)
+		cell.P99Ns = percentileNs(all, 99)
+	}
+	return cell
+}
+
+// percentileNs returns the p-th percentile of sorted latencies.
+func percentileNs(sorted []int64, p int) int64 {
+	idx := (len(sorted)*p + 99) / 100
+	if idx >= len(sorted) {
+		idx = len(sorted)
+	}
+	if idx < 1 {
+		idx = 1
+	}
+	return sorted[idx-1]
+}
+
+// PrintServing writes the report as indented JSON (the BENCH artifact
+// format).
+func PrintServing(w io.Writer, r *ServingReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("bench: encode serving report: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+package infer_test
+
+import (
+	"sync"
+	"testing"
+
+	"ndsnn/internal/baselines"
+	"ndsnn/internal/data"
+	"ndsnn/internal/infer"
+	"ndsnn/internal/tensor"
+	"ndsnn/internal/testutil"
+	"ndsnn/internal/train"
+)
+
+// Re-entrancy pins for the plan/scratch split: one compiled engine served
+// from many goroutines must reproduce the serial single-caller outputs
+// bit-for-bit (float32, int8 and int4 engines alike), the SynOps roll-up
+// must not lose counts, and steady-state requests must reuse — not
+// reallocate — their arena buffers. CI runs this file under -race.
+
+func buildTrainedEngine(t *testing.T, bits int, seed uint64) (*infer.Engine, []*tensor.Tensor) {
+	t.Helper()
+	ds := data.SynthEasy(4, 64, 16, seed)
+	net := testutil.TinyNet(4, 3, seed)
+	_, err := baselines.TrainDense(net, ds, train.Common{
+		Epochs: 2, BatchSize: 16, LR: 0.05, Momentum: 0.9, WeightDecay: 5e-4, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eng *infer.Engine
+	if bits == 0 {
+		eng, err = infer.Compile(net)
+	} else {
+		eng, err = infer.CompileQuantized(net, bits)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	pix := ds.Config.C * ds.Config.H * ds.Config.W
+	samples := make([]*tensor.Tensor, ds.Test.N())
+	for i := range samples {
+		samples[i] = tensor.FromSlice(ds.Test.Images[i*pix:(i+1)*pix], ds.Config.C, ds.Config.H, ds.Config.W)
+	}
+	return eng, samples
+}
+
+// TestConcurrentInferBitIdentical: N goroutines × {float32, int8, int4}
+// engines classify the same samples concurrently and must match the serial
+// reference exactly.
+func TestConcurrentInferBitIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		bits int
+	}{
+		{"float32", 0}, {"int8", 8}, {"int4", 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			eng, samples := buildTrainedEngine(t, tc.bits, 51)
+			ref := make([][]float32, len(samples))
+			for i, s := range samples {
+				ref[i] = eng.Infer(s)
+			}
+
+			const goroutines = 8
+			const rounds = 6
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for r := 0; r < rounds; r++ {
+						idx := (g + r*goroutines) % len(samples)
+						got := eng.Infer(samples[idx])
+						for j := range got {
+							if got[j] != ref[idx][j] {
+								t.Errorf("goroutine %d sample %d score %d: %v != serial %v",
+									g, idx, j, got[j], ref[idx][j])
+								return
+							}
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// TestInferBatchBitIdentical: the stage-major batched pass must equal
+// per-sample serial inference exactly, at every batch size.
+func TestInferBatchBitIdentical(t *testing.T) {
+	eng, samples := buildTrainedEngine(t, 0, 53)
+	ref := make([][]float32, len(samples))
+	for i, s := range samples {
+		ref[i] = eng.Infer(s)
+	}
+	for _, b := range []int{1, 2, 3, 8, len(samples)} {
+		outs := eng.InferBatch(samples[:b])
+		if len(outs) != b {
+			t.Fatalf("batch %d: got %d outputs", b, len(outs))
+		}
+		for i := range outs {
+			for j := range outs[i] {
+				if outs[i][j] != ref[i][j] {
+					t.Fatalf("batch %d sample %d score %d: %v != serial %v", b, i, j, outs[i][j], ref[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentSynOpsRollUp: concurrent requests must aggregate exactly the
+// serial SynOps total (the satellite fix for the old engine-owned counter
+// race).
+func TestConcurrentSynOpsRollUp(t *testing.T) {
+	eng, samples := buildTrainedEngine(t, 0, 55)
+	eng.ResetStats()
+	for _, s := range samples {
+		eng.Infer(s)
+	}
+	want := eng.SynOps()
+
+	eng.ResetStats()
+	var wg sync.WaitGroup
+	for _, s := range samples {
+		wg.Add(1)
+		go func(s *tensor.Tensor) {
+			defer wg.Done()
+			eng.Infer(s)
+		}(s)
+	}
+	wg.Wait()
+	if got := eng.SynOps(); got != want {
+		t.Fatalf("concurrent SynOps %d != serial %d", got, want)
+	}
+}
+
+// TestInferAllocsSteadyState: after warm-up, repeated requests must recycle
+// their arena (activation buffers, event lists, membrane state) instead of
+// reallocating. The pre-refactor engine allocated every inter-stage buffer
+// and event list per timestep — hundreds of allocations per request on the
+// tiny net; the pooled arena leaves only the returned score copy and a few
+// pool/interface crumbs.
+func TestInferAllocsSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated by the race detector")
+	}
+	eng, samples := buildTrainedEngine(t, 0, 57)
+	sample := samples[0]
+	for i := 0; i < 4; i++ {
+		eng.Infer(sample) // warm the pooled arena's capacities
+	}
+	avg := testing.AllocsPerRun(50, func() { eng.Infer(sample) })
+	if avg > 8 {
+		t.Fatalf("steady-state Infer allocates %.1f objects per request; arena reuse is broken (want ≤ 8)", avg)
+	}
+}
+
+// BenchmarkInferAllocs reports steady-state allocations and wall-clock per
+// single-sample request (the allocs-per-op evidence for the scratch reuse
+// satellite).
+func BenchmarkInferAllocs(b *testing.B) {
+	ds := data.SynthEasy(4, 64, 16, 59)
+	net := testutil.TinyNet(4, 3, 59)
+	if _, err := baselines.TrainDense(net, ds, train.Common{
+		Epochs: 1, BatchSize: 16, LR: 0.05, Momentum: 0.9, Seed: 9,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	eng, err := infer.Compile(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pix := ds.Config.C * ds.Config.H * ds.Config.W
+	sample := tensor.FromSlice(ds.Test.Images[:pix], ds.Config.C, ds.Config.H, ds.Config.W)
+	eng.Infer(sample)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Infer(sample)
+	}
+}

@@ -15,12 +15,20 @@
 //     directly as accumulated synaptic operations (SynOps);
 //   - LIF neurons keep per-timestep membrane state exactly as in training.
 //
-// The engine processes one sample at a time (inference semantics) and is
-// verified elementwise against the training path's eval-mode forward.
+// A compiled Engine is an immutable plan and safe for concurrent use: all
+// per-request mutable state (activation buffers, event lists, membrane
+// state, integer accumulators, the SynOps tally) lives in pooled Scratch
+// arenas — see scratch.go — so any number of goroutines may call Infer,
+// InferBatch or Classify on one engine simultaneously, each producing
+// exactly the serial single-caller result. The engine processes one sample
+// per request (inference semantics) and is verified elementwise against the
+// training path's eval-mode forward.
 package infer
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"ndsnn/internal/layers"
 	"ndsnn/internal/snn"
@@ -35,22 +43,16 @@ type Event struct {
 }
 
 // act is the activation flowing between stages: a dense buffer plus its
-// event list (the nonzero entries).
+// event list (the nonzero entries). Every act lives in a Scratch slot, so
+// its buffer and event-list capacity are recycled across requests.
 type act struct {
 	shape  []int // [C,H,W] or [D]
 	data   []float32
 	events []Event
 }
 
-func newAct(shape []int) *act {
-	n := 1
-	for _, d := range shape {
-		n *= d
-	}
-	return &act{shape: shape, data: make([]float32, n)}
-}
-
-// refreshEvents rebuilds the event list from the dense buffer.
+// refreshEvents rebuilds the event list from the dense buffer, reusing the
+// list's capacity.
 func (a *act) refreshEvents() {
 	a.events = a.events[:0]
 	for i, v := range a.data {
@@ -61,22 +63,29 @@ func (a *act) refreshEvents() {
 }
 
 // stage is one compiled pipeline element, advanced one timestep at a time.
+// A stage is immutable after compile: all mutable state lives in the
+// Scratch slots the compiler assigned to it.
 type stage interface {
-	step(in *act) *act
-	reset()
+	step(sc *Scratch, in *act) *act
 }
 
-// Engine is a compiled event-driven inference pipeline.
+// Engine is a compiled event-driven inference pipeline — the immutable,
+// shareable plan. Concurrent callers are served from pooled Scratch arenas;
+// the only engine-level mutable state is the atomic SynOps roll-up.
 type Engine struct {
 	stages  []stage
 	T       int
 	classes int
-	synOps  int64
+	synOps  atomic.Int64
 	quant   *QuantStats
 	// qweights records, per integer stage, the trained parameter and the
 	// QCSR it was quantized to — the mapping QuantizeNetWeights uses to
 	// materialize the dequantized float reference.
 	qweights []quantizedWeight
+
+	// Scratch-arena slot layout, fixed at compile time.
+	nAct, nLIF, nInt, nOps int
+	pool                   sync.Pool
 }
 
 // QuantStats summarizes the integer engine's storage: how many compute
@@ -106,11 +115,13 @@ type QuantStats struct {
 func (e *Engine) QuantStats() *QuantStats { return e.quant }
 
 // SynOps returns the synaptic operations accumulated since the last
-// ResetStats: one op per (event × active synapse) accumulate.
-func (e *Engine) SynOps() int64 { return e.synOps }
+// ResetStats: one op per (event × active synapse) accumulate. Requests
+// accumulate into their Scratch arena and roll up here atomically when they
+// finish, so concurrent callers never race on the counter.
+func (e *Engine) SynOps() int64 { return e.synOps.Load() }
 
 // ResetStats zeroes the SynOps counter.
-func (e *Engine) ResetStats() { e.synOps = 0 }
+func (e *Engine) ResetStats() { e.synOps.Store(0) }
 
 // DenseMACsPerTimestep returns the MAC count a dense, non-event
 // implementation would spend per timestep on one sample — the denominator
@@ -135,7 +146,7 @@ func Compile(net *snn.Network) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.stages = stages
+	e.finish(stages, c)
 	return e, nil
 }
 
@@ -158,25 +169,51 @@ func CompileQuantized(net *snn.Network, bits int) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.stages = stages
+	e.finish(stages, c)
 	return e, nil
 }
 
-// compiler walks the layer list turning layers into stages. It tracks
-// whether the activation flowing into the next stage is a binary spike
-// train — the precondition for integer event accumulation: LIF outputs are
-// {0,1}, max pooling and reshapes preserve binaryness, while the network
-// input (direct encoding), average pooling and standalone BN affines are
-// analog. With bits set, conv/linear stages compile to integer exactly when
-// their input is binary.
+// finish freezes the compiled plan: stages, the arena slot layout, and the
+// scratch pool serving Infer/InferBatch.
+func (e *Engine) finish(stages []stage, c *compiler) {
+	e.stages = stages
+	e.nAct, e.nLIF, e.nInt, e.nOps = c.nAct, c.nLIF, c.nInt, c.nOps
+	e.pool.New = func() any { return e.NewScratch() }
+}
+
+// acquire draws a pooled arena; release returns it for reuse.
+func (e *Engine) acquire() *Scratch   { return e.pool.Get().(*Scratch) }
+func (e *Engine) release(sc *Scratch) { e.pool.Put(sc) }
+
+// compiler walks the layer list turning layers into stages, and assigns
+// every stage its Scratch slots (activation buffer, membrane state, integer
+// accumulators, band tallies) — the arena layout shared by all requests. It
+// also tracks whether the activation flowing into the next stage is a
+// binary spike train — the precondition for integer event accumulation: LIF
+// outputs are {0,1}, max pooling and reshapes preserve binaryness, while
+// the network input (direct encoding), average pooling and standalone BN
+// affines are analog. With bits set, conv/linear stages compile to integer
+// exactly when their input is binary.
 type compiler struct {
 	eng    *Engine
 	bits   int  // 0 compiles the float32 engine
 	binary bool // is the current activation a {0,1} spike train?
+
+	// Arena slot counters — the layout under assignment.
+	nAct, nLIF, nInt, nOps int
+}
+
+func (c *compiler) actSlot() int { s := c.nAct; c.nAct++; return s }
+func (c *compiler) lifSlot() int { s := c.nLIF; c.nLIF++; return s }
+func (c *compiler) intSlot() int { s := c.nInt; c.nInt++; return s }
+func (c *compiler) opsSlot() int { s := c.nOps; c.nOps++; return s }
+
+// newLIFStage builds a LIF stage with its activation and membrane slots.
+func (c *compiler) newLIFStage(cfg snn.NeuronConfig) *lifStage {
+	return &lifStage{cfg: cfg, slot: c.actSlot(), stateSlot: c.lifSlot()}
 }
 
 func (c *compiler) compile(ls []layers.Layer) ([]stage, error) {
-	ops := &c.eng.synOps
 	var out []stage
 	for i := 0; i < len(ls); i++ {
 		switch l := ls[i].(type) {
@@ -189,13 +226,13 @@ func (c *compiler) compile(ls []layers.Layer) ([]stage, error) {
 				}
 			}
 			if c.quantizing() {
-				s, err := newQConvStage(l, bn, c.bits, ops, c.eng)
+				s, err := newQConvStage(l, bn, c)
 				if err != nil {
 					return nil, err
 				}
 				out = append(out, s)
 			} else {
-				out = append(out, newConvStage(l, bn, ops))
+				out = append(out, newConvStage(l, bn, c))
 			}
 			c.countComputeStage()
 			c.binary = false
@@ -208,30 +245,30 @@ func (c *compiler) compile(ls []layers.Layer) ([]stage, error) {
 				}
 			}
 			if c.quantizing() {
-				s, err := newQLinearStage(l, bn, c.bits, ops, c.eng)
+				s, err := newQLinearStage(l, bn, c)
 				if err != nil {
 					return nil, err
 				}
 				out = append(out, s)
 			} else {
-				out = append(out, newLinearStage(l, bn, ops))
+				out = append(out, newLinearStage(l, bn, c))
 			}
 			c.countComputeStage()
 			c.binary = false
 		case *layers.BatchNorm:
-			out = append(out, newAffineStage(l))
+			out = append(out, newAffineStage(l, c))
 			c.binary = false
 		case *snn.LIF:
-			out = append(out, &lifStage{cfg: l.Config})
+			out = append(out, c.newLIFStage(l.Config))
 			c.binary = true
 		case *layers.MaxPool2d:
 			// Max pooling of {0,1} spikes stays {0,1}.
-			out = append(out, &maxPoolStage{k: l.K, stride: l.Stride})
+			out = append(out, &maxPoolStage{k: l.K, stride: l.Stride, slot: c.actSlot()})
 		case *layers.AvgPool2d:
-			out = append(out, &avgPoolStage{k: l.K, stride: l.Stride})
+			out = append(out, &avgPoolStage{k: l.K, stride: l.Stride, slot: c.actSlot()})
 			c.binary = false
 		case *layers.Flatten:
-			out = append(out, &flattenStage{})
+			out = append(out, &flattenStage{slot: c.actSlot()})
 		case *layers.Dropout:
 			// Identity at inference.
 		case *snn.ResidualBlock:
@@ -272,45 +309,117 @@ func (c *compiler) compileResidual(b *snn.ResidualBlock) (stage, error) {
 		}
 	}
 	c.binary = true
-	return &residualStage{main: main, shortcut: shortcut, out: &lifStage{cfg: b.LIF2.Config}}, nil
-}
-
-// Reset clears all temporal state (between samples).
-func (e *Engine) Reset() {
-	for _, s := range e.stages {
-		s.reset()
-	}
+	return &residualStage{
+		main: main, shortcut: shortcut,
+		out: c.newLIFStage(b.LIF2.Config), sumSlot: c.actSlot(),
+	}, nil
 }
 
 // Infer runs one sample (shape [C,H,W], direct encoding) through T
-// timesteps and returns the time-averaged output of the final stage.
+// timesteps and returns the time-averaged output of the final stage. Safe
+// for concurrent use; the request is served from a pooled arena.
 func (e *Engine) Infer(sample *tensor.Tensor) []float32 {
-	e.Reset()
-	in := &act{shape: sample.Shape(), data: sample.Data}
-	var avg []float32
+	sc := e.acquire()
+	out := e.InferScratch(sc, sample)
+	res := append([]float32(nil), out...)
+	e.release(sc)
+	return res
+}
+
+// InferScratch runs one sample using the caller's arena. The returned slice
+// is owned by the arena and valid only until its next request — callers
+// that keep scores across requests must copy them (Infer does). Use this
+// when managing arenas explicitly; otherwise call Infer.
+func (e *Engine) InferScratch(sc *Scratch, sample *tensor.Tensor) []float32 {
+	sc.begin()
+	in := &sc.input
+	in.shape = append(in.shape[:0], sample.Shape()...)
+	in.data = sample.Data
 	for t := 0; t < e.T; t++ {
 		in.refreshEvents()
 		cur := in
 		for _, s := range e.stages {
-			cur = s.step(cur)
+			cur = s.step(sc, cur)
 		}
-		if avg == nil {
-			avg = make([]float32, len(cur.data))
+		if len(sc.avg) == 0 {
+			sc.avg = growFloat32(sc.avg, len(cur.data))
 		}
 		for i, v := range cur.data {
-			avg[i] += v
+			sc.avg[i] += v
 		}
 	}
 	inv := 1 / float32(e.T)
-	for i := range avg {
-		avg[i] *= inv
+	for i := range sc.avg {
+		sc.avg[i] *= inv
 	}
-	return avg
+	e.synOps.Add(sc.synOps)
+	sc.synOps = 0
+	return sc.avg
 }
 
-// Classify returns the argmax class for one sample.
+// InferBatch runs a batch of single-sample requests through the pipeline
+// stage-major: at every timestep each stage processes all samples before
+// the pipeline advances, so a stage's compiled weight tables are traversed
+// while cache-hot for the whole batch (the serving layer's coalescing win —
+// the FuseTimesteps argument applied across requests instead of across
+// timesteps). Every sample's arithmetic and operation order are exactly
+// Infer's, so outputs are bit-identical to serial single-sample calls. Safe
+// for concurrent use.
+func (e *Engine) InferBatch(samples []*tensor.Tensor) [][]float32 {
+	n := len(samples)
+	if n == 0 {
+		return nil
+	}
+	if n == 1 {
+		return [][]float32{e.Infer(samples[0])}
+	}
+	scs := make([]*Scratch, n)
+	cur := make([]*act, n)
+	for i, s := range samples {
+		sc := e.acquire()
+		sc.begin()
+		sc.input.shape = append(sc.input.shape[:0], s.Shape()...)
+		sc.input.data = s.Data
+		scs[i] = sc
+	}
+	for t := 0; t < e.T; t++ {
+		for i := range scs {
+			scs[i].input.refreshEvents()
+			cur[i] = &scs[i].input
+		}
+		for _, st := range e.stages {
+			for i := range scs {
+				cur[i] = st.step(scs[i], cur[i])
+			}
+		}
+		for i, sc := range scs {
+			if len(sc.avg) == 0 {
+				sc.avg = growFloat32(sc.avg, len(cur[i].data))
+			}
+			for j, v := range cur[i].data {
+				sc.avg[j] += v
+			}
+		}
+	}
+	out := make([][]float32, n)
+	inv := 1 / float32(e.T)
+	for i, sc := range scs {
+		res := make([]float32, len(sc.avg))
+		for j, v := range sc.avg {
+			res[j] = v * inv
+		}
+		out[i] = res
+		e.synOps.Add(sc.synOps)
+		sc.synOps = 0
+		e.release(sc)
+	}
+	return out
+}
+
+// Classify returns the argmax class for one sample. Safe for concurrent use.
 func (e *Engine) Classify(sample *tensor.Tensor) int {
-	scores := e.Infer(sample)
+	sc := e.acquire()
+	scores := e.InferScratch(sc, sample)
 	best, bestIdx := scores[0], 0
 	for i, v := range scores[1:] {
 		if v > best {
@@ -318,5 +427,6 @@ func (e *Engine) Classify(sample *tensor.Tensor) int {
 			bestIdx = i + 1
 		}
 	}
+	e.release(sc)
 	return bestIdx
 }

@@ -2,6 +2,7 @@ package infer
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"ndsnn/internal/layers"
 	"ndsnn/internal/quant"
@@ -23,6 +24,8 @@ import (
 // as the float stages — so the integer engine is bit-identical to the float
 // engine running on the dequantized weights: s is a power of two, making
 // every dequantized level s·q and every partial sum s·Σq exact in float32.
+// Like their float twins the integer stages are immutable plans: the int32
+// accumulator and the event-index staging list live in arena slots.
 
 // quantizedWeight records which trained parameter an integer stage
 // quantized, and to what.
@@ -76,13 +79,12 @@ type qconvStage struct {
 	deq                       []float32        // per-output-channel dequantization scale
 	bias                      []float32        // conv bias (may be nil)
 	scale, shift              []float32        // folded BN (may be nil)
-	ops                       *int64
-	inHW                      int
-	acc                       []int32 // reused int32 accumulator
+	slot, accSlot, opsSlot    int
+	inHW                      atomic.Int64
 }
 
-func newQConvStage(l *layers.Conv2d, bn *layers.BatchNorm, bits int, ops *int64, e *Engine) (*qconvStage, error) {
-	qc, err := quantizeWeight(l.Weight, bits, e)
+func newQConvStage(l *layers.Conv2d, bn *layers.BatchNorm, c *compiler) (*qconvStage, error) {
+	qc, err := quantizeWeight(l.Weight, c.bits, c.eng)
 	if err != nil {
 		return nil, err
 	}
@@ -90,7 +92,7 @@ func newQConvStage(l *layers.Conv2d, bn *layers.BatchNorm, bits int, ops *int64,
 		inC: l.InC, outC: l.OutC, k: l.K, stride: l.Stride, pad: l.Pad,
 		perChannel: make([][]qconvEntry, l.InC),
 		deq:        make([]float32, l.OutC),
-		ops:        ops,
+		slot:       c.actSlot(), accSlot: c.intSlot(), opsSlot: c.opsSlot(),
 	}
 	kk := l.K * l.K
 	for f := 0; f < l.OutC; f++ {
@@ -119,17 +121,17 @@ func newQConvStage(l *layers.Conv2d, bn *layers.BatchNorm, bits int, ops *int64,
 }
 
 func (s *qconvStage) denseMACs() int64 {
-	return convDenseMACs(s.inHW, s.outC, s.inC, s.k, s.stride, s.pad)
+	return convDenseMACs(int(s.inHW.Load()), s.outC, s.inC, s.k, s.stride, s.pad)
 }
 
-func (s *qconvStage) step(in *act) *act {
+func (s *qconvStage) step(sc *Scratch, in *act) *act {
 	h, w := in.shape[1], in.shape[2]
-	s.inHW = h * w
+	s.inHW.Store(int64(h * w))
 	oh := tensor.ConvOutSize(h, s.k, s.stride, s.pad)
 	ow := tensor.ConvOutSize(w, s.k, s.stride, s.pad)
-	out := newAct([]int{s.outC, oh, ow})
+	out := sc.actBuf3(s.slot, s.outC, oh, ow)
 	p := oh * ow
-	s.acc = growInt32(s.acc, s.outC*p)
+	acc := sc.int32Buf(s.accSlot, s.outC*p)
 	for _, ev := range in.events {
 		if ev.Val != 1 {
 			panic(fmt.Sprintf("infer: quantized conv stage received non-binary event %v (compile-time binary propagation violated)", ev.Val))
@@ -137,30 +139,30 @@ func (s *qconvStage) step(in *act) *act {
 	}
 	var ops int64
 	if s.bands != nil {
-		bandOps := make([]int64, len(s.bands))
+		bandOps := sc.opsBuf(s.opsSlot, len(s.bands))
 		tensor.ParallelStrips(len(s.bands), func(b int) {
-			bandOps[b] = qconvScatterEvents(s.acc, in.events, s.bands[b],
+			bandOps[b] = qconvScatterEvents(acc, in.events, s.bands[b],
 				h, w, oh, ow, p, s.stride, s.pad)
 		})
 		for _, n := range bandOps {
 			ops += n
 		}
 	} else {
-		ops = qconvScatterEvents(s.acc, in.events, s.perChannel, h, w, oh, ow, p, s.stride, s.pad)
+		ops = qconvScatterEvents(acc, in.events, s.perChannel, h, w, oh, ow, p, s.stride, s.pad)
 	}
-	*s.ops += ops
+	sc.synOps += ops
 	for f := 0; f < s.outC; f++ {
 		d := s.deq[f]
 		var b float32
 		if s.bias != nil {
 			b = s.bias[f]
 		}
-		arow := s.acc[f*p : (f+1)*p]
+		arow := acc[f*p : (f+1)*p]
 		row := out.data[f*p : (f+1)*p]
 		if s.scale != nil {
-			sc, sh := s.scale[f], s.shift[f]
+			scl, sh := s.scale[f], s.shift[f]
 			for i := range row {
-				row[i] = sc*(d*float32(arow[i])+b) + sh
+				row[i] = scl*(d*float32(arow[i])+b) + sh
 			}
 		} else if b != 0 {
 			for i := range row {
@@ -175,8 +177,6 @@ func (s *qconvStage) step(in *act) *act {
 	out.refreshEvents()
 	return out
 }
-
-func (s *qconvStage) reset() {}
 
 // qconvScatterEvents accumulates every (spike × quantized synapse)
 // contribution of one timestep into the int32 accumulator — convScatterEvents
@@ -213,16 +213,14 @@ func qconvScatterEvents(acc []int32, events []Event, perChannel [][]qconvEntry,
 // kernels (packed nibbles computed from directly at 4 bits), accumulating
 // into int32; 9–16-bit levels take an equivalent int16 entry walk.
 type qlinearStage struct {
-	in, out      int
-	w8           *sparse.CSCInt8 // bits ≤ 8, except packed 4-bit
-	w4           *sparse.CSCInt4 // bits == 4
-	perInput     [][]qlinEntry   // bits ≥ 9
-	deq          []float32
-	bias         []float32
-	scale, shift []float32
-	ops          *int64
-	acc          []int32
-	idxs         []int32
+	in, out                int
+	w8                     *sparse.CSCInt8 // bits ≤ 8, except packed 4-bit
+	w4                     *sparse.CSCInt4 // bits == 4
+	perInput               [][]qlinEntry   // bits ≥ 9
+	deq                    []float32
+	bias                   []float32
+	scale, shift           []float32
+	slot, accSlot, idxSlot int
 }
 
 // qlinEntry is one stored synapse of the 9–16-bit fallback walk.
@@ -231,19 +229,22 @@ type qlinEntry struct {
 	q   int32
 }
 
-func newQLinearStage(l *layers.Linear, bn *layers.BatchNorm, bits int, ops *int64, e *Engine) (*qlinearStage, error) {
-	qc, err := quantizeWeight(l.Weight, bits, e)
+func newQLinearStage(l *layers.Linear, bn *layers.BatchNorm, c *compiler) (*qlinearStage, error) {
+	qc, err := quantizeWeight(l.Weight, c.bits, c.eng)
 	if err != nil {
 		return nil, err
 	}
-	s := &qlinearStage{in: l.In, out: l.Out, deq: make([]float32, l.Out), ops: ops}
+	s := &qlinearStage{
+		in: l.In, out: l.Out, deq: make([]float32, l.Out),
+		slot: c.actSlot(), accSlot: c.intSlot(), idxSlot: c.intSlot(),
+	}
 	for o := 0; o < l.Out; o++ {
 		s.deq[o] = qc.RowScale(o)
 	}
 	switch {
-	case bits == 4:
+	case c.bits == 4:
 		s.w4 = qc.CSCInt4()
-	case bits <= 8:
+	case c.bits <= 8:
 		s.w8 = qc.CSCInt8()
 	default:
 		s.perInput = make([][]qlinEntry, l.In)
@@ -266,33 +267,34 @@ func newQLinearStage(l *layers.Linear, bn *layers.BatchNorm, bits int, ops *int6
 
 func (s *qlinearStage) denseMACs() int64 { return int64(s.in) * int64(s.out) }
 
-func (s *qlinearStage) step(in *act) *act {
-	out := newAct([]int{s.out})
-	s.acc = growInt32(s.acc, s.out)
-	s.idxs = s.idxs[:0]
+func (s *qlinearStage) step(sc *Scratch, in *act) *act {
+	out := sc.actBuf1(s.slot, s.out)
+	acc := sc.int32Buf(s.accSlot, s.out)
+	idxs := sc.ints[s.idxSlot][:0]
 	for _, ev := range in.events {
 		if ev.Val != 1 {
 			panic(fmt.Sprintf("infer: quantized linear stage received non-binary event %v (compile-time binary propagation violated)", ev.Val))
 		}
-		s.idxs = append(s.idxs, ev.Idx)
+		idxs = append(idxs, ev.Idx)
 	}
+	sc.ints[s.idxSlot] = idxs
 	switch {
 	case s.w4 != nil:
-		*s.ops += sparse.CSCAccumulateColumnsInt4(s.acc, s.w4, s.idxs)
+		sc.synOps += sparse.CSCAccumulateColumnsInt4(acc, s.w4, idxs)
 	case s.w8 != nil:
-		*s.ops += sparse.CSCAccumulateColumnsInt8(s.acc, s.w8, s.idxs)
+		sc.synOps += sparse.CSCAccumulateColumnsInt8(acc, s.w8, idxs)
 	default:
 		var ops int64
-		for _, q := range s.idxs {
+		for _, q := range idxs {
 			for _, en := range s.perInput[q] {
-				s.acc[en.out] += en.q
+				acc[en.out] += en.q
 				ops++
 			}
 		}
-		*s.ops += ops
+		sc.synOps += ops
 	}
 	for o := range out.data {
-		v := s.deq[o] * float32(s.acc[o])
+		v := s.deq[o] * float32(acc[o])
 		var b float32
 		if s.bias != nil {
 			b = s.bias[o]
@@ -305,21 +307,6 @@ func (s *qlinearStage) step(in *act) *act {
 	}
 	out.refreshEvents()
 	return out
-}
-
-func (s *qlinearStage) reset() {}
-
-// growInt32 returns a zeroed int32 buffer of length n, reusing buf's
-// storage when it is large enough.
-func growInt32(buf []int32, n int) []int32 {
-	if cap(buf) < n {
-		return make([]int32, n)
-	}
-	buf = buf[:n]
-	for i := range buf {
-		buf[i] = 0
-	}
-	return buf
 }
 
 // QuantizeNetWeights fake-quantizes, in place, exactly the weights that

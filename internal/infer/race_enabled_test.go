@@ -1,0 +1,7 @@
+//go:build race
+
+package infer_test
+
+// raceEnabled gates allocation-count assertions: the race detector's shadow
+// bookkeeping allocates, so allocs-per-op numbers are meaningless under it.
+const raceEnabled = true

@@ -2,12 +2,21 @@ package infer
 
 import (
 	"math"
+	"sync/atomic"
 
 	"ndsnn/internal/layers"
 	"ndsnn/internal/snn"
 	"ndsnn/internal/sparse"
 	"ndsnn/internal/tensor"
 )
+
+// Stages are immutable compiled plans: constructors freeze the weight
+// tables, folded affines and band layouts, and step routes every mutable
+// buffer through the request's Scratch arena (each stage owns fixed slot
+// indices assigned at compile time). The only post-compile writes a stage
+// performs on itself are atomics (the conv stages' last-seen spatial size,
+// recorded for the dense-MAC bound), so one stage instance serves any
+// number of concurrent requests.
 
 // bnFold extracts the eval-mode affine (scale, shift) of a BatchNorm:
 // y = scale·x + shift with scale = γ/√(σ²+ε), shift = β − scale·μ.
@@ -41,25 +50,25 @@ type convStage struct {
 	bands                     [][][]convEntry // [band][channel]entries; nil when serial
 	bias                      []float32       // conv bias (may be nil)
 	scale, shift              []float32       // folded BN (may be nil)
-	ops                       *int64
 	activeSynapses            int64
-	inHW                      int // last seen spatial size (for dense MACs)
+	slot, opsSlot             int
+	inHW                      atomic.Int64 // last seen spatial size (for dense MACs)
 }
 
-func newConvStage(l *layers.Conv2d, bn *layers.BatchNorm, ops *int64) *convStage {
+func newConvStage(l *layers.Conv2d, bn *layers.BatchNorm, c *compiler) *convStage {
 	s := &convStage{
 		inC: l.InC, outC: l.OutC, k: l.K, stride: l.Stride, pad: l.Pad,
 		perChannel: make([][]convEntry, l.InC),
-		ops:        ops,
+		slot:       c.actSlot(), opsSlot: c.opsSlot(),
 	}
 	w := l.Weight.W
 	for f := 0; f < l.OutC; f++ {
-		for c := 0; c < l.InC; c++ {
+		for ci := 0; ci < l.InC; ci++ {
 			for ki := 0; ki < l.K; ki++ {
 				for kj := 0; kj < l.K; kj++ {
-					v := w.At(f, c, ki, kj)
+					v := w.At(f, ci, ki, kj)
 					if v != 0 {
-						s.perChannel[c] = append(s.perChannel[c], convEntry{int32(f), int32(ki), int32(kj), v})
+						s.perChannel[ci] = append(s.perChannel[ci], convEntry{int32(f), int32(ki), int32(kj), v})
 						s.activeSynapses++
 					}
 				}
@@ -135,7 +144,7 @@ func bandEntriesByChannel[E any](perChannel [][]E, outC, workers int, fOf func(E
 }
 
 func (s *convStage) denseMACs() int64 {
-	return convDenseMACs(s.inHW, s.outC, s.inC, s.k, s.stride, s.pad)
+	return convDenseMACs(int(s.inHW.Load()), s.outC, s.inC, s.k, s.stride, s.pad)
 }
 
 // convDenseMACs is the dense-implementation MAC bound of a convolution —
@@ -150,20 +159,19 @@ func convDenseMACs(inHW, outC, inC, k, stride, pad int) int64 {
 	return int64(outC*inC*k*k) * int64(oh*oh)
 }
 
-func (s *convStage) step(in *act) *act {
-	c, h, w := in.shape[0], in.shape[1], in.shape[2]
-	_ = c
-	s.inHW = h * w
+func (s *convStage) step(sc *Scratch, in *act) *act {
+	h, w := in.shape[1], in.shape[2]
+	s.inHW.Store(int64(h * w))
 	oh := tensor.ConvOutSize(h, s.k, s.stride, s.pad)
 	ow := tensor.ConvOutSize(w, s.k, s.stride, s.pad)
-	out := newAct([]int{s.outC, oh, ow})
+	out := sc.actBuf3(s.slot, s.outC, oh, ow)
 	p := oh * ow
 	var ops int64
 	if s.bands != nil {
 		// Parallel scatter: every band streams the same events in the same
 		// order into its private output-channel rows — bit-identical to the
 		// serial walk below, at any GOMAXPROCS.
-		bandOps := make([]int64, len(s.bands))
+		bandOps := sc.opsBuf(s.opsSlot, len(s.bands))
 		tensor.ParallelStrips(len(s.bands), func(b int) {
 			bandOps[b] = convScatterEvents(out.data, in.events, s.bands[b],
 				h, w, oh, ow, p, s.stride, s.pad)
@@ -174,7 +182,7 @@ func (s *convStage) step(in *act) *act {
 	} else {
 		ops = convScatterEvents(out.data, in.events, s.perChannel, h, w, oh, ow, p, s.stride, s.pad)
 	}
-	*s.ops += ops
+	sc.synOps += ops
 	for f := 0; f < s.outC; f++ {
 		var b float32
 		if s.bias != nil {
@@ -182,9 +190,9 @@ func (s *convStage) step(in *act) *act {
 		}
 		row := out.data[f*p : (f+1)*p]
 		if s.scale != nil {
-			sc, sh := s.scale[f], s.shift[f]
+			scl, sh := s.scale[f], s.shift[f]
 			for i := range row {
-				row[i] = sc*(row[i]+b) + sh
+				row[i] = scl*(row[i]+b) + sh
 			}
 		} else if b != 0 {
 			for i := range row {
@@ -195,8 +203,6 @@ func (s *convStage) step(in *act) *act {
 	out.refreshEvents()
 	return out
 }
-
-func (s *convStage) reset() {}
 
 // convScatterEvents accumulates every (event × synapse) contribution of one
 // timestep into the output buffer — the shared inner walk of the serial and
@@ -241,12 +247,12 @@ type linearStage struct {
 	perInput       [][]linearEntry
 	bias           []float32
 	scale, shift   []float32
-	ops            *int64
 	activeSynapses int64
+	slot           int
 }
 
-func newLinearStage(l *layers.Linear, bn *layers.BatchNorm, ops *int64) *linearStage {
-	s := &linearStage{in: l.In, out: l.Out, perInput: make([][]linearEntry, l.In), ops: ops}
+func newLinearStage(l *layers.Linear, bn *layers.BatchNorm, c *compiler) *linearStage {
+	s := &linearStage{in: l.In, out: l.Out, perInput: make([][]linearEntry, l.In), slot: c.actSlot()}
 	for o := 0; o < l.Out; o++ {
 		for i := 0; i < l.In; i++ {
 			v := l.Weight.W.Data[o*l.In+i]
@@ -267,8 +273,8 @@ func newLinearStage(l *layers.Linear, bn *layers.BatchNorm, ops *int64) *linearS
 
 func (s *linearStage) denseMACs() int64 { return int64(s.in) * int64(s.out) }
 
-func (s *linearStage) step(in *act) *act {
-	out := newAct([]int{s.out})
+func (s *linearStage) step(sc *Scratch, in *act) *act {
+	out := sc.actBuf1(s.slot, s.out)
 	var ops int64
 	for _, ev := range in.events {
 		for _, en := range s.perInput[ev.Idx] {
@@ -276,7 +282,7 @@ func (s *linearStage) step(in *act) *act {
 			ops++
 		}
 	}
-	*s.ops += ops
+	sc.synOps += ops
 	for o := range out.data {
 		var b float32
 		if s.bias != nil {
@@ -292,21 +298,20 @@ func (s *linearStage) step(in *act) *act {
 	return out
 }
 
-func (s *linearStage) reset() {}
-
 // affineStage applies a standalone BN's eval affine.
 type affineStage struct {
 	scale, shift []float32
+	slot         int
 }
 
-func newAffineStage(bn *layers.BatchNorm) *affineStage {
-	s := &affineStage{}
+func newAffineStage(bn *layers.BatchNorm, c *compiler) *affineStage {
+	s := &affineStage{slot: c.actSlot()}
 	s.scale, s.shift = bnFold(bn)
 	return s
 }
 
-func (s *affineStage) step(in *act) *act {
-	out := newAct(in.shape)
+func (s *affineStage) step(sc *Scratch, in *act) *act {
+	out := sc.actBufShape(s.slot, in.shape)
 	chans := len(s.scale)
 	per := len(in.data) / chans
 	for c := 0; c < chans; c++ {
@@ -318,108 +323,157 @@ func (s *affineStage) step(in *act) *act {
 	return out
 }
 
-func (s *affineStage) reset() {}
-
-// lifStage replicates the training LIF dynamics (soft or hard reset).
+// lifStage replicates the training LIF dynamics (soft or hard reset). The
+// membrane state lives in the request's arena (stateSlot), so concurrent
+// requests carry independent temporal state.
 type lifStage struct {
-	cfg   snn.NeuronConfig
-	v     []float32
-	oPrev []float32
+	cfg             snn.NeuronConfig
+	slot, stateSlot int
 }
 
-func (s *lifStage) step(in *act) *act {
-	if s.v == nil || len(s.v) != len(in.data) {
-		s.v = make([]float32, len(in.data))
-		s.oPrev = make([]float32, len(in.data))
-	}
-	out := newAct(in.shape)
+func (s *lifStage) step(sc *Scratch, in *act) *act {
+	n := len(in.data)
+	mv, oPrev := sc.lifBuf(s.stateSlot, n)
+	out := sc.actBufShape(s.slot, in.shape)
 	cfg := s.cfg
 	for i, x := range in.data {
 		var v float32
 		if cfg.HardReset {
-			v = cfg.Alpha*s.v[i]*(1-s.oPrev[i]) + x
+			v = cfg.Alpha*mv[i]*(1-oPrev[i]) + x
 		} else {
-			v = cfg.Alpha*s.v[i] + x - cfg.Threshold*s.oPrev[i]
+			v = cfg.Alpha*mv[i] + x - cfg.Threshold*oPrev[i]
 		}
-		s.v[i] = v
+		mv[i] = v
 		if v >= cfg.Threshold {
 			out.data[i] = 1
 		}
 	}
-	copy(s.oPrev, out.data)
+	copy(oPrev, out.data)
 	out.refreshEvents()
 	return out
 }
 
-func (s *lifStage) reset() { s.v, s.oPrev = nil, nil }
+// maxPoolStage pools densely (cheap relative to synaptic work), writing
+// into its arena slot.
+type maxPoolStage struct {
+	k, stride int
+	slot      int
+}
 
-// maxPoolStage pools densely (cheap relative to synaptic work).
-type maxPoolStage struct{ k, stride int }
-
-func (s *maxPoolStage) step(in *act) *act {
-	x := tensor.FromSlice(in.data, 1, in.shape[0], in.shape[1], in.shape[2])
-	pooled, _ := tensor.MaxPool(x, s.k, s.stride)
-	out := &act{shape: pooled.Shape()[1:], data: pooled.Data}
+func (s *maxPoolStage) step(sc *Scratch, in *act) *act {
+	c, h, w := in.shape[0], in.shape[1], in.shape[2]
+	oh := tensor.ConvOutSize(h, s.k, s.stride, 0)
+	ow := tensor.ConvOutSize(w, s.k, s.stride, 0)
+	out := sc.actBuf3(s.slot, c, oh, ow)
+	for p := 0; p < c; p++ {
+		inBase := p * h * w
+		outBase := p * oh * ow
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				iy0, ix0 := oy*s.stride, ox*s.stride
+				best := in.data[inBase+iy0*w+ix0]
+				for ki := 0; ki < s.k; ki++ {
+					iy := iy0 + ki
+					if iy >= h {
+						break
+					}
+					rowBase := inBase + iy*w
+					for kj := 0; kj < s.k; kj++ {
+						ix := ix0 + kj
+						if ix >= w {
+							break
+						}
+						if v := in.data[rowBase+ix]; v > best {
+							best = v
+						}
+					}
+				}
+				out.data[outBase+oy*ow+ox] = best
+			}
+		}
+	}
 	out.refreshEvents()
 	return out
 }
-
-func (s *maxPoolStage) reset() {}
 
 // avgPoolStage pools densely; outputs are graded events.
-type avgPoolStage struct{ k, stride int }
+type avgPoolStage struct {
+	k, stride int
+	slot      int
+}
 
-func (s *avgPoolStage) step(in *act) *act {
-	x := tensor.FromSlice(in.data, 1, in.shape[0], in.shape[1], in.shape[2])
-	pooled := tensor.AvgPool(x, s.k, s.stride)
-	out := &act{shape: pooled.Shape()[1:], data: pooled.Data}
+func (s *avgPoolStage) step(sc *Scratch, in *act) *act {
+	c, h, w := in.shape[0], in.shape[1], in.shape[2]
+	oh := tensor.ConvOutSize(h, s.k, s.stride, 0)
+	ow := tensor.ConvOutSize(w, s.k, s.stride, 0)
+	out := sc.actBuf3(s.slot, c, oh, ow)
+	for p := 0; p < c; p++ {
+		inBase := p * h * w
+		outBase := p * oh * ow
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				iy0, ix0 := oy*s.stride, ox*s.stride
+				var sum float32
+				count := 0
+				for ki := 0; ki < s.k; ki++ {
+					iy := iy0 + ki
+					if iy >= h {
+						break
+					}
+					rowBase := inBase + iy*w
+					for kj := 0; kj < s.k; kj++ {
+						ix := ix0 + kj
+						if ix >= w {
+							break
+						}
+						sum += in.data[rowBase+ix]
+						count++
+					}
+				}
+				out.data[outBase+oy*ow+ox] = sum / float32(count)
+			}
+		}
+	}
 	out.refreshEvents()
 	return out
 }
 
-func (s *avgPoolStage) reset() {}
-
-// flattenStage reshapes to a vector.
-type flattenStage struct{}
-
-func (s *flattenStage) step(in *act) *act {
-	out := &act{shape: []int{len(in.data)}, data: in.data, events: in.events}
-	return out
+// flattenStage reshapes to a vector. Its slot only ever aliases the
+// incoming buffer and event list — no copy, no allocation.
+type flattenStage struct {
+	slot int
 }
 
-func (s *flattenStage) reset() {}
+func (s *flattenStage) step(sc *Scratch, in *act) *act {
+	a := &sc.acts[s.slot]
+	a.shape = append(a.shape[:0], len(in.data))
+	a.data = in.data
+	a.events = in.events
+	return a
+}
 
 // residualStage runs both paths and the output neuron.
 type residualStage struct {
 	main     []stage
 	shortcut []stage
 	out      *lifStage
+	sumSlot  int
 }
 
-func (s *residualStage) step(in *act) *act {
+func (s *residualStage) step(sc *Scratch, in *act) *act {
 	cur := in
 	for _, st := range s.main {
-		cur = st.step(cur)
+		cur = st.step(sc, cur)
 	}
-	sc := in
+	short := in
 	for _, st := range s.shortcut {
-		sc = st.step(sc)
+		short = st.step(sc, short)
 	}
-	sum := newAct(cur.shape)
+	sum := sc.actBufShape(s.sumSlot, cur.shape)
 	copy(sum.data, cur.data)
-	for i, v := range sc.data {
+	for i, v := range short.data {
 		sum.data[i] += v
 	}
 	sum.refreshEvents()
-	return s.out.step(sum)
-}
-
-func (s *residualStage) reset() {
-	for _, st := range s.main {
-		st.reset()
-	}
-	for _, st := range s.shortcut {
-		st.reset()
-	}
-	s.out.reset()
+	return s.out.step(sc, sum)
 }

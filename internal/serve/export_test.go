@@ -1,0 +1,34 @@
+package serve
+
+import "ndsnn/internal/infer"
+
+// Test-only hooks: admission control and deadline-drop behaviour are queue
+// states that a running dispatcher races to drain, so the tests build
+// servers with no dispatchers and step them by hand.
+
+// NewUnstarted builds a Server with zero dispatcher goroutines. Submissions
+// enqueue (or fast-fail) normally but nothing drains the queue until
+// DispatchOnce is called; Close still drains stranded requests with
+// ErrClosed.
+func NewUnstarted(eng *infer.Engine, cfg Config) *Server {
+	s := &Server{
+		eng:  eng,
+		cfg:  cfg.withDefaults(),
+		stop: make(chan struct{}),
+	}
+	s.queue = make(chan *request, s.cfg.MaxQueue)
+	return s
+}
+
+// QueueLen reports how many requests are currently queued.
+func (s *Server) QueueLen() int { return len(s.queue) }
+
+// DispatchOnce runs a single dispatcher iteration if anything is queued:
+// coalesce around the oldest request, drop expired ones, run the batch.
+func (s *Server) DispatchOnce() {
+	select {
+	case req := <-s.queue:
+		s.runBatch(s.coalesce(req))
+	default:
+	}
+}

@@ -1,0 +1,321 @@
+// Package serve is the multi-tenant serving layer over the compiled
+// event-driven inference engine: one immutable engine (float or QCSR
+// integer) shared by any number of concurrent callers, fronted by a
+// coalescing queue.
+//
+// The serving primitive is request coalescing: concurrent single-sample
+// Classify/Infer calls are batched into one stage-major engine pass
+// (Engine.InferBatch), which traverses each stage's compiled weight tables
+// while cache-hot for the whole batch — the FuseTimesteps amortization
+// argument applied across requests instead of across timesteps. Because the
+// batched pass preserves every sample's exact serial arithmetic, serving
+// output is bit-identical to the serial single-caller engine.
+//
+// The lifecycle of a request:
+//
+//  1. Admission. The queue is bounded (Config.MaxQueue); a full queue
+//     fast-fails with ErrOverloaded instead of building unbounded latency —
+//     callers shed load or retry with backoff. A closed server fails with
+//     ErrClosed.
+//  2. Coalescing. A dispatcher goroutine takes the oldest request, then
+//     greedily drains the queue up to Config.MaxBatch; if the batch is
+//     underfull and Config.Linger > 0 it holds the batch open up to that
+//     long for stragglers. Linger trades batch-1 latency for throughput.
+//  3. Deadlines. Every request carries a context.Context. Expired requests
+//     are dropped at dispatch (before any compute) with the context's
+//     error; a caller whose context expires mid-flight unblocks immediately
+//     with ctx.Err() while the already-admitted sample finishes its batch
+//     (the result is discarded — the engine pass is not interruptible).
+//  4. Execution. The live batch runs one InferBatch pass; each caller gets
+//     its own score vector.
+//
+// Stats exposes served/rejected/expired counts and the realized coalescing
+// (batches vs batched samples) for capacity tuning.
+package serve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ndsnn/internal/infer"
+	"ndsnn/internal/tensor"
+)
+
+// ErrOverloaded is returned by Infer/Classify when the admission queue is
+// full — the fast-fail signal to shed or defer load.
+var ErrOverloaded = errors.New("serve: queue full (over capacity)")
+
+// ErrClosed is returned for requests submitted to (or stranded in) a closed
+// server.
+var ErrClosed = errors.New("serve: server closed")
+
+// Config tunes one Server. The zero value is usable: every field has a
+// sensible default applied by New.
+type Config struct {
+	// MaxBatch caps how many queued single-sample requests coalesce into
+	// one batched engine pass. 1 disables coalescing. Default 8.
+	MaxBatch int
+	// Linger is how long a dispatcher holds an underfull batch open waiting
+	// for more requests. 0 (default) never waits: a batch is whatever the
+	// queue holds at dispatch — under sustained load batches still fill,
+	// because requests queue up while the previous pass computes.
+	Linger time.Duration
+	// MaxQueue bounds the admission queue; submissions beyond it fast-fail
+	// with ErrOverloaded. Default 4×MaxBatch (at least MaxBatch).
+	MaxQueue int
+	// Workers is the number of dispatcher goroutines running batched engine
+	// passes concurrently. Default GOMAXPROCS.
+	Workers int
+}
+
+// withDefaults normalizes a Config.
+func (c Config) withDefaults() Config {
+	if c.MaxBatch < 1 {
+		c.MaxBatch = 8
+	}
+	if c.MaxQueue < 1 {
+		c.MaxQueue = 4 * c.MaxBatch
+	}
+	if c.MaxQueue < c.MaxBatch {
+		c.MaxQueue = c.MaxBatch
+	}
+	if c.Workers < 1 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Stats is a snapshot of a server's counters.
+type Stats struct {
+	// Served counts requests answered with scores.
+	Served int64
+	// Rejected counts admissions fast-failed with ErrOverloaded.
+	Rejected int64
+	// Expired counts requests dropped at dispatch because their context was
+	// already done (deadline exceeded or canceled before compute).
+	Expired int64
+	// Batches counts engine passes; BatchedSamples counts the samples they
+	// carried. BatchedSamples/Batches is the realized coalescing factor.
+	Batches        int64
+	BatchedSamples int64
+}
+
+// MeanBatch returns the realized mean coalesced batch size (0 before any
+// pass).
+func (s Stats) MeanBatch() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.BatchedSamples) / float64(s.Batches)
+}
+
+// request is one queued inference.
+type request struct {
+	ctx    context.Context
+	sample *tensor.Tensor
+	done   chan response // buffered(1): dispatcher never blocks on delivery
+}
+
+type response struct {
+	scores []float32
+	err    error
+}
+
+// Server fronts one compiled engine with admission control and request
+// coalescing. All methods are safe for concurrent use.
+type Server struct {
+	eng   *infer.Engine
+	cfg   Config
+	queue chan *request
+	stop  chan struct{}
+	wg    sync.WaitGroup
+
+	mu     sync.RWMutex
+	closed bool
+
+	served, rejected, expired, batches, batched atomic.Int64
+}
+
+// New starts a server over a compiled engine. The engine must not be
+// recompiled or mutated while serving (engines are immutable plans, so this
+// only rules out swapping the pointer's target). Callers own the engine and
+// may share it with other servers or direct Infer callers — all outputs
+// remain bit-identical.
+func New(eng *infer.Engine, cfg Config) *Server {
+	s := &Server{
+		eng:  eng,
+		cfg:  cfg.withDefaults(),
+		stop: make(chan struct{}),
+	}
+	s.queue = make(chan *request, s.cfg.MaxQueue)
+	s.wg.Add(s.cfg.Workers)
+	for i := 0; i < s.cfg.Workers; i++ {
+		go s.dispatch()
+	}
+	return s
+}
+
+// Config returns the normalized configuration the server runs with.
+func (s *Server) Config() Config { return s.cfg }
+
+// Infer submits one sample (shape [C,H,W], direct encoding) and blocks
+// until its scores are ready, its context expires, or admission fails. The
+// returned slice is owned by the caller.
+func (s *Server) Infer(ctx context.Context, sample *tensor.Tensor) ([]float32, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	req := &request{ctx: ctx, sample: sample, done: make(chan response, 1)}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	select {
+	case s.queue <- req:
+		s.mu.RUnlock()
+	default:
+		s.mu.RUnlock()
+		s.rejected.Add(1)
+		return nil, ErrOverloaded
+	}
+	select {
+	case resp := <-req.done:
+		if resp.err == nil {
+			s.served.Add(1)
+		}
+		return resp.scores, resp.err
+	case <-ctx.Done():
+		// The sample may still ride its batch; the buffered done channel
+		// absorbs the late (discarded) result.
+		return nil, ctx.Err()
+	}
+}
+
+// Classify submits one sample and returns its argmax class.
+func (s *Server) Classify(ctx context.Context, sample *tensor.Tensor) (int, error) {
+	scores, err := s.Infer(ctx, sample)
+	if err != nil {
+		return 0, err
+	}
+	best, bestIdx := scores[0], 0
+	for i, v := range scores[1:] {
+		if v > best {
+			best = v
+			bestIdx = i + 1
+		}
+	}
+	return bestIdx, nil
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Served:         s.served.Load(),
+		Rejected:       s.rejected.Load(),
+		Expired:        s.expired.Load(),
+		Batches:        s.batches.Load(),
+		BatchedSamples: s.batched.Load(),
+	}
+}
+
+// Close stops admission, waits for in-flight batches to finish, and fails
+// any still-queued requests with ErrClosed. Idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stop)
+	s.wg.Wait()
+	// Workers are gone; anything still queued was admitted before the flag
+	// flipped and gets a definitive error.
+	for {
+		select {
+		case req := <-s.queue:
+			req.done <- response{err: ErrClosed}
+		default:
+			return
+		}
+	}
+}
+
+// dispatch is one worker loop: pull the oldest request, coalesce, run.
+func (s *Server) dispatch() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case req := <-s.queue:
+			s.runBatch(s.coalesce(req))
+		}
+	}
+}
+
+// coalesce gathers up to MaxBatch requests around the first: an immediate
+// greedy drain, then (if underfull and Linger > 0) a bounded wait for
+// stragglers.
+func (s *Server) coalesce(first *request) []*request {
+	batch := make([]*request, 1, s.cfg.MaxBatch)
+	batch[0] = first
+	for len(batch) < s.cfg.MaxBatch {
+		select {
+		case r := <-s.queue:
+			batch = append(batch, r)
+			continue
+		default:
+		}
+		break
+	}
+	if len(batch) >= s.cfg.MaxBatch || s.cfg.Linger <= 0 {
+		return batch
+	}
+	timer := time.NewTimer(s.cfg.Linger)
+	defer timer.Stop()
+	for len(batch) < s.cfg.MaxBatch {
+		select {
+		case r := <-s.queue:
+			batch = append(batch, r)
+		case <-timer.C:
+			return batch
+		case <-s.stop:
+			return batch
+		}
+	}
+	return batch
+}
+
+// runBatch drops expired requests, runs the survivors as one stage-major
+// engine pass, and delivers each caller its scores.
+func (s *Server) runBatch(batch []*request) {
+	live := batch[:0]
+	for _, r := range batch {
+		if err := r.ctx.Err(); err != nil {
+			r.done <- response{err: err}
+			s.expired.Add(1)
+			continue
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return
+	}
+	samples := make([]*tensor.Tensor, len(live))
+	for i, r := range live {
+		samples[i] = r.sample
+	}
+	outs := s.eng.InferBatch(samples)
+	for i, r := range live {
+		r.done <- response{scores: outs[i]}
+	}
+	s.batches.Add(1)
+	s.batched.Add(int64(len(live)))
+}

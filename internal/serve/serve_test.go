@@ -1,0 +1,333 @@
+package serve_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"ndsnn/internal/baselines"
+	"ndsnn/internal/data"
+	"ndsnn/internal/infer"
+	"ndsnn/internal/serve"
+	"ndsnn/internal/tensor"
+	"ndsnn/internal/testutil"
+	"ndsnn/internal/train"
+)
+
+// buildEngine trains a tiny model and compiles it. bits == 0 compiles the
+// float engine; otherwise the QCSR integer engine.
+func buildEngine(t *testing.T, bits int, seed uint64) (*infer.Engine, []*tensor.Tensor) {
+	t.Helper()
+	ds := data.SynthEasy(4, 64, 16, seed)
+	net := testutil.TinyNet(4, 3, seed)
+	_, err := baselines.TrainDense(net, ds, train.Common{
+		Epochs: 2, BatchSize: 16, LR: 0.05, Momentum: 0.9, WeightDecay: 5e-4, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eng *infer.Engine
+	if bits == 0 {
+		eng, err = infer.Compile(net)
+	} else {
+		eng, err = infer.CompileQuantized(net, bits)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	pix := ds.Config.C * ds.Config.H * ds.Config.W
+	samples := make([]*tensor.Tensor, ds.Test.N())
+	for i := range samples {
+		samples[i] = tensor.FromSlice(ds.Test.Images[i*pix:(i+1)*pix], ds.Config.C, ds.Config.H, ds.Config.W)
+	}
+	return eng, samples
+}
+
+// serialScores is the single-caller reference the served outputs must match
+// bit-for-bit.
+func serialScores(eng *infer.Engine, samples []*tensor.Tensor) [][]float32 {
+	ref := make([][]float32, len(samples))
+	for i, s := range samples {
+		ref[i] = eng.Infer(s)
+	}
+	return ref
+}
+
+func assertExact(t *testing.T, got, want []float32, ctxmsg string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d scores, want %d", ctxmsg, len(got), len(want))
+	}
+	for j := range got {
+		if got[j] != want[j] {
+			t.Fatalf("%s: score %d: served %v vs serial %v (must be bit-identical)", ctxmsg, j, got[j], want[j])
+		}
+	}
+}
+
+// TestServerBitIdenticalUnderConcurrency is the serving-layer identity pin:
+// many goroutines hammering one coalescing server must each receive exactly
+// the serial single-caller scores, for the float and integer engines alike.
+// Run under -race in CI.
+func TestServerBitIdenticalUnderConcurrency(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		bits int
+	}{
+		{"float32", 0}, {"int8", 8}, {"int4", 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			eng, samples := buildEngine(t, tc.bits, 31)
+			ref := serialScores(eng, samples)
+			srv := serve.New(eng, serve.Config{MaxBatch: 4, Linger: 100 * time.Microsecond, MaxQueue: 256, Workers: 2})
+			defer srv.Close()
+
+			const goroutines = 8
+			const perG = 24
+			var wg sync.WaitGroup
+			errc := make(chan error, goroutines)
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for k := 0; k < perG; k++ {
+						idx := (g*perG + k) % len(samples)
+						scores, err := srv.Infer(context.Background(), samples[idx])
+						if err != nil {
+							errc <- err
+							return
+						}
+						for j := range scores {
+							if scores[j] != ref[idx][j] {
+								errc <- errors.New("served scores diverge from serial reference")
+								return
+							}
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			close(errc)
+			for err := range errc {
+				t.Fatal(err)
+			}
+			st := srv.Stats()
+			if st.Served != goroutines*perG {
+				t.Fatalf("served %d, want %d", st.Served, goroutines*perG)
+			}
+			if st.Batches == 0 || st.BatchedSamples != st.Served {
+				t.Fatalf("batch accounting: %+v", st)
+			}
+		})
+	}
+}
+
+// TestServerCoalesces drives the server with enough concurrency that at
+// least one multi-sample batch forms.
+func TestServerCoalesces(t *testing.T) {
+	eng, samples := buildEngine(t, 0, 33)
+	srv := serve.New(eng, serve.Config{MaxBatch: 8, Linger: 2 * time.Millisecond, MaxQueue: 128, Workers: 1})
+	defer srv.Close()
+
+	const n = 64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := srv.Infer(context.Background(), samples[i%len(samples)]); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := srv.Stats()
+	if st.Served != n {
+		t.Fatalf("served %d, want %d", st.Served, n)
+	}
+	if st.MeanBatch() <= 1.0 {
+		t.Fatalf("no coalescing happened: mean batch %.2f over %d batches", st.MeanBatch(), st.Batches)
+	}
+}
+
+// TestServerClassifyAgreesWithEngine pins the argmax path.
+func TestServerClassifyAgreesWithEngine(t *testing.T) {
+	eng, samples := buildEngine(t, 0, 35)
+	srv := serve.New(eng, serve.Config{MaxBatch: 4})
+	defer srv.Close()
+	for i, s := range samples[:8] {
+		want := eng.Classify(s)
+		got, err := srv.Classify(context.Background(), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("sample %d: served class %d, engine class %d", i, got, want)
+		}
+	}
+}
+
+// TestServerAdmissionControl fills the queue to capacity with no dispatcher
+// draining it and expects every further submission to fast-fail with
+// ErrOverloaded, not block. Uses the unstarted-server test hook so the
+// full-queue state is deterministic rather than a race against dispatch.
+func TestServerAdmissionControl(t *testing.T) {
+	eng, samples := buildEngine(t, 0, 37)
+	// Note MaxQueue is floored at MaxBatch by the config defaults, so both
+	// must be 2 for a genuinely 2-deep queue.
+	srv := serve.NewUnstarted(eng, serve.Config{MaxBatch: 2, MaxQueue: 2, Workers: 1})
+
+	// Admit exactly MaxQueue requests; they sit in the queue because no
+	// dispatcher is running.
+	var wg sync.WaitGroup
+	admitted := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := srv.Infer(context.Background(), samples[i%len(samples)])
+			admitted <- err
+		}(i)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.QueueLen() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("admitted requests never reached the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The queue is full: submissions must fail immediately, never block.
+	const burst = 8
+	for i := 0; i < burst; i++ {
+		if _, err := srv.Infer(context.Background(), samples[0]); !errors.Is(err, serve.ErrOverloaded) {
+			t.Fatalf("submission %d into a full queue: got %v, want ErrOverloaded", i, err)
+		}
+	}
+	if got := srv.Stats().Rejected; got != burst {
+		t.Fatalf("Stats().Rejected = %d, want %d", got, burst)
+	}
+
+	// One dispatch serves both admitted requests (coalesced, MaxBatch 2).
+	srv.DispatchOnce()
+	wg.Wait()
+	close(admitted)
+	for err := range admitted {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := srv.Stats()
+	if st.Served != 2 || st.Batches != 1 || st.BatchedSamples != 2 {
+		t.Fatalf("post-dispatch stats: %+v", st)
+	}
+	srv.Close()
+}
+
+// TestServerDeadline: an already-expired context fails immediately; one
+// expiring in the queue is dropped before compute.
+func TestServerDeadline(t *testing.T) {
+	eng, samples := buildEngine(t, 0, 39)
+	srv := serve.New(eng, serve.Config{MaxBatch: 1, MaxQueue: 8, Workers: 1})
+	defer srv.Close()
+
+	expired, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := srv.Infer(expired, samples[0]); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("pre-expired context: got %v, want DeadlineExceeded", err)
+	}
+
+	// A canceled-while-queued request unblocks with ctx.Err() even though
+	// the server is busy.
+	ctx, cancelQueued := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := srv.Infer(ctx, samples[0])
+		done <- err
+	}()
+	cancelQueued()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) && err != nil {
+			// nil is possible if the request completed before the cancel won
+			// the race — both are correct; only a hang or a foreign error fails.
+			t.Fatalf("canceled request: got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled request did not unblock")
+	}
+
+	// Deterministic drop-at-dispatch: cancel a request while it is queued in
+	// an unstarted server, then dispatch by hand — the batch must drop it
+	// before compute and count it as Expired.
+	unstarted := serve.NewUnstarted(eng, serve.Config{MaxQueue: 4})
+	cctx, ccancel := context.WithCancel(context.Background())
+	dropped := make(chan error, 1)
+	go func() {
+		_, err := unstarted.Infer(cctx, samples[0])
+		dropped <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for unstarted.QueueLen() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("queued request never landed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ccancel()
+	if err := <-dropped; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled-in-queue request: got %v, want Canceled", err)
+	}
+	unstarted.DispatchOnce()
+	if st := unstarted.Stats(); st.Expired != 1 || st.Batches != 0 {
+		t.Fatalf("expired-drop stats: %+v (want Expired 1, Batches 0)", st)
+	}
+	unstarted.Close()
+}
+
+// TestServerClose: submissions after Close fail with ErrClosed; Close is
+// idempotent and releases resources promptly.
+func TestServerClose(t *testing.T) {
+	eng, samples := buildEngine(t, 0, 41)
+	srv := serve.New(eng, serve.Config{MaxBatch: 2, Workers: 2})
+	if _, err := srv.Infer(context.Background(), samples[0]); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	srv.Close() // idempotent
+	if _, err := srv.Infer(context.Background(), samples[0]); !errors.Is(err, serve.ErrClosed) {
+		t.Fatalf("post-close submit: got %v, want ErrClosed", err)
+	}
+}
+
+// TestServerSynOpsRollUp: the engine-level SynOps counter aggregates served
+// requests' work exactly as the serial engine would count it.
+func TestServerSynOpsRollUp(t *testing.T) {
+	eng, samples := buildEngine(t, 0, 43)
+	// Serial reference count for 8 samples.
+	eng.ResetStats()
+	for _, s := range samples[:8] {
+		eng.Infer(s)
+	}
+	want := eng.SynOps()
+
+	eng.ResetStats()
+	srv := serve.New(eng, serve.Config{MaxBatch: 4, Linger: time.Millisecond, Workers: 2})
+	defer srv.Close()
+	var wg sync.WaitGroup
+	for _, s := range samples[:8] {
+		wg.Add(1)
+		go func(s *tensor.Tensor) {
+			defer wg.Done()
+			if _, err := srv.Infer(context.Background(), s); err != nil {
+				t.Error(err)
+			}
+		}(s)
+	}
+	wg.Wait()
+	if got := eng.SynOps(); got != want {
+		t.Fatalf("served SynOps %d != serial %d", got, want)
+	}
+}

@@ -1,0 +1,109 @@
+package ndsnn
+
+import (
+	"context"
+	"time"
+
+	"ndsnn/internal/infer"
+	"ndsnn/internal/serve"
+	"ndsnn/internal/tensor"
+)
+
+// ErrServerOverloaded is returned by Server.Infer/Classify when the
+// admission queue is full — shed load or retry with backoff.
+var ErrServerOverloaded = serve.ErrOverloaded
+
+// ErrServerClosed is returned for requests submitted to a closed Server.
+var ErrServerClosed = serve.ErrClosed
+
+// ServingConfig tunes a model server. The zero value is usable: a float32
+// engine with default batching, queue depth and worker count.
+type ServingConfig struct {
+	// Bits selects the engine precision: 0 compiles the float32 engine,
+	// 2..16 the packed QCSR integer engine (see CompileQuantizedInference).
+	Bits int
+	// MaxBatch caps how many queued single-sample requests coalesce into one
+	// batched engine pass. 1 disables coalescing. Default 8.
+	MaxBatch int
+	// Linger is how long a dispatcher holds an underfull batch open waiting
+	// for more requests. 0 (default) dispatches whatever the queue holds.
+	Linger time.Duration
+	// MaxQueue bounds the admission queue; submissions beyond it fast-fail
+	// with ErrServerOverloaded. Default 4×MaxBatch.
+	MaxQueue int
+	// Workers is the number of dispatcher goroutines. Default GOMAXPROCS.
+	Workers int
+}
+
+// ServingStats is a snapshot of a server's counters.
+type ServingStats struct {
+	Served         int64 // requests answered with scores
+	Rejected       int64 // fast-failed with ErrServerOverloaded
+	Expired        int64 // dropped at dispatch on an already-done context
+	Batches        int64 // coalesced engine passes
+	BatchedSamples int64 // samples those passes carried
+	MeanBatch      float64
+}
+
+// Server is a multi-tenant serving handle over one compiled event-driven
+// engine: any number of goroutines may call Infer/Classify concurrently;
+// requests queued together coalesce into one batched engine pass. Outputs
+// are bit-identical to the serial single-caller engine.
+type Server struct {
+	srv *serve.Server
+}
+
+// CompileServer compiles the trained model into an event-driven engine
+// (float32 or QCSR integer, per cfg.Bits) and starts a serving layer over
+// it. Close the server to release its dispatchers.
+func (m *Model) CompileServer(cfg ServingConfig) (*Server, error) {
+	var (
+		eng *infer.Engine
+		err error
+	)
+	if cfg.Bits == 0 {
+		eng, err = infer.Compile(m.net)
+	} else {
+		eng, err = infer.CompileQuantized(m.net, cfg.Bits)
+	}
+	if err != nil {
+		return nil, err
+	}
+	srv := serve.New(eng, serve.Config{
+		MaxBatch: cfg.MaxBatch,
+		Linger:   cfg.Linger,
+		MaxQueue: cfg.MaxQueue,
+		Workers:  cfg.Workers,
+	})
+	return &Server{srv: srv}, nil
+}
+
+// Infer submits one sample image laid out [C,H,W] and blocks until its class
+// scores are ready, ctx expires, or admission fast-fails. Safe for
+// concurrent use; the returned slice is owned by the caller.
+func (s *Server) Infer(ctx context.Context, sample []float32, c, h, w int) ([]float32, error) {
+	return s.srv.Infer(ctx, tensor.FromSlice(sample, c, h, w))
+}
+
+// Classify submits one sample image laid out [C,H,W] and returns its
+// predicted class.
+func (s *Server) Classify(ctx context.Context, sample []float32, c, h, w int) (int, error) {
+	return s.srv.Classify(ctx, tensor.FromSlice(sample, c, h, w))
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() ServingStats {
+	st := s.srv.Stats()
+	return ServingStats{
+		Served:         st.Served,
+		Rejected:       st.Rejected,
+		Expired:        st.Expired,
+		Batches:        st.Batches,
+		BatchedSamples: st.BatchedSamples,
+		MeanBatch:      st.MeanBatch(),
+	}
+}
+
+// Close stops admission, waits for in-flight batches, and fails still-queued
+// requests with ErrServerClosed. Idempotent.
+func (s *Server) Close() { s.srv.Close() }

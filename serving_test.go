@@ -1,0 +1,71 @@
+package ndsnn
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestCompileServerBitIdentical pins the public serving facade: concurrent
+// Classify calls through a coalescing server must agree exactly with the
+// serial single-caller engine, for the float and int8 engines alike.
+func TestCompileServerBitIdentical(t *testing.T) {
+	m, _, err := TrainModel(unitCfg(NDSNN, 0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		bits int
+	}{
+		{"float32", 0}, {"int8", 8},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var eng *InferenceEngine
+			if tc.bits == 0 {
+				eng, err = m.CompileInference()
+			} else {
+				eng, err = m.CompileQuantizedInference(tc.bits)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv, err := m.CompileServer(ServingConfig{Bits: tc.bits, MaxBatch: 4, MaxQueue: 64})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+
+			n := eng.TestLen()
+			if n > 12 {
+				n = 12
+			}
+			want := make([]int, n)
+			for i := 0; i < n; i++ {
+				img, c, h, w, _ := eng.TestSample(i)
+				want[i] = eng.Classify(img, c, h, w)
+			}
+			var wg sync.WaitGroup
+			for i := 0; i < n; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					img, c, h, w, _ := eng.TestSample(i)
+					got, err := srv.Classify(context.Background(), img, c, h, w)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if got != want[i] {
+						t.Errorf("sample %d: served class %d, serial class %d", i, got, want[i])
+					}
+				}(i)
+			}
+			wg.Wait()
+			st := srv.Stats()
+			if st.Served != int64(n) || st.Batches == 0 || st.MeanBatch < 1 {
+				t.Fatalf("serving stats: %+v", st)
+			}
+		})
+	}
+}
