@@ -13,7 +13,7 @@ import (
 var ExperimentIDs = []string{
 	"fig1", "table1", "table2", "table3", "fig4", "fig5", "memory", "synops",
 	"sparse-gemm", "event-driven", "sparse-tape", "quant-infer",
-	"parallel-kernels", "serving",
+	"parallel-kernels", "time-parallel", "serving",
 	"ablation-grow", "ablation-shape", "ablation-allocation",
 	"ablation-surrogate", "ablation-deltat",
 }
@@ -33,6 +33,7 @@ var ExperimentDescription = map[string]string{
 	"sparse-tape":         "sparse temporal tape: backward speedup + peak BPTT cache memory vs the dense-cache baseline (JSON, BENCH_sparse_tape.json)",
 	"quant-infer":         "integer event-driven inference: float32 engine vs int8/int4/int16 QCSR per Sec. III-D platform (JSON, BENCH_quant_infer.json)",
 	"parallel-kernels":    "thread-scalable event kernels: serial vs banded/blocked parallel + scalar vs unrolled integer accumulates (JSON, BENCH_parallel_kernels.json)",
+	"time-parallel":       "time-parallel neurons: sequential LIF vs ParLIF banded-filter membrane across simulation lengths T, spikes exact + grads ≤1e-5 (JSON, BENCH_time_parallel.json)",
 	"serving":             "multi-tenant serving: coalesced-batch throughput + p50/p99 latency across concurrency levels, bit-identical to serial (JSON, BENCH_serving.json)",
 	"ablation-grow":       "A1 — gradient vs random regrowth",
 	"ablation-shape":      "A2 — cubic vs linear vs step sparsity ramp",
@@ -196,6 +197,18 @@ func RunExperiment(id string, w io.Writer, opts ExperimentOptions) error {
 			return err
 		}
 		return bench.PrintParallelKernels(w, rep)
+	case "time-parallel":
+		iters := 7
+		timesteps := []int{5, 25, 100}
+		if opts.Scale == "unit" {
+			iters = 3
+			timesteps = []int{5, 25}
+		}
+		rep, err := bench.RunTimeParallel(timesteps, iters, opts.Seed, progress)
+		if err != nil {
+			return err
+		}
+		return bench.PrintTimeParallel(w, rep)
 	case "quant-infer":
 		// ResNet-19 at 80% sparsity: the bench-scale model that trains far
 		// enough from chance for the per-platform accuracy deltas to be

@@ -1,0 +1,286 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"ndsnn/internal/layers"
+	"ndsnn/internal/metrics"
+	"ndsnn/internal/rng"
+	"ndsnn/internal/snn"
+	"ndsnn/internal/sparse"
+	"ndsnn/internal/tape"
+	"ndsnn/internal/tensor"
+)
+
+// Time-parallel neuron benchmark: the measured side of the ParLIF claim.
+// A LIF layer is the one place the time-major engine still runs a serial
+// per-timestep recurrence; snn.ParLIF replaces it with one banded-filter
+// pass over all T membrane values plus an element-local reset correction
+// (see internal/sparse.DecayFilter). The trade is explicit: the filter costs
+// Band× more arithmetic per element than the Horner recurrence but that
+// arithmetic is embarrassingly parallel across neurons, so the wall-clock
+// columns track the machine — on one core they show the FLOP surplus, with
+// cores they show the recurrence bottleneck removed. The equivalence columns
+// are machine-independent. Each cell trains identically-seeded masked conv→LIF
+// stacks — per-step LIF vs ParLIF — on one batch and records forward and
+// backward wall-clock, the retained tape-cache footprint, the measured
+// synaptic operations against the dense-MAC bound, and the equivalence
+// columns the acceptance gates ride on: spikes must agree exactly and
+// forward outputs / parameter gradients within 1e-5. Recorded as
+// BENCH_time_parallel.json.
+
+// TimeParallelCell is one simulation-length measurement.
+type TimeParallelCell struct {
+	Timesteps int `json:"timesteps"`
+	// LIFForwardNs / ParForwardNs is one training forward over all T
+	// timesteps (median of Iters runs); likewise for the backward pass.
+	LIFForwardNs    int64   `json:"lif_forward_ns"`
+	ParForwardNs    int64   `json:"parlif_forward_ns"`
+	ForwardSpeedup  float64 `json:"forward_speedup"`
+	LIFBackwardNs   int64   `json:"lif_backward_ns"`
+	ParBackwardNs   int64   `json:"parlif_backward_ns"`
+	BackwardSpeedup float64 `json:"backward_speedup"`
+	// LIFTapeCacheBytes / ParTapeCacheBytes is the activation-cache memory
+	// retained after the training forward (ParLIF additionally caches its
+	// dense membrane sequence for the fused backward).
+	LIFTapeCacheBytes int64 `json:"lif_tape_cache_bytes"`
+	ParTapeCacheBytes int64 `json:"parlif_tape_cache_bytes"`
+	// SynOpsPerSample is the measured event-driven synaptic-operation count
+	// for one sample over all T timesteps (ParLIF run), against the dense
+	// bound DenseMACsPerSample = per-timestep dense MACs × T.
+	SynOpsPerSample    float64 `json:"synops_per_sample"`
+	DenseMACsPerSample float64 `json:"dense_macs_per_sample"`
+	SynOpsRatio        float64 `json:"synops_ratio"`
+	// Equivalence columns: SpikeCountDiff must be exactly 0 (the ParLIF
+	// threshold decisions reproduce the sequential LIF's spikes bit-for-bit);
+	// the forward and gradient diffs must stay within 1e-5 (banded filter vs
+	// Horner recurrence rounding). The run fails past these bounds.
+	MaxAbsForwardDiff float64 `json:"max_abs_forward_diff"`
+	SpikeCountDiff    float64 `json:"spike_count_diff"`
+	MaxAbsGradDiff    float64 `json:"max_abs_grad_diff"`
+}
+
+// TimeParallelReport is the recorded artifact.
+type TimeParallelReport struct {
+	Network string             `json:"network"`
+	Batch   int                `json:"batch"`
+	Iters   int                `json:"iters"`
+	Cells   []TimeParallelCell `json:"cells"`
+}
+
+// Equivalence gates for the time-parallel cells. Spikes are binary decisions
+// off identical membrane trajectories, so any mismatch at all is a real
+// divergence; the float columns carry the explicit-sum vs Horner rounding
+// difference of the banded filter, bounded well under 1e-5 on these shapes.
+const (
+	timeParallelFwdTol  = 1e-5
+	timeParallelGradTol = 1e-5
+)
+
+// RunTimeParallel measures per-step LIF vs time-parallel ParLIF training
+// passes across simulation lengths. Every cell checks equivalence against
+// the sequential reference and the run fails if any gate is exceeded.
+func RunTimeParallel(timesteps []int, iters int, seed uint64, progress Progress) (*TimeParallelReport, error) {
+	rep := &TimeParallelReport{
+		Network: "conv16 → LIF → conv16 → LIF → fc10 (3×8×8 input, 10% weight density)",
+		Batch:   4,
+		Iters:   iters,
+	}
+	for _, T := range timesteps {
+		cell := measureTimeParallel(T, iters, seed)
+		rep.Cells = append(rep.Cells, cell)
+		report(progress, "time-parallel T=%d: fwd %s→%s (%.2fx) bwd %s→%s (%.2fx) cache %d→%d B spikes±%.0f fwd±%.2g grad±%.2g",
+			T, time.Duration(cell.LIFForwardNs), time.Duration(cell.ParForwardNs), cell.ForwardSpeedup,
+			time.Duration(cell.LIFBackwardNs), time.Duration(cell.ParBackwardNs), cell.BackwardSpeedup,
+			cell.LIFTapeCacheBytes, cell.ParTapeCacheBytes,
+			cell.SpikeCountDiff, cell.MaxAbsForwardDiff, cell.MaxAbsGradDiff)
+		if cell.SpikeCountDiff != 0 {
+			return rep, fmt.Errorf("bench: time-parallel T=%d: ParLIF spike count diverges from sequential LIF by %g (must be exact)",
+				T, cell.SpikeCountDiff)
+		}
+		if cell.MaxAbsForwardDiff > timeParallelFwdTol {
+			return rep, fmt.Errorf("bench: time-parallel T=%d: forward outputs diverge by %g (tolerance %g)",
+				T, cell.MaxAbsForwardDiff, timeParallelFwdTol)
+		}
+		if cell.MaxAbsGradDiff > timeParallelGradTol {
+			return rep, fmt.Errorf("bench: time-parallel T=%d: gradients diverge by %g (tolerance %g)",
+				T, cell.MaxAbsGradDiff, timeParallelGradTol)
+		}
+	}
+	return rep, nil
+}
+
+// measureTimeParallel runs one simulation length: identically-seeded stacks,
+// identical data, one timed forward+backward per iteration per mode.
+func measureTimeParallel(T, iters int, seed uint64) TimeParallelCell {
+	const (
+		batch = 4
+		side  = 8
+	)
+	build := func(timeParallel bool) *snn.Network {
+		r := rng.New(seed*41 + 5)
+		neuron := snn.DefaultNeuron()
+		neuron.TimeParallel = timeParallel
+		c1 := layers.NewConv2d("tp.c1", 3, 16, 3, 1, 1, false, r)
+		c2 := layers.NewConv2d("tp.c2", 16, 16, 3, 1, 1, false, r)
+		fc := layers.NewLinear("tp.fc", 16*side*side, 10, false, r)
+		mr := rng.New(seed*43 + 9)
+		for _, p := range []*layers.Param{c1.Weight, c2.Weight, fc.Weight} {
+			p.Mask = sparse.RandomMask(p.W.Shape(), 0.1, mr)
+			p.ApplyMask()
+			p.SparseGradOK = true
+		}
+		return &snn.Network{
+			Layers: []layers.Layer{
+				c1, neuron.NewNeuron(),
+				c2, neuron.NewNeuron(),
+				layers.NewFlatten(), fc,
+			},
+			T: T,
+		}
+	}
+	r := rng.New(seed*47 + 13)
+	x := tensor.New(batch, 3, side, side)
+	for i := range x.Data {
+		x.Data[i] = r.NormFloat32()
+	}
+	// Loss gradients scaled like a real rate-decoded loss (1/T per timestep)
+	// so gradient magnitudes — and the diff column — stay T-independent.
+	dr := rng.New(seed * 53)
+	douts := make([]*tensor.Tensor, T)
+	for t := range douts {
+		douts[t] = tensor.New(batch, 10)
+		for i := range douts[t].Data {
+			douts[t].Data[i] = dr.NormFloat32() / float32(T)
+		}
+	}
+
+	type result struct {
+		fwdNs, bwdNs, cacheBytes int64
+		outs                     []*tensor.Tensor
+		grads                    []*tensor.Tensor
+		spikes                   float64
+		stats                    metrics.EventStats
+	}
+	run := func(net *snn.Network) result {
+		var res result
+		net.ResetSpikeStats()
+		net.ResetEventStats()
+		fwd := make([]int64, 0, iters)
+		bwd := make([]int64, 0, iters)
+		for it := 0; it < iters+1; it++ { // first pass is warm-up
+			base := tape.CacheBytes()
+			net.ZeroGrads()
+			start := time.Now()
+			res.outs = net.Forward(x, true)
+			fns := time.Since(start).Nanoseconds()
+			res.cacheBytes = tape.CacheBytes() - base
+			start = time.Now()
+			net.Backward(douts)
+			bns := time.Since(start).Nanoseconds()
+			if it > 0 {
+				fwd = append(fwd, fns)
+				bwd = append(bwd, bns)
+			}
+		}
+		sort.Slice(fwd, func(i, j int) bool { return fwd[i] < fwd[j] })
+		sort.Slice(bwd, func(i, j int) bool { return bwd[i] < bwd[j] })
+		res.fwdNs, res.bwdNs = fwd[len(fwd)/2], bwd[len(bwd)/2]
+		for _, p := range net.Params() {
+			res.grads = append(res.grads, p.Grad.Clone())
+		}
+		res.spikes, _ = func() (float64, int64) {
+			var sum float64
+			var elems int64
+			net.Walk(func(l layers.Layer) {
+				if rec, ok := l.(snn.SpikeRecorder); ok {
+					s, e := rec.SpikeStats()
+					sum += s
+					elems += e
+				}
+			})
+			return sum, elems
+		}()
+		res.stats = net.EventStats()
+		return res
+	}
+
+	lifNet := build(false)
+	lif := run(lifNet)
+	parNet := build(true)
+	par := run(parNet)
+
+	cell := TimeParallelCell{
+		Timesteps:         T,
+		LIFForwardNs:      lif.fwdNs,
+		ParForwardNs:      par.fwdNs,
+		LIFBackwardNs:     lif.bwdNs,
+		ParBackwardNs:     par.bwdNs,
+		LIFTapeCacheBytes: lif.cacheBytes,
+		ParTapeCacheBytes: par.cacheBytes,
+		SpikeCountDiff:    abs64(lif.spikes - par.spikes),
+	}
+	if par.fwdNs > 0 {
+		cell.ForwardSpeedup = float64(lif.fwdNs) / float64(par.fwdNs)
+	}
+	if par.bwdNs > 0 {
+		cell.BackwardSpeedup = float64(lif.bwdNs) / float64(par.bwdNs)
+	}
+	for t := range lif.outs {
+		if d := maxAbsDiff32(lif.outs[t].Data, par.outs[t].Data); d > cell.MaxAbsForwardDiff {
+			cell.MaxAbsForwardDiff = float64(d)
+		}
+	}
+	for i := range lif.grads {
+		if d := maxAbsDiff32(lif.grads[i].Data, par.grads[i].Data); d > cell.MaxAbsGradDiff {
+			cell.MaxAbsGradDiff = float64(d)
+		}
+	}
+
+	// Measured synaptic work of the ParLIF run against the dense bound. The
+	// dense per-timestep MACs of the stack: each conv costs W.Size() MACs per
+	// output pixel (side² of them), the linear its W.Size() once.
+	var denseMACs int64
+	for _, p := range layers.PrunableParams(parNet.Params()) {
+		macs := int64(p.W.Size())
+		if len(p.W.Shape()) == 4 {
+			macs *= side * side
+		}
+		denseMACs += macs
+	}
+	density := 1 - layers.GlobalSparsity(layers.PrunableParams(parNet.Params()))
+	cell.DenseMACsPerSample = float64(denseMACs) * float64(T)
+	cell.SynOpsPerSample = metrics.MeasuredSynOps(denseMACs, density, par.stats, T)
+	if cell.DenseMACsPerSample > 0 {
+		cell.SynOpsRatio = cell.SynOpsPerSample / cell.DenseMACsPerSample
+	}
+
+	for _, net := range []*snn.Network{lifNet, parNet} {
+		for _, p := range net.Params() {
+			p.InvalidateCSR()
+		}
+	}
+	return cell
+}
+
+func abs64(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// PrintTimeParallel writes the report as indented JSON (the BENCH artifact
+// format).
+func PrintTimeParallel(w io.Writer, r *TimeParallelReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("bench: encode time-parallel report: %w", err)
+	}
+	return nil
+}

@@ -213,6 +213,21 @@ func (c *compiler) newLIFStage(cfg snn.NeuronConfig) *lifStage {
 	return &lifStage{cfg: cfg, slot: c.actSlot(), stateSlot: c.lifSlot()}
 }
 
+// neuronStage compiles a spiking layer (LIF or ParLIF) into its stage.
+func (c *compiler) neuronStage(l layers.Layer) (stage, error) {
+	switch nl := l.(type) {
+	case *snn.LIF:
+		return c.newLIFStage(nl.Config), nil
+	case *snn.ParLIF:
+		return &parLIFStage{
+			cfg: nl.Config, soft: nl.ResetMode == snn.ParResetSoft,
+			slot: c.actSlot(), stateSlot: c.lifSlot(),
+		}, nil
+	default:
+		return nil, fmt.Errorf("infer: cannot compile neuron of type %T", l)
+	}
+}
+
 func (c *compiler) compile(ls []layers.Layer) ([]stage, error) {
 	var out []stage
 	for i := 0; i < len(ls); i++ {
@@ -260,6 +275,13 @@ func (c *compiler) compile(ls []layers.Layer) ([]stage, error) {
 			c.binary = false
 		case *snn.LIF:
 			out = append(out, c.newLIFStage(l.Config))
+			c.binary = true
+		case *snn.ParLIF:
+			s, err := c.neuronStage(l)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s)
 			c.binary = true
 		case *layers.MaxPool2d:
 			// Max pooling of {0,1} spikes stays {0,1}.
@@ -309,9 +331,13 @@ func (c *compiler) compileResidual(b *snn.ResidualBlock) (stage, error) {
 		}
 	}
 	c.binary = true
+	outStage, err := c.neuronStage(b.LIF2)
+	if err != nil {
+		return nil, err
+	}
 	return &residualStage{
 		main: main, shortcut: shortcut,
-		out: c.newLIFStage(b.LIF2.Config), sumSlot: c.actSlot(),
+		out: outStage, sumSlot: c.actSlot(),
 	}, nil
 }
 

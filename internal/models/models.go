@@ -77,26 +77,21 @@ type Config struct {
 	Seed uint64
 }
 
-// Build constructs the requested architecture. Networks are built with
-// TimeMajor execution on — every trainer and bench that goes through the
-// model zoo runs the tape engine's layer-major schedule, which is where the
-// fused-timestep kernels live. The step-major loop remains in snn.Network
-// as the equivalence-test reference (and for hand-built networks, whose
-// zero-value TimeMajor stays false).
+// Build constructs the requested architecture. Every network runs the tape
+// engine's time-major (layer-major) schedule, where the fused-timestep
+// kernels and the ParLIF sequence fast paths live; the old step-major loop
+// is pinned as golden fixtures in the snn package's equivalence tests.
 func Build(cfg Config) *snn.Network {
-	var net *snn.Network
 	switch cfg.Arch {
 	case "vgg16":
-		net = VGG16(cfg)
+		return VGG16(cfg)
 	case "resnet19":
-		net = ResNet19(cfg)
+		return ResNet19(cfg)
 	case "lenet5":
-		net = LeNet5(cfg)
+		return LeNet5(cfg)
 	default:
 		panic(fmt.Sprintf("models: unknown architecture %q", cfg.Arch))
 	}
-	net.TimeMajor = true
-	return net
 }
 
 // vgg16Plan is the classic 13-convolution layout; "M" entries are 2×2 max
@@ -129,7 +124,7 @@ func VGG16(cfg Config) *snn.Network {
 			ls = append(ls,
 				layers.NewConv2d(name, inC, outC, 3, 1, 1, false, r),
 				layers.NewBatchNorm(name+".bn", outC),
-				cfg.Neuron.New(),
+				cfg.Neuron.NewNeuron(),
 			)
 			inC = outC
 		case string:
@@ -151,10 +146,10 @@ func VGG16(cfg Config) *snn.Network {
 		layers.NewFlatten(),
 		layers.NewLinear("fc1", inC, fcW, true, r),
 		layers.NewBatchNorm("fc1.bn", fcW),
-		cfg.Neuron.New(),
+		cfg.Neuron.NewNeuron(),
 		layers.NewLinear("fc2", fcW, fcW, true, r),
 		layers.NewBatchNorm("fc2.bn", fcW),
-		cfg.Neuron.New(),
+		cfg.Neuron.NewNeuron(),
 		layers.NewLinear("fc3", fcW, cfg.Classes, true, r),
 	)
 	return &snn.Network{Layers: ls, T: cfg.Timesteps}
@@ -174,7 +169,7 @@ func ResNet19(cfg Config) *snn.Network {
 	ls = append(ls,
 		layers.NewConv2d("stem", cfg.InC, c1, 3, 1, 1, false, r),
 		layers.NewBatchNorm("stem.bn", c1),
-		cfg.Neuron.New(),
+		cfg.Neuron.NewNeuron(),
 	)
 	size := cfg.InH
 	stage := func(name string, inC, outC, blocks, stride int) int {
@@ -201,7 +196,7 @@ func ResNet19(cfg Config) *snn.Network {
 		layers.NewFlatten(),
 		layers.NewLinear("fc1", c, fcW, true, r),
 		layers.NewBatchNorm("fc1.bn", fcW),
-		cfg.Neuron.New(),
+		cfg.Neuron.NewNeuron(),
 		layers.NewLinear("fc2", fcW, cfg.Classes, true, r),
 	)
 	return &snn.Network{Layers: ls, T: cfg.Timesteps}
@@ -228,19 +223,19 @@ func LeNet5(cfg Config) *snn.Network {
 	ls := []layers.Layer{
 		layers.NewConv2d("conv1", cfg.InC, c1, 5, 1, 0, false, r),
 		layers.NewBatchNorm("conv1.bn", c1),
-		cfg.Neuron.New(),
+		cfg.Neuron.NewNeuron(),
 		layers.NewAvgPool2d(2, 2),
 		layers.NewConv2d("conv2", c1, c2, 5, 1, 0, false, r),
 		layers.NewBatchNorm("conv2.bn", c2),
-		cfg.Neuron.New(),
+		cfg.Neuron.NewNeuron(),
 		layers.NewAvgPool2d(2, 2),
 		layers.NewFlatten(),
 		layers.NewLinear("fc1", c2*size*size, f1, true, r),
 		layers.NewBatchNorm("fc1.bn", f1),
-		cfg.Neuron.New(),
+		cfg.Neuron.NewNeuron(),
 		layers.NewLinear("fc2", f1, f2, true, r),
 		layers.NewBatchNorm("fc2.bn", f2),
-		cfg.Neuron.New(),
+		cfg.Neuron.NewNeuron(),
 		layers.NewLinear("fc3", f2, cfg.Classes, true, r),
 	}
 	return &snn.Network{Layers: ls, T: cfg.Timesteps}

@@ -31,44 +31,19 @@ type Network struct {
 	// Encoder transforms the input per timestep; nil means direct
 	// (constant-current) encoding, the paper's configuration.
 	Encoder InputEncoder
-	// TimeMajor routes Forward/Backward through the tape execution engine:
-	// each layer processes all T timesteps before the next layer runs, which
-	// lets Conv2d/Linear fuse the timesteps of a sample into one weight
-	// traversal each way (sparse.FuseTimesteps / sparse.StackTimesteps).
-	// Outputs and gradients are identical to the step-major schedule — only
-	// execution order and speed change. Networks from the model zoo
-	// (internal/models.Build) set it; the zero value keeps the step-major
-	// loop, which survives as the equivalence-test reference.
-	TimeMajor bool
 }
 
-// Forward resets temporal state and runs T timesteps, returning the output
-// of the final layer at each timestep. With TimeMajor set it delegates to
-// ForwardTimeMajor.
+// Forward resets temporal state and runs the network time-major through the
+// tape execution engine: all T timestep inputs are materialized up front and
+// tape.Run drives each layer across the whole sequence, which lets
+// Conv2d/Linear fuse the timesteps of a sample into one weight traversal
+// each way (sparse.FuseTimesteps / sparse.StackTimesteps) and engages the
+// SequenceLayer fast paths (ParLIF's fused membrane solve). It returns the
+// output of the final layer at each timestep. The step-major schedule this
+// replaced — timesteps outer, layers inner — is pinned as golden fixtures in
+// tape_equiv_test.go; the two orders accumulate identical results for these
+// temporally-unrolled feedforward networks.
 func (n *Network) Forward(x *tensor.Tensor, train bool) []*tensor.Tensor {
-	if n.TimeMajor {
-		return n.ForwardTimeMajor(x, train)
-	}
-	n.ResetState()
-	outs := make([]*tensor.Tensor, n.T)
-	for t := 0; t < n.T; t++ {
-		h := x
-		if n.Encoder != nil {
-			h = n.Encoder.Encode(x, t)
-		}
-		for _, l := range n.Layers {
-			h = l.Forward(h, train)
-		}
-		outs[t] = h
-	}
-	return outs
-}
-
-// ForwardTimeMajor resets temporal state and runs the network layer-major:
-// all T timestep inputs are materialized up front and tape.Run drives each
-// layer across the whole sequence (SequenceLayer fast paths engage here).
-// Equivalent to Forward for these temporally-unrolled feedforward networks.
-func (n *Network) ForwardTimeMajor(x *tensor.Tensor, train bool) []*tensor.Tensor {
 	n.ResetState()
 	xs := make([]*tensor.Tensor, n.T)
 	for t := 0; t < n.T; t++ {
@@ -82,21 +57,10 @@ func (n *Network) ForwardTimeMajor(x *tensor.Tensor, train bool) []*tensor.Tenso
 }
 
 // Backward runs BPTT. douts[t] is the loss gradient w.r.t. the timestep-t
-// output. Step-major: timesteps in reverse order, layers in reverse order;
-// with TimeMajor set, layers in reverse order with all timesteps replayed
-// per layer (the order the per-layer tapes and the LIF error recursion
-// expect either way — the two schedules accumulate identical gradients).
+// output. Layers run in reverse order with all timesteps replayed per layer
+// — the order the per-layer tapes and the LIF error recursion expect.
 func (n *Network) Backward(douts []*tensor.Tensor) {
-	if n.TimeMajor {
-		tape.RunBackward(tapeLayers(n.Layers), douts)
-		return
-	}
-	for t := n.T - 1; t >= 0; t-- {
-		g := douts[t]
-		for i := len(n.Layers) - 1; i >= 0; i-- {
-			g = n.Layers[i].Backward(g)
-		}
-	}
+	tape.RunBackward(tapeLayers(n.Layers), douts)
 }
 
 // tapeLayers adapts the layer slice to the execution engine's interface
@@ -192,12 +156,15 @@ func (n *Network) ResetEventStats() {
 	})
 }
 
-// SetSmooth switches every LIF layer between spiking and smooth mode
+// SetSmooth switches every spiking layer between spiking and smooth mode
 // (smooth mode exists for finite-difference gradient verification).
 func (n *Network) SetSmooth(smooth bool) {
 	n.Walk(func(l layers.Layer) {
-		if lif, ok := l.(*LIF); ok {
-			lif.Smooth = smooth
+		switch nl := l.(type) {
+		case *LIF:
+			nl.Smooth = smooth
+		case *ParLIF:
+			nl.Smooth = smooth
 		}
 	})
 }

@@ -1,0 +1,417 @@
+package snn
+
+import (
+	"ndsnn/internal/layers"
+	"ndsnn/internal/rng"
+	"ndsnn/internal/sparse"
+	"ndsnn/internal/tape"
+	"ndsnn/internal/tensor"
+)
+
+// ParReset selects the reset behaviour of a ParLIF layer.
+type ParReset int
+
+const (
+	// ParResetSoft is the paper's subtractive reset, reproduced exactly by
+	// the parallel formulation: v[t] = u[t] - ϑ·W[t] where u is the reset-free
+	// filtered membrane and W[t] = α·W[t-1] + o[t-1] is a cheap elementwise
+	// correction trace. Matches sequential soft-reset LIF dynamics.
+	ParResetSoft ParReset = iota
+	// ParResetNone drops the reset entirely — the pure SPSN formulation of
+	// arXiv 2306.12666, where the membrane is exactly the causal filter and
+	// the whole forward is one banded matmul plus thresholding.
+	ParResetNone
+)
+
+// ParLIF is a time-parallelizable spiking neuron in the style of the
+// Stochastic Parallelizable Spiking Neuron (arXiv 2306.12666). Its reset-free
+// membrane is a causal geometric filter of the input currents,
+//
+//	u[t] = Σ_{s ≤ t} α^(t-s) · I[s],
+//
+// so ForwardSeq computes all T membrane values in one banded lower-triangular
+// matmul (sparse.DecayFilter) instead of a t = 0..T-1 recurrence — the last
+// strictly-sequential axis in the engine becomes strip-parallel. With
+// ParResetSoft the subtractive reset is restored exactly through the
+// elementwise trace v[t] = u[t] - ϑ·W[t], W[t] = α·W[t-1] + o[t-1]: the
+// expensive O(T·Band·N) filter stays parallel and only an O(T·N) elementwise
+// sweep (itself parallel over neurons) runs through time. Firing is
+// thresholded per timestep, optionally stochastic (spike ~ Bernoulli of the
+// surrogate primitive) with draws from a deterministic internal/rng stream so
+// runs are reproducible at any GOMAXPROCS.
+//
+// With DetachReset (the default) the BPTT recursion ε[t] = e[t] + α·ε[t+1],
+// e[t] = δ[t]·φ'(v[t]-ϑ), is the anticausal transpose of the same filter, so
+// BackwardSeq is also one banded matmul. The non-detached soft reset stays an
+// elementwise recursion, parallel over neurons.
+//
+// ParLIF's tape state is leaner than LIF's: only the membrane sequence is
+// cached (one fused buffer per sample, metered through tape.Stack so
+// PeakBytes sees it — LIF's dense vs cache predates the meter), and no spike
+// stack is retained in any supported mode. Hard (multiplicative) reset is not
+// parallelizable — its decay is spike-dependent — and is not supported here;
+// NeuronConfig.NewNeuron falls back to sequential LIF for that combination.
+type ParLIF struct {
+	Config NeuronConfig
+	// ResetMode selects soft-subtractive (default) or no reset.
+	ResetMode ParReset
+	// Stochastic switches firing to Bernoulli draws with probability
+	// φ(v-ϑ) (the surrogate primitive), the SPSN paper's stochastic neuron.
+	Stochastic bool
+	// StochSeed seeds the stochastic firing stream; 0 means a fixed default.
+	// Two layers with equal seeds consume identical draw sequences in (t,
+	// element) order, so sequential and parallel paths see the same noise.
+	StochSeed uint64
+	// Smooth switches the forward nonlinearity to the surrogate primitive
+	// (finite-difference gradient verification, as in LIF).
+	Smooth bool
+	// ForceSequential makes ForwardSeq/BackwardSeq run the per-timestep
+	// recurrence instead of the banded kernels — the in-layer reference the
+	// equivalence tests and bench diff columns compare against.
+	ForceSequential bool
+	// BandEps is the filter truncation tolerance (see sparse.NewDecayFilter);
+	// 0 means 1e-9.
+	BandEps float64
+
+	filter  *sparse.DecayFilter
+	filterT int
+
+	// vs is the membrane tape: one dense record per timestep, metered so the
+	// BPTT cache accounting covers neuron state.
+	vs    tape.Stack
+	v     *tensor.Tensor // sequential-path membrane after the current step
+	oPrev *tensor.Tensor // sequential-path previous spikes (soft reset)
+	gNext *tensor.Tensor // ε[t+1] carried between per-step Backward calls
+	stoch *rng.RNG
+
+	spikeSum   float64
+	spikeElems int64
+}
+
+// NewParLIF constructs a soft-reset ParLIF layer from the configuration.
+func NewParLIF(c NeuronConfig) *ParLIF {
+	return &ParLIF{Config: c}
+}
+
+// defaultStochSeed keeps stochastic firing reproducible when no seed is set.
+const defaultStochSeed = 0x5350534e // "SPSN"
+
+func (l *ParLIF) rng() *rng.RNG {
+	if l.stoch == nil {
+		seed := l.StochSeed
+		if seed == 0 {
+			seed = defaultStochSeed
+		}
+		l.stoch = rng.New(seed)
+	}
+	return l.stoch
+}
+
+func (l *ParLIF) filterFor(T int) *sparse.DecayFilter {
+	if l.filter == nil || l.filter.Alpha != l.Config.Alpha || l.filterT != T {
+		eps := l.BandEps
+		if eps == 0 {
+			eps = 1e-9
+		}
+		l.filter = sparse.NewDecayFilter(l.Config.Alpha, T, eps)
+		l.filterT = T
+	}
+	return l.filter
+}
+
+// fire computes the timestep output for a membrane value. u is the uniform
+// draw for this element (ignored unless Stochastic).
+func (l *ParLIF) fire(v float32, u float32) float32 {
+	cfg := l.Config
+	if l.Smooth {
+		return cfg.surrogate().Primitive(v - cfg.Threshold)
+	}
+	if l.Stochastic {
+		if u < cfg.surrogate().Primitive(v-cfg.Threshold) {
+			return 1
+		}
+		return 0
+	}
+	if v >= cfg.Threshold {
+		return 1
+	}
+	return 0
+}
+
+// Forward integrates one timestep with the sequential recurrence — the
+// reference dynamics ForwardSeq must reproduce. ParResetSoft is identical to
+// soft-reset LIF; ParResetNone drops the subtraction.
+func (l *ParLIF) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if l.v == nil || l.v.Size() != x.Size() {
+		l.v = tensor.New(x.Shape()...)
+		l.oPrev = tensor.New(x.Shape()...)
+	}
+	cfg := l.Config
+	vNew := tensor.New(x.Shape()...)
+	out := tensor.New(x.Shape()...)
+	vd, od, xd := vNew.Data, out.Data, x.Data
+	pv, po := l.v.Data, l.oPrev.Data
+	var uni []float32
+	if l.Stochastic && !l.Smooth {
+		uni = l.uniforms(len(xd))
+	}
+	var sum float64
+	for i := range xd {
+		v := cfg.Alpha*pv[i] + xd[i]
+		if l.ResetMode == ParResetSoft {
+			v -= cfg.Threshold * po[i]
+		}
+		vd[i] = v
+		var u float32
+		if uni != nil {
+			u = uni[i]
+		}
+		o := l.fire(v, u)
+		od[i] = o
+		sum += float64(o)
+	}
+	l.spikeSum += sum
+	l.spikeElems += int64(len(xd))
+	l.v = vNew
+	l.oPrev = out
+	if train {
+		l.vs.PushDense(vNew)
+	}
+	return out
+}
+
+// uniforms draws n uniform float32s from the layer's stochastic stream.
+func (l *ParLIF) uniforms(n int) []float32 {
+	r := l.rng()
+	u := make([]float32, n)
+	for i := range u {
+		u[i] = r.Float32()
+	}
+	return u
+}
+
+// ForwardSeq computes the whole timestep sequence at once: one banded filter
+// for the reset-free membrane, then a neuron-parallel elementwise sweep for
+// reset correction and firing. Semantically identical to T Forward calls up
+// to float reassociation (≤ the band-truncation + reordering tolerance the
+// equivalence tests pin at 1e-5).
+func (l *ParLIF) ForwardSeq(xs []*tensor.Tensor, train bool) []*tensor.Tensor {
+	if len(xs) == 0 {
+		return nil
+	}
+	if l.ForceSequential {
+		outs := make([]*tensor.Tensor, len(xs))
+		for t, x := range xs {
+			outs[t] = l.Forward(x, train)
+		}
+		return outs
+	}
+	T := len(xs)
+	shape := xs[0].Shape()
+	n := xs[0].Size()
+	cfg := l.Config
+	f := l.filterFor(T)
+
+	// Fused membrane buffer: T rows over one allocation; per-timestep tensor
+	// views go onto the tape without copying.
+	vbuf := make([]float32, T*n)
+	vrows := make([][]float32, T)
+	vts := make([]*tensor.Tensor, T)
+	outs := make([]*tensor.Tensor, T)
+	for t := 0; t < T; t++ {
+		vrows[t] = vbuf[t*n : (t+1)*n]
+		vts[t] = tensor.FromSlice(vrows[t], shape...)
+		outs[t] = tensor.New(shape...)
+	}
+	f.ForwardInto(vrows, sparse.SeqRows(xs))
+
+	var uni []float32
+	if l.Stochastic && !l.Smooth {
+		// Drawn serially in (t, element) order — the same sequence the
+		// per-step path consumes, so both paths see identical noise.
+		uni = l.uniforms(T * n)
+	}
+	if l.ResetMode == ParResetNone {
+		tensor.ParallelFor(n, 2*T, func(lo, hi int) {
+			for t := 0; t < T; t++ {
+				vd := vrows[t][lo:hi]
+				od := outs[t].Data[lo:hi]
+				for j := range vd {
+					var u float32
+					if uni != nil {
+						u = uni[t*n+lo+j]
+					}
+					od[j] = l.fire(vd[j], u)
+				}
+			}
+		})
+	} else {
+		// Soft reset: v[t] = u[t] - ϑ·W[t] with the per-element trace
+		// W[t] = α·W[t-1] + o[t-1]. Element-local, so strips are disjoint and
+		// results are bit-identical at any GOMAXPROCS.
+		tensor.ParallelFor(n, 4*T, func(lo, hi int) {
+			w := make([]float32, hi-lo)
+			for t := 0; t < T; t++ {
+				vd := vrows[t][lo:hi]
+				od := outs[t].Data[lo:hi]
+				for j := range vd {
+					v := vd[j] - cfg.Threshold*w[j]
+					vd[j] = v
+					var u float32
+					if uni != nil {
+						u = uni[t*n+lo+j]
+					}
+					o := l.fire(v, u)
+					od[j] = o
+					w[j] = cfg.Alpha*w[j] + o
+				}
+			}
+		})
+	}
+
+	var sum float64
+	for t := 0; t < T; t++ {
+		for _, o := range outs[t].Data {
+			sum += float64(o)
+		}
+	}
+	l.spikeSum += sum
+	l.spikeElems += int64(T) * int64(n)
+	l.v = vts[T-1]
+	l.oPrev = outs[T-1]
+	if train {
+		for t := 0; t < T; t++ {
+			l.vs.PushDense(vts[t])
+		}
+	}
+	return outs
+}
+
+// Backward propagates the temporal error recursion for one timestep — the
+// sequential reference mirroring LIF's soft-reset backward (ParResetNone has
+// no reset pathway, so detached and non-detached coincide).
+func (l *ParLIF) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	if l.vs.Len() == 0 {
+		panic("snn: ParLIF.Backward called with no cached timestep")
+	}
+	v := l.vs.Pop().Materialize()
+	cfg := l.Config
+	sur := cfg.surrogate()
+	g := tensor.New(dy.Shape()...)
+	gd, dyd, vd := g.Data, dy.Data, v.Data
+	var gn []float32
+	if l.gNext != nil && l.gNext.Size() == dy.Size() {
+		gn = l.gNext.Data
+	}
+	resetGrad := l.ResetMode == ParResetSoft && !cfg.DetachReset
+	for i := range dyd {
+		do := dyd[i]
+		var next float32
+		if gn != nil {
+			next = gn[i]
+		}
+		if resetGrad {
+			do -= cfg.Threshold * next
+		}
+		gd[i] = do*sur.Grad(vd[i]-cfg.Threshold) + cfg.Alpha*next
+	}
+	l.gNext = g
+	return g
+}
+
+// BackwardSeq replays the whole tape at once. With a detached (or absent)
+// reset the recursion ε[t] = δ[t]·φ'(v[t]-ϑ) + α·ε[t+1] unrolls to the
+// anticausal banded filter — one matmul for all T input gradients. The
+// non-detached soft reset keeps its elementwise recursion, parallel over
+// neurons. Gradients match T Backward calls up to float reassociation.
+func (l *ParLIF) BackwardSeq(dys []*tensor.Tensor) []*tensor.Tensor {
+	T := len(dys)
+	if T == 0 {
+		return nil
+	}
+	if l.ForceSequential {
+		gs := make([]*tensor.Tensor, T)
+		for t := T - 1; t >= 0; t-- {
+			gs[t] = l.Backward(dys[t])
+		}
+		return gs
+	}
+	if l.vs.Len() < T {
+		panic("snn: ParLIF.BackwardSeq with fewer cached timesteps than gradients")
+	}
+	cfg := l.Config
+	sur := cfg.surrogate()
+	shape := dys[0].Shape()
+	n := dys[0].Size()
+	vrows := make([][]float32, T)
+	for t := T - 1; t >= 0; t-- {
+		vrows[t] = l.vs.Pop().Materialize().Data
+	}
+	gbuf := make([]float32, T*n)
+	grows := make([][]float32, T)
+	gs := make([]*tensor.Tensor, T)
+	for t := 0; t < T; t++ {
+		grows[t] = gbuf[t*n : (t+1)*n]
+		gs[t] = tensor.FromSlice(grows[t], shape...)
+	}
+	if l.ResetMode == ParResetNone || cfg.DetachReset {
+		// e[t] = δ[t]·φ'(v[t]-ϑ), then one anticausal filter.
+		ebuf := make([]float32, T*n)
+		erows := make([][]float32, T)
+		for t := 0; t < T; t++ {
+			erows[t] = ebuf[t*n : (t+1)*n]
+		}
+		tensor.ParallelFor(n, 2*T, func(lo, hi int) {
+			for t := 0; t < T; t++ {
+				ed := erows[t][lo:hi]
+				dyd := dys[t].Data[lo:hi]
+				vd := vrows[t][lo:hi]
+				for j := range ed {
+					ed[j] = dyd[j] * sur.Grad(vd[j]-cfg.Threshold)
+				}
+			}
+		})
+		l.filterFor(T).BackwardInto(grows, erows)
+	} else {
+		// ε[t] = (δ[t] - ϑ·ε[t+1])·φ'(v[t]-ϑ) + α·ε[t+1]: element-local, so
+		// the time recursion runs per neuron strip.
+		tensor.ParallelFor(n, 4*T, func(lo, hi int) {
+			eps := make([]float32, hi-lo)
+			for t := T - 1; t >= 0; t-- {
+				gd := grows[t][lo:hi]
+				dyd := dys[t].Data[lo:hi]
+				vd := vrows[t][lo:hi]
+				for j := range gd {
+					next := eps[j]
+					g := (dyd[j]-cfg.Threshold*next)*sur.Grad(vd[j]-cfg.Threshold) + cfg.Alpha*next
+					gd[j] = g
+					eps[j] = g
+				}
+			}
+		})
+	}
+	l.gNext = gs[0]
+	return gs
+}
+
+// Params returns nil; ParLIF has no trainable parameters.
+func (l *ParLIF) Params() []*layers.Param { return nil }
+
+// Reset clears membrane state, the tape and the carried error signal. The
+// stochastic stream is NOT rewound — successive batches see fresh noise.
+func (l *ParLIF) Reset() {
+	l.v = nil
+	l.oPrev = nil
+	l.vs.Clear()
+	l.gNext = nil
+}
+
+// SpikeStats returns the total spikes emitted and neuron-timestep count
+// since the last ResetSpikeStats.
+func (l *ParLIF) SpikeStats() (sum float64, elems int64) { return l.spikeSum, l.spikeElems }
+
+// ResetSpikeStats zeroes the spike counters.
+func (l *ParLIF) ResetSpikeStats() {
+	l.spikeSum = 0
+	l.spikeElems = 0
+}

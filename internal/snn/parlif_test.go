@@ -1,0 +1,349 @@
+package snn_test
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+
+	"ndsnn/internal/rng"
+	"ndsnn/internal/snn"
+	"ndsnn/internal/tensor"
+	"ndsnn/internal/testutil"
+)
+
+// parLIFShape is big enough that ForwardSeq's strip sweeps clear the
+// tensor-pool parallelism bar, so the GOMAXPROCS sweep actually exercises
+// multi-worker execution.
+var parLIFShape = []int{2, 256}
+
+// rateBiases drive the membrane toward a target firing regime: the input is
+// ϑ·(bias + noise), so "0" never crosses threshold, "1" always does, and the
+// middle settings land in sparse/busy spiking.
+var rateBiases = []struct {
+	name string
+	bias float32
+}{
+	{"rate0", -2.5},
+	{"rate0.05", -0.55},
+	{"rate0.5", 0.75},
+	{"rate1", 3.5},
+}
+
+func parLIFInputs(seed uint64, T int, bias float32, theta float32) ([]*tensor.Tensor, []*tensor.Tensor) {
+	r := rng.New(seed)
+	xs := make([]*tensor.Tensor, T)
+	douts := make([]*tensor.Tensor, T)
+	for t := range xs {
+		xs[t] = tensor.New(parLIFShape...)
+		for i := range xs[t].Data {
+			xs[t].Data[i] = theta * (bias + 0.6*r.NormFloat32())
+		}
+		douts[t] = tensor.New(parLIFShape...)
+		for i := range douts[t].Data {
+			douts[t].Data[i] = r.NormFloat32()
+		}
+	}
+	return xs, douts
+}
+
+func cloneSeq(ts []*tensor.Tensor) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(ts))
+	for i, x := range ts {
+		out[i] = x.Clone()
+	}
+	return out
+}
+
+func maxAbsDiff(a, b []*tensor.Tensor) float64 {
+	var m float64
+	for t := range a {
+		for i := range a[t].Data {
+			d := math.Abs(float64(a[t].Data[i]) - float64(b[t].Data[i]))
+			if d > m {
+				m = d
+			}
+		}
+	}
+	return m
+}
+
+// TestParLIFEquivalence is the tentpole pin: the time-parallel forward and
+// backward reproduce the sequential reference within 1e-5 — spikes exactly —
+// across reset modes × spike-rate regimes × GOMAXPROCS {1,2,8}. The soft
+// reset is compared against the actual sequential LIF layer (identical
+// dynamics); ParResetNone has no LIF counterpart and is compared against
+// ParLIF's own per-timestep recurrence (ForceSequential).
+func TestParLIFEquivalence(t *testing.T) {
+	const T = 8
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, detach := range []bool{true, false} {
+		for _, mode := range []snn.ParReset{snn.ParResetSoft, snn.ParResetNone} {
+			for ri, rb := range rateBiases {
+				for _, procs := range []int{1, 2, 8} {
+					runtime.GOMAXPROCS(procs)
+					name := fmt.Sprintf("detach=%v/mode=%d/%s/procs=%d", detach, mode, rb.name, procs)
+					cfg := snn.DefaultNeuron()
+					cfg.DetachReset = detach
+					seed := uint64(1000 + ri)
+					xs, douts := parLIFInputs(seed, T, rb.bias, cfg.Threshold)
+
+					par := snn.NewParLIF(cfg)
+					par.ResetMode = mode
+					outsPar := par.ForwardSeq(cloneSeq(xs), true)
+					gradsPar := par.BackwardSeq(douts)
+
+					var outsRef, gradsRef []*tensor.Tensor
+					if mode == snn.ParResetSoft {
+						lif := cfg.New()
+						outsRef = make([]*tensor.Tensor, T)
+						for ti, x := range cloneSeq(xs) {
+							outsRef[ti] = lif.Forward(x, true)
+						}
+						gradsRef = make([]*tensor.Tensor, T)
+						for ti := T - 1; ti >= 0; ti-- {
+							gradsRef[ti] = lif.Backward(douts[ti])
+						}
+					} else {
+						ref := snn.NewParLIF(cfg)
+						ref.ResetMode = mode
+						ref.ForceSequential = true
+						outsRef = ref.ForwardSeq(cloneSeq(xs), true)
+						gradsRef = ref.BackwardSeq(douts)
+					}
+
+					if d := maxAbsDiff(outsPar, outsRef); d != 0 {
+						t.Fatalf("%s: spike outputs differ (max |Δ| = %g)", name, d)
+					}
+					if d := maxAbsDiff(gradsPar, gradsRef); d > 1e-5 {
+						t.Fatalf("%s: input gradients differ by %g > 1e-5", name, d)
+					}
+
+					// Sanity: the regime labels mean what they claim.
+					sum, elems := par.SpikeStats()
+					rate := sum / float64(elems)
+					switch rb.name {
+					case "rate0":
+						if rate != 0 {
+							t.Fatalf("%s: expected silent regime, got rate %v", name, rate)
+						}
+					case "rate1":
+						if rate != 1 {
+							t.Fatalf("%s: expected saturated regime, got rate %v", name, rate)
+						}
+					default:
+						if rate <= 0 || rate >= 1 {
+							t.Fatalf("%s: expected intermediate rate, got %v", name, rate)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParLIFZeroSpikesResetModesCoincide: with no spikes the reset never
+// engages, so soft and none dynamics are the same trajectory.
+func TestParLIFZeroSpikesResetModesCoincide(t *testing.T) {
+	const T = 6
+	cfg := snn.DefaultNeuron()
+	xs, douts := parLIFInputs(77, T, -2.5, cfg.Threshold)
+
+	soft := snn.NewParLIF(cfg)
+	outsSoft := soft.ForwardSeq(cloneSeq(xs), true)
+	gradsSoft := soft.BackwardSeq(douts)
+
+	none := snn.NewParLIF(cfg)
+	none.ResetMode = snn.ParResetNone
+	outsNone := none.ForwardSeq(cloneSeq(xs), true)
+	gradsNone := none.BackwardSeq(douts)
+
+	if sum, _ := soft.SpikeStats(); sum != 0 {
+		t.Fatalf("regime not silent: %v spikes", sum)
+	}
+	if d := maxAbsDiff(outsSoft, outsNone); d != 0 {
+		t.Fatalf("silent outputs differ by %g", d)
+	}
+	if d := maxAbsDiff(gradsSoft, gradsNone); d > 1e-6 {
+		t.Fatalf("silent gradients differ by %g", d)
+	}
+}
+
+// TestParLIFStochasticEquivalence: with equal seeds the sequential and
+// parallel paths consume the same uniform draws in the same order, so spikes
+// agree except where the ~1e-7 membrane reassociation flips a draw sitting
+// exactly on the firing probability — allowed for a vanishing fraction.
+// ParResetNone keeps a flipped spike from cascading into later membranes.
+func TestParLIFStochasticEquivalence(t *testing.T) {
+	const T = 8
+	cfg := snn.DefaultNeuron()
+	xs, _ := parLIFInputs(301, T, 0.0, cfg.Threshold)
+
+	mk := func(forceSeq bool) []*tensor.Tensor {
+		l := snn.NewParLIF(cfg)
+		l.ResetMode = snn.ParResetNone
+		l.Stochastic = true
+		l.StochSeed = 99
+		l.ForceSequential = forceSeq
+		return l.ForwardSeq(cloneSeq(xs), false)
+	}
+	seq := mk(true)
+	par := mk(false)
+
+	var mismatches, total int
+	for ti := range seq {
+		for i := range seq[ti].Data {
+			total++
+			if seq[ti].Data[i] != par[ti].Data[i] {
+				mismatches++
+			}
+		}
+	}
+	if frac := float64(mismatches) / float64(total); frac > 0.005 {
+		t.Fatalf("stochastic spike mismatch fraction %v (%d/%d) exceeds 0.5%%", frac, mismatches, total)
+	}
+}
+
+// TestParLIFSmoothGradCheck validates the whole seq forward/backward against
+// central finite differences in smooth mode (the differentiable surrogate
+// primitive), for both reset modes.
+func TestParLIFSmoothGradCheck(t *testing.T) {
+	const T = 4
+	const n = 12
+	for _, mode := range []snn.ParReset{snn.ParResetSoft, snn.ParResetNone} {
+		for _, detach := range []bool{true, false} {
+			if mode == snn.ParResetSoft && detach {
+				// A detached soft reset drops the reset-path gradient on
+				// purpose; finite differences would (correctly) flag it.
+				continue
+			}
+			cfg := snn.NeuronConfig{Alpha: 0.5, Threshold: 0.8, DetachReset: detach, Surrogate: snn.ATan{}}
+			r := rng.New(505)
+			xs := make([]*tensor.Tensor, T)
+			cs := make([]*tensor.Tensor, T)
+			for ti := range xs {
+				xs[ti] = tensor.New(1, n)
+				cs[ti] = tensor.New(1, n)
+				for i := 0; i < n; i++ {
+					xs[ti].Data[i] = r.NormFloat32()
+					cs[ti].Data[i] = r.NormFloat32()
+				}
+			}
+			loss := func(in []*tensor.Tensor) float64 {
+				l := snn.NewParLIF(cfg)
+				l.ResetMode = mode
+				l.Smooth = true
+				outs := l.ForwardSeq(in, false)
+				var s float64
+				for ti := range outs {
+					for i := range outs[ti].Data {
+						s += float64(cs[ti].Data[i] * outs[ti].Data[i])
+					}
+				}
+				return s
+			}
+
+			l := snn.NewParLIF(cfg)
+			l.ResetMode = mode
+			l.Smooth = true
+			l.ForwardSeq(cloneSeq(xs), true)
+			grads := l.BackwardSeq(cloneSeq(cs))
+
+			const eps = 1e-2
+			for ti := 0; ti < T; ti++ {
+				for i := 0; i < n; i += 5 {
+					probe := cloneSeq(xs)
+					probe[ti].Data[i] += eps
+					up := loss(probe)
+					probe = cloneSeq(xs)
+					probe[ti].Data[i] -= eps
+					down := loss(probe)
+					numeric := (up - down) / (2 * eps)
+					analytic := float64(grads[ti].Data[i])
+					if d := math.Abs(analytic - numeric); d > 2e-2*math.Max(1, math.Abs(numeric)) {
+						t.Fatalf("mode=%d detach=%v d/dx[%d][%d]: analytic %v vs numeric %v",
+							mode, detach, ti, i, analytic, numeric)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParLIFStepProtocol drives ParLIF through the plain per-timestep
+// Forward/Backward protocol (the tape engine's fallback path) and pins it
+// against the fused path.
+func TestParLIFStepProtocol(t *testing.T) {
+	const T = 5
+	cfg := snn.DefaultNeuron()
+	xs, douts := parLIFInputs(909, T, 0.75, cfg.Threshold)
+
+	step := snn.NewParLIF(cfg)
+	outsStep := make([]*tensor.Tensor, T)
+	for ti, x := range cloneSeq(xs) {
+		outsStep[ti] = step.Forward(x, true)
+	}
+	gradsStep := make([]*tensor.Tensor, T)
+	for ti := T - 1; ti >= 0; ti-- {
+		gradsStep[ti] = step.Backward(douts[ti])
+	}
+
+	fused := snn.NewParLIF(cfg)
+	outsFused := fused.ForwardSeq(cloneSeq(xs), true)
+	gradsFused := fused.BackwardSeq(douts)
+
+	if d := maxAbsDiff(outsStep, outsFused); d != 0 {
+		t.Fatalf("per-step vs fused outputs differ by %g", d)
+	}
+	if d := maxAbsDiff(gradsStep, gradsFused); d > 1e-5 {
+		t.Fatalf("per-step vs fused gradients differ by %g", d)
+	}
+}
+
+// TestParLIFLongT is the race-matrix smoke: a longer sequence (T=25, the
+// regime the time-parallel neuron exists for) through forward+backward with
+// the equivalence pin, kept -short friendly so CI can run it under -race at
+// GOMAXPROCS {1,4}.
+func TestParLIFLongT(t *testing.T) {
+	const T = 25
+	cfg := snn.DefaultNeuron()
+	xs, douts := parLIFInputs(4242, T, 0.6, cfg.Threshold)
+
+	par := snn.NewParLIF(cfg)
+	outsPar := par.ForwardSeq(cloneSeq(xs), true)
+	gradsPar := par.BackwardSeq(douts)
+
+	lif := cfg.New()
+	outsRef := make([]*tensor.Tensor, T)
+	for ti, x := range cloneSeq(xs) {
+		outsRef[ti] = lif.Forward(x, true)
+	}
+	gradsRef := make([]*tensor.Tensor, T)
+	for ti := T - 1; ti >= 0; ti-- {
+		gradsRef[ti] = lif.Backward(douts[ti])
+	}
+
+	if d := maxAbsDiff(outsPar, outsRef); d != 0 {
+		t.Fatalf("T=25 spike outputs differ by %g", d)
+	}
+	if d := maxAbsDiff(gradsPar, gradsRef); d > 1e-5 {
+		t.Fatalf("T=25 input gradients differ by %g > 1e-5", d)
+	}
+}
+
+// TestParLIFNetworkGradCheck runs the standard finite-difference harness over
+// a small network whose neuron is time-parallel, exercising ParLIF inside the
+// tape engine next to layers with parameters.
+func TestParLIFNetworkGradCheck(t *testing.T) {
+	// Non-detached reset: with DetachReset the backward intentionally drops
+	// the reset pathway, which finite differences would flag as an error.
+	cfg := snn.NeuronConfig{Alpha: 0.5, Threshold: 0.8, DetachReset: false, Surrogate: snn.ATan{}, TimeParallel: true}
+	r := rng.New(32)
+	b := snn.NewResidualBlock("rb", 2, 3, 2, cfg, r)
+	if _, ok := b.LIF1.(*snn.ParLIF); !ok {
+		t.Fatalf("NewNeuron did not select ParLIF (got %T)", b.LIF1)
+	}
+	b.LIF1.(*snn.ParLIF).Smooth = true
+	b.LIF2.(*snn.ParLIF).Smooth = true
+	testutil.GradCheck(t, "residual-parlif", b, testutil.GradCheckConfig{InShape: []int{2, 2, 6, 6}, Timesteps: 2, Eps: 3e-3, Tol: 4e-2})
+}

@@ -21,13 +21,16 @@ import (
 type ResidualBlock struct {
 	Conv1 *layers.Conv2d
 	BN1   *layers.BatchNorm
-	LIF1  *LIF
+	// LIF1/LIF2 hold the block's spiking nonlinearities — historically always
+	// *LIF, now whatever NeuronConfig.NewNeuron selects (ParLIF included), so
+	// the fields are typed by the layer contract.
+	LIF1  layers.Layer
 	Conv2 *layers.Conv2d
 	BN2   *layers.BatchNorm
 	// SCConv/SCBN form the projection shortcut; both nil for identity.
 	SCConv *layers.Conv2d
 	SCBN   *layers.BatchNorm
-	LIF2   *LIF
+	LIF2   layers.Layer
 }
 
 // NewResidualBlock constructs a spiking basic block mapping inC channels to
@@ -36,10 +39,10 @@ func NewResidualBlock(name string, inC, outC, stride int, neuron NeuronConfig, r
 	b := &ResidualBlock{
 		Conv1: layers.NewConv2d(name+".conv1", inC, outC, 3, stride, 1, false, r),
 		BN1:   layers.NewBatchNorm(name+".bn1", outC),
-		LIF1:  neuron.New(),
+		LIF1:  neuron.NewNeuron(),
 		Conv2: layers.NewConv2d(name+".conv2", outC, outC, 3, 1, 1, false, r),
 		BN2:   layers.NewBatchNorm(name+".bn2", outC),
-		LIF2:  neuron.New(),
+		LIF2:  neuron.NewNeuron(),
 	}
 	if inC != outC || stride != 1 {
 		b.SCConv = layers.NewConv2d(name+".sc", inC, outC, 1, stride, 0, false, r)
@@ -68,22 +71,42 @@ func (b *ResidualBlock) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // ForwardSeq runs all T timesteps time-major through both paths: the
 // sublayer chains are driven by the tape engine (so the inner convolutions
-// get the fused batched-timestep GEMM), then the per-timestep addition and
-// output neuron run in order. Identical to T Forward calls.
+// get the fused batched-timestep GEMM and a time-parallel output neuron gets
+// its whole summed sequence at once), with the per-timestep addition in
+// between. Identical to T Forward calls.
 func (b *ResidualBlock) ForwardSeq(xs []*tensor.Tensor, train bool) []*tensor.Tensor {
 	main := tape.Run([]tape.Layer{b.Conv1, b.BN1, b.LIF1, b.Conv2, b.BN2}, xs, train)
 	sc := xs
 	if b.SCConv != nil {
 		sc = tape.Run([]tape.Layer{b.SCConv, b.SCBN}, xs, train)
 	}
-	outs := make([]*tensor.Tensor, len(xs))
+	sums := make([]*tensor.Tensor, len(xs))
 	for t := range xs {
 		if !main[t].SameShape(sc[t]) {
 			panic(fmt.Sprintf("snn: residual shapes diverge: %v vs %v", main[t].Shape(), sc[t].Shape()))
 		}
-		outs[t] = b.LIF2.Forward(tensor.Add(main[t], sc[t]), train)
+		sums[t] = tensor.Add(main[t], sc[t])
 	}
-	return outs
+	return tape.Run([]tape.Layer{b.LIF2}, sums, train)
+}
+
+// BackwardSeq replays the whole tape time-major through both paths: each
+// sublayer chain is driven by tape.RunBackward, so fused sequence backwards
+// (Conv2d's stacked-timestep SDDMM, ParLIF's anticausal filter) engage.
+// Accumulates the same parameter gradients and returns the same input
+// gradients as T Backward calls, up to float summation order.
+func (b *ResidualBlock) BackwardSeq(dys []*tensor.Tensor) []*tensor.Tensor {
+	dsums := tape.RunBackward([]tape.Layer{b.LIF2}, dys)
+	dmain := tape.RunBackward([]tape.Layer{b.Conv1, b.BN1, b.LIF1, b.Conv2, b.BN2}, dsums)
+	dsc := dsums
+	if b.SCConv != nil {
+		dsc = tape.RunBackward([]tape.Layer{b.SCConv, b.SCBN}, dsums)
+	}
+	out := make([]*tensor.Tensor, len(dys))
+	for t := range out {
+		out[t] = tensor.Add(dmain[t], dsc[t])
+	}
+	return out
 }
 
 // Backward reverses one timestep through both paths.

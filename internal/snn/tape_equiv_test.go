@@ -2,6 +2,7 @@ package snn_test
 
 import (
 	"fmt"
+	"path/filepath"
 	"testing"
 
 	"ndsnn/internal/layers"
@@ -9,13 +10,17 @@ import (
 	"ndsnn/internal/snn"
 	"ndsnn/internal/tape"
 	"ndsnn/internal/tensor"
+	"ndsnn/internal/testutil"
 )
 
-// The acceptance property of the sparse temporal tape: running a network
-// time-major with event-encoded activation caches must reproduce the
-// step-major dense-cache reference — forward outputs and every parameter
-// gradient — within 1e-5, across sparse-gradient modes, architectures
-// (sequential and residual) and neuron variants (soft and hard reset).
+// The acceptance property of the time-major tape engine: forward outputs and
+// every parameter gradient must reproduce recorded golden fixtures within
+// 1e-5, across sparse-gradient modes, cache encodings (dense and event),
+// architectures (sequential and residual) and neuron variants (soft and hard
+// reset). The fixtures were recorded from the step-major dense-cache loop —
+// the original reference engine, deleted once these goldens pinned its
+// behavior. Re-record with -update only after an intentional numeric change
+// (that records from the current dense-cache time-major engine).
 
 // buildEquivNet constructs a masked spiking stack deterministically from
 // seed. kind is "plain" or "residual"; hardReset switches the LIF variant.
@@ -98,59 +103,94 @@ func runEquivNet(net *snn.Network, seed uint64, sparseGrad bool) ([]*tensor.Tens
 	return outs, grads
 }
 
-func maxDiffT(a, b *tensor.Tensor) float64 {
-	var d float64
-	for i := range a.Data {
-		x := float64(a.Data[i] - b.Data[i])
-		if x < 0 {
-			x = -x
-		}
-		if x > d {
-			d = x
-		}
+func equivFixturePath(kind string, hardReset bool) string {
+	reset := "soft"
+	if hardReset {
+		reset = "hard"
 	}
-	return d
+	return filepath.Join("testdata", fmt.Sprintf("tape_equiv_%s_%s.json", kind, reset))
 }
 
-func TestTapeTimeMajorMatchesDenseReference(t *testing.T) {
+// equivTensors names one run's results for fixture storage: outputs by
+// timestep, gradients by parameter index and name.
+func equivTensors(outs, grads []*tensor.Tensor, params []*layers.Param) map[string]*tensor.Tensor {
+	m := make(map[string]*tensor.Tensor, len(outs)+len(grads))
+	for t, o := range outs {
+		m[fmt.Sprintf("out.%d", t)] = o
+	}
+	for i, g := range grads {
+		m[fmt.Sprintf("grad.%d.%s", i, params[i].Name)] = g
+	}
+	return m
+}
+
+// maskGrads projects a fixture's gradient tensors onto each parameter's
+// active-weight mask (unmasked parameters pass through), the subset a
+// sparse-gradient run computes.
+func maskGrads(want map[string]*tensor.Tensor, params []*layers.Param) map[string]*tensor.Tensor {
+	out := make(map[string]*tensor.Tensor, len(want))
+	for name, w := range want {
+		out[name] = w
+	}
+	for i, p := range params {
+		if p.Mask == nil {
+			continue
+		}
+		name := fmt.Sprintf("grad.%d.%s", i, p.Name)
+		g := want[name].Clone()
+		for j := range g.Data {
+			g.Data[j] *= p.Mask.Data[j]
+		}
+		out[name] = g
+	}
+	return out
+}
+
+func TestTapeMatchesGoldenFixtures(t *testing.T) {
 	oldD, oldR := layers.CSRMaxDensity, layers.EventMaxRate
 	layers.CSRMaxDensity, layers.EventMaxRate = 1, 1
 	defer func() { layers.CSRMaxDensity, layers.EventMaxRate = oldD, oldR }()
 
+	const seed = uint64(97)
 	for _, kind := range []string{"plain", "residual"} {
 		for _, hardReset := range []bool{false, true} {
-			for _, sparseGrad := range []bool{false, true} {
-				name := fmt.Sprintf("%s/hard=%v/sparseGrad=%v", kind, hardReset, sparseGrad)
-				seed := uint64(97)
-
-				// Reference: step-major, dense caches (the PR 2 behavior).
-				ref := buildEquivNet(seed, kind, hardReset)
-				var refOuts, refGrads []*tensor.Tensor
-				oldCache := tape.CacheEvents
+			path := equivFixturePath(kind, hardReset)
+			if testutil.UpdateFixtures() {
+				old := tape.CacheEvents
 				tape.CacheEvents = false
-				refOuts, refGrads = runEquivNet(ref, seed, sparseGrad)
-				tape.CacheEvents = oldCache
-
-				// Tape path: time-major execution, event-encoded caches.
-				got := buildEquivNet(seed, kind, hardReset)
-				got.TimeMajor = true
-				gotOuts, gotGrads := runEquivNet(got, seed, sparseGrad)
-
-				for tt := range refOuts {
-					if d := maxDiffT(refOuts[tt], gotOuts[tt]); d > 1e-5 {
-						t.Fatalf("%s: timestep %d forward differs by %v", name, tt, d)
-					}
-				}
-				if len(refGrads) != len(gotGrads) {
-					t.Fatalf("%s: grad count %d vs %d", name, len(refGrads), len(gotGrads))
-				}
-				for i := range refGrads {
-					if d := maxDiffT(refGrads[i], gotGrads[i]); d > 1e-5 {
-						t.Fatalf("%s: grad %d differs by %v (tape replay vs dense reference)", name, i, d)
-					}
-				}
-				for _, p := range append(ref.Params(), got.Params()...) {
+				net := buildEquivNet(seed, kind, hardReset)
+				outs, grads := runEquivNet(net, seed, false)
+				tape.CacheEvents = old
+				testutil.WriteFixture(t, path,
+					"dense-cache reference run of buildEquivNet(seed 97): per-timestep outputs and parameter gradients (originally recorded from the step-major loop, since deleted)",
+					equivTensors(outs, grads, net.Params()))
+				for _, p := range net.Params() {
 					p.InvalidateCSR()
+				}
+			}
+			want := testutil.ReadFixture(t, path)
+
+			// Every engine mode must agree with the same golden: dense and
+			// event-encoded caches, dense and active-position-only gradients.
+			// Sparse-grad mode skips masked-out positions entirely (they stay
+			// zero), so it is compared against the mask-projected fixture —
+			// equivalence at every position the mode promises to compute.
+			for _, sparseGrad := range []bool{false, true} {
+				for _, events := range []bool{false, true} {
+					label := fmt.Sprintf("%s/hard=%v/sparseGrad=%v/events=%v", kind, hardReset, sparseGrad, events)
+					old := tape.CacheEvents
+					tape.CacheEvents = events
+					net := buildEquivNet(seed, kind, hardReset)
+					outs, grads := runEquivNet(net, seed, sparseGrad)
+					tape.CacheEvents = old
+					ref := want
+					if sparseGrad {
+						ref = maskGrads(want, net.Params())
+					}
+					testutil.CompareFixture(t, label, ref, equivTensors(outs, grads, net.Params()), 1e-5)
+					for _, p := range net.Params() {
+						p.InvalidateCSR()
+					}
 				}
 			}
 		}

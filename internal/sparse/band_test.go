@@ -1,0 +1,180 @@
+package sparse
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"ndsnn/internal/rng"
+)
+
+// naiveFilter is the O(T²) dense lower-triangular reference: out[t][j] =
+// Σ_{d=0..min(t,band-1)} α^d·xs[t-d][j], summed in the same ascending-d order
+// the kernel uses so exact (bit) comparison is meaningful.
+func naiveFilter(alpha float32, band int, xs [][]float32, anticausal bool) [][]float32 {
+	T := len(xs)
+	out := make([][]float32, T)
+	for t := range out {
+		out[t] = make([]float32, len(xs[t]))
+		for d := 0; d < band && d <= maxLag(t, T, anticausal); d++ {
+			w := powf(alpha, d)
+			src := t + d
+			if !anticausal {
+				src = t - d
+			}
+			for j := range out[t] {
+				out[t][j] += w * xs[src][j]
+			}
+		}
+	}
+	return out
+}
+
+func maxLag(t, T int, anticausal bool) int {
+	if anticausal {
+		return T - 1 - t
+	}
+	return t
+}
+
+func powf(a float32, d int) float32 {
+	p := float32(1)
+	for i := 0; i < d; i++ {
+		p *= a
+	}
+	return p
+}
+
+func randSeq(r *rng.RNG, T, n int) [][]float32 {
+	xs := make([][]float32, T)
+	for t := range xs {
+		xs[t] = make([]float32, n)
+		for j := range xs[t] {
+			xs[t][j] = r.NormFloat32()
+		}
+	}
+	return xs
+}
+
+func newSeq(T, n int) [][]float32 {
+	xs := make([][]float32, T)
+	for t := range xs {
+		xs[t] = make([]float32, n)
+	}
+	return xs
+}
+
+func TestDecayFilterMatchesNaive(t *testing.T) {
+	r := rng.New(41)
+	cases := []struct {
+		alpha float32
+		T, n  int
+		eps   float64
+	}{
+		{0.5, 1, 7, 0},      // T=1
+		{0.5, 4, 1, 0},      // single element per step
+		{0.5, 8, 33, 0},     // exact: band = T
+		{0.5, 25, 17, 1e-9}, // truncated band < T
+		{0.9, 100, 5, 1e-9},
+		{0, 6, 9, 1e-9}, // alpha=0: identity filter, band=1
+		{1, 6, 9, 0},    // alpha=1: running prefix sums
+	}
+	for _, c := range cases {
+		f := NewDecayFilter(c.alpha, c.T, c.eps)
+		if f.Band < 1 || f.Band > c.T {
+			t.Fatalf("alpha=%v T=%d eps=%g: band %d out of range", c.alpha, c.T, c.eps, f.Band)
+		}
+		xs := randSeq(r, c.T, c.n)
+		for _, anti := range []bool{false, true} {
+			want := naiveFilter(c.alpha, f.Band, xs, anti)
+			got := newSeq(c.T, c.n)
+			if anti {
+				f.BackwardInto(got, xs)
+			} else {
+				f.ForwardInto(got, xs)
+			}
+			for ti := range want {
+				for j := range want[ti] {
+					if got[ti][j] != want[ti][j] {
+						t.Fatalf("alpha=%v T=%d anti=%v: [%d][%d] = %v, want %v",
+							c.alpha, c.T, anti, ti, j, got[ti][j], want[ti][j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDecayFilterMatchesRecurrence pins the forward filter against the
+// sequential Horner recurrence v[t] = α·v[t-1] + x[t] (the reset-free LIF
+// membrane) within the band-truncation + reassociation tolerance, and the
+// backward filter against ε[s] = e[s] + α·ε[s+1].
+func TestDecayFilterMatchesRecurrence(t *testing.T) {
+	r := rng.New(43)
+	const T, n = 100, 13
+	const alpha = 0.5
+	f := NewDecayFilter(alpha, T, 1e-9)
+	if f.Band >= T {
+		t.Fatalf("band %d not truncated below T=%d", f.Band, T)
+	}
+	xs := randSeq(r, T, n)
+
+	got := newSeq(T, n)
+	f.ForwardInto(got, xs)
+	v := make([]float64, n)
+	for ti := 0; ti < T; ti++ {
+		for j := 0; j < n; j++ {
+			v[j] = alpha*v[j] + float64(xs[ti][j])
+			if d := math.Abs(float64(got[ti][j]) - v[j]); d > 1e-5 {
+				t.Fatalf("forward [%d][%d]: filter %v vs recurrence %v (diff %g)", ti, j, got[ti][j], v[j], d)
+			}
+		}
+	}
+
+	f.BackwardInto(got, xs)
+	eps := make([]float64, n)
+	for ti := T - 1; ti >= 0; ti-- {
+		for j := 0; j < n; j++ {
+			eps[j] = float64(xs[ti][j]) + alpha*eps[j]
+			if d := math.Abs(float64(got[ti][j]) - eps[j]); d > 1e-5 {
+				t.Fatalf("backward [%d][%d]: filter %v vs recurrence %v (diff %g)", ti, j, got[ti][j], eps[j], d)
+			}
+		}
+	}
+}
+
+// TestDecayFilterWorkerInvariance pins bit-identical output across
+// GOMAXPROCS: the kernels parallelize over disjoint element strips and each
+// element keeps the full ascending-diagonal summation order, so the chunk
+// partition cannot change any result bit.
+func TestDecayFilterWorkerInvariance(t *testing.T) {
+	r := rng.New(47)
+	const T, n = 25, 4096
+	f := NewDecayFilter(0.5, T, 1e-9)
+	xs := randSeq(r, T, n)
+
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	runtime.GOMAXPROCS(1)
+	serial := newSeq(T, n)
+	f.ForwardInto(serial, xs)
+	serialB := newSeq(T, n)
+	f.BackwardInto(serialB, xs)
+
+	for _, w := range []int{2, 4, 8} {
+		runtime.GOMAXPROCS(w)
+		got := newSeq(T, n)
+		f.ForwardInto(got, xs)
+		gotB := newSeq(T, n)
+		f.BackwardInto(gotB, xs)
+		for ti := 0; ti < T; ti++ {
+			for j := 0; j < n; j++ {
+				if got[ti][j] != serial[ti][j] {
+					t.Fatalf("procs=%d forward [%d][%d]: %v != serial %v", w, ti, j, got[ti][j], serial[ti][j])
+				}
+				if gotB[ti][j] != serialB[ti][j] {
+					t.Fatalf("procs=%d backward [%d][%d]: %v != serial %v", w, ti, j, gotB[ti][j], serialB[ti][j])
+				}
+			}
+		}
+	}
+}

@@ -34,5 +34,7 @@
 //
 // The package sits just above internal/sparse and internal/tensor; the layer
 // library stores its caches in tape Stacks, and internal/snn's Network drives
-// whole networks through Run/RunBackward when its TimeMajor flag is set.
+// whole networks through Run/RunBackward. (The step-major loop that
+// predated this engine is deleted; its behavior is pinned as golden
+// fixtures in internal/snn's equivalence tests.)
 package tape

@@ -1,0 +1,169 @@
+package testutil
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"ndsnn/internal/tensor"
+)
+
+// Golden-fixture record/replay: a fixture is a JSON file mapping names to
+// tensors (shape + base64-encoded little-endian float32 bits, so values
+// round-trip exactly). Tests record fixtures once from a trusted reference
+// engine and thereafter compare the current engine against them within a
+// small absolute tolerance — bit-exactness across machines is not promised
+// because Go may contract multiply-adds into FMAs differently per
+// architecture, but the engines under test agree to well under 1e-5.
+//
+// To re-record after an intentional numeric change:
+//
+//	go test ./internal/... -run TestName -update
+//
+// and review the fixture diff like any other code change.
+
+var updateFixtures = flag.Bool("update", false, "rewrite golden fixtures from the current engine instead of comparing against them")
+
+// UpdateFixtures reports whether the test run was started with -update.
+func UpdateFixtures() bool { return *updateFixtures }
+
+// fixtureTensor is one tensor in the JSON encoding.
+type fixtureTensor struct {
+	Shape []int `json:"shape"`
+	// Data is base64(little-endian IEEE-754 float32 bits), row-major.
+	Data string `json:"data"`
+}
+
+// fixtureFile is the on-disk schema.
+type fixtureFile struct {
+	// Note records provenance: which engine and configuration produced the
+	// values, so a reader knows what the fixture is an oracle for.
+	Note    string                   `json:"note,omitempty"`
+	Tensors map[string]fixtureTensor `json:"tensors"`
+}
+
+func encodeTensor(x *tensor.Tensor) fixtureTensor {
+	buf := make([]byte, 4*len(x.Data))
+	for i, v := range x.Data {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+	}
+	return fixtureTensor{
+		Shape: append([]int(nil), x.Shape()...),
+		Data:  base64.StdEncoding.EncodeToString(buf),
+	}
+}
+
+func decodeTensor(name string, ft fixtureTensor) (*tensor.Tensor, error) {
+	buf, err := base64.StdEncoding.DecodeString(ft.Data)
+	if err != nil {
+		return nil, fmt.Errorf("fixture tensor %q: %w", name, err)
+	}
+	out := tensor.New(ft.Shape...)
+	if len(buf) != 4*len(out.Data) {
+		return nil, fmt.Errorf("fixture tensor %q: %d data bytes for shape %v (want %d)",
+			name, len(buf), ft.Shape, 4*len(out.Data))
+	}
+	for i := range out.Data {
+		out.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	return out, nil
+}
+
+// WriteFixture records tensors to path (creating parent directories),
+// overwriting any existing fixture. note documents provenance and is stored
+// in the file.
+func WriteFixture(t *testing.T, path, note string, tensors map[string]*tensor.Tensor) {
+	t.Helper()
+	ff := fixtureFile{Note: note, Tensors: make(map[string]fixtureTensor, len(tensors))}
+	for name, x := range tensors {
+		ff.Tensors[name] = encodeTensor(x)
+	}
+	blob, err := json.MarshalIndent(&ff, "", " ")
+	if err != nil {
+		t.Fatalf("fixture %s: marshal: %v", path, err)
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatalf("fixture %s: mkdir: %v", path, err)
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		t.Fatalf("fixture %s: write: %v", path, err)
+	}
+	t.Logf("recorded fixture %s (%d tensors)", path, len(tensors))
+}
+
+// ReadFixture loads a fixture previously recorded with WriteFixture.
+func ReadFixture(t *testing.T, path string) map[string]*tensor.Tensor {
+	t.Helper()
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("fixture %s: %v (run with -update to record it)", path, err)
+	}
+	var ff fixtureFile
+	if err := json.Unmarshal(blob, &ff); err != nil {
+		t.Fatalf("fixture %s: unmarshal: %v", path, err)
+	}
+	out := make(map[string]*tensor.Tensor, len(ff.Tensors))
+	for name, ft := range ff.Tensors {
+		x, err := decodeTensor(name, ft)
+		if err != nil {
+			t.Fatalf("fixture %s: %v", path, err)
+		}
+		out[name] = x
+	}
+	return out
+}
+
+// CompareFixture checks got against want (a loaded fixture): identical key
+// sets, identical shapes, and every element within tol absolutely. label
+// prefixes failure messages with the caller's configuration.
+func CompareFixture(t *testing.T, label string, want, got map[string]*tensor.Tensor, tol float64) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: fixture has %d tensors, engine produced %d", label, len(want), len(got))
+	}
+	names := make([]string, 0, len(want))
+	for name := range want {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		w, g := want[name], got[name]
+		if g == nil {
+			t.Fatalf("%s: engine produced no tensor %q", label, name)
+		}
+		if !shapeEq(w.Shape(), g.Shape()) {
+			t.Fatalf("%s: tensor %q shape %v, fixture has %v", label, name, g.Shape(), w.Shape())
+		}
+		var worst float64
+		var worstAt int
+		for i := range w.Data {
+			d := math.Abs(float64(w.Data[i]) - float64(g.Data[i]))
+			if d > worst {
+				worst, worstAt = d, i
+			}
+		}
+		if worst > tol {
+			t.Errorf("%s: tensor %q differs from fixture by %v at flat index %d (tolerance %v)",
+				label, name, worst, worstAt, tol)
+		}
+	}
+}
+
+func shapeEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

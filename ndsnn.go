@@ -76,6 +76,11 @@ type Config struct {
 	InitialSparsity float64
 	// Timesteps overrides the scale's SNN simulation length when > 0.
 	Timesteps int
+	// TimeParallelNeurons trains with the ParLIF neuron: every LIF's
+	// membrane sequence is computed in one banded filter pass instead of the
+	// per-timestep recurrence (same soft-reset dynamics within float
+	// tolerance; pays off as Timesteps grows). See snn.ParLIF.
+	TimeParallelNeurons bool
 	// Scale is "unit", "bench" (default) or "paper".
 	Scale string
 	// Seed makes the run reproducible (default 1).
@@ -171,7 +176,8 @@ func Train(cfg Config) (*Result, error) {
 	res, err := bench.Run(bench.ScaleByName(cfg.Scale), bench.Spec{
 		Method: string(cfg.Method), Arch: cfg.Arch, Dataset: cfg.Dataset,
 		Sparsity: cfg.Sparsity, InitialSparsity: cfg.InitialSparsity,
-		Timesteps: cfg.Timesteps, Seed: cfg.Seed,
+		Timesteps: cfg.Timesteps, TimeParallel: cfg.TimeParallelNeurons,
+		Seed: cfg.Seed,
 	}, nil)
 	if err != nil {
 		return nil, err
@@ -215,10 +221,12 @@ func TrainModel(cfg Config) (*Model, *Result, error) {
 	if cfg.Timesteps > 0 {
 		t = cfg.Timesteps
 	}
+	neuron := snn.DefaultNeuron()
+	neuron.TimeParallel = cfg.TimeParallelNeurons
 	net := models.Build(models.Config{
 		Arch: cfg.Arch, Classes: ds.Config.Classes,
 		InC: ds.Config.C, InH: ds.Config.H, InW: ds.Config.W,
-		Timesteps: t, Neuron: snn.DefaultNeuron(),
+		Timesteps: t, Neuron: neuron,
 		Profile: s.Profile, Seed: cfg.Seed*31 + 7,
 	})
 	// Run through the same dispatcher against the same dataset/model seeds
@@ -226,7 +234,8 @@ func TrainModel(cfg Config) (*Model, *Result, error) {
 	res, err := bench.RunOn(s, bench.Spec{
 		Method: string(cfg.Method), Arch: cfg.Arch, Dataset: cfg.Dataset,
 		Sparsity: cfg.Sparsity, InitialSparsity: cfg.InitialSparsity,
-		Timesteps: cfg.Timesteps, Seed: cfg.Seed,
+		Timesteps: cfg.Timesteps, TimeParallel: cfg.TimeParallelNeurons,
+		Seed: cfg.Seed,
 	}, ds, net)
 	if err != nil {
 		return nil, nil, err
