@@ -7,24 +7,42 @@
 //
 //	ndsnn-train -method ndsnn -sparsity 0.95 -out model.ckpt
 //	ndsnn-inspect -ckpt model.ckpt
+//
+// The metrics subcommand pretty-prints the live telemetry of a serving
+// process that mounted Server.MetricsHandler (or a saved snapshot file):
+//
+//	ndsnn-inspect metrics -url http://localhost:8080/metrics.json
+//	ndsnn-inspect metrics -url snapshot.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"sort"
+	"strings"
+	"time"
 
 	"ndsnn"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "metrics" {
+		if err := metricsMain(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var (
 		ckpt = flag.String("ckpt", "", "checkpoint path (required)")
 	)
 	flag.Parse()
 	if *ckpt == "" {
-		fmt.Fprintln(os.Stderr, "usage: ndsnn-inspect -ckpt model.ckpt")
+		fmt.Fprintln(os.Stderr, "usage: ndsnn-inspect -ckpt model.ckpt\n       ndsnn-inspect metrics -url http://host:port/metrics.json")
 		os.Exit(2)
 	}
 	info, err := ndsnn.InspectCheckpoint(*ckpt)
@@ -54,5 +72,101 @@ func main() {
 	for _, name := range names {
 		mib := info.FootprintsMiB[name]
 		fmt.Printf("  %-14s %.3f MiB (%.1f%% of dense FP32)\n", name, mib, 100*mib/info.DenseMiB)
+	}
+}
+
+// metricsMain implements the metrics subcommand: fetch a telemetry snapshot
+// from a live MetricsHandler endpoint (or read a saved one from a file) and
+// pretty-print its histograms, counters, gauges and most recent trace.
+func metricsMain(args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	url := fs.String("url", "http://localhost:8080/metrics.json",
+		"metrics JSON endpoint (Server.MetricsHandler) or a snapshot file path")
+	raw := fs.Bool("json", false, "dump the raw JSON snapshot instead of the summary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	body, err := openSnapshot(*url)
+	if err != nil {
+		return err
+	}
+	defer body.Close()
+	if *raw {
+		_, err := io.Copy(os.Stdout, body)
+		return err
+	}
+	var snap ndsnn.MetricsSnapshot
+	if err := json.NewDecoder(body).Decode(&snap); err != nil {
+		return fmt.Errorf("decoding %s: %w", *url, err)
+	}
+	printSnapshot(snap)
+	return nil
+}
+
+func openSnapshot(target string) (io.ReadCloser, error) {
+	if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") {
+		client := &http.Client{Timeout: 10 * time.Second}
+		resp, err := client.Get(target)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return nil, fmt.Errorf("GET %s: %s", target, resp.Status)
+		}
+		return resp.Body, nil
+	}
+	return os.Open(target)
+}
+
+func printSnapshot(snap ndsnn.MetricsSnapshot) {
+	fmt.Printf("snapshot taken at %s\n", snap.TakenAt.Format(time.RFC3339))
+
+	if len(snap.Histograms) > 0 {
+		fmt.Printf("\nhistograms:\n")
+		fmt.Printf("  %-38s %10s %10s %10s %10s %10s\n", "name", "count", "p50", "p90", "p99", "max")
+		for _, h := range snap.Histograms {
+			fmt.Printf("  %-38s %10d %10s %10s %10s %10s\n",
+				h.Name, h.Count, fmtVal(h.P50, h.Unit), fmtVal(h.P90, h.Unit),
+				fmtVal(h.P99, h.Unit), fmtVal(h.Max, h.Unit))
+		}
+	}
+	if len(snap.Counters) > 0 {
+		fmt.Printf("\ncounters:\n")
+		for _, c := range snap.Counters {
+			fmt.Printf("  %-38s %12d\n", c.Name, c.Value)
+		}
+	}
+	if len(snap.Gauges) > 0 {
+		fmt.Printf("\ngauges:\n")
+		for _, g := range snap.Gauges {
+			fmt.Printf("  %-38s %12d\n", g.Name, g.Value)
+		}
+	}
+	if n := len(snap.Traces); n > 0 {
+		tr := snap.Traces[n-1]
+		fmt.Printf("\nlatest trace (%d in ring): kind=%s seq=%d batch=%d start=%s\n",
+			n, tr.Kind, tr.Seq, tr.Batch, tr.Start.Format(time.RFC3339Nano))
+		for _, sp := range tr.Spans {
+			fmt.Printf("  %12s +%-12s %s\n", fmtVal(sp.DurNs, "ns"), fmtVal(sp.StartNs, "ns"), sp.Name)
+		}
+	}
+}
+
+// fmtVal renders a metric value: durations scaled to a readable unit, plain
+// integers otherwise.
+func fmtVal(v int64, unit string) string {
+	if unit != "ns" {
+		return fmt.Sprintf("%d", v)
+	}
+	switch d := time.Duration(v); {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	default:
+		return fmt.Sprintf("%dns", v)
 	}
 }

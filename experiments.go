@@ -13,7 +13,7 @@ import (
 var ExperimentIDs = []string{
 	"fig1", "table1", "table2", "table3", "fig4", "fig5", "memory", "synops",
 	"sparse-gemm", "event-driven", "sparse-tape", "quant-infer",
-	"parallel-kernels", "time-parallel", "serving",
+	"parallel-kernels", "time-parallel", "serving", "observability",
 	"ablation-grow", "ablation-shape", "ablation-allocation",
 	"ablation-surrogate", "ablation-deltat",
 }
@@ -35,6 +35,7 @@ var ExperimentDescription = map[string]string{
 	"parallel-kernels":    "thread-scalable event kernels: serial vs banded/blocked parallel + scalar vs unrolled integer accumulates (JSON, BENCH_parallel_kernels.json)",
 	"time-parallel":       "time-parallel neurons: sequential LIF vs ParLIF banded-filter membrane across simulation lengths T, spikes exact + grads ≤1e-5 (JSON, BENCH_time_parallel.json)",
 	"serving":             "multi-tenant serving: coalesced-batch throughput + p50/p99 latency across concurrency levels, bit-identical to serial (JSON, BENCH_serving.json)",
+	"observability":       "telemetry cost: serving p99/throughput with metrics off vs on (overhead gated ≤1%) + per-stage latency/SynOps breakdown (JSON, BENCH_observability.json)",
 	"ablation-grow":       "A1 — gradient vs random regrowth",
 	"ablation-shape":      "A2 — cubic vs linear vs step sparsity ramp",
 	"ablation-allocation": "A3 — ERK vs uniform layer allocation",
@@ -236,6 +237,18 @@ func RunExperiment(id string, w io.Writer, opts ExperimentOptions) error {
 			return err
 		}
 		return bench.PrintServing(w, rep)
+	case "observability":
+		// Same LeNet-5 serving workload as the serving experiment, but the
+		// cells compare metrics-off vs metrics-on arms of the same plan.
+		concurrency, requests := 16, 384
+		if opts.Scale == "unit" {
+			concurrency, requests = 8, 96
+		}
+		rep, err := bench.RunObservability(s, "lenet5", 0.80, concurrency, requests, opts.Seed, progress)
+		if err != nil {
+			return err
+		}
+		return bench.PrintObservability(w, rep)
 	case "ablation-grow":
 		return runAblation(w, s, opts, bench.RunAblationGrowCriterion)
 	case "ablation-shape":

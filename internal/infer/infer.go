@@ -86,6 +86,10 @@ type Engine struct {
 	// Scratch-arena slot layout, fixed at compile time.
 	nAct, nLIF, nInt, nOps int
 	pool                   sync.Pool
+
+	// tel is the optional telemetry state (see telemetry.go). Nil — the
+	// default — keeps every hot-path hook a single branch.
+	tel *Telemetry
 }
 
 // QuantStats summarizes the integer engine's storage: how many compute
@@ -181,8 +185,21 @@ func (e *Engine) finish(stages []stage, c *compiler) {
 	e.pool.New = func() any { return e.NewScratch() }
 }
 
-// acquire draws a pooled arena; release returns it for reuse.
-func (e *Engine) acquire() *Scratch   { return e.pool.Get().(*Scratch) }
+// acquire draws a pooled arena; release returns it for reuse. With
+// telemetry enabled, acquire classifies the draw as a pool hit (recycled
+// arena: its buffers are warm) or miss (freshly allocated by pool.New).
+func (e *Engine) acquire() *Scratch {
+	sc := e.pool.Get().(*Scratch)
+	if t := e.tel; t != nil {
+		if sc.fresh {
+			t.poolMiss.Inc()
+		} else {
+			t.poolHit.Inc()
+		}
+	}
+	sc.fresh = false
+	return sc
+}
 func (e *Engine) release(sc *Scratch) { e.pool.Put(sc) }
 
 // compiler walks the layer list turning layers into stages, and assigns
@@ -357,16 +374,18 @@ func (e *Engine) Infer(sample *tensor.Tensor) []float32 {
 // that keep scores across requests must copy them (Infer does). Use this
 // when managing arenas explicitly; otherwise call Infer.
 func (e *Engine) InferScratch(sc *Scratch, sample *tensor.Tensor) []float32 {
+	return e.inferScratch(sc, sample, nil)
+}
+
+func (e *Engine) inferScratch(sc *Scratch, sample *tensor.Tensor, pt *PassTrace) []float32 {
 	sc.begin()
+	t0, tracked := e.beginPass(sc, pt != nil)
 	in := &sc.input
-	in.shape = append(in.shape[:0], sample.Shape()...)
+	in.shape = appendShape(in.shape[:0], sample)
 	in.data = sample.Data
 	for t := 0; t < e.T; t++ {
 		in.refreshEvents()
-		cur := in
-		for _, s := range e.stages {
-			cur = s.step(sc, cur)
-		}
+		cur := e.stepStages(sc, in)
 		if len(sc.avg) == 0 {
 			sc.avg = growFloat32(sc.avg, len(cur.data))
 		}
@@ -380,6 +399,11 @@ func (e *Engine) InferScratch(sc *Scratch, sample *tensor.Tensor) []float32 {
 	}
 	e.synOps.Add(sc.synOps)
 	sc.synOps = 0
+	if tracked {
+		e.endPass(sc, t0, "infer", 1, pt)
+	} else if pt != nil {
+		pt.Spans = pt.Spans[:0]
+	}
 	return sc.avg
 }
 
@@ -392,30 +416,70 @@ func (e *Engine) InferScratch(sc *Scratch, sample *tensor.Tensor) []float32 {
 // Infer's, so outputs are bit-identical to serial single-sample calls. Safe
 // for concurrent use.
 func (e *Engine) InferBatch(samples []*tensor.Tensor) [][]float32 {
+	return e.inferBatch(samples, nil)
+}
+
+// InferBatchTraced is InferBatch with trace collection: when telemetry is
+// enabled, the pass is force-traced and its per-stage span breakdown —
+// aggregated across the batch's samples — is written into pt instead of the
+// engine's own trace ring, so the caller (the serving layer) can fold the
+// engine segments into a larger request trace. With telemetry disabled,
+// pt.Spans comes back empty and the call is exactly InferBatch. Outputs are
+// bit-identical to InferBatch and to serial Infer calls either way.
+func (e *Engine) InferBatchTraced(samples []*tensor.Tensor, pt *PassTrace) [][]float32 {
+	return e.inferBatch(samples, pt)
+}
+
+func (e *Engine) inferBatch(samples []*tensor.Tensor, pt *PassTrace) [][]float32 {
 	n := len(samples)
 	if n == 0 {
+		if pt != nil {
+			pt.Spans = pt.Spans[:0]
+		}
 		return nil
 	}
 	if n == 1 {
-		return [][]float32{e.Infer(samples[0])}
+		sc := e.acquire()
+		res := append([]float32(nil), e.inferScratch(sc, samples[0], pt)...)
+		e.release(sc)
+		return [][]float32{res}
 	}
 	scs := make([]*Scratch, n)
 	cur := make([]*act, n)
 	for i, s := range samples {
 		sc := e.acquire()
 		sc.begin()
-		sc.input.shape = append(sc.input.shape[:0], s.Shape()...)
+		sc.input.shape = appendShape(sc.input.shape[:0], s)
 		sc.input.data = s.Data
 		scs[i] = sc
+	}
+	// Telemetry for the whole coalesced pass accumulates on the first arena:
+	// per-stage SynOps sum over samples, per-stage wall-clock measured around
+	// the stage-major inner loop (the batch's aggregate, matching how the
+	// pass actually spends time).
+	sc0 := scs[0]
+	t0, tracked := e.beginPass(sc0, pt != nil)
+	if !tracked && pt != nil {
+		pt.Spans = pt.Spans[:0]
+	}
+	if tracked && sc0.timed {
+		for _, sc := range scs[1:] {
+			sc.timeRequant = true
+			sc.requantNS = 0
+		}
 	}
 	for t := 0; t < e.T; t++ {
 		for i := range scs {
 			scs[i].input.refreshEvents()
 			cur[i] = &scs[i].input
 		}
-		for _, st := range e.stages {
-			for i := range scs {
-				cur[i] = st.step(scs[i], cur[i])
+		if tracked {
+			e.stepStagesBatch(scs, cur, sc0)
+		} else {
+			for _, st := range e.stages {
+				for i := range scs {
+					cur[i] = st.step(scs[i], cur[i])
+				}
 			}
 		}
 		for i, sc := range scs {
@@ -437,9 +501,29 @@ func (e *Engine) InferBatch(samples []*tensor.Tensor) [][]float32 {
 		out[i] = res
 		e.synOps.Add(sc.synOps)
 		sc.synOps = 0
+	}
+	if tracked {
+		if sc0.timed {
+			for _, sc := range scs[1:] {
+				sc0.requantNS += sc.requantNS
+				sc.timeRequant = false
+			}
+		}
+		e.endPass(sc0, t0, "infer", n, pt)
+	}
+	for _, sc := range scs {
 		e.release(sc)
 	}
 	return out
+}
+
+// appendShape appends a tensor's dimensions to dst without the copy
+// Tensor.Shape makes — the request path must not allocate per sample.
+func appendShape(dst []int, t *tensor.Tensor) []int {
+	for i := 0; i < t.NumDims(); i++ {
+		dst = append(dst, t.Dim(i))
+	}
+	return dst
 }
 
 // Classify returns the argmax class for one sample. Safe for concurrent use.

@@ -3,6 +3,7 @@ package infer
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"ndsnn/internal/layers"
 	"ndsnn/internal/quant"
@@ -151,6 +152,10 @@ func (s *qconvStage) step(sc *Scratch, in *act) *act {
 		ops = qconvScatterEvents(acc, in.events, s.perChannel, h, w, oh, ow, p, s.stride, s.pad)
 	}
 	sc.synOps += ops
+	var rqStart time.Time
+	if sc.timeRequant {
+		rqStart = time.Now()
+	}
 	for f := 0; f < s.outC; f++ {
 		d := s.deq[f]
 		var b float32
@@ -173,6 +178,9 @@ func (s *qconvStage) step(sc *Scratch, in *act) *act {
 				row[i] = d * float32(arow[i])
 			}
 		}
+	}
+	if sc.timeRequant {
+		sc.requantNS += time.Since(rqStart).Nanoseconds()
 	}
 	out.refreshEvents()
 	return out
@@ -293,6 +301,10 @@ func (s *qlinearStage) step(sc *Scratch, in *act) *act {
 		}
 		sc.synOps += ops
 	}
+	var rqStart time.Time
+	if sc.timeRequant {
+		rqStart = time.Now()
+	}
 	for o := range out.data {
 		v := s.deq[o] * float32(acc[o])
 		var b float32
@@ -304,6 +316,9 @@ func (s *qlinearStage) step(sc *Scratch, in *act) *act {
 		} else {
 			out.data[o] = v + b
 		}
+	}
+	if sc.timeRequant {
+		sc.requantNS += time.Since(rqStart).Nanoseconds()
 	}
 	out.refreshEvents()
 	return out

@@ -1,5 +1,7 @@
 package infer
 
+import "ndsnn/internal/obs"
+
 // The engine's re-entrancy split: a compiled Engine is an immutable plan
 // (weight tables, folded affines, band layouts) shared by any number of
 // concurrent callers, while every piece of mutable per-request state lives
@@ -25,6 +27,17 @@ type Scratch struct {
 	input  act        // the network input (aliases the sample, owns its event list)
 	avg    []float32  // time-averaged output accumulator
 	synOps int64      // request-local SynOps, rolled into the engine atomically
+
+	// Telemetry accumulators (see telemetry.go). Sized lazily by beginPass
+	// when the engine has telemetry enabled; a warm arena reuses them, so
+	// telemetry-on steady state stays allocation-free.
+	stageOps    []int64    // per-stage SynOps of the current pass
+	stageNS     []int64    // per-stage wall-clock ns (traced passes only)
+	spans       []obs.Span // reused span buffer for trace flushes
+	requantNS   int64      // requantization sub-timing of the integer stages
+	timed       bool       // this pass carries per-stage wall-clock tracing
+	timeRequant bool       // the integer stages time their requant affines
+	fresh       bool       // arena was just allocated (pool-miss accounting)
 }
 
 // lifState is one LIF stage's per-request temporal state.
@@ -38,10 +51,11 @@ type lifState struct {
 // from the engine's internal pool.
 func (e *Engine) NewScratch() *Scratch {
 	return &Scratch{
-		acts: make([]act, e.nAct),
-		lif:  make([]lifState, e.nLIF),
-		ints: make([][]int32, e.nInt),
-		ops:  make([][]int64, e.nOps),
+		acts:  make([]act, e.nAct),
+		lif:   make([]lifState, e.nLIF),
+		ints:  make([][]int32, e.nInt),
+		ops:   make([][]int64, e.nOps),
+		fresh: true,
 	}
 }
 

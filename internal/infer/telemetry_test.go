@@ -1,0 +1,170 @@
+package infer_test
+
+import (
+	"strings"
+	"testing"
+
+	"ndsnn/internal/data"
+	"ndsnn/internal/infer"
+	"ndsnn/internal/obs"
+	"ndsnn/internal/tensor"
+	"ndsnn/internal/testutil"
+)
+
+// telemetryFixture returns a briefly trained tiny net's engines (float and
+// 8-bit integer) plus a few test samples.
+func telemetryFixture(t *testing.T) (*infer.Engine, *infer.Engine, []*tensor.Tensor) {
+	t.Helper()
+	ds := data.SynthEasy(4, 64, 16, 51)
+	net := testutil.TinyNet(4, 2, 13)
+	trainBriefly(t, net, ds)
+	eng, err := infer.Compile(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qeng, err := infer.CompileQuantized(net, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pix := ds.Config.C * ds.Config.H * ds.Config.W
+	var samples []*tensor.Tensor
+	for i := 0; i < 6; i++ {
+		samples = append(samples, tensor.FromSlice(ds.Test.Images[i*pix:(i+1)*pix], 3, 16, 16))
+	}
+	return eng, qeng, samples
+}
+
+func TestTelemetryBitIdentical(t *testing.T) {
+	// Telemetry only times and counts — enabling it (with every pass traced,
+	// the most instrumented mode) must not move a single output bit, on
+	// either the float or the integer engine, single-sample or batched.
+	eng, qeng, samples := telemetryFixture(t)
+	for _, e := range []*infer.Engine{eng, qeng} {
+		var before [][]float32
+		for _, s := range samples {
+			before = append(before, e.Infer(s))
+		}
+		batchBefore := e.InferBatch(samples)
+		e.EnableTelemetry(obs.New(), 1)
+		for i, s := range samples {
+			got := e.Infer(s)
+			for j := range got {
+				if got[j] != before[i][j] {
+					t.Fatalf("sample %d score %d: %v with telemetry vs %v without", i, j, got[j], before[i][j])
+				}
+			}
+		}
+		var pt infer.PassTrace
+		for bi, row := range e.InferBatchTraced(samples, &pt) {
+			for j := range row {
+				if row[j] != batchBefore[bi][j] {
+					t.Fatalf("batch sample %d score %d moved under telemetry", bi, j)
+				}
+			}
+		}
+		if len(pt.Spans) == 0 {
+			t.Fatal("traced batch returned no spans")
+		}
+	}
+}
+
+func TestTelemetryPerStageAccounting(t *testing.T) {
+	eng, qeng, samples := telemetryFixture(t)
+	_ = eng
+	reg := obs.New()
+	qeng.EnableTelemetry(reg, 1)
+	qeng.ResetStats()
+	for _, s := range samples {
+		qeng.Infer(s)
+	}
+	qeng.InferBatch(samples)
+	s := reg.Snapshot()
+
+	// Per-stage SynOps must sum exactly to the engine roll-up: the stage
+	// deltas partition the same tally.
+	var perStage int64
+	for _, name := range qeng.Telemetry().StageNames() {
+		perStage += s.Counter(`infer_stage_synops_total{stage="` + name + `"}`)
+	}
+	if perStage != qeng.SynOps() {
+		t.Fatalf("per-stage SynOps %d != engine SynOps %d", perStage, qeng.SynOps())
+	}
+
+	// Every pass was traced: pass and per-stage latency histograms carry one
+	// record per pass, and the trace ring holds infer-kind traces with the
+	// stage span layout plus the integer engine's requant overlay.
+	passes := uint64(len(samples) + 1) // 6 single + 1 batch
+	if h := s.Hist("infer_pass_ns"); h == nil || h.Count != passes {
+		t.Fatalf("infer_pass_ns count: %+v, want %d", h, passes)
+	}
+	// The direct-encoding first conv stays float (analog input); a later
+	// spike-fed conv must have compiled to integer.
+	names := qeng.Telemetry().StageNames()
+	if !strings.Contains(strings.Join(names, " "), "qconv") {
+		t.Fatalf("stage names: %v, want a qconv stage", names)
+	}
+	if h := s.Hist(`infer_stage_ns{stage="` + names[0] + `"}`); h == nil || h.Count != passes {
+		t.Fatalf("stage histogram: %+v, want %d records", h, passes)
+	}
+	if len(s.Traces) == 0 {
+		t.Fatal("no traces in ring")
+	}
+	last := s.Traces[len(s.Traces)-1]
+	if last.Kind != "infer" || last.Batch != len(samples) {
+		t.Fatalf("last trace kind=%q batch=%d, want infer/%d", last.Kind, last.Batch, len(samples))
+	}
+	sawRequant := false
+	for _, sp := range last.Spans {
+		if sp.Name == "requant" {
+			sawRequant = true
+		}
+	}
+	if !sawRequant {
+		t.Fatalf("integer engine trace missing requant span: %+v", last.Spans)
+	}
+
+	// Pool accounting: every arena draw is classified, misses only allocate.
+	hits := s.Counter("infer_scratch_pool_hit_total")
+	misses := s.Counter("infer_scratch_pool_miss_total")
+	if misses < 1 || hits+misses != int64(2*len(samples)) {
+		t.Fatalf("pool hit/miss %d/%d, want %d total with ≥1 miss", hits, misses, 2*len(samples))
+	}
+}
+
+func TestTelemetryDisabledTraceCollect(t *testing.T) {
+	// InferBatchTraced without telemetry degrades to InferBatch with an
+	// empty span buffer — the serving layer need not special-case it.
+	eng, _, samples := telemetryFixture(t)
+	pt := infer.PassTrace{Spans: make([]obs.Span, 3)}
+	want := eng.InferBatch(samples)
+	got := eng.InferBatchTraced(samples, &pt)
+	if len(pt.Spans) != 0 {
+		t.Fatalf("disabled engine left %d spans", len(pt.Spans))
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatal("outputs moved")
+			}
+		}
+	}
+}
+
+func TestTelemetryAllocFreeSteadyState(t *testing.T) {
+	// With telemetry on and every pass traced — the most expensive mode —
+	// warmed steady-state inference must not allocate: telemetry
+	// accumulators live in the arena, spans reuse their buffer, and the
+	// trace ring recycles slot storage.
+	eng, qeng, samples := telemetryFixture(t)
+	for _, e := range []*infer.Engine{eng, qeng} {
+		e.EnableTelemetry(obs.New(), 1)
+		sc := e.NewScratch()
+		// Warm past the trace ring depth so every slot's span storage exists.
+		for i := 0; i < 72; i++ {
+			e.InferScratch(sc, samples[0])
+		}
+		if allocs := testing.AllocsPerRun(100, func() { e.InferScratch(sc, samples[0]) }); allocs != 0 {
+			t.Fatalf("traced steady-state InferScratch allocates %.1f objects/op, want 0", allocs)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Log-bucketed latency histogram, HdrHistogram-style: each octave of the
+// int64 value range is split into 16 linear sub-buckets, so any recorded
+// value lands in a bucket whose width is at most 1/16 of its magnitude. That
+// bounds every bucket-derived quantile to ≤6.25% relative error while keeping
+// the whole histogram a fixed array of atomic counters — recording is exactly
+// one atomic add, snapshots are a lock-free array copy, and snapshots merge
+// by element-wise addition (the property the serving layer needs to combine
+// per-dispatcher views).
+
+const (
+	// histSubBits is log2 of the sub-buckets per octave; 4 → 16 sub-buckets
+	// → ≤ 2^-4 = 6.25% relative quantile error.
+	histSubBits    = 4
+	histSubBuckets = 1 << histSubBits
+	// histBuckets covers the full non-negative int64 range: values below
+	// histSubBuckets map exactly to their own bucket, every octave up to
+	// 2^63-1 (floor-log2 exponent 4..62) contributes histSubBuckets more.
+	histBuckets = (62-histSubBits+1)*histSubBuckets + histSubBuckets
+)
+
+// bucketIndex maps a value to its bucket. Negative values clamp to bucket 0.
+// The mapping is monotonic, so bucket order preserves value order — the
+// property Quantile relies on.
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	uv := uint64(v)
+	if uv < histSubBuckets {
+		return int(uv)
+	}
+	e := bits.Len64(uv) - 1 // floor(log2), ≥ histSubBits
+	sub := (uv >> (uint(e) - histSubBits)) & (histSubBuckets - 1)
+	return (e-histSubBits+1)*histSubBuckets + int(sub)
+}
+
+// bucketBound returns the largest value mapping to bucket idx — the
+// representative Quantile reports, an upper bound of every value in the
+// bucket and at most 6.25% above the smallest.
+func bucketBound(idx int) int64 {
+	if idx < histSubBuckets {
+		return int64(idx)
+	}
+	e := uint(idx/histSubBuckets + histSubBits - 1)
+	sub := int64(idx % histSubBuckets)
+	w := int64(1) << (e - histSubBits)
+	lo := (histSubBuckets + sub) << (e - histSubBits)
+	return lo + w - 1
+}
+
+// Histogram is a lock-free log-bucketed value distribution. The zero value is
+// NOT usable — obtain histograms from Registry.Histogram — but a nil
+// *Histogram is: every method on nil is a no-op (one branch), which is how
+// telemetry compiles out of hot paths when disabled.
+type Histogram struct {
+	name    string
+	unit    string
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Name returns the metric name (may carry a {label="value"} suffix).
+func (h *Histogram) Name() string {
+	if h == nil {
+		return ""
+	}
+	return h.name
+}
+
+// Record adds one observation: exactly one atomic add. Nil-safe (one branch
+// when disabled); negative values clamp to zero.
+func (h *Histogram) Record(v int64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+}
+
+// Snapshot returns a consistent-enough copy of the histogram for reporting:
+// each bucket is read atomically (records racing the copy land in either the
+// snapshot or the next one, never torn).
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{}
+	if h == nil {
+		return s
+	}
+	s.Name, s.Unit = h.name, h.unit
+	s.Counts = make([]uint64, histBuckets)
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	return s
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram. Snapshots are plain
+// values: mergeable, serializable, and safe to keep.
+type HistSnapshot struct {
+	Name  string `json:"name"`
+	Unit  string `json:"unit,omitempty"`
+	Count uint64 `json:"count"`
+	// Counts holds the per-bucket tallies (len histBuckets; omitted from
+	// JSON in favor of the derived quantiles).
+	Counts []uint64 `json:"-"`
+	// Derived summary fields populated by Finalize for serialization.
+	P50  int64   `json:"p50"`
+	P90  int64   `json:"p90"`
+	P99  int64   `json:"p99"`
+	Max  int64   `json:"max"`
+	Mean float64 `json:"mean"`
+}
+
+// Merge adds another snapshot's tallies into this one (bucket layouts are
+// identical by construction). Empty snapshots merge as no-ops.
+func (s *HistSnapshot) Merge(o HistSnapshot) {
+	if o.Count == 0 {
+		return
+	}
+	if s.Counts == nil {
+		s.Counts = make([]uint64, histBuckets)
+	}
+	for i, c := range o.Counts {
+		s.Counts[i] += c
+	}
+	s.Count += o.Count
+	s.Finalize()
+}
+
+// Quantile returns the q-th quantile (q in [0,1]) as the upper bound of the
+// bucket holding the ⌈q·Count⌉-th smallest observation — always ≥ the true
+// value at that rank and at most 6.25% above it. Returns 0 on an empty
+// snapshot.
+func (s *HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 || len(s.Counts) == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			return bucketBound(i)
+		}
+	}
+	return bucketBound(histBuckets - 1)
+}
+
+// ApproxMean returns the bucket-midpoint mean (same ≤6.25% relative error as
+// the quantiles; 0 on an empty snapshot).
+func (s *HistSnapshot) ApproxMean() float64 {
+	if s.Count == 0 || len(s.Counts) == 0 {
+		return 0
+	}
+	var sum float64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		hi := bucketBound(i)
+		var lo int64
+		if i >= histSubBuckets {
+			lo = bucketBound(i-1) + 1
+		} else {
+			lo = hi
+		}
+		sum += float64(c) * (float64(lo+hi) / 2)
+	}
+	return sum / float64(s.Count)
+}
+
+// MaxValue returns the upper bound of the highest occupied bucket (0 when
+// empty).
+func (s *HistSnapshot) MaxValue() int64 {
+	for i := len(s.Counts) - 1; i >= 0; i-- {
+		if s.Counts[i] != 0 {
+			return bucketBound(i)
+		}
+	}
+	return 0
+}
+
+// Finalize fills the derived summary fields (P50/P90/P99/Max/Mean) from the
+// bucket tallies, making the snapshot self-describing after serialization.
+func (s *HistSnapshot) Finalize() {
+	s.P50 = s.Quantile(0.50)
+	s.P90 = s.Quantile(0.90)
+	s.P99 = s.Quantile(0.99)
+	s.Max = s.MaxValue()
+	s.Mean = s.ApproxMean()
+}

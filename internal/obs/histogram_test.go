@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// refQuantile mirrors Quantile's rank convention on a sorted reference
+// slice: the ⌈q·n⌉-th smallest value.
+func refQuantile(sorted []int64, q float64) int64 {
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// checkQuantiles records values into a histogram and asserts every quantile
+// against the sorted-slice reference within the documented bound: reported ≥
+// reference and reported ≤ reference·(1+2^-histSubBits).
+func checkQuantiles(t *testing.T, name string, values []int64) {
+	t.Helper()
+	h := &Histogram{name: name}
+	for _, v := range values {
+		h.Record(v)
+	}
+	sorted := append([]int64(nil), values...)
+	for i, v := range sorted {
+		if v < 0 {
+			sorted[i] = 0 // Record clamps negatives
+		}
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	s := h.Snapshot()
+	if s.Count != uint64(len(values)) {
+		t.Fatalf("%s: count %d, want %d", name, s.Count, len(values))
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+		got := s.Quantile(q)
+		ref := refQuantile(sorted, q)
+		if got < ref {
+			t.Errorf("%s: q%.3f = %d below reference %d", name, q, got, ref)
+		}
+		slack := ref/(1<<histSubBits) + 1 // ≤6.25% relative + integer slack
+		ceil := ref + slack
+		if ceil < ref { // overflow near MaxInt64
+			ceil = math.MaxInt64
+		}
+		if got > ceil {
+			t.Errorf("%s: q%.3f = %d above bound %d (reference %d)", name, q, got, ceil, ref)
+		}
+	}
+	if max := s.MaxValue(); max < sorted[len(sorted)-1] {
+		t.Errorf("%s: max %d below true max %d", name, max, sorted[len(sorted)-1])
+	}
+}
+
+func TestHistogramQuantilesAdversarial(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	allZero := make([]int64, 1000)
+	singleBucket := make([]int64, 500)
+	for i := range singleBucket {
+		singleBucket[i] = 42
+	}
+	smallExact := make([]int64, 256)
+	for i := range smallExact {
+		smallExact[i] = int64(i % 16) // the exact small-value buckets
+	}
+	wideSpread := make([]int64, 2000)
+	for i := range wideSpread {
+		wideSpread[i] = int64(rng.Intn(1_000_000_000)) // 1e9 spread
+	}
+	exponential := make([]int64, 2000)
+	for i := range exponential {
+		exponential[i] = int64(math.Exp(rng.Float64() * 20))
+	}
+	bimodal := make([]int64, 1000)
+	for i := range bimodal {
+		if i%2 == 0 {
+			bimodal[i] = 100
+		} else {
+			bimodal[i] = 900_000_000
+		}
+	}
+	negatives := []int64{-5, -1, 0, 3, 1000}
+	huge := []int64{math.MaxInt64, math.MaxInt64 / 2, 1}
+
+	checkQuantiles(t, "all-zero", allZero)
+	checkQuantiles(t, "single-bucket", singleBucket)
+	checkQuantiles(t, "small-exact", smallExact)
+	checkQuantiles(t, "1e9-spread", wideSpread)
+	checkQuantiles(t, "exponential", exponential)
+	checkQuantiles(t, "bimodal", bimodal)
+	checkQuantiles(t, "negatives-clamp", negatives)
+	checkQuantiles(t, "max-int64", huge)
+}
+
+func TestHistogramSmallValuesExact(t *testing.T) {
+	// Values below histSubBuckets occupy dedicated buckets: quantiles on them
+	// are exact, not just bounded.
+	h := &Histogram{name: "exact"}
+	for v := int64(0); v < histSubBuckets; v++ {
+		h.Record(v)
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); got != histSubBuckets/2-1 {
+		t.Fatalf("p50 over 0..%d = %d, want %d", histSubBuckets-1, got, histSubBuckets/2-1)
+	}
+	if got := s.Quantile(1); got != histSubBuckets-1 {
+		t.Fatalf("p100 = %d, want %d", got, histSubBuckets-1)
+	}
+}
+
+func TestBucketMappingMonotonicAndBounded(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{0, 1, 15, 16, 17, 31, 32, 100, 1023, 1024, 1 << 20, 1 << 40, math.MaxInt64} {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex not monotonic at %d: %d < %d", v, idx, prev)
+		}
+		prev = idx
+		if idx < 0 || idx >= histBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, idx)
+		}
+		bound := bucketBound(idx)
+		if bound < v {
+			t.Fatalf("bucketBound(%d) = %d below the value %d that maps there", idx, bound, v)
+		}
+		if v >= histSubBuckets {
+			if rel := float64(bound-v) / float64(v); rel > 1.0/(1<<histSubBits) {
+				t.Fatalf("bucketBound(%d)=%d overshoots %d by %.4f (> %.4f)", idx, bound, v, rel, 1.0/(1<<histSubBits))
+			}
+		} else if bound != v {
+			t.Fatalf("small value %d not exact: bound %d", v, bound)
+		}
+	}
+	if bucketBound(histBuckets-1) != math.MaxInt64 {
+		t.Fatalf("top bucket bound %d, want MaxInt64", bucketBound(histBuckets-1))
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := &Histogram{name: "a"}
+	b := &Histogram{name: "b"}
+	var all []int64
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		v := int64(rng.Intn(1 << 30))
+		all = append(all, v)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+	}
+	merged := a.Snapshot()
+	merged.Merge(b.Snapshot())
+	whole := &Histogram{name: "whole"}
+	for _, v := range all {
+		whole.Record(v)
+	}
+	ws := whole.Snapshot()
+	if merged.Count != ws.Count {
+		t.Fatalf("merged count %d, want %d", merged.Count, ws.Count)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if merged.Quantile(q) != ws.Quantile(q) {
+			t.Fatalf("merge changed q%.2f: %d vs %d", q, merged.Quantile(q), ws.Quantile(q))
+		}
+	}
+	// Merging an empty snapshot is a no-op.
+	before := merged.Count
+	merged.Merge(HistSnapshot{})
+	if merged.Count != before {
+		t.Fatalf("empty merge changed count")
+	}
+}
+
+func TestHistogramRecordAllocFree(t *testing.T) {
+	h := New().Histogram("alloc", "ns")
+	if allocs := testing.AllocsPerRun(1000, func() { h.Record(12345) }); allocs != 0 {
+		t.Fatalf("Record allocates %.1f objects/op, want 0", allocs)
+	}
+	var nilH *Histogram
+	if allocs := testing.AllocsPerRun(1000, func() { nilH.Record(12345) }); allocs != 0 {
+		t.Fatalf("nil Record allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestHistogramConcurrentHammer drives concurrent record/snapshot/merge —
+// the -race pin of the lock-free claim. No assertion beyond totals: the
+// interesting property is race-cleanliness plus no lost increments.
+func TestHistogramConcurrentHammer(t *testing.T) {
+	h := New().Histogram("hammer", "ns")
+	const (
+		writers = 8
+		perW    = 20000
+	)
+	var readers, writersWG sync.WaitGroup
+	stop := make(chan struct{})
+	// Concurrent snapshot+merge readers.
+	for i := 0; i < 2; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			acc := HistSnapshot{}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := h.Snapshot()
+				acc.Merge(s)
+				_ = s.Quantile(0.99)
+			}
+		}()
+	}
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perW; i++ {
+				h.Record(int64(rng.Intn(1 << 22)))
+			}
+		}(w)
+	}
+	writersWG.Wait()
+	close(stop)
+	readers.Wait()
+	if got := h.Snapshot().Count; got != writers*perW {
+		t.Fatalf("lost increments: %d recorded, want %d", got, writers*perW)
+	}
+}

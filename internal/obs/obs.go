@@ -1,0 +1,267 @@
+// Package obs is the zero-dependency telemetry core of the serving and
+// training paths: lock-free log-bucketed latency histograms (one atomic add
+// per record, mergeable snapshots with p50/p90/p99 at ≤6.25% relative
+// error), monotonic counters, callback gauges, and a fixed-size ring of
+// recent request traces.
+//
+// The design constraint is that telemetry must be free when disabled and
+// nearly free when enabled:
+//
+//   - every recording type (*Histogram, *Counter, *TraceRing) is nil-safe:
+//     a nil receiver is a disabled recorder and every method on it is a
+//     single predictable branch, so instrumented hot paths carry no cost
+//     until a Registry is attached;
+//   - enabled recording allocates nothing on the steady-state path: a
+//     histogram record is one atomic add into a fixed bucket array, a
+//     counter is one atomic add, and trace ring slots reuse their span
+//     storage across pushes;
+//   - all recording is race-clean at any GOMAXPROCS: histograms and
+//     counters are pure atomics, the trace ring takes a short mutex only on
+//     the (sampled) tracing path.
+//
+// A Registry names and owns a set of metrics and exposes three surfaces:
+// typed Snapshot() values for tests and facades, a Prometheus-text-format
+// writer, and an opt-in http.Handler (see prometheus.go).
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonic atomic counter. A nil *Counter is a disabled
+// recorder: Add/Inc on nil are single-branch no-ops.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Name returns the metric name.
+func (c *Counter) Name() string {
+	if c == nil {
+		return ""
+	}
+	return c.name
+}
+
+// Add increments the counter by n. Nil-safe.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. Nil-safe.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// gauge is a named callback sampled at snapshot time — the natural shape for
+// values another subsystem already maintains (tape.CacheBytes, queue depth).
+type gauge struct {
+	name string
+	fn   func() int64
+}
+
+// counterFunc is a callback-backed monotonic counter: a subsystem that
+// already keeps its own atomic total (serve.Stats, the tensor worker pool)
+// exports it without double counting.
+type counterFunc struct {
+	name string
+	fn   func() int64
+}
+
+// Registry names and owns a set of metrics. All methods are safe for
+// concurrent use; metric constructors are idempotent by name (asking for an
+// existing name returns the existing instrument). A nil *Registry is a
+// disabled registry: constructors return nil instruments, which record
+// nothing.
+type Registry struct {
+	mu           sync.Mutex
+	hists        []*Histogram
+	histByName   map[string]*Histogram
+	counters     []*Counter
+	ctrByName    map[string]*Counter
+	counterFuncs []counterFunc
+	gauges       []gauge
+	ring         *TraceRing
+}
+
+// New creates an empty registry with a trace ring of the default depth (64).
+func New() *Registry {
+	return &Registry{
+		histByName: map[string]*Histogram{},
+		ctrByName:  map[string]*Counter{},
+		ring:       NewTraceRing(64),
+	}
+}
+
+// Histogram returns the named histogram, creating it on first use. The name
+// may carry a Prometheus-style label suffix, e.g. `infer_stage_ns{stage="03_lif"}`.
+// unit is advisory ("ns", "bytes", "samples"). Nil-safe: a nil registry
+// returns a nil (disabled) histogram.
+func (r *Registry) Histogram(name, unit string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histByName[name]; ok {
+		return h
+	}
+	h := &Histogram{name: name, unit: unit}
+	r.histByName[name] = h
+	r.hists = append(r.hists, h)
+	return h
+}
+
+// Counter returns the named counter, creating it on first use. Nil-safe.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.ctrByName[name]; ok {
+		return c
+	}
+	c := &Counter{name: name}
+	r.ctrByName[name] = c
+	r.counters = append(r.counters, c)
+	return c
+}
+
+// CounterFunc registers a callback-backed monotonic counter, replacing any
+// previous registration under the same name (so re-wiring a subsystem is
+// idempotent). Nil-safe.
+func (r *Registry) CounterFunc(name string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.counterFuncs {
+		if r.counterFuncs[i].name == name {
+			r.counterFuncs[i].fn = fn
+			return
+		}
+	}
+	r.counterFuncs = append(r.counterFuncs, counterFunc{name, fn})
+}
+
+// Gauge registers a callback gauge sampled at snapshot time, replacing any
+// previous registration under the same name. Nil-safe.
+func (r *Registry) Gauge(name string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.gauges {
+		if r.gauges[i].name == name {
+			r.gauges[i].fn = fn
+			return
+		}
+	}
+	r.gauges = append(r.gauges, gauge{name, fn})
+}
+
+// Ring returns the registry's trace ring (nil on a nil registry).
+func (r *Registry) Ring() *TraceRing {
+	if r == nil {
+		return nil
+	}
+	return r.ring
+}
+
+// MetricValue is one counter or gauge sample in a snapshot.
+type MetricValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// Snapshot is a typed point-in-time view of a registry — the surface tests
+// and facades consume. Histograms come finalized (quantiles populated);
+// traces are ordered oldest to newest.
+type Snapshot struct {
+	Histograms []HistSnapshot `json:"histograms"`
+	Counters   []MetricValue  `json:"counters"`
+	Gauges     []MetricValue  `json:"gauges"`
+	Traces     []Trace        `json:"traces,omitempty"`
+	TakenAt    time.Time      `json:"taken_at"`
+}
+
+// Hist returns the named histogram snapshot, or nil if absent.
+func (s Snapshot) Hist(name string) *HistSnapshot {
+	for i := range s.Histograms {
+		if s.Histograms[i].Name == name {
+			return &s.Histograms[i]
+		}
+	}
+	return nil
+}
+
+// Counter returns the named counter's value (0 if absent).
+func (s Snapshot) Counter(name string) int64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// Gauge returns the named gauge's sampled value (0 if absent).
+func (s Snapshot) Gauge(name string) int64 {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value
+		}
+	}
+	return 0
+}
+
+// Snapshot captures every registered metric. Safe to call concurrently with
+// recording; a nil registry yields an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	s.TakenAt = time.Now()
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	hists := append([]*Histogram(nil), r.hists...)
+	counters := append([]*Counter(nil), r.counters...)
+	cfs := append([]counterFunc(nil), r.counterFuncs...)
+	gauges := append([]gauge(nil), r.gauges...)
+	ring := r.ring
+	r.mu.Unlock()
+
+	for _, h := range hists {
+		hs := h.Snapshot()
+		hs.Finalize()
+		s.Histograms = append(s.Histograms, hs)
+	}
+	for _, c := range counters {
+		s.Counters = append(s.Counters, MetricValue{c.name, c.Value()})
+	}
+	for _, cf := range cfs {
+		s.Counters = append(s.Counters, MetricValue{cf.name, cf.fn()})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	for _, g := range gauges {
+		s.Gauges = append(s.Gauges, MetricValue{g.name, g.fn()})
+	}
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	s.Traces = ring.Snapshot()
+	return s
+}

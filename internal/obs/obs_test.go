@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	// A nil registry and nil instruments are fully disabled recorders: every
+	// call is a no-op, never a panic.
+	var r *Registry
+	h := r.Histogram("h", "ns")
+	c := r.Counter("c")
+	r.Gauge("g", func() int64 { return 1 })
+	r.CounterFunc("cf", func() int64 { return 1 })
+	ring := r.Ring()
+	h.Record(5)
+	c.Add(3)
+	c.Inc()
+	ring.Push("k", time.Now(), 1, []Span{{Name: "s", DurNs: 1}})
+	if h != nil || c != nil || ring != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	if c.Value() != 0 || h.Name() != "" || ring.Len() != 0 || ring.Snapshot() != nil {
+		t.Fatal("nil instruments must read as empty")
+	}
+	s := r.Snapshot()
+	if len(s.Histograms) != 0 || len(s.Counters) != 0 || len(s.Gauges) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	hs := h.Snapshot()
+	if hs.Quantile(0.5) != 0 || hs.ApproxMean() != 0 {
+		t.Fatal("nil histogram snapshot must be empty")
+	}
+}
+
+func TestRegistryIdempotentNames(t *testing.T) {
+	r := New()
+	h1 := r.Histogram("same", "ns")
+	h2 := r.Histogram("same", "ns")
+	if h1 != h2 {
+		t.Fatal("Histogram not idempotent by name")
+	}
+	c1, c2 := r.Counter("c"), r.Counter("c")
+	if c1 != c2 {
+		t.Fatal("Counter not idempotent by name")
+	}
+	v := int64(1)
+	r.Gauge("g", func() int64 { return v })
+	r.Gauge("g", func() int64 { return v * 10 }) // replaces
+	if got := r.Snapshot().Gauge("g"); got != 10 {
+		t.Fatalf("gauge re-registration: got %d, want 10", got)
+	}
+	r.CounterFunc("cf", func() int64 { return 7 })
+	r.CounterFunc("cf", func() int64 { return 8 })
+	if got := r.Snapshot().Counter("cf"); got != 8 {
+		t.Fatalf("counterfunc re-registration: got %d, want 8", got)
+	}
+}
+
+func TestSnapshotAccessors(t *testing.T) {
+	r := New()
+	r.Histogram("lat_ns", "ns").Record(100)
+	r.Counter("served").Add(4)
+	r.Gauge("depth", func() int64 { return 2 })
+	s := r.Snapshot()
+	if hs := s.Hist("lat_ns"); hs == nil || hs.Count != 1 || hs.P50 < 100 {
+		t.Fatalf("Hist accessor: %+v", s.Hist("lat_ns"))
+	}
+	if s.Counter("served") != 4 || s.Gauge("depth") != 2 {
+		t.Fatal("Counter/Gauge accessors wrong")
+	}
+	if s.Hist("missing") != nil || s.Counter("missing") != 0 || s.Gauge("missing") != 0 {
+		t.Fatal("missing metrics must read as empty")
+	}
+}
+
+func TestTraceRingWrapAndReuse(t *testing.T) {
+	ring := NewTraceRing(3)
+	for i := 0; i < 5; i++ {
+		ring.Push("serve", time.Unix(int64(i), 0), i+1, []Span{{Name: "q", DurNs: int64(i)}})
+	}
+	got := ring.Snapshot()
+	if len(got) != 3 {
+		t.Fatalf("ring kept %d traces, want 3", len(got))
+	}
+	// Oldest→newest, and the 3 newest of the 5 pushes survive.
+	for i, tr := range got {
+		wantSeq := uint64(3 + i)
+		if tr.Seq != wantSeq {
+			t.Fatalf("trace %d: seq %d, want %d", i, tr.Seq, wantSeq)
+		}
+		if len(tr.Spans) != 1 || tr.Spans[0].Name != "q" {
+			t.Fatalf("trace %d spans corrupted: %+v", i, tr.Spans)
+		}
+	}
+	// The snapshot's spans are copies: later pushes must not mutate it.
+	ring.Push("serve", time.Now(), 9, []Span{{Name: "other", DurNs: 99}})
+	if got[0].Spans[0].Name != "q" {
+		t.Fatal("snapshot aliases ring storage")
+	}
+	if ring.Len() != 6 {
+		t.Fatalf("Len=%d, want 6", ring.Len())
+	}
+}
+
+func TestTraceRingPushAllocFree(t *testing.T) {
+	ring := NewTraceRing(4)
+	spans := []Span{{Name: "a", DurNs: 1}, {Name: "b", StartNs: 1, DurNs: 2}}
+	// Warm every slot so span storage capacity is established.
+	for i := 0; i < 8; i++ {
+		ring.Push("serve", time.Time{}, 1, spans)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() { ring.Push("serve", time.Time{}, 1, spans) }); allocs != 0 {
+		t.Fatalf("warm Push allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := New()
+	r.Counter("serve_served_total").Add(3)
+	r.Gauge("tape_cache_bytes", func() int64 { return 4096 })
+	h := r.Histogram(`infer_stage_ns{stage="03_lif"}`, "ns")
+	for i := 0; i < 100; i++ {
+		h.Record(1000)
+	}
+	r.Histogram("plain hist!", "ns").Record(5)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE serve_served_total counter",
+		"serve_served_total 3",
+		"# TYPE tape_cache_bytes gauge",
+		"tape_cache_bytes 4096",
+		"# TYPE infer_stage_ns summary",
+		`infer_stage_ns{stage="03_lif",quantile="0.5"}`,
+		`infer_stage_ns_count{stage="03_lif"} 100`,
+		"# TYPE plain_hist_ summary", // sanitized
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q\n---\n%s", want, out)
+		}
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := New()
+	r.Counter("c").Inc()
+	r.Ring().Push("serve", time.Now(), 2, []Span{{Name: "queue_wait", DurNs: 10}})
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	for path, want := range map[string]string{
+		"/metrics":      "# TYPE c counter",
+		"/metrics.json": `"counters"`,
+	} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		buf := make([]byte, 1<<16)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("%s missing %q:\n%s", path, want, sb.String())
+		}
+	}
+	resp, err := srv.Client().Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("unknown path: status %d, want 404", resp.StatusCode)
+	}
+
+	nilSrv := httptest.NewServer(Handler(nil))
+	defer nilSrv.Close()
+	resp, err = nilSrv.Client().Get(nilSrv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("nil registry handler: status %d, want 404", resp.StatusCode)
+	}
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Prometheus text exposition. Histograms are written as summaries (the
+// quantiles are already bucket-derived, so re-encoding the log buckets as
+// `le`-style cumulative buckets would only add transfer weight), counters
+// and callback counters as counters, gauges as gauges. Metric names may
+// carry a `{label="value"}` suffix (the per-stage instruments do); the
+// writer splits it off and merges the quantile label into the label set.
+
+// splitName separates `base{labels}` into base and the inner label string
+// (empty when the name carries no labels).
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return sanitizeMetricName(name), ""
+	}
+	return sanitizeMetricName(name[:i]), strings.TrimSuffix(name[i+1:], "}")
+}
+
+// sanitizeMetricName maps a metric name onto the Prometheus grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func sanitizeMetricName(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// promLabels joins label fragments into a `{...}` suffix ("" when empty).
+func promLabels(parts ...string) string {
+	var nonEmpty []string
+	for _, p := range parts {
+		if p != "" {
+			nonEmpty = append(nonEmpty, p)
+		}
+	}
+	if len(nonEmpty) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(nonEmpty, ",") + "}"
+}
+
+// WritePrometheus writes the registry's current state in the Prometheus text
+// exposition format. Nil-safe (writes nothing).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	s := r.Snapshot()
+	types := map[string]string{} // base name → emitted TYPE, to emit each once
+	emitType := func(base, typ string) {
+		if types[base] == "" {
+			fmt.Fprintf(w, "# TYPE %s %s\n", base, typ)
+			types[base] = typ
+		}
+	}
+	for _, c := range s.Counters {
+		base, labels := splitName(c.Name)
+		emitType(base, "counter")
+		fmt.Fprintf(w, "%s%s %d\n", base, promLabels(labels), c.Value)
+	}
+	for _, g := range s.Gauges {
+		base, labels := splitName(g.Name)
+		emitType(base, "gauge")
+		fmt.Fprintf(w, "%s%s %d\n", base, promLabels(labels), g.Value)
+	}
+	for _, h := range s.Histograms {
+		base, labels := splitName(h.Name)
+		emitType(base, "summary")
+		for _, q := range []struct {
+			q string
+			v int64
+		}{{"0.5", h.P50}, {"0.9", h.P90}, {"0.99", h.P99}} {
+			fmt.Fprintf(w, "%s%s %d\n", base, promLabels(labels, `quantile="`+q.q+`"`), q.v)
+		}
+		fmt.Fprintf(w, "%s_sum%s %d\n", base, promLabels(labels), int64(h.Mean*float64(h.Count)))
+		fmt.Fprintf(w, "%s_count%s %d\n", base, promLabels(labels), h.Count)
+	}
+	return nil
+}
+
+// Handler returns an http.Handler exposing the registry: the Prometheus text
+// format at "/" and "/metrics", and the typed JSON snapshot (histograms
+// finalized, recent traces included) at "/metrics.json" — the endpoint
+// `ndsnn-inspect metrics` pretty-prints. Mount it on an opt-in listener; the
+// core never opens sockets on its own. Nil-safe: a nil registry serves 404s.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if r == nil {
+			http.NotFound(w, req)
+			return
+		}
+		switch req.URL.Path {
+		case "/", "/metrics":
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = r.WritePrometheus(w)
+		case "/metrics.json":
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(r.Snapshot())
+		default:
+			http.NotFound(w, req)
+		}
+	})
+}

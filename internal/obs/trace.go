@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Request tracing: a fixed-size ring of the most recent traced requests.
+// Tracing is sampled (the serving and inference layers trace one pass in N),
+// so the ring holds a representative window of recent behavior — what was a
+// request actually waiting on: the queue, batch assembly, a particular
+// compute stage, requantization — without retaining unbounded history.
+//
+// A trace's span list is not a strict timeline: per-stage compute segments
+// are aggregated across the pass's T timesteps (stage 3's span is the total
+// time stage 3 ran for this request, summed over timesteps), then laid out
+// cumulatively so the list reads as a proportional breakdown of the pass.
+
+// Span is one segment of a trace: a named duration at a cumulative offset
+// (nanoseconds from the trace start).
+type Span struct {
+	Name    string `json:"name"`
+	StartNs int64  `json:"start_ns"`
+	DurNs   int64  `json:"dur_ns"`
+}
+
+// Trace is one traced request (or coalesced batch pass).
+type Trace struct {
+	// Seq increases by one per push; gaps in a snapshot mean the ring wrapped.
+	Seq uint64 `json:"seq"`
+	// Start is the wall-clock begin of the traced work.
+	Start time.Time `json:"start"`
+	// Kind labels the writer: "serve" for a coalesced serving pass, "infer"
+	// for a direct engine request.
+	Kind string `json:"kind"`
+	// Batch is the number of samples the traced pass carried (1 for direct
+	// single-sample requests).
+	Batch int `json:"batch"`
+	// Spans is the segment breakdown (queue wait, batch assembly, per-stage
+	// compute, requantization).
+	Spans []Span `json:"spans"`
+}
+
+// TraceRing is a fixed-size ring of recent traces. Pushes reuse each slot's
+// span storage, so steady-state tracing allocates nothing once every slot
+// has grown to the working span count. A nil *TraceRing is a disabled ring:
+// Push on nil is a single-branch no-op.
+type TraceRing struct {
+	mu    sync.Mutex
+	slots []Trace
+	next  int
+	seq   uint64
+}
+
+// NewTraceRing creates a ring holding the n most recent traces (n clamped to
+// at least 1).
+func NewTraceRing(n int) *TraceRing {
+	if n < 1 {
+		n = 1
+	}
+	return &TraceRing{slots: make([]Trace, n)}
+}
+
+// Push records one trace, copying spans into the ring's reused slot storage
+// (the caller keeps ownership of its span buffer). Nil-safe.
+func (r *TraceRing) Push(kind string, start time.Time, batch int, spans []Span) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	slot := &r.slots[r.next]
+	r.next = (r.next + 1) % len(r.slots)
+	r.seq++
+	slot.Seq = r.seq
+	slot.Start = start
+	slot.Kind = kind
+	slot.Batch = batch
+	slot.Spans = append(slot.Spans[:0], spans...)
+	r.mu.Unlock()
+}
+
+// Len reports how many traces have been pushed in total (not the ring depth).
+func (r *TraceRing) Len() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}
+
+// Snapshot returns the retained traces ordered oldest to newest, with span
+// lists deep-copied so the caller's view cannot be overwritten by later
+// pushes. Nil-safe (returns nil).
+func (r *TraceRing) Snapshot() []Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Trace, 0, len(r.slots))
+	for i := 0; i < len(r.slots); i++ {
+		slot := r.slots[(r.next+i)%len(r.slots)]
+		if slot.Seq == 0 {
+			continue // never written
+		}
+		slot.Spans = append([]Span(nil), slot.Spans...)
+		out = append(out, slot)
+	}
+	return out
+}

@@ -1,6 +1,10 @@
 package serve
 
-import "ndsnn/internal/infer"
+import (
+	"time"
+
+	"ndsnn/internal/infer"
+)
 
 // Test-only hooks: admission control and deadline-drop behaviour are queue
 // states that a running dispatcher races to drain, so the tests build
@@ -17,6 +21,7 @@ func NewUnstarted(eng *infer.Engine, cfg Config) *Server {
 		stop: make(chan struct{}),
 	}
 	s.queue = make(chan *request, s.cfg.MaxQueue)
+	s.initTelemetry()
 	return s
 }
 
@@ -25,10 +30,18 @@ func (s *Server) QueueLen() int { return len(s.queue) }
 
 // DispatchOnce runs a single dispatcher iteration if anything is queued:
 // coalesce around the oldest request, drop expired ones, run the batch.
+// Telemetry-enabled servers get a fresh trace scratch per call — the tests
+// step synchronously, so buffer reuse is irrelevant here.
 func (s *Server) DispatchOnce() {
 	select {
 	case req := <-s.queue:
-		s.runBatch(s.coalesce(req))
+		var t0 time.Time
+		var ds *dispatchScratch
+		if s.tel != nil {
+			t0 = time.Now()
+			ds = &dispatchScratch{}
+		}
+		s.runBatch(s.coalesce(req), t0, ds)
 	default:
 	}
 }

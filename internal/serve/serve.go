@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"ndsnn/internal/infer"
+	"ndsnn/internal/obs"
 	"ndsnn/internal/tensor"
 )
 
@@ -70,7 +71,22 @@ type Config struct {
 	// Workers is the number of dispatcher goroutines running batched engine
 	// passes concurrently. Default GOMAXPROCS.
 	Workers int
+	// Metrics, when non-nil, attaches telemetry: per-request queue-wait,
+	// batch-assembly and compute histograms, admission-outcome counters, the
+	// realized batch-size distribution, a queue-depth gauge, and sampled
+	// request traces. Nil (the default) keeps the hot path free of clock
+	// reads — every telemetry hook is one branch.
+	Metrics *obs.Registry
+	// TraceEvery samples full request traces: one batch in TraceEvery gets a
+	// queue-wait/assembly/per-stage/compute span breakdown pushed to the
+	// registry's trace ring. 0 defaults to DefaultTraceEvery; negative
+	// disables tracing while keeping histograms and counters.
+	TraceEvery int
 }
+
+// DefaultTraceEvery is the trace sampling period used when Config.Metrics
+// is set and Config.TraceEvery is zero.
+const DefaultTraceEvery = 8
 
 // withDefaults normalizes a Config.
 func (c Config) withDefaults() Config {
@@ -95,14 +111,24 @@ type Stats struct {
 	Served int64
 	// Rejected counts admissions fast-failed with ErrOverloaded.
 	Rejected int64
-	// Expired counts requests dropped at dispatch because their context was
-	// already done (deadline exceeded or canceled before compute).
-	Expired int64
+	// ExpiredInQueue counts requests dropped at dispatch because their
+	// context was already done (deadline exceeded or canceled before any
+	// compute was spent on them).
+	ExpiredInQueue int64
+	// ExpiredInFlight counts requests whose context expired while their
+	// batch was computing: the caller already unblocked with ctx.Err(), the
+	// computed result was discarded at delivery. A high value means
+	// deadlines are tighter than a batched pass — compute spent for nothing.
+	ExpiredInFlight int64
 	// Batches counts engine passes; BatchedSamples counts the samples they
 	// carried. BatchedSamples/Batches is the realized coalescing factor.
 	Batches        int64
 	BatchedSamples int64
 }
+
+// Expired returns all deadline-expired requests, wherever the deadline
+// caught them.
+func (s Stats) Expired() int64 { return s.ExpiredInQueue + s.ExpiredInFlight }
 
 // MeanBatch returns the realized mean coalesced batch size (0 before any
 // pass).
@@ -118,6 +144,7 @@ type request struct {
 	ctx    context.Context
 	sample *tensor.Tensor
 	done   chan response // buffered(1): dispatcher never blocks on delivery
+	enq    time.Time     // enqueue instant; stamped only with telemetry on
 }
 
 type response struct {
@@ -137,7 +164,10 @@ type Server struct {
 	mu     sync.RWMutex
 	closed bool
 
-	served, rejected, expired, batches, batched atomic.Int64
+	served, rejected, batches, batched atomic.Int64
+	expiredQueue, expiredFlight        atomic.Int64
+
+	tel *telemetry // nil unless Config.Metrics is set
 }
 
 // New starts a server over a compiled engine. The engine must not be
@@ -152,6 +182,7 @@ func New(eng *infer.Engine, cfg Config) *Server {
 		stop: make(chan struct{}),
 	}
 	s.queue = make(chan *request, s.cfg.MaxQueue)
+	s.initTelemetry()
 	s.wg.Add(s.cfg.Workers)
 	for i := 0; i < s.cfg.Workers; i++ {
 		go s.dispatch()
@@ -170,6 +201,9 @@ func (s *Server) Infer(ctx context.Context, sample *tensor.Tensor) ([]float32, e
 		return nil, err
 	}
 	req := &request{ctx: ctx, sample: sample, done: make(chan response, 1)}
+	if s.tel != nil {
+		req.enq = time.Now()
+	}
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
@@ -215,11 +249,12 @@ func (s *Server) Classify(ctx context.Context, sample *tensor.Tensor) (int, erro
 // Stats returns a snapshot of the server's counters.
 func (s *Server) Stats() Stats {
 	return Stats{
-		Served:         s.served.Load(),
-		Rejected:       s.rejected.Load(),
-		Expired:        s.expired.Load(),
-		Batches:        s.batches.Load(),
-		BatchedSamples: s.batched.Load(),
+		Served:          s.served.Load(),
+		Rejected:        s.rejected.Load(),
+		ExpiredInQueue:  s.expiredQueue.Load(),
+		ExpiredInFlight: s.expiredFlight.Load(),
+		Batches:         s.batches.Load(),
+		BatchedSamples:  s.batched.Load(),
 	}
 }
 
@@ -247,15 +282,24 @@ func (s *Server) Close() {
 	}
 }
 
-// dispatch is one worker loop: pull the oldest request, coalesce, run.
+// dispatch is one worker loop: pull the oldest request, coalesce, run. Each
+// worker owns a dispatchScratch so trace collection reuses its buffers.
 func (s *Server) dispatch() {
 	defer s.wg.Done()
+	var ds *dispatchScratch
+	if s.tel != nil {
+		ds = &dispatchScratch{}
+	}
 	for {
 		select {
 		case <-s.stop:
 			return
 		case req := <-s.queue:
-			s.runBatch(s.coalesce(req))
+			var t0 time.Time
+			if s.tel != nil {
+				t0 = time.Now()
+			}
+			s.runBatch(s.coalesce(req), t0, ds)
 		}
 	}
 }
@@ -294,14 +338,24 @@ func (s *Server) coalesce(first *request) []*request {
 }
 
 // runBatch drops expired requests, runs the survivors as one stage-major
-// engine pass, and delivers each caller its scores.
-func (s *Server) runBatch(batch []*request) {
+// engine pass, and delivers each caller its scores. t0 is the dispatch
+// instant (zero when telemetry is off); ds is the worker's reused trace
+// scratch (nil when telemetry is off).
+func (s *Server) runBatch(batch []*request, t0 time.Time, ds *dispatchScratch) {
+	tel := s.tel
+	var tStart time.Time
+	if tel != nil {
+		tStart = time.Now()
+	}
 	live := batch[:0]
 	for _, r := range batch {
 		if err := r.ctx.Err(); err != nil {
 			r.done <- response{err: err}
-			s.expired.Add(1)
+			s.expiredQueue.Add(1)
 			continue
+		}
+		if tel != nil {
+			tel.queueWait.Record(tStart.Sub(r.enq).Nanoseconds())
 		}
 		live = append(live, r)
 	}
@@ -312,8 +366,28 @@ func (s *Server) runBatch(batch []*request) {
 	for i, r := range live {
 		samples[i] = r.sample
 	}
-	outs := s.eng.InferBatch(samples)
+	var outs [][]float32
+	traced := tel != nil && ds != nil && tel.sample()
+	if traced {
+		outs = s.eng.InferBatchTraced(samples, &ds.pt)
+	} else {
+		outs = s.eng.InferBatch(samples)
+	}
+	if tel != nil {
+		computeNS := time.Since(tStart).Nanoseconds()
+		tel.assembly.Record(tStart.Sub(t0).Nanoseconds())
+		tel.compute.Record(computeNS)
+		tel.batchSize.Record(int64(len(live)))
+		if traced {
+			s.pushTrace(ds, live[0], t0, tStart, computeNS, len(live))
+		}
+	}
 	for i, r := range live {
+		if r.ctx.Err() != nil {
+			// The caller already unblocked with ctx.Err(); the buffered done
+			// channel absorbs the discarded result.
+			s.expiredFlight.Add(1)
+		}
 		r.done <- response{scores: outs[i]}
 	}
 	s.batches.Add(1)

@@ -281,8 +281,8 @@ func TestServerDeadline(t *testing.T) {
 		t.Fatalf("canceled-in-queue request: got %v, want Canceled", err)
 	}
 	unstarted.DispatchOnce()
-	if st := unstarted.Stats(); st.Expired != 1 || st.Batches != 0 {
-		t.Fatalf("expired-drop stats: %+v (want Expired 1, Batches 0)", st)
+	if st := unstarted.Stats(); st.ExpiredInQueue != 1 || st.ExpiredInFlight != 0 || st.Expired() != 1 || st.Batches != 0 {
+		t.Fatalf("expired-drop stats: %+v (want ExpiredInQueue 1, Batches 0)", st)
 	}
 	unstarted.Close()
 }

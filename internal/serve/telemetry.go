@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+
+	"ndsnn/internal/infer"
+	"ndsnn/internal/obs"
+)
+
+// Serving telemetry: where does a request's latency go — the admission
+// queue, batch assembly (linger), or compute — and how well does coalescing
+// realize. All recording is histogram/counter atomics; sampled batches
+// additionally push a span trace composing the serving segments with the
+// engine's per-stage breakdown (InferBatchTraced).
+//
+// The counters the server already keeps (served/rejected/expired/batches)
+// export as callback counters so nothing is double-counted; the queue depth
+// exports as a gauge sampled at snapshot time.
+
+// telemetry is a server's recording state, built once in initTelemetry.
+type telemetry struct {
+	reg       *obs.Registry
+	queueWait *obs.Histogram // serve_queue_wait_ns: enqueue → batch start, per admitted request
+	assembly  *obs.Histogram // serve_batch_assembly_ns: dispatch pull → batch start (coalesce + linger)
+	compute   *obs.Histogram // serve_compute_ns: the batched engine pass
+	batchSize *obs.Histogram // serve_batch_size: realized coalesced batch sizes
+
+	traceEvery uint32
+	seq        atomic.Uint32
+}
+
+// sample decides whether the next batch carries a full request trace.
+func (t *telemetry) sample() bool {
+	return t.traceEvery > 0 && t.seq.Add(1)%t.traceEvery == 0
+}
+
+// initTelemetry attaches Config.Metrics to the server. Called once during
+// construction, before any dispatcher runs.
+func (s *Server) initTelemetry() {
+	reg := s.cfg.Metrics
+	if reg == nil {
+		return
+	}
+	te := s.cfg.TraceEvery
+	if te == 0 {
+		te = DefaultTraceEvery
+	}
+	t := &telemetry{reg: reg}
+	if te > 0 {
+		t.traceEvery = uint32(te)
+	}
+	t.queueWait = reg.Histogram("serve_queue_wait_ns", "ns")
+	t.assembly = reg.Histogram("serve_batch_assembly_ns", "ns")
+	t.compute = reg.Histogram("serve_compute_ns", "ns")
+	t.batchSize = reg.Histogram("serve_batch_size", "samples")
+	reg.CounterFunc("serve_served_total", s.served.Load)
+	reg.CounterFunc("serve_rejected_total", s.rejected.Load)
+	reg.CounterFunc("serve_expired_queue_total", s.expiredQueue.Load)
+	reg.CounterFunc("serve_expired_inflight_total", s.expiredFlight.Load)
+	reg.CounterFunc("serve_batches_total", s.batches.Load)
+	reg.CounterFunc("serve_batched_samples_total", s.batched.Load)
+	reg.Gauge("serve_queue_depth", func() int64 { return int64(len(s.queue)) })
+	s.tel = t
+}
+
+// dispatchScratch is a dispatcher worker's reused trace buffers: the engine
+// span collector and the composed serving-trace span list.
+type dispatchScratch struct {
+	pt    infer.PassTrace
+	spans []obs.Span
+}
+
+// pushTrace composes one sampled batch's trace — the oldest request's queue
+// wait, the assembly window, then the engine's per-stage spans shifted onto
+// the request timeline (or one aggregate compute span when the engine has
+// no telemetry attached) — and pushes it to the registry's trace ring.
+func (s *Server) pushTrace(ds *dispatchScratch, oldest *request, t0, tStart time.Time, computeNS int64, n int) {
+	qw := t0.Sub(oldest.enq).Nanoseconds()
+	if qw < 0 {
+		qw = 0
+	}
+	asm := tStart.Sub(t0).Nanoseconds()
+	spans := ds.spans[:0]
+	spans = append(spans,
+		obs.Span{Name: "queue_wait", StartNs: 0, DurNs: qw},
+		obs.Span{Name: "assembly", StartNs: qw, DurNs: asm},
+	)
+	off := qw + asm
+	if len(ds.pt.Spans) > 0 {
+		for _, sp := range ds.pt.Spans {
+			sp.StartNs += off
+			spans = append(spans, sp)
+		}
+	} else {
+		spans = append(spans, obs.Span{Name: "compute", StartNs: off, DurNs: computeNS})
+	}
+	ds.spans = spans
+	s.tel.reg.Ring().Push("serve", oldest.enq, n, spans)
+}

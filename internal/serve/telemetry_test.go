@@ -1,0 +1,212 @@
+package serve_test
+
+import (
+	"context"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ndsnn/internal/obs"
+	"ndsnn/internal/serve"
+)
+
+// TestServerMeanBatchZeroSafe pins the division guard: a server that has
+// dispatched nothing reports a mean batch of 0, not NaN.
+func TestServerMeanBatchZeroSafe(t *testing.T) {
+	eng, _ := buildEngine(t, 0, 51)
+	srv := serve.NewUnstarted(eng, serve.Config{})
+	defer srv.Close()
+	st := srv.Stats()
+	if st.Batches != 0 {
+		t.Fatalf("unstarted server ran %d batches", st.Batches)
+	}
+	if mb := st.MeanBatch(); mb != 0 || math.IsNaN(mb) {
+		t.Fatalf("MeanBatch() on zero batches = %v, want 0", mb)
+	}
+}
+
+// countdownCtx is a context whose Err() stays nil for the first `free` calls
+// and reports Canceled from then on, while Done() is always closed. It makes
+// the expired-in-flight path deterministic: with an unstarted server the
+// Err() call order is exactly (1) Infer admission, (2) Infer's select return
+// after Done fires, (3) the dispatch drop check, (4) the delivery check — so
+// free=3 admits the request, survives the drop check, and expires precisely
+// at delivery.
+type countdownCtx struct {
+	context.Context
+	calls atomic.Int32
+	free  int32
+	done  chan struct{}
+}
+
+func newCountdownCtx(free int32) *countdownCtx {
+	c := &countdownCtx{Context: context.Background(), free: free, done: make(chan struct{})}
+	close(c.done)
+	return c
+}
+
+func (c *countdownCtx) Err() error {
+	if c.calls.Add(1) <= c.free {
+		return nil
+	}
+	return context.Canceled
+}
+
+func (c *countdownCtx) Done() <-chan struct{} { return c.done }
+
+// TestServerExpiredInFlight drives a request through compute with a context
+// that expires only at the delivery check, and expects it counted as
+// ExpiredInFlight (compute spent, result discarded) — not ExpiredInQueue.
+func TestServerExpiredInFlight(t *testing.T) {
+	eng, samples := buildEngine(t, 0, 53)
+	srv := serve.NewUnstarted(eng, serve.Config{MaxQueue: 4})
+	defer srv.Close()
+
+	ctx := newCountdownCtx(3)
+	// Done() is already closed, so Infer enqueues and returns immediately
+	// (its select takes the ctx.Done branch; Err() call #2 is still nil, so
+	// the caller sees no error and no scores — the batch hasn't run yet).
+	if scores, err := srv.Infer(ctx, samples[0]); err != nil || scores != nil {
+		t.Fatalf("pre-dispatch return: scores=%v err=%v, want nil/nil", scores, err)
+	}
+	if srv.QueueLen() != 1 {
+		t.Fatalf("queue length %d, want 1", srv.QueueLen())
+	}
+	srv.DispatchOnce()
+	st := srv.Stats()
+	if st.ExpiredInFlight != 1 || st.ExpiredInQueue != 0 {
+		t.Fatalf("expired split: %+v (want ExpiredInFlight 1, ExpiredInQueue 0)", st)
+	}
+	if st.Expired() != 1 {
+		t.Fatalf("Expired() = %d, want 1", st.Expired())
+	}
+	if st.Batches != 1 || st.BatchedSamples != 1 {
+		t.Fatalf("the expired-in-flight request must still ride a batch: %+v", st)
+	}
+	if st.Served != 0 {
+		t.Fatalf("a discarded result must not count as served: %+v", st)
+	}
+}
+
+// TestServerTelemetry is the serving-layer telemetry pin: with a registry
+// attached and every batch traced, served outputs stay bit-identical to the
+// serial reference, the latency histograms see every request, the callback
+// counters agree with Stats, and the trace ring holds composed
+// queue-wait/assembly/per-stage spans.
+func TestServerTelemetry(t *testing.T) {
+	eng, samples := buildEngine(t, 8, 55)
+	ref := serialScores(eng, samples)
+
+	reg := obs.New()
+	eng.EnableTelemetry(reg, 1)
+	srv := serve.New(eng, serve.Config{
+		MaxBatch: 4, Linger: 500 * time.Microsecond, MaxQueue: 128, Workers: 2,
+		Metrics: reg, TraceEvery: 1,
+	})
+	defer srv.Close()
+
+	const n = 48
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			idx := i % len(samples)
+			scores, err := srv.Infer(context.Background(), samples[idx])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for j := range scores {
+				if scores[j] != ref[idx][j] {
+					t.Errorf("sample %d score %d: %v vs %v (telemetry must not perturb outputs)", idx, j, scores[j], ref[idx][j])
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	st := srv.Stats()
+	snap := reg.Snapshot()
+
+	qw := snap.Hist("serve_queue_wait_ns")
+	if qw == nil || qw.Count != uint64(n) {
+		t.Fatalf("serve_queue_wait_ns: %+v, want count %d", qw, n)
+	}
+	bs := snap.Hist("serve_batch_size")
+	if bs == nil || bs.Count != uint64(st.Batches) {
+		t.Fatalf("serve_batch_size count %v != batches %d", bs, st.Batches)
+	}
+	if bs.MaxValue() > 4 {
+		t.Fatalf("batch size histogram saw %d > MaxBatch 4", bs.MaxValue())
+	}
+	if c := snap.Hist("serve_compute_ns"); c == nil || c.Count != uint64(st.Batches) || c.P50 <= 0 {
+		t.Fatalf("serve_compute_ns: %+v, want %d positive records", c, st.Batches)
+	}
+	for name, want := range map[string]int64{
+		"serve_served_total":          st.Served,
+		"serve_rejected_total":        st.Rejected,
+		"serve_batches_total":         st.Batches,
+		"serve_batched_samples_total": st.BatchedSamples,
+	} {
+		if got := snap.Counter(name); got != want {
+			t.Fatalf("counter %s = %d, want %d (Stats agreement)", name, got, want)
+		}
+	}
+
+	if len(snap.Traces) == 0 {
+		t.Fatal("TraceEvery=1 produced no traces")
+	}
+	tr := snap.Traces[len(snap.Traces)-1]
+	if tr.Kind != "serve" {
+		t.Fatalf("trace kind %q, want serve", tr.Kind)
+	}
+	if len(tr.Spans) < 3 || tr.Spans[0].Name != "queue_wait" || tr.Spans[1].Name != "assembly" {
+		t.Fatalf("trace spans %+v: want queue_wait, assembly, then engine stages", tr.Spans)
+	}
+	var names []string
+	for _, sp := range tr.Spans {
+		names = append(names, sp.Name)
+	}
+	if joined := strings.Join(names, " "); !strings.Contains(joined, "lif") {
+		t.Fatalf("trace lacks engine per-stage spans: %v", names)
+	}
+	// Engine spans are shifted onto the request timeline: they must start at
+	// or after the assembly window ends.
+	off := tr.Spans[1].StartNs + tr.Spans[1].DurNs
+	if tr.Spans[2].StartNs < off {
+		t.Fatalf("engine span starts at %d, before assembly ends at %d", tr.Spans[2].StartNs, off)
+	}
+}
+
+// TestServerTelemetryWithoutEngineTelemetry: a metered server over an
+// unmetered engine falls back to a single aggregate compute span.
+func TestServerTelemetryWithoutEngineTelemetry(t *testing.T) {
+	eng, samples := buildEngine(t, 0, 57)
+	reg := obs.New()
+	srv := serve.New(eng, serve.Config{MaxBatch: 2, Metrics: reg, TraceEvery: 1, Workers: 1})
+	defer srv.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := srv.Infer(context.Background(), samples[i%len(samples)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := reg.Snapshot()
+	if len(snap.Traces) == 0 {
+		t.Fatal("no traces")
+	}
+	tr := snap.Traces[len(snap.Traces)-1]
+	want := []string{"queue_wait", "assembly", "compute"}
+	if len(tr.Spans) != len(want) {
+		t.Fatalf("spans %+v, want exactly %v", tr.Spans, want)
+	}
+	for i, sp := range tr.Spans {
+		if sp.Name != want[i] {
+			t.Fatalf("span %d is %q, want %q", i, sp.Name, want[i])
+		}
+	}
+}

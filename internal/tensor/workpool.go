@@ -1,6 +1,9 @@
 package tensor
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Persistent worker pool behind ParallelFor/ParallelForStriped. The previous
 // implementation spawned a fresh goroutine per chunk per call; on kernels
@@ -27,13 +30,46 @@ const maxIdleWorkers = 64
 
 var idleWorkers = make(chan chan func(), maxIdleWorkers)
 
+// Pool utilization counters. poolTasks counts every task handed to a pool
+// worker; poolSpawns counts the subset that had to spawn a fresh goroutine
+// because the free list was empty. spawns/tasks is therefore the pool's miss
+// rate: ~0 once the parked-worker population has warmed up to the workload's
+// peak concurrency, rising when nesting or GOMAXPROCS growth outruns it.
+var poolTasks, poolSpawns atomic.Int64
+
+// PoolStats is a point-in-time snapshot of the worker pool's counters.
+type PoolStats struct {
+	// Tasks is the cumulative number of tasks handed to pool workers (the
+	// calling goroutine's task-0 share of each run is not handed off and not
+	// counted).
+	Tasks int64
+	// Spawns is how many of those tasks spawned a new goroutine instead of
+	// reusing a parked one.
+	Spawns int64
+	// Idle is the number of currently parked workers.
+	Idle int
+}
+
+// ReadPoolStats snapshots the worker pool's utilization counters. The
+// counters are monotonic over the process lifetime; subtract two snapshots to
+// meter an interval.
+func ReadPoolStats() PoolStats {
+	return PoolStats{
+		Tasks:  poolTasks.Load(),
+		Spawns: poolSpawns.Load(),
+		Idle:   len(idleWorkers),
+	}
+}
+
 // submit runs fn on a pool worker: a parked one when available, a freshly
 // spawned one otherwise. It never blocks on worker availability.
 func submit(fn func()) {
+	poolTasks.Add(1)
 	select {
 	case w := <-idleWorkers:
 		w <- fn
 	default:
+		poolSpawns.Add(1)
 		w := make(chan func())
 		go worker(w)
 		w <- fn

@@ -7,6 +7,7 @@ package train
 
 import (
 	"fmt"
+	"time"
 
 	"ndsnn/internal/data"
 	"ndsnn/internal/layers"
@@ -36,6 +37,11 @@ type EpochStats struct {
 	// (tape.PeakBytes) over the epoch: the measured training-memory cost the
 	// sparse temporal tape shrinks.
 	PeakCacheBytes int64
+	// Phase wall-clock totals for the epoch — data-batch assembly, forward
+	// (incl. loss), backward (ZeroGrads+BPTT+grad hooks) and optimizer step.
+	// Populated only while train.Metrics is attached; zero otherwise, so the
+	// unmetered loop carries no per-batch clock reads.
+	DataNS, ForwardNS, BackwardNS, OptimNS int64
 }
 
 // Hooks are optional callbacks invoked by the loop.
@@ -122,26 +128,66 @@ func (l *Loop) RunEpoch(epoch int) (EpochStats, error) {
 	var totalLoss float64
 	correct, seen := 0, 0
 	params := l.Net.Params()
+	tm := attachMeters(Metrics)
+	var epochStart, t0 time.Time
+	var dataNS, forwardNS, backwardNS, optimNS int64
+	if tm != nil {
+		epochStart = time.Now()
+	}
+	// tick advances the phase clock and returns the elapsed segment; only
+	// called when tm != nil, so the unmetered loop reads no clocks.
+	tick := func() int64 {
+		now := time.Now()
+		d := now.Sub(t0).Nanoseconds()
+		t0 = now
+		return d
+	}
 	for _, idxs := range batches {
 		if l.Hooks.OnBatchStart != nil {
 			l.Hooks.OnBatchStart(l.step + 1)
 		}
+		if tm != nil {
+			t0 = time.Now()
+		}
 		x, labels := l.Dataset.Batch(&l.Dataset.Train, idxs)
+		if tm != nil {
+			d := tick()
+			dataNS += d
+			tm.data.Record(d)
+		}
 		outs := l.Net.Forward(x, true)
 		batchLoss, grads := loss.CrossEntropyRate(outs, labels)
 		totalLoss += batchLoss * float64(len(idxs))
 		correct += loss.CountCorrect(outs, labels)
 		seen += len(idxs)
+		if tm != nil {
+			d := tick()
+			forwardNS += d
+			tm.forward.Record(d)
+		}
 		l.Net.ZeroGrads()
 		l.Net.Backward(grads)
 		if l.Hooks.OnGradsReady != nil {
 			l.Hooks.OnGradsReady(l.step + 1)
 		}
+		if tm != nil {
+			d := tick()
+			backwardNS += d
+			tm.backward.Record(d)
+		}
 		l.Opt.Step(params)
 		l.step++
+		if tm != nil {
+			d := tick()
+			optimNS += d
+			tm.optim.Record(d)
+		}
 		if l.Hooks.OnStep != nil {
 			l.Hooks.OnStep(l.step)
 		}
+	}
+	if tm != nil {
+		tm.epoch.Record(time.Since(epochStart).Nanoseconds())
 	}
 	if seen == 0 {
 		return EpochStats{}, fmt.Errorf("train: epoch %d saw no data", epoch)
@@ -156,6 +202,10 @@ func (l *Loop) RunEpoch(epoch int) (EpochStats, error) {
 		Steps:          len(batches),
 		Occupancy:      l.Net.EventStats().Occupancy(),
 		PeakCacheBytes: tape.PeakBytes(),
+		DataNS:         dataNS,
+		ForwardNS:      forwardNS,
+		BackwardNS:     backwardNS,
+		OptimNS:        optimNS,
 	}
 	for _, p := range params {
 		if p.W.HasNaN() {

@@ -35,6 +35,7 @@ import (
 	"ndsnn/internal/layers"
 	"ndsnn/internal/metrics"
 	"ndsnn/internal/models"
+	"ndsnn/internal/obs"
 	"ndsnn/internal/snn"
 	"ndsnn/internal/sparse"
 	"ndsnn/internal/train"
@@ -85,6 +86,13 @@ type Config struct {
 	Scale string
 	// Seed makes the run reproducible (default 1).
 	Seed uint64
+	// Metrics enables training-path telemetry for TrainModel runs: per-batch
+	// phase latency histograms, per-epoch phase totals in the history, and
+	// live tape/worker-pool gauges, readable afterwards via Model.Telemetry.
+	// Off (false) by default — the training loop then carries no clock reads.
+	// Telemetry attaches process-wide for the duration of the run (like
+	// SetKernelWorkers), so concurrent metered runs share one registry.
+	Metrics bool
 }
 
 func (c Config) withDefaults() Config {
@@ -209,6 +217,7 @@ type Model struct {
 	net     *snn.Network
 	result  *Result
 	dataset *data.Dataset
+	reg     *obs.Registry // nil unless trained with Config.Metrics
 }
 
 // TrainModel runs a configuration and returns both the result and a Model
@@ -229,6 +238,13 @@ func TrainModel(cfg Config) (*Model, *Result, error) {
 		Timesteps: t, Neuron: neuron,
 		Profile: s.Profile, Seed: cfg.Seed*31 + 7,
 	})
+	var reg *obs.Registry
+	if cfg.Metrics {
+		reg = obs.New()
+		prev := train.Metrics
+		train.Metrics = reg
+		defer func() { train.Metrics = prev }()
+	}
 	// Run through the same dispatcher against the same dataset/model seeds
 	// so TrainModel(cfg) and Train(cfg) agree.
 	res, err := bench.RunOn(s, bench.Spec{
@@ -241,7 +257,7 @@ func TrainModel(cfg Config) (*Model, *Result, error) {
 		return nil, nil, err
 	}
 	r := resultFrom(res)
-	return &Model{net: net, result: r, dataset: ds}, r, nil
+	return &Model{net: net, result: r, dataset: ds, reg: reg}, r, nil
 }
 
 // Layers returns the per-layer sparsity census of the trained model.

@@ -2,9 +2,11 @@ package ndsnn
 
 import (
 	"context"
+	"net/http"
 	"time"
 
 	"ndsnn/internal/infer"
+	"ndsnn/internal/obs"
 	"ndsnn/internal/serve"
 	"ndsnn/internal/tensor"
 )
@@ -33,17 +35,31 @@ type ServingConfig struct {
 	MaxQueue int
 	// Workers is the number of dispatcher goroutines. Default GOMAXPROCS.
 	Workers int
+	// Metrics enables telemetry: request latency histograms, admission
+	// counters, per-stage engine timings and sampled request traces, all
+	// readable via Server.Metrics and Server.MetricsHandler. Off (false) by
+	// default — the hot path then carries no clock reads.
+	Metrics bool
+	// TraceEvery samples full request traces when Metrics is on: one batch
+	// in TraceEvery gets a span breakdown (queue wait, assembly, per-stage
+	// compute, requantization). 0 defaults to 8; negative disables tracing.
+	TraceEvery int
 }
 
 // ServingStats is a snapshot of a server's counters.
 type ServingStats struct {
-	Served         int64 // requests answered with scores
-	Rejected       int64 // fast-failed with ErrServerOverloaded
-	Expired        int64 // dropped at dispatch on an already-done context
-	Batches        int64 // coalesced engine passes
-	BatchedSamples int64 // samples those passes carried
-	MeanBatch      float64
+	Served          int64 // requests answered with scores
+	Rejected        int64 // fast-failed with ErrServerOverloaded
+	ExpiredInQueue  int64 // dropped at dispatch on an already-done context
+	ExpiredInFlight int64 // context expired mid-batch; computed result discarded
+	Batches         int64 // coalesced engine passes
+	BatchedSamples  int64 // samples those passes carried
+	MeanBatch       float64
 }
+
+// Expired returns all deadline-expired requests, wherever the deadline
+// caught them.
+func (s ServingStats) Expired() int64 { return s.ExpiredInQueue + s.ExpiredInFlight }
 
 // Server is a multi-tenant serving handle over one compiled event-driven
 // engine: any number of goroutines may call Infer/Classify concurrently;
@@ -51,6 +67,7 @@ type ServingStats struct {
 // are bit-identical to the serial single-caller engine.
 type Server struct {
 	srv *serve.Server
+	reg *obs.Registry // nil unless ServingConfig.Metrics
 }
 
 // CompileServer compiles the trained model into an event-driven engine
@@ -69,13 +86,20 @@ func (m *Model) CompileServer(cfg ServingConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	var reg *obs.Registry
+	if cfg.Metrics {
+		reg = obs.New()
+		eng.EnableTelemetry(reg, cfg.TraceEvery)
+	}
 	srv := serve.New(eng, serve.Config{
-		MaxBatch: cfg.MaxBatch,
-		Linger:   cfg.Linger,
-		MaxQueue: cfg.MaxQueue,
-		Workers:  cfg.Workers,
+		MaxBatch:   cfg.MaxBatch,
+		Linger:     cfg.Linger,
+		MaxQueue:   cfg.MaxQueue,
+		Workers:    cfg.Workers,
+		Metrics:    reg,
+		TraceEvery: cfg.TraceEvery,
 	})
-	return &Server{srv: srv}, nil
+	return &Server{srv: srv, reg: reg}, nil
 }
 
 // Infer submits one sample image laid out [C,H,W] and blocks until its class
@@ -95,14 +119,29 @@ func (s *Server) Classify(ctx context.Context, sample []float32, c, h, w int) (i
 func (s *Server) Stats() ServingStats {
 	st := s.srv.Stats()
 	return ServingStats{
-		Served:         st.Served,
-		Rejected:       st.Rejected,
-		Expired:        st.Expired,
-		Batches:        st.Batches,
-		BatchedSamples: st.BatchedSamples,
-		MeanBatch:      st.MeanBatch(),
+		Served:          st.Served,
+		Rejected:        st.Rejected,
+		ExpiredInQueue:  st.ExpiredInQueue,
+		ExpiredInFlight: st.ExpiredInFlight,
+		Batches:         st.Batches,
+		BatchedSamples:  st.BatchedSamples,
+		MeanBatch:       st.MeanBatch(),
 	}
 }
+
+// Metrics returns a typed snapshot of the server's telemetry: latency and
+// batch-size histograms with p50/p90/p99, admission counters, per-stage
+// engine timings and SynOps, and the most recent sampled request traces.
+// Empty unless the server was built with ServingConfig.Metrics.
+func (s *Server) Metrics() MetricsSnapshot { return s.reg.Snapshot() }
+
+// MetricsHandler returns an http.Handler exposing the server's telemetry:
+// Prometheus text format at "/" and "/metrics", the typed JSON snapshot at
+// "/metrics.json" (the endpoint `ndsnn-inspect metrics` reads). The caller
+// decides whether and where to mount it — the server never opens sockets on
+// its own. Serves 404s unless the server was built with
+// ServingConfig.Metrics.
+func (s *Server) MetricsHandler() http.Handler { return obs.Handler(s.reg) }
 
 // Close stops admission, waits for in-flight batches, and fails still-queued
 // requests with ErrServerClosed. Idempotent.

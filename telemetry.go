@@ -1,0 +1,40 @@
+package ndsnn
+
+import "ndsnn/internal/obs"
+
+// Telemetry facade: the public names for the internal/obs snapshot types, so
+// callers can consume Server.Metrics() / Model.Telemetry() without importing
+// internal packages.
+
+// MetricsSnapshot is a typed point-in-time view of a telemetry registry:
+// finalized latency histograms (p50/p90/p99/max/mean), counters, gauges and
+// the most recent sampled request traces. Obtain one from Server.Metrics
+// (serving path) or Model.Telemetry (training path).
+type MetricsSnapshot = obs.Snapshot
+
+// HistogramSnapshot is one histogram in a MetricsSnapshot: a log-bucketed
+// latency/size distribution with quantiles exact to the bucket resolution
+// (≤6.25% relative error).
+type HistogramSnapshot = obs.HistSnapshot
+
+// MetricValue is one counter or gauge sample in a MetricsSnapshot.
+type MetricValue = obs.MetricValue
+
+// RequestTrace is one sampled request's span breakdown from the trace ring:
+// for a served request, queue wait → batch assembly → per-stage compute (with
+// a requantization overlay on integer engines).
+type RequestTrace = obs.Trace
+
+// TraceSpan is one timed segment of a RequestTrace, in nanoseconds relative
+// to the trace start.
+type TraceSpan = obs.Span
+
+// Telemetry returns the training-path metrics recorded while this model
+// trained: per-batch phase latency histograms (data/forward/backward/optim),
+// whole-epoch timings, BPTT-tape memory gauges and kernel worker-pool
+// utilization. Empty unless the model was trained with Config.Metrics.
+//
+// The tape and pool gauges are sampled live at the time of the call, so a
+// snapshot taken while another run is training reflects that run's current
+// memory/pool state; the histograms are this model's own.
+func (m *Model) Telemetry() MetricsSnapshot { return m.reg.Snapshot() }
