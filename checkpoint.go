@@ -1,7 +1,10 @@
 package ndsnn
 
 import (
+	"ndsnn/internal/bench"
 	"ndsnn/internal/checkpoint"
+	"ndsnn/internal/models"
+	"ndsnn/internal/snn"
 	"ndsnn/internal/sparse"
 )
 
@@ -14,6 +17,42 @@ func (m *Model) SaveCheckpoint(path string, cfg Config) error {
 		TestAccuracy: m.result.TestAccuracy,
 		Params:       checkpoint.FromParams(m.net.Params()),
 	})
+}
+
+// LoadCheckpointModel rebuilds a deployable Model from a checkpoint: the
+// network is reconstructed from the stored arch/dataset/scale metadata and
+// the stored weights and masks are restored into it. The result supports
+// the structural deployment analyses — compiling inference engines (float,
+// mixed integer, fully integer), the per-stage dtype table, CSR export and
+// platform footprints — which depend only on the restored weights and
+// masks.
+//
+// Caveat: checkpoints store learnable parameters only; BatchNorm running
+// statistics are re-initialized, so accuracies measured through a reloaded
+// model do not reproduce the recorded TestAccuracy (kept in Result for
+// reference). Use the in-process Model returned by TrainModel for accuracy
+// work.
+func LoadCheckpointModel(path string) (*Model, error) {
+	ck, err := checkpoint.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	s := bench.ScaleByName(ck.Scale)
+	ds := s.Dataset(ck.Dataset, 1000)
+	net := models.Build(models.Config{
+		Arch: ck.Arch, Classes: ds.Config.Classes,
+		InC: ds.Config.C, InH: ds.Config.H, InW: ds.Config.W,
+		Timesteps: s.Timesteps, Neuron: snn.DefaultNeuron(),
+		Profile: s.Profile, Seed: 1,
+	})
+	if err := ck.RestoreInto(net.Params()); err != nil {
+		return nil, err
+	}
+	return &Model{
+		net:     net,
+		result:  &Result{TestAccuracy: ck.TestAccuracy, FinalSparsity: ck.GlobalSparsity()},
+		dataset: ds,
+	}, nil
 }
 
 // CheckpointInfo is the inspection view of a saved model.

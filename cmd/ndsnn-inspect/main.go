@@ -38,12 +38,23 @@ func main() {
 		return
 	}
 	var (
-		ckpt = flag.String("ckpt", "", "checkpoint path (required)")
+		ckpt   = flag.String("ckpt", "", "checkpoint path (required)")
+		dtypes = flag.Bool("dtypes", false, "compile an inference engine and print its per-stage activation dtype table")
+		bits   = flag.Int("bits", 0, "with -dtypes: weight bits (0 = float32 engine)")
+		abits  = flag.Int("abits", 0, "with -dtypes: activation bits (0 = weights only; requires -bits)")
+		full   = flag.Bool("full", false, "with -dtypes: require a fully-integer pipeline (implies -abits 8; requires -bits)")
 	)
 	flag.Parse()
 	if *ckpt == "" {
-		fmt.Fprintln(os.Stderr, "usage: ndsnn-inspect -ckpt model.ckpt\n       ndsnn-inspect metrics -url http://host:port/metrics.json")
+		fmt.Fprintln(os.Stderr, "usage: ndsnn-inspect -ckpt model.ckpt [-dtypes [-bits 8 [-abits 8 | -full]]]\n       ndsnn-inspect metrics -url http://host:port/metrics.json")
 		os.Exit(2)
+	}
+	if *dtypes {
+		if err := dtypesMain(*ckpt, *bits, *abits, *full); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	info, err := ndsnn.InspectCheckpoint(*ckpt)
 	if err != nil {
@@ -73,6 +84,56 @@ func main() {
 		mib := info.FootprintsMiB[name]
 		fmt.Printf("  %-14s %.3f MiB (%.1f%% of dense FP32)\n", name, mib, 100*mib/info.DenseMiB)
 	}
+}
+
+// dtypesMain rebuilds the checkpointed model, compiles the requested engine
+// (float32, mixed integer, or fully integer) and prints its per-stage
+// activation dtype table — how mixed- vs full-integer deployments are told
+// apart edge by edge from the CLI.
+func dtypesMain(ckpt string, bits, abits int, full bool) error {
+	m, err := ndsnn.LoadCheckpointModel(ckpt)
+	if err != nil {
+		return err
+	}
+	var eng *ndsnn.InferenceEngine
+	switch {
+	case bits == 0 && (abits != 0 || full):
+		return fmt.Errorf("-abits/-full require -bits")
+	case bits == 0:
+		eng, err = m.CompileInference()
+	default:
+		eng, err = m.CompileQuantizedInferenceConfig(ndsnn.QuantizedInferenceConfig{
+			WeightBits: bits, ActivationBits: abits, FullInteger: full,
+		})
+	}
+	if err != nil {
+		return err
+	}
+	if qi := eng.QuantInfo(); qi != nil {
+		mode := "mixed"
+		if qi.AnalogStages == 0 {
+			mode = "fully integer"
+		}
+		fmt.Printf("engine               : %s (weights int%d", mode, qi.Bits)
+		if qi.ActivationBits > 0 {
+			fmt.Printf(", activations int%d", qi.ActivationBits)
+		}
+		fmt.Printf(")\n")
+		fmt.Printf("integer coverage     : %d of %d compute stages (%d analog)\n",
+			qi.QuantizedStages, qi.ComputeStages, qi.AnalogStages)
+	} else {
+		fmt.Printf("engine               : float32\n")
+	}
+	fmt.Printf("\nper-stage activation dtypes:\n")
+	fmt.Printf("  %-28s %-12s %-14s %-14s %s\n", "stage", "kind", "in", "out", "arith")
+	for _, r := range eng.StageDTypes() {
+		arith := "float"
+		if r.Integer {
+			arith = "integer"
+		}
+		fmt.Printf("  %-28s %-12s %-14s %-14s %s\n", r.Name, r.Kind, r.In, r.Out, arith)
+	}
+	return nil
 }
 
 // metricsMain implements the metrics subcommand: fetch a telemetry snapshot

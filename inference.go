@@ -41,13 +41,19 @@ func (e *InferenceEngine) TestSample(i int) (img []float32, c, h, w, label int) 
 func (e *InferenceEngine) TestLen() int { return e.ds.Test.N() }
 
 // QuantInfo summarizes an integer engine's storage and coverage: which
-// precision it runs at, how many compute stages execute in integer, the
-// stored-synapse census (including synapses whose level rounded to zero —
-// dead weight the integer kernels skip), and the packed value-storage bytes
-// against the float32 engine's 4 bytes per synapse.
+// precisions it runs at (weight bits, and activation bits when the input is
+// grid-quantized), how many compute stages execute in integer and how many
+// still run float synaptic arithmetic (AnalogStages — zero is the checkable
+// "fully integer" claim), the stored-synapse census (including synapses
+// whose level rounded to zero — dead weight the integer kernels skip), and
+// the packed value-storage bytes against the float32 engine's 4 bytes per
+// synapse.
 type QuantInfo struct {
 	Bits                           int
+	ActivationBits                 int
+	FullInteger                    bool
 	QuantizedStages, ComputeStages int
+	AnalogStages                   int
 	StoredSynapses, ZeroQuantized  int64
 	PackedValueBytes               int64
 	FloatValueBytes                int64
@@ -62,13 +68,43 @@ func (e *InferenceEngine) QuantInfo() *QuantInfo {
 	}
 	return &QuantInfo{
 		Bits:             s.Bits,
+		ActivationBits:   s.ActivationBits,
+		FullInteger:      s.FullInteger,
 		QuantizedStages:  s.QuantizedStages,
 		ComputeStages:    s.ComputeStages,
+		AnalogStages:     s.AnalogStages,
 		StoredSynapses:   s.StoredSynapses,
 		ZeroQuantized:    s.ZeroQuantized,
 		PackedValueBytes: s.PackedValueBytes,
 		FloatValueBytes:  s.FloatValueBytes,
 	}
+}
+
+// StageDTypeInfo is one row of an engine's activation dtype table, rendered
+// for display: the stage's pipeline name and kind, its input and output
+// edge dtypes ("f32", "spike", "int10·0.0625"), and whether its synaptic
+// arithmetic runs on integer levels.
+type StageDTypeInfo struct {
+	Name, Kind string
+	In, Out    string
+	Integer    bool
+}
+
+// StageDTypes returns the engine's per-stage activation dtype table in
+// pipeline order (rows nested inside residual blocks are name-prefixed with
+// the block's entry). Works on float and integer engines alike; it is how
+// mixed- versus fully-integer deployments are told apart edge by edge.
+func (e *InferenceEngine) StageDTypes() []StageDTypeInfo {
+	rows := e.eng.StageDTypes()
+	out := make([]StageDTypeInfo, len(rows))
+	for i, r := range rows {
+		out[i] = StageDTypeInfo{
+			Name: r.Name, Kind: r.Kind,
+			In: r.In.String(), Out: r.Out.String(),
+			Integer: r.Integer,
+		}
+	}
+	return out
 }
 
 // EvaluateTest classifies up to n test samples (0 = all) and returns

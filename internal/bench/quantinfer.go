@@ -86,6 +86,45 @@ type QuantKernelCell struct {
 	MaxAbsDiff float64 `json:"max_abs_diff"`
 }
 
+// FullIntegerCell is the fully-integer pipeline measurement: a LeNet-style
+// model (power-of-two avg-pool windows) compiled with 8-bit weights AND
+// 8-bit activations under FullInteger, so every compute stage — the
+// direct-encoding first conv, both average pools, the post-pool linears —
+// runs integer synaptic arithmetic (AnalogStages must be 0, where the mixed
+// engine leaves MixedAnalogStages of them float). Alongside latency and the
+// accuracy delta it records the activation-memory column: the dtype-aware
+// per-request footprint of the inter-stage activation edges (1 bit per
+// binary spike, ActivationBits per quantized level) against the same
+// buffers at float32 width.
+type FullIntegerCell struct {
+	Arch           string `json:"arch"`
+	WeightBits     int    `json:"weight_bits"`
+	ActivationBits int    `json:"activation_bits"`
+	// FP32 engine baseline for the same trained model.
+	FP32Acc                float64 `json:"fp32_acc"`
+	FP32LatencyNsPerSample int64   `json:"fp32_latency_ns_per_sample"`
+	FP32SynOpsPerSample    float64 `json:"fp32_synops_per_sample"`
+	Acc                    float64 `json:"acc"`
+	AccDelta               float64 `json:"acc_delta"`
+	LatencyNsPerSample     int64   `json:"latency_ns_per_sample"`
+	SynOpsPerSample        float64 `json:"synops_per_sample"`
+	// Integer coverage: AnalogStages is 0 by the FullInteger compile
+	// guarantee; MixedAnalogStages is what the weights-only engine leaves
+	// analog on the same model.
+	QuantizedStages   int `json:"quantized_stages"`
+	ComputeStages     int `json:"compute_stages"`
+	AnalogStages      int `json:"analog_stages"`
+	MixedAnalogStages int `json:"mixed_analog_stages"`
+	// Activation-memory column (per request, summed over inter-stage edges).
+	ActivationPackedBytes     int64   `json:"activation_packed_bytes"`
+	ActivationFloatBytes      int64   `json:"activation_float_bytes"`
+	ActivationMemoryReduction float64 `json:"activation_memory_reduction"`
+	// Equivalence gates on dequantized weights and grid-snapped inputs:
+	// both must be exactly 0 (po2×po2 products, sums below 2^24).
+	MaxAbsDiffVsMixed      float64 `json:"max_abs_diff_vs_mixed"`
+	MaxAbsDiffVsDequantRef float64 `json:"max_abs_diff_vs_dequant_ref"`
+}
+
 // QuantInferReport is the recorded artifact.
 type QuantInferReport struct {
 	Arch     string  `json:"arch"`
@@ -96,9 +135,10 @@ type QuantInferReport struct {
 	FP32LatencyNsPerSample int64   `json:"fp32_latency_ns_per_sample"`
 	FP32SynOpsPerSample    float64 `json:"fp32_synops_per_sample"`
 	// Int8AccTolerance echoes the pinned CI gate.
-	Int8AccTolerance float64         `json:"int8_acc_tolerance"`
-	Rows             []QuantInferRow `json:"rows"`
-	Kernel           QuantKernelCell `json:"kernel"`
+	Int8AccTolerance float64          `json:"int8_acc_tolerance"`
+	Rows             []QuantInferRow  `json:"rows"`
+	Kernel           QuantKernelCell  `json:"kernel"`
+	FullInteger      *FullIntegerCell `json:"full_integer"`
 }
 
 // RunQuantInfer trains one NDSNN model, compiles the float32 event engine
@@ -207,7 +247,129 @@ func RunQuantInfer(s Scale, arch string, sparsity float64, seed uint64, progress
 	if rep.Kernel.MaxAbsDiff != 0 {
 		return nil, fmt.Errorf("bench: integer kernels diverge from the float kernel on integer weights (max abs diff %g)", rep.Kernel.MaxAbsDiff)
 	}
+	rep.FullInteger, err = runFullInteger(s, sparsity, seed, progress)
+	if err != nil {
+		return nil, err
+	}
 	return rep, nil
+}
+
+// runFullInteger trains a LeNet-5 (the po2-avg-pool pipeline) and measures
+// the fully-integer engine against the fp32 baseline and the weights-only
+// mixed engine, enforcing the extended equivalence pins: AnalogStages == 0,
+// bit-identity to both the mixed engine and the float reference on
+// dequantized weights with grid-snapped inputs, and the pinned accuracy
+// tolerance on the real weights.
+func runFullInteger(s Scale, sparsity float64, seed uint64, progress Progress) (*FullIntegerCell, error) {
+	const arch = "lenet5"
+	ds := s.Dataset(CIFAR10, 1100+seed)
+	net := models.Build(models.Config{
+		Arch: arch, Classes: ds.Config.Classes,
+		InC: ds.Config.C, InH: ds.Config.H, InW: ds.Config.W,
+		Timesteps: s.Timesteps, Neuron: snn.DefaultNeuron(),
+		Profile: s.Profile, Seed: seed*37 + 11,
+	})
+	spec := Spec{Method: MethodNDSNN, Arch: arch, Dataset: CIFAR10, Sparsity: sparsity, Seed: seed}
+	if _, err := RunOn(s, spec, ds, net); err != nil {
+		return nil, err
+	}
+	n := ds.Test.N()
+	pix := ds.Config.C * ds.Config.H * ds.Config.W
+	samples := make([]*tensor.Tensor, n)
+	for i := range samples {
+		samples[i] = tensor.FromSlice(ds.Test.Images[i*pix:(i+1)*pix], ds.Config.C, ds.Config.H, ds.Config.W)
+	}
+
+	cell := &FullIntegerCell{Arch: arch, WeightBits: 8, ActivationBits: 8}
+	feng, err := infer.Compile(net)
+	if err != nil {
+		return nil, err
+	}
+	_, facc, fns := evalEngine(feng, samples, ds.Test.Labels)
+	cell.FP32Acc = facc
+	cell.FP32LatencyNsPerSample = fns
+	cell.FP32SynOpsPerSample = float64(feng.SynOps()) / float64(n)
+
+	cfg := infer.QuantConfig{WeightBits: 8, FullInteger: true}
+	full, err := infer.CompileQuantizedConfig(net, cfg)
+	if err != nil {
+		return nil, err
+	}
+	st := full.QuantStats()
+	cell.QuantizedStages = st.QuantizedStages
+	cell.ComputeStages = st.ComputeStages
+	cell.AnalogStages = st.AnalogStages
+	if cell.AnalogStages != 0 {
+		return nil, fmt.Errorf("bench: FullInteger %s engine reports %d analog stages, want 0", arch, cell.AnalogStages)
+	}
+	mixed, err := infer.CompileQuantized(net, 8)
+	if err != nil {
+		return nil, err
+	}
+	cell.MixedAnalogStages = mixed.QuantStats().AnalogStages
+
+	_, qacc, qns := evalEngine(full, samples, ds.Test.Labels)
+	cell.Acc = qacc
+	cell.AccDelta = qacc - facc
+	cell.LatencyNsPerSample = qns
+	cell.SynOpsPerSample = float64(full.SynOps()) / float64(n)
+
+	// Activation-memory column: size the inter-stage edges from the arena of
+	// a served request (dtype-aware bits vs float32 width).
+	sc := full.NewScratch()
+	full.InferScratch(sc, samples[0])
+	cell.ActivationPackedBytes, cell.ActivationFloatBytes = full.ActivationFootprint(sc)
+	if cell.ActivationPackedBytes > 0 {
+		cell.ActivationMemoryReduction = float64(cell.ActivationFloatBytes) / float64(cell.ActivationPackedBytes)
+	}
+
+	// Equivalence pins: on dequantized weights and grid-snapped inputs the
+	// fully-integer engine, the mixed engine and the float reference must
+	// agree bit for bit.
+	grid, ok := full.InputGrid()
+	if !ok {
+		return nil, fmt.Errorf("bench: FullInteger engine has no input grid")
+	}
+	snapped := make([]*tensor.Tensor, n)
+	for i := range snapped {
+		buf := append([]float32(nil), ds.Test.Images[i*pix:(i+1)*pix]...)
+		snapped[i] = tensor.FromSlice(grid.SnapSlice(buf), ds.Config.C, ds.Config.H, ds.Config.W)
+	}
+	restore, err := infer.QuantizeNetWeightsConfig(net, cfg)
+	if err != nil {
+		return nil, err
+	}
+	dmixed, err := infer.CompileQuantized(net, 8)
+	if err != nil {
+		restore()
+		return nil, err
+	}
+	dref, err := infer.Compile(net)
+	if err != nil {
+		restore()
+		return nil, err
+	}
+	fscores, _, _ := evalEngine(full, snapped, ds.Test.Labels)
+	mscores, _, _ := evalEngine(dmixed, snapped, ds.Test.Labels)
+	rscores, _, _ := evalEngine(dref, snapped, ds.Test.Labels)
+	restore()
+	for i := range fscores {
+		cell.MaxAbsDiffVsMixed = math.Max(cell.MaxAbsDiffVsMixed, maxAbsDiff32(fscores[i], mscores[i]))
+		cell.MaxAbsDiffVsDequantRef = math.Max(cell.MaxAbsDiffVsDequantRef, maxAbsDiff32(fscores[i], rscores[i]))
+	}
+	report(progress, "quant-infer full-integer %s (w8/a8): acc=%.3f (Δ%+.3f) latency=%s/sample analog=%d (mixed %d) act-mem %.1fx diff vs mixed=%g ref=%g",
+		arch, qacc, cell.AccDelta, time.Duration(qns), cell.AnalogStages, cell.MixedAnalogStages,
+		cell.ActivationMemoryReduction, cell.MaxAbsDiffVsMixed, cell.MaxAbsDiffVsDequantRef)
+	if cell.MaxAbsDiffVsMixed != 0 {
+		return nil, fmt.Errorf("bench: fully-integer engine diverges from the mixed engine on dequantized weights (max abs diff %g, want exact)", cell.MaxAbsDiffVsMixed)
+	}
+	if cell.MaxAbsDiffVsDequantRef != 0 {
+		return nil, fmt.Errorf("bench: fully-integer engine diverges from its dequantized float reference (max abs diff %g, want exact)", cell.MaxAbsDiffVsDequantRef)
+	}
+	if cell.AccDelta < -Int8AccuracyTolerance {
+		return nil, fmt.Errorf("bench: fully-integer accuracy %0.3f diverges from fp32 %0.3f beyond the pinned tolerance %0.2f", qacc, facc, Int8AccuracyTolerance)
+	}
+	return cell, nil
 }
 
 // runQuantKernel times the float event kernel against the int8 and packed

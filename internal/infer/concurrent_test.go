@@ -29,9 +29,12 @@ func buildTrainedEngine(t *testing.T, bits int, seed uint64) (*infer.Engine, []*
 		t.Fatal(err)
 	}
 	var eng *infer.Engine
-	if bits == 0 {
+	switch {
+	case bits == 0:
 		eng, err = infer.Compile(net)
-	} else {
+	case bits < 0: // fully-integer pipeline at -bits weight bits, 8-bit activations
+		eng, err = infer.CompileQuantizedConfig(net, infer.QuantConfig{WeightBits: -bits, FullInteger: true})
+	default:
 		eng, err = infer.CompileQuantized(net, bits)
 	}
 	if err != nil {
@@ -45,15 +48,16 @@ func buildTrainedEngine(t *testing.T, bits int, seed uint64) (*infer.Engine, []*
 	return eng, samples
 }
 
-// TestConcurrentInferBitIdentical: N goroutines × {float32, int8, int4}
-// engines classify the same samples concurrently and must match the serial
-// reference exactly.
+// TestConcurrentInferBitIdentical: N goroutines × {float32, int8, int4,
+// fully-integer} engines classify the same samples concurrently and must
+// match the serial reference exactly. The fully-integer arm exercises the
+// new graded kernels (aquant boundary, level×level accumulate) under -race.
 func TestConcurrentInferBitIdentical(t *testing.T) {
 	for _, tc := range []struct {
 		name string
 		bits int
 	}{
-		{"float32", 0}, {"int8", 8}, {"int4", 4},
+		{"float32", 0}, {"int8", 8}, {"int4", 4}, {"fullint8", -8},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			eng, samples := buildTrainedEngine(t, tc.bits, 51)

@@ -1,0 +1,187 @@
+package infer
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestJoinDTypes(t *testing.T) {
+	q8 := DType{Kind: QuantInt, Bits: 8, Scale: 0.25}
+	q6 := DType{Kind: QuantInt, Bits: 6, Scale: 0.25}
+	qOther := DType{Kind: QuantInt, Bits: 8, Scale: 0.5}
+	cases := []struct {
+		name string
+		a, b DType
+		want DType
+	}{
+		{"analog wins left", dtAnalog, dtSpike, dtAnalog},
+		{"analog wins right", q8, dtAnalog, dtAnalog},
+		{"analog both", dtAnalog, dtAnalog, dtAnalog},
+		// Two {0,1} spike trains sum to {0,1,2}: one bit wider than the
+		// 2-bit level view of a spike, still on the unit grid.
+		{"spike+spike widens", dtSpike, dtSpike, DType{Kind: QuantInt, Bits: 3, Scale: 1}},
+		{"same grid widens", q8, q6, DType{Kind: QuantInt, Bits: 9, Scale: 0.25}},
+		{"grid order symmetric", q6, q8, DType{Kind: QuantInt, Bits: 9, Scale: 0.25}},
+		// Different scales: the sum leaves both grids, so the edge is analog.
+		{"scale mismatch analog", q8, qOther, dtAnalog},
+		{"spike vs coarse grid analog", dtSpike, qOther, dtAnalog},
+		{"spike vs unit grid", dtSpike, DType{Kind: QuantInt, Bits: 5, Scale: 1}, DType{Kind: QuantInt, Bits: 6, Scale: 1}},
+	}
+	for _, c := range cases {
+		if got := joinDTypes(c.a, c.b); got != c.want {
+			t.Fatalf("%s: joinDTypes(%v, %v) = %v, want %v", c.name, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJoinDTypesSumRepresentable(t *testing.T) {
+	// Property: whenever the join stays on a grid, any sum a+b of values
+	// representable on the operand grids is representable on the joined grid.
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 500; trial++ {
+		mk := func() DType {
+			if rng.Intn(4) == 0 {
+				return dtSpike
+			}
+			return DType{Kind: QuantInt, Bits: 2 + rng.Intn(10), Scale: float32(math.Ldexp(1, rng.Intn(8)-6))}
+		}
+		a, b := mk(), mk()
+		j := joinDTypes(a, b)
+		if j.Kind != QuantInt {
+			continue
+		}
+		maxSum := a.maxLevel()*int64(a.gridScale()/j.Scale) + b.maxLevel()*int64(b.gridScale()/j.Scale)
+		if maxSum > j.maxLevel() {
+			t.Fatalf("join(%v, %v) = %v cannot hold max sum level %d", a, b, j, maxSum)
+		}
+	}
+}
+
+func TestBitsForLevel(t *testing.T) {
+	cases := []struct {
+		maxLevel int64
+		want     int
+	}{{1, 2}, {2, 3}, {3, 3}, {4, 4}, {127, 8}, {128, 9}, {508, 10}, {32767, 16}}
+	for _, c := range cases {
+		if got := bitsForLevel(c.maxLevel); got != c.want {
+			t.Fatalf("bitsForLevel(%d) = %d, want %d", c.maxLevel, got, c.want)
+		}
+	}
+}
+
+func TestIsPo2(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 16, 1024} {
+		if !isPo2(n) {
+			t.Fatalf("isPo2(%d) = false", n)
+		}
+	}
+	for _, n := range []int{0, -2, 3, 6, 9, 12} {
+		if isPo2(n) {
+			t.Fatalf("isPo2(%d) = true", n)
+		}
+	}
+}
+
+// floatAvgPool is the float reference mean over full (unclipped) windows.
+func floatAvgPool(in []float32, c, h, w, k, stride int) []float32 {
+	oh := (h-k)/stride + 1
+	ow := (w-k)/stride + 1
+	out := make([]float32, c*oh*ow)
+	for p := 0; p < c; p++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				var sum float32
+				for ki := 0; ki < k; ki++ {
+					for kj := 0; kj < k; kj++ {
+						sum += in[p*h*w+(oy*stride+ki)*w+ox*stride+kj]
+					}
+				}
+				out[p*oh*ow+oy*ow+ox] = sum / float32(k*k)
+			}
+		}
+	}
+	return out
+}
+
+// intAvgPoolRun drives an intAvgPoolStage directly on grid-snapped data.
+func intAvgPoolRun(t *testing.T, data []float32, c, h, w, k, stride int, scale float32) []float32 {
+	t.Helper()
+	s := &intAvgPoolStage{
+		k: k, stride: stride,
+		invIn:    1 / scale,
+		outScale: scale / float32(k*k),
+		slot:     0,
+	}
+	sc := &Scratch{acts: make([]act, 1)}
+	in := &act{shape: []int{c, h, w}, data: data}
+	out := s.step(sc, in)
+	return append([]float32(nil), out.data...)
+}
+
+// TestIntAvgPoolExactForPo2Windows is the satellite property test: for
+// power-of-two windows (k² po2) the int32-sum-plus-shift pool equals the
+// float mean bit for bit on any grid input, at any grid scale.
+func TestIntAvgPoolExactForPo2Windows(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for _, tc := range []struct{ k, stride, h, w int }{
+		{2, 2, 8, 8}, {2, 2, 6, 10}, {4, 4, 8, 8}, {2, 1, 5, 7}, {4, 2, 10, 10},
+	} {
+		for _, scale := range []float32{1, 0.125, 0.0078125} {
+			c := 3
+			data := make([]float32, c*tc.h*tc.w)
+			for i := range data {
+				// Integer levels in ±200: products and window sums stay far
+				// below 2^24, so the float reference is itself exact.
+				data[i] = float32(rng.Intn(401)-200) * scale
+			}
+			got := intAvgPoolRun(t, data, c, tc.h, tc.w, tc.k, tc.stride, scale)
+			want := floatAvgPool(data, c, tc.h, tc.w, tc.k, tc.stride)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("k=%d stride=%d scale=%v: element %d integer pool %v != float mean %v (po2 window must be exact)",
+						tc.k, tc.stride, scale, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestIntAvgPoolBoundedErrorOtherwise: a non-po2 window (k=3, k²=9) cannot
+// divide exactly on the grid — the compiler never selects the integer pool
+// for it — but the construction's error against the float mean is still
+// bounded by float32 rounding of the one division. Driving the stage with a
+// synthetic outScale = scale/9 pins that bound.
+func TestIntAvgPoolBoundedErrorOtherwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	k, stride, c, h, w := 3, 3, 2, 9, 9
+	scale := float32(0.25)
+	data := make([]float32, c*h*w)
+	for i := range data {
+		data[i] = float32(rng.Intn(401)-200) * scale
+	}
+	s := &intAvgPoolStage{k: k, stride: stride, invIn: 1 / scale, outScale: scale / float32(k*k), slot: 0}
+	sc := &Scratch{acts: make([]act, 1)}
+	out := s.step(sc, &act{shape: []int{c, h, w}, data: data})
+	want := floatAvgPool(data, c, h, w, k, stride)
+	for i := range want {
+		diff := math.Abs(float64(out.data[i] - want[i]))
+		// One float32 rounding of sum·(scale/9) vs (sum·scale)/9: relative
+		// error ≤ 2 ulps ≈ 2.4e-7 of the magnitude.
+		if tol := 2.4e-7*math.Abs(float64(want[i])) + 1e-12; diff > tol {
+			t.Fatalf("k=3 element %d: integer pool %v vs float mean %v, diff %v exceeds rounding bound %v",
+				i, out.data[i], want[i], diff, tol)
+		}
+	}
+}
+
+func TestIntAvgPoolPanicsOffGrid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("integer avg pool accepted an off-grid element")
+		}
+	}()
+	s := &intAvgPoolStage{k: 2, stride: 2, invIn: 1, outScale: 0.25, slot: 0}
+	sc := &Scratch{acts: make([]act, 1)}
+	s.step(sc, &act{shape: []int{1, 2, 2}, data: []float32{1, 0.5, 0, 1}})
+}

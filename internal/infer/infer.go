@@ -27,10 +27,12 @@ package infer
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"ndsnn/internal/layers"
+	"ndsnn/internal/quant"
 	"ndsnn/internal/snn"
 	"ndsnn/internal/tensor"
 )
@@ -82,6 +84,11 @@ type Engine struct {
 	// QCSR it was quantized to — the mapping QuantizeNetWeights uses to
 	// materialize the dequantized float reference.
 	qweights []quantizedWeight
+	// stageDT is the per-stage dtype table built by the compiler walker
+	// (see dtype.go); inputGrid is the activation grid of the input requant
+	// boundary, zero unless the engine was compiled with ActivationBits.
+	stageDT   []StageDType
+	inputGrid quant.ActGrid
 
 	// Scratch-arena slot layout, fixed at compile time.
 	nAct, nLIF, nInt, nOps int
@@ -99,10 +106,23 @@ type Engine struct {
 type QuantStats struct {
 	// Bits is the requested weight precision.
 	Bits int
+	// ActivationBits is the requested activation precision (0: activations
+	// stay analog/binary — the mixed engine); FullInteger records that the
+	// compile demanded, and verified, zero analog compute stages.
+	ActivationBits int
+	FullInteger    bool
 	// QuantizedStages counts conv/linear stages computing in integer;
 	// ComputeStages counts all conv/linear stages (the difference runs in
 	// float32 — analog-input stages such as the direct-encoding first conv).
 	QuantizedStages, ComputeStages int
+	// AnalogStages counts compute stages whose synaptic arithmetic runs in
+	// float32: unquantized conv/linear stages, float average pools, and
+	// standalone BN affines. Zero is the checkable "fully integer" claim —
+	// every remaining float op is an O(neurons) epilogue (requant affine,
+	// LIF threshold) operating on exact grid values.
+	AnalogStages int
+	// Stages is the per-stage dtype table (also via Engine.StageDTypes).
+	Stages []StageDType
 	// StoredSynapses counts synapses stored by quantized stages;
 	// ZeroQuantized of them rounded to level zero and are skipped by the
 	// integer kernels (the measured SynOps reduction of quantization).
@@ -145,7 +165,7 @@ func (e *Engine) DenseMACsPerTimestep() int64 {
 // training, as with any deployment export).
 func Compile(net *snn.Network) (*Engine, error) {
 	e := &Engine{T: net.T}
-	c := &compiler{eng: e}
+	c := &compiler{eng: e, dt: dtAnalog}
 	stages, err := c.compile(net.Layers)
 	if err != nil {
 		return nil, err
@@ -154,7 +174,39 @@ func Compile(net *snn.Network) (*Engine, error) {
 	return e, nil
 }
 
-// CompileQuantized builds the integer engine: conv/linear stages whose
+// QuantConfig selects the integer engine's precisions.
+type QuantConfig struct {
+	// WeightBits is the QCSR weight precision, 2–16 (the Sec. III-D
+	// platform range).
+	WeightBits int
+	// ActivationBits, when nonzero (2–16), quantizes activations too: the
+	// network input is snapped onto a power-of-two ActGrid by an explicit
+	// requant boundary stage, grid-fed conv/linear stages accumulate graded
+	// integer levels, and power-of-two average-pool windows run as int32
+	// sum + shift — the fully-integer pipeline. 0 keeps the mixed engine:
+	// only binary-spike-fed stages compute in integer.
+	ActivationBits int
+	// FullInteger makes "fully integer" a compile-time guarantee: the
+	// compile fails, naming the offending stages, if any compute stage
+	// still runs float synaptic arithmetic. Implies ActivationBits=8 when
+	// ActivationBits is unset.
+	FullInteger bool
+	// InputMaxAbs is the input activation range the ActGrid covers.
+	// 0 defaults to 1 — the direct-encoding pixel range.
+	InputMaxAbs float32
+}
+
+func (cfg QuantConfig) withDefaults() QuantConfig {
+	if cfg.FullInteger && cfg.ActivationBits == 0 {
+		cfg.ActivationBits = 8
+	}
+	if cfg.InputMaxAbs == 0 {
+		cfg.InputMaxAbs = 1
+	}
+	return cfg
+}
+
+// CompileQuantized builds the mixed integer engine: conv/linear stages whose
 // inputs are spike trains store QCSR-quantized weights (per-output-channel
 // power-of-two scales, int8 levels, packed two-per-byte at 4 bits) and
 // accumulate events in int32 — the accumulator only returns to float at the
@@ -163,18 +215,80 @@ func Compile(net *snn.Network) (*Engine, error) {
 // (the direct-encoding first conv, anything after average pooling) stay in
 // float32, the standard mixed-precision deployment split; QuantStats reports
 // the resulting coverage. bits spans the Sec. III-D platform range, 2–16.
+// For integer activations too, see CompileQuantizedConfig.
 func CompileQuantized(net *snn.Network, bits int) (*Engine, error) {
-	if bits < 2 || bits > 16 {
-		return nil, fmt.Errorf("infer: unsupported bit width %d (want 2..16)", bits)
+	return CompileQuantizedConfig(net, QuantConfig{WeightBits: bits})
+}
+
+// CompileQuantizedConfig builds the integer engine described by cfg. With
+// ActivationBits set, the compiler walker propagates the typed activation
+// IR (dtype.go) through the pipeline: an input requant boundary snaps the
+// sample onto a po2 activation grid, conv/linear stages fed grid values
+// accumulate level×level products in int32, power-of-two average-pool
+// windows sum levels in int32 and rescale by a shift, and QuantStats
+// reports the per-stage dtype table plus the remaining analog compute
+// stages (zero on a fully-integer pipeline). Because every grid scale is a
+// power of two, the engine stays bit-identical to the float engine running
+// on the dequantized weights (grid-snapped inputs, ≤8-bit weights) — the
+// PR 4 equivalence pin extended to the fully-integer path.
+func CompileQuantizedConfig(net *snn.Network, cfg QuantConfig) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if cfg.WeightBits < 2 || cfg.WeightBits > 16 {
+		return nil, fmt.Errorf("infer: unsupported bit width %d (want 2..16)", cfg.WeightBits)
 	}
-	e := &Engine{T: net.T, quant: &QuantStats{Bits: bits}}
-	c := &compiler{eng: e, bits: bits}
-	stages, err := c.compile(net.Layers)
+	e := &Engine{T: net.T, quant: &QuantStats{
+		Bits: cfg.WeightBits, ActivationBits: cfg.ActivationBits, FullInteger: cfg.FullInteger,
+	}}
+	c := &compiler{eng: e, cfg: cfg, dt: dtAnalog}
+	var stages []stage
+	if cfg.ActivationBits > 0 {
+		g, err := quant.NewActGrid(cfg.InputMaxAbs, cfg.ActivationBits)
+		if err != nil {
+			return nil, err
+		}
+		e.inputGrid = g
+		aq := &aquantStage{grid: g, slot: c.actSlot()}
+		stages = append(stages, aq)
+		din := c.dt
+		c.dt = DType{Kind: QuantInt, Bits: cfg.ActivationBits, Scale: g.Scale}
+		c.record(aq, din, c.dt)
+	}
+	rest, err := c.compile(net.Layers)
 	if err != nil {
 		return nil, err
 	}
+	stages = append(stages, rest...)
 	e.finish(stages, c)
+	if cfg.FullInteger {
+		if names := e.analogStageNames(); len(names) > 0 {
+			return nil, fmt.Errorf("infer: FullInteger requested but %d stage(s) still run float synaptic arithmetic: %s",
+				len(names), strings.Join(names, ", "))
+		}
+	}
 	return e, nil
+}
+
+// InputGrid returns the activation grid of the engine's input requant
+// boundary; ok is false when the engine was compiled without
+// ActivationBits. Samples already on this grid pass the boundary unchanged,
+// which is what the full-integer equivalence pins snap their inputs with.
+func (e *Engine) InputGrid() (g quant.ActGrid, ok bool) {
+	return e.inputGrid, e.inputGrid.Bits != 0
+}
+
+// analogStageNames lists the compute stages still running float synaptic
+// arithmetic — the FullInteger compile check and its error detail.
+func (e *Engine) analogStageNames() []string {
+	var names []string
+	for _, st := range e.stageDT {
+		switch st.Kind {
+		case "conv", "linear", "avgpool", "affine":
+			if !st.Integer {
+				names = append(names, st.Name)
+			}
+		}
+	}
+	return names
 }
 
 // finish freezes the compiled plan: stages, the arena slot layout, and the
@@ -182,6 +296,9 @@ func CompileQuantized(net *snn.Network, bits int) (*Engine, error) {
 func (e *Engine) finish(stages []stage, c *compiler) {
 	e.stages = stages
 	e.nAct, e.nLIF, e.nInt, e.nOps = c.nAct, c.nLIF, c.nInt, c.nOps
+	if e.quant != nil {
+		e.quant.Stages = e.stageDT
+	}
 	e.pool.New = func() any { return e.NewScratch() }
 }
 
@@ -205,19 +322,41 @@ func (e *Engine) release(sc *Scratch) { e.pool.Put(sc) }
 // compiler walks the layer list turning layers into stages, and assigns
 // every stage its Scratch slots (activation buffer, membrane state, integer
 // accumulators, band tallies) — the arena layout shared by all requests. It
-// also tracks whether the activation flowing into the next stage is a
-// binary spike train — the precondition for integer event accumulation: LIF
-// outputs are {0,1}, max pooling and reshapes preserve binaryness, while
-// the network input (direct encoding), average pooling and standalone BN
-// affines are analog. With bits set, conv/linear stages compile to integer
-// exactly when their input is binary.
+// also propagates the typed activation IR (dtype.go): dt is the dtype of
+// the edge flowing into the next stage — LIF outputs are BinarySpike, max
+// pooling and reshapes preserve their input dtype, conv/linear requant
+// affines and float average pooling produce AnalogF32, the input requant
+// boundary and the integer average pool produce QuantInt grids, and the
+// residual join reconciles its branches with joinDTypes. With WeightBits
+// set, conv/linear stages compile to integer exactly when their input edge
+// is on a grid (BinarySpike, or QuantInt when ActivationBits is set).
 type compiler struct {
-	eng    *Engine
-	bits   int  // 0 compiles the float32 engine
-	binary bool // is the current activation a {0,1} spike train?
+	eng *Engine
+	cfg QuantConfig // zero value compiles the float32 engine
+	dt  DType       // dtype of the edge flowing into the next stage
+
+	// Dtype-table naming state: prefix/seq build instrument-style row names
+	// ("02_lif", "03_residual/00_qconv", ...).
+	prefix string
+	seq    int
 
 	// Arena slot counters — the layout under assignment.
 	nAct, nLIF, nInt, nOps int
+}
+
+// record appends stage s's row to the engine's dtype table.
+func (c *compiler) record(s stage, in, out DType) {
+	c.recordKind(stageKind(s), in, out, stageInteger(s), stageOutSlot(s))
+}
+
+// recordKind appends a dtype-table row for a pseudo-stage (the residual
+// join) or with explicit attributes.
+func (c *compiler) recordKind(kind string, in, out DType, integer bool, slot int) {
+	name := fmt.Sprintf("%s%02d_%s", c.prefix, c.seq, kind)
+	c.seq++
+	c.eng.stageDT = append(c.eng.stageDT, StageDType{
+		Name: name, Kind: kind, In: in, Out: out, Integer: integer, slot: slot,
+	})
 }
 
 func (c *compiler) actSlot() int { s := c.nAct; c.nAct++; return s }
@@ -257,17 +396,21 @@ func (c *compiler) compile(ls []layers.Layer) ([]stage, error) {
 					i++
 				}
 			}
+			din := c.dt
+			var s stage
 			if c.quantizing() {
-				s, err := newQConvStage(l, bn, c)
+				qs, err := newQConvStage(l, bn, c)
 				if err != nil {
 					return nil, err
 				}
-				out = append(out, s)
+				s = qs
 			} else {
-				out = append(out, newConvStage(l, bn, c))
+				s = newConvStage(l, bn, c)
 			}
-			c.countComputeStage()
-			c.binary = false
+			out = append(out, s)
+			c.countComputeStage(c.quantizing())
+			c.dt = dtAnalog
+			c.record(s, din, c.dt)
 		case *layers.Linear:
 			var bn *layers.BatchNorm
 			if i+1 < len(ls) {
@@ -276,46 +419,83 @@ func (c *compiler) compile(ls []layers.Layer) ([]stage, error) {
 					i++
 				}
 			}
+			din := c.dt
+			var s stage
 			if c.quantizing() {
-				s, err := newQLinearStage(l, bn, c)
+				qs, err := newQLinearStage(l, bn, c)
 				if err != nil {
 					return nil, err
 				}
-				out = append(out, s)
+				s = qs
 			} else {
-				out = append(out, newLinearStage(l, bn, c))
+				s = newLinearStage(l, bn, c)
 			}
-			c.countComputeStage()
-			c.binary = false
+			out = append(out, s)
+			c.countComputeStage(c.quantizing())
+			c.dt = dtAnalog
+			c.record(s, din, c.dt)
 		case *layers.BatchNorm:
-			out = append(out, newAffineStage(l, c))
-			c.binary = false
+			din := c.dt
+			s := newAffineStage(l, c)
+			out = append(out, s)
+			c.countAnalogStage()
+			c.dt = dtAnalog
+			c.record(s, din, c.dt)
 		case *snn.LIF:
-			out = append(out, c.newLIFStage(l.Config))
-			c.binary = true
+			din := c.dt
+			s := c.newLIFStage(l.Config)
+			out = append(out, s)
+			c.dt = dtSpike
+			c.record(s, din, c.dt)
 		case *snn.ParLIF:
 			s, err := c.neuronStage(l)
 			if err != nil {
 				return nil, err
 			}
+			din := c.dt
 			out = append(out, s)
-			c.binary = true
+			c.dt = dtSpike
+			c.record(s, din, c.dt)
 		case *layers.MaxPool2d:
-			// Max pooling of {0,1} spikes stays {0,1}.
-			out = append(out, &maxPoolStage{k: l.K, stride: l.Stride, slot: c.actSlot()})
+			// Max of values on a grid is a grid value: dtype preserved.
+			s := &maxPoolStage{k: l.K, stride: l.Stride, slot: c.actSlot()}
+			out = append(out, s)
+			c.record(s, c.dt, c.dt)
 		case *layers.AvgPool2d:
-			out = append(out, &avgPoolStage{k: l.K, stride: l.Stride, slot: c.actSlot()})
-			c.binary = false
+			din := c.dt
+			var s stage
+			if c.cfg.ActivationBits > 0 && din.onGrid() && isPo2(l.K*l.K) {
+				// Grid-fed power-of-two window: int32 sum + po2 shift, no
+				// float round-trip; the output stays on a grid.
+				s = newIntAvgPoolStage(l, din, c)
+			} else {
+				s = &avgPoolStage{k: l.K, stride: l.Stride, slot: c.actSlot()}
+				c.countAnalogStage()
+				c.dt = dtAnalog
+			}
+			out = append(out, s)
+			c.record(s, din, c.dt)
 		case *layers.Flatten:
-			out = append(out, &flattenStage{slot: c.actSlot()})
+			s := &flattenStage{slot: c.actSlot()}
+			out = append(out, s)
+			c.record(s, c.dt, c.dt)
 		case *layers.Dropout:
 			// Identity at inference.
 		case *snn.ResidualBlock:
+			din := c.dt
+			// Reserve the block's row so it precedes its internal rows.
+			idx := len(c.eng.stageDT)
+			c.eng.stageDT = append(c.eng.stageDT, StageDType{})
 			rs, err := c.compileResidual(l)
 			if err != nil {
 				return nil, err
 			}
 			out = append(out, rs)
+			c.eng.stageDT[idx] = StageDType{
+				Name: fmt.Sprintf("%s%02d_residual", c.prefix, c.seq),
+				Kind: "residual", In: din, Out: c.dt, slot: -1,
+			}
+			c.seq++
 		default:
 			return nil, fmt.Errorf("infer: cannot compile layer of type %T", l)
 		}
@@ -323,38 +503,67 @@ func (c *compiler) compile(ls []layers.Layer) ([]stage, error) {
 	return out, nil
 }
 
-func (c *compiler) quantizing() bool { return c.bits > 0 && c.binary }
+// quantizing reports whether the next conv/linear stage compiles to
+// integer: weights are being quantized and the incoming edge carries exact
+// integer levels (binary spikes, or a QuantInt grid).
+func (c *compiler) quantizing() bool { return c.cfg.WeightBits > 0 && c.dt.onGrid() }
 
-func (c *compiler) countComputeStage() {
-	if c.eng.quant != nil {
-		c.eng.quant.ComputeStages++
+func (c *compiler) countComputeStage(quantized bool) {
+	if q := c.eng.quant; q != nil {
+		q.ComputeStages++
+		if !quantized {
+			q.AnalogStages++
+		}
+	}
+}
+
+// countAnalogStage tallies a non-conv/linear stage that performs float
+// arithmetic on activations (float average pool, standalone BN affine).
+func (c *compiler) countAnalogStage() {
+	if q := c.eng.quant; q != nil {
+		q.AnalogStages++
 	}
 }
 
 func (c *compiler) compileResidual(b *snn.ResidualBlock) (stage, error) {
-	// Both paths see the block's input, so the shortcut restarts from the
-	// main path's entry binaryness; the block's output LIF re-binarizes.
-	binaryIn := c.binary
+	// Both paths see the block's input edge, so the shortcut restarts from
+	// the main path's entry dtype; the join reconciles whatever the two
+	// branches produce (joinDTypes — an identity shortcut keeps its spike
+	// dtype while the main path's BN epilogue is analog, so the sum edge is
+	// analog), and the block's output neuron re-binarizes.
+	dtIn := c.dt
+	outerPrefix, outerSeq := c.prefix, c.seq
+	c.prefix = fmt.Sprintf("%s%02d_residual/", outerPrefix, outerSeq)
+	c.seq = 0
 	main, err := c.compile([]layers.Layer{b.Conv1, b.BN1, b.LIF1, b.Conv2, b.BN2})
 	if err != nil {
 		return nil, err
 	}
+	dtMain := c.dt
+	dtShort := dtIn
 	var shortcut []stage
 	if b.SCConv != nil {
-		c.binary = binaryIn
+		c.dt = dtIn
 		shortcut, err = c.compile([]layers.Layer{b.SCConv, b.SCBN})
 		if err != nil {
 			return nil, err
 		}
+		dtShort = c.dt
 	}
-	c.binary = true
+	dtSum := joinDTypes(dtMain, dtShort)
+	sumSlot := c.actSlot()
+	c.recordKind("sum", dtMain, dtSum, dtSum.onGrid(), sumSlot)
+	c.dt = dtSum
 	outStage, err := c.neuronStage(b.LIF2)
 	if err != nil {
 		return nil, err
 	}
+	c.dt = dtSpike
+	c.record(outStage, dtSum, c.dt)
+	c.prefix, c.seq = outerPrefix, outerSeq
 	return &residualStage{
 		main: main, shortcut: shortcut,
-		out: outStage, sumSlot: c.actSlot(),
+		out: outStage, sumSlot: sumSlot,
 	}, nil
 }
 

@@ -2,12 +2,15 @@ package infer_test
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"ndsnn/internal/core"
 	"ndsnn/internal/data"
 	"ndsnn/internal/infer"
+	"ndsnn/internal/layers"
 	"ndsnn/internal/models"
+	"ndsnn/internal/rng"
 	"ndsnn/internal/snn"
 	"ndsnn/internal/tensor"
 	"ndsnn/internal/testutil"
@@ -174,6 +177,167 @@ func TestQuantizedEngineSynOpsDropWithPrecision(t *testing.T) {
 	if ops2 >= ops16 {
 		t.Fatalf("2-bit SynOps %d not below 16-bit %d (zero-rounded synapses must stop costing work)", ops2, ops16)
 	}
+}
+
+// snapSample returns sample i of the dataset's test split with every pixel
+// projected onto the engine's input grid — the inputs under which the
+// full-integer engine, the mixed engine, and the float reference all see
+// exactly the same activations.
+func snapSample(t *testing.T, eng *infer.Engine, ds *data.Dataset, i int) *tensor.Tensor {
+	t.Helper()
+	g, ok := eng.InputGrid()
+	if !ok {
+		t.Fatal("engine has no input grid (compiled without ActivationBits?)")
+	}
+	pix := ds.Config.C * ds.Config.H * ds.Config.W
+	buf := append([]float32(nil), ds.Test.Images[i*pix:(i+1)*pix]...)
+	return tensor.FromSlice(g.SnapSlice(buf), ds.Config.C, ds.Config.H, ds.Config.W)
+}
+
+// fullIntegerEquivCheck is the PR 4 equivalence pin extended to the
+// fully-integer engine: with every weight dequantized onto its QCSR grid
+// and inputs snapped onto the input ActGrid, the fully-integer engine, the
+// PR 4 mixed engine, and the float engine must agree bit for bit — po2×po2
+// products are exact and every integer partial sum stays far below 2^24.
+func fullIntegerEquivCheck(t *testing.T, net *snn.Network, ds *data.Dataset, samples int) {
+	t.Helper()
+	cfg := infer.QuantConfig{WeightBits: 8, FullInteger: true}
+	full, err := infer.CompileQuantizedConfig(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := full.QuantStats()
+	if st.AnalogStages != 0 {
+		t.Fatalf("FullInteger engine reports %d analog stages, want 0; table: %v", st.AnalogStages, st.Stages)
+	}
+	if !st.FullInteger || st.ActivationBits != 8 {
+		t.Fatalf("QuantStats not reporting the full-integer config: %+v", st)
+	}
+	restore, err := infer.QuantizeNetWeightsConfig(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restore()
+	ref, err := infer.Compile(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := infer.CompileQuantized(net, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < samples; i++ {
+		sample := snapSample(t, full, ds, i)
+		got := full.Infer(sample)
+		want := ref.Infer(sample)
+		mid := mixed.Infer(sample)
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("sample %d score %d: full-integer engine %v != dequantized float reference %v (must be bit-identical)",
+					i, j, got[j], want[j])
+			}
+			if got[j] != mid[j] {
+				t.Fatalf("sample %d score %d: full-integer engine %v != mixed engine %v on dequantized weights (must be bit-identical)",
+					i, j, got[j], mid[j])
+			}
+		}
+	}
+}
+
+func TestFullIntegerEngineBitIdenticalLeNet(t *testing.T) {
+	// The headline pipeline: LeNet's analog first conv, both avg pools, and
+	// the post-pool graded stages all run integer under FullInteger, where
+	// the mixed engine left them analog.
+	ds := data.Generate(data.Config{
+		Name: "t", Classes: 4, C: 3, H: 32, W: 32,
+		TrainN: 32, TestN: 8, Noise: 0.2, Jitter: 0.05, Seed: 9,
+	})
+	net := models.Build(models.Config{
+		Arch: "lenet5", Classes: 4, InC: 3, InH: 32, InW: 32,
+		Timesteps: 2, Neuron: snn.DefaultNeuron(), Profile: models.ProfileTiny, Seed: 8,
+	})
+	trainBriefly(t, net, ds)
+	mixed, err := infer.CompileQuantized(net, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mixed.QuantStats().AnalogStages == 0 {
+		t.Fatal("mixed LeNet engine should still have analog stages — the contrast the refactor exists to close")
+	}
+	fullIntegerEquivCheck(t, net, ds, 4)
+}
+
+func TestFullIntegerEngineBitIdenticalTinyNet(t *testing.T) {
+	ds := data.SynthEasy(4, 64, 16, 51)
+	net := testutil.TinyNet(4, 3, 21)
+	trainBriefly(t, net, ds)
+	fullIntegerEquivCheck(t, net, ds, 8)
+}
+
+func TestFullIntegerCompileFailsOnNonPo2Pool(t *testing.T) {
+	// A 3×3 average pool cannot divide exactly on a po2 grid, so the walker
+	// keeps it float — and FullInteger must refuse to compile rather than
+	// silently ship a mixed pipeline, naming the offending stage.
+	r := rng.New(77)
+	net := &snn.Network{
+		T: 2,
+		Layers: []layers.Layer{
+			layers.NewConv2d("conv1", 3, 4, 3, 1, 1, false, r),
+			layers.NewBatchNorm("conv1.bn", 4),
+			snn.DefaultNeuron().New(),
+			layers.NewAvgPool2d(3, 3),
+			layers.NewFlatten(),
+			layers.NewLinear("fc", 4*5*5, 4, true, r),
+		},
+	}
+	_, err := infer.CompileQuantizedConfig(net, infer.QuantConfig{WeightBits: 8, FullInteger: true})
+	if err == nil {
+		t.Fatal("FullInteger compile accepted a float 3×3 avg pool")
+	}
+	if !strings.Contains(err.Error(), "avgpool") {
+		t.Fatalf("FullInteger error does not name the offending stage: %v", err)
+	}
+	// Without the guarantee flag the same net compiles as a (valid) mixed
+	// pipeline that reports its residual analog work.
+	eng, err := infer.CompileQuantizedConfig(net, infer.QuantConfig{WeightBits: 8, ActivationBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.QuantStats().AnalogStages == 0 {
+		t.Fatal("3×3-pool pipeline cannot be fully integer; AnalogStages must be nonzero")
+	}
+}
+
+func TestResidualDTypeReconciliation(t *testing.T) {
+	// Regression for the old save/restore of a raw binary flag: a residual
+	// whose branches disagree on dtype — the identity shortcut keeps the
+	// block input's spike edge while the main path's BN epilogue is analog —
+	// must reconcile the sum edge to f32 via the lattice join, and the
+	// compiled engine must still match the dequantized float reference.
+	ds := data.SynthSmall(4, 32, 8, 55)
+	net := models.Build(models.Config{
+		Arch: "resnet19", Classes: 4, InC: 3, InH: 16, InW: 16,
+		Timesteps: 2, Neuron: snn.DefaultNeuron(), Profile: models.ProfileTiny, Seed: 6,
+	})
+	trainBriefly(t, net, ds)
+	eng, err := infer.CompileQuantized(net, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := 0
+	for _, st := range eng.QuantStats().Stages {
+		if st.Kind != "sum" {
+			continue
+		}
+		sums++
+		if st.In.Kind != infer.AnalogF32 || st.Out.Kind != infer.AnalogF32 {
+			t.Fatalf("residual sum %s reconciled to %v + shortcut → %v, want analog f32 on both edges", st.Name, st.In, st.Out)
+		}
+	}
+	if sums == 0 {
+		t.Fatal("resnet19 dtype table lists no residual sum rows")
+	}
+	quantEquivCheck(t, net, ds, 8, 2)
 }
 
 func TestQuantizeNetWeightsRestores(t *testing.T) {

@@ -73,11 +73,21 @@ type qconvEntry struct {
 // (bandEntriesByChannel): integer accumulation is exact at any order, but
 // the banded walk nevertheless preserves the serial per-element event
 // order, matching the float stage's determinism argument.
+//
+// The stage accepts either grid dtype (dtype.go). Fed binary spikes
+// (invIn == 0) the accumulate is pure adds; fed a QuantInt edge the stage
+// recovers each event's integer level with one exact multiply (1/scale is
+// a power of two) and accumulates level×level products — the quantized
+// analog-input convolution of the fully-integer pipeline. Either way the
+// requantization multiplier deq folds the input grid's scale (po2 × po2 is
+// exact), so the stage remains bit-identical to the float stage running on
+// dequantized weights and grid inputs.
 type qconvStage struct {
 	inC, outC, k, stride, pad int
 	perChannel                [][]qconvEntry
 	bands                     [][][]qconvEntry // [band][channel]entries; nil when serial
-	deq                       []float32        // per-output-channel dequantization scale
+	deq                       []float32        // per-output-channel dequantization scale (× input grid scale)
+	invIn                     float32          // 1/input grid scale; 0 on binary-spike inputs
 	bias                      []float32        // conv bias (may be nil)
 	scale, shift              []float32        // folded BN (may be nil)
 	slot, accSlot, opsSlot    int
@@ -85,7 +95,7 @@ type qconvStage struct {
 }
 
 func newQConvStage(l *layers.Conv2d, bn *layers.BatchNorm, c *compiler) (*qconvStage, error) {
-	qc, err := quantizeWeight(l.Weight, c.bits, c.eng)
+	qc, err := quantizeWeight(l.Weight, c.cfg.WeightBits, c.eng)
 	if err != nil {
 		return nil, err
 	}
@@ -95,9 +105,14 @@ func newQConvStage(l *layers.Conv2d, bn *layers.BatchNorm, c *compiler) (*qconvS
 		deq:        make([]float32, l.OutC),
 		slot:       c.actSlot(), accSlot: c.intSlot(), opsSlot: c.opsSlot(),
 	}
+	inScale := float32(1)
+	if c.dt.Kind == QuantInt {
+		s.invIn = 1 / c.dt.Scale
+		inScale = c.dt.Scale
+	}
 	kk := l.K * l.K
 	for f := 0; f < l.OutC; f++ {
-		s.deq[f] = qc.RowScale(f)
+		s.deq[f] = qc.RowScale(f) * inScale
 		for p := qc.RowPtr[f]; p < qc.RowPtr[f+1]; p++ {
 			lv := qc.Level(int(p))
 			if lv == 0 {
@@ -133,21 +148,38 @@ func (s *qconvStage) step(sc *Scratch, in *act) *act {
 	out := sc.actBuf3(s.slot, s.outC, oh, ow)
 	p := oh * ow
 	acc := sc.int32Buf(s.accSlot, s.outC*p)
-	for _, ev := range in.events {
-		if ev.Val != 1 {
-			panic(fmt.Sprintf("infer: quantized conv stage received non-binary event %v (compile-time binary propagation violated)", ev.Val))
+	if s.invIn != 0 {
+		// Validate the whole event list once, before any banded goroutine
+		// touches it: every event must sit exactly on the input grid.
+		for _, ev := range in.events {
+			if lv := ev.Val * s.invIn; float32(int32(lv)) != lv {
+				panic(fmt.Sprintf("infer: quantized conv stage received off-grid event %v (compile-time dtype propagation violated)", ev.Val))
+			}
+		}
+	} else {
+		for _, ev := range in.events {
+			if ev.Val != 1 {
+				panic(fmt.Sprintf("infer: quantized conv stage received non-binary event %v (compile-time dtype propagation violated)", ev.Val))
+			}
 		}
 	}
 	var ops int64
 	if s.bands != nil {
 		bandOps := sc.opsBuf(s.opsSlot, len(s.bands))
 		tensor.ParallelStrips(len(s.bands), func(b int) {
-			bandOps[b] = qconvScatterEvents(acc, in.events, s.bands[b],
-				h, w, oh, ow, p, s.stride, s.pad)
+			if s.invIn != 0 {
+				bandOps[b] = qconvScatterEventsGraded(acc, in.events, s.bands[b],
+					h, w, oh, ow, p, s.stride, s.pad, s.invIn)
+			} else {
+				bandOps[b] = qconvScatterEvents(acc, in.events, s.bands[b],
+					h, w, oh, ow, p, s.stride, s.pad)
+			}
 		})
 		for _, n := range bandOps {
 			ops += n
 		}
+	} else if s.invIn != 0 {
+		ops = qconvScatterEventsGraded(acc, in.events, s.perChannel, h, w, oh, ow, p, s.stride, s.pad, s.invIn)
 	} else {
 		ops = qconvScatterEvents(acc, in.events, s.perChannel, h, w, oh, ow, p, s.stride, s.pad)
 	}
@@ -216,29 +248,66 @@ func qconvScatterEvents(acc []int32, events []Event, perChannel [][]qconvEntry,
 	return ops
 }
 
+// qconvScatterEventsGraded is qconvScatterEvents for a QuantInt input edge:
+// each event carries an integer level (recovered exactly — 1/scale is a
+// power of two; step validated the event list), and the accumulate is
+// level×level products instead of adds. The op count (SynOps) is unchanged:
+// one op per (event × active synapse), whatever the event's magnitude.
+func qconvScatterEventsGraded(acc []int32, events []Event, perChannel [][]qconvEntry,
+	h, w, oh, ow, p, stride, pad int, invIn float32) int64 {
+	var ops int64
+	for _, ev := range events {
+		lvl := int32(ev.Val * invIn)
+		idx := int(ev.Idx)
+		ci := idx / (h * w)
+		rem := idx % (h * w)
+		y := rem / w
+		x := rem % w
+		for _, en := range perChannel[ci] {
+			ny := y + pad - int(en.ki)
+			nx := x + pad - int(en.kj)
+			if ny < 0 || nx < 0 || ny%stride != 0 || nx%stride != 0 {
+				continue
+			}
+			oy, ox := ny/stride, nx/stride
+			if oy >= oh || ox >= ow {
+				continue
+			}
+			acc[int(en.f)*p+oy*ow+ox] += en.q * lvl
+			ops++
+		}
+	}
+	return ops
+}
+
 // qlinearStage is the integer event-driven fully-connected layer: incoming
 // spike indices select quantized weight columns via the int8/int4 CSC
 // kernels (packed nibbles computed from directly at 4 bits), accumulating
-// into int32; 9–16-bit levels take an equivalent int16 entry walk.
+// into int32; 9–16-bit levels take an equivalent int16 entry walk. A
+// QuantInt input edge (graded events — the fully-integer pipeline's
+// avg-pool outputs) takes the entry walk at every width, multiplying each
+// synapse level by the event's recovered integer level.
 type qlinearStage struct {
 	in, out                int
-	w8                     *sparse.CSCInt8 // bits ≤ 8, except packed 4-bit
-	w4                     *sparse.CSCInt4 // bits == 4
-	perInput               [][]qlinEntry   // bits ≥ 9
+	w8                     *sparse.CSCInt8 // binary input, bits ≤ 8 (except packed 4-bit)
+	w4                     *sparse.CSCInt4 // binary input, bits == 4
+	perInput               [][]qlinEntry   // bits ≥ 9, or any width on a graded input
 	deq                    []float32
+	invIn                  float32 // 1/input grid scale; 0 on binary-spike inputs
 	bias                   []float32
 	scale, shift           []float32
 	slot, accSlot, idxSlot int
 }
 
-// qlinEntry is one stored synapse of the 9–16-bit fallback walk.
+// qlinEntry is one stored synapse of the entry-walk path (9–16-bit levels,
+// or graded inputs at any width).
 type qlinEntry struct {
 	out int32
 	q   int32
 }
 
 func newQLinearStage(l *layers.Linear, bn *layers.BatchNorm, c *compiler) (*qlinearStage, error) {
-	qc, err := quantizeWeight(l.Weight, c.bits, c.eng)
+	qc, err := quantizeWeight(l.Weight, c.cfg.WeightBits, c.eng)
 	if err != nil {
 		return nil, err
 	}
@@ -246,13 +315,18 @@ func newQLinearStage(l *layers.Linear, bn *layers.BatchNorm, c *compiler) (*qlin
 		in: l.In, out: l.Out, deq: make([]float32, l.Out),
 		slot: c.actSlot(), accSlot: c.intSlot(), idxSlot: c.intSlot(),
 	}
+	inScale := float32(1)
+	if c.dt.Kind == QuantInt {
+		s.invIn = 1 / c.dt.Scale
+		inScale = c.dt.Scale
+	}
 	for o := 0; o < l.Out; o++ {
-		s.deq[o] = qc.RowScale(o)
+		s.deq[o] = qc.RowScale(o) * inScale
 	}
 	switch {
-	case c.bits == 4:
+	case s.invIn == 0 && c.cfg.WeightBits == 4:
 		s.w4 = qc.CSCInt4()
-	case c.bits <= 8:
+	case s.invIn == 0 && c.cfg.WeightBits <= 8:
 		s.w8 = qc.CSCInt8()
 	default:
 		s.perInput = make([][]qlinEntry, l.In)
@@ -278,28 +352,44 @@ func (s *qlinearStage) denseMACs() int64 { return int64(s.in) * int64(s.out) }
 func (s *qlinearStage) step(sc *Scratch, in *act) *act {
 	out := sc.actBuf1(s.slot, s.out)
 	acc := sc.int32Buf(s.accSlot, s.out)
-	idxs := sc.ints[s.idxSlot][:0]
-	for _, ev := range in.events {
-		if ev.Val != 1 {
-			panic(fmt.Sprintf("infer: quantized linear stage received non-binary event %v (compile-time binary propagation violated)", ev.Val))
-		}
-		idxs = append(idxs, ev.Idx)
-	}
-	sc.ints[s.idxSlot] = idxs
-	switch {
-	case s.w4 != nil:
-		sc.synOps += sparse.CSCAccumulateColumnsInt4(acc, s.w4, idxs)
-	case s.w8 != nil:
-		sc.synOps += sparse.CSCAccumulateColumnsInt8(acc, s.w8, idxs)
-	default:
+	if s.invIn != 0 {
 		var ops int64
-		for _, q := range idxs {
-			for _, en := range s.perInput[q] {
-				acc[en.out] += en.q
+		for _, ev := range in.events {
+			lv := ev.Val * s.invIn
+			lvl := int32(lv)
+			if float32(lvl) != lv {
+				panic(fmt.Sprintf("infer: quantized linear stage received off-grid event %v (compile-time dtype propagation violated)", ev.Val))
+			}
+			for _, en := range s.perInput[ev.Idx] {
+				acc[en.out] += en.q * lvl
 				ops++
 			}
 		}
 		sc.synOps += ops
+	} else {
+		idxs := sc.ints[s.idxSlot][:0]
+		for _, ev := range in.events {
+			if ev.Val != 1 {
+				panic(fmt.Sprintf("infer: quantized linear stage received non-binary event %v (compile-time dtype propagation violated)", ev.Val))
+			}
+			idxs = append(idxs, ev.Idx)
+		}
+		sc.ints[s.idxSlot] = idxs
+		switch {
+		case s.w4 != nil:
+			sc.synOps += sparse.CSCAccumulateColumnsInt4(acc, s.w4, idxs)
+		case s.w8 != nil:
+			sc.synOps += sparse.CSCAccumulateColumnsInt8(acc, s.w8, idxs)
+		default:
+			var ops int64
+			for _, q := range idxs {
+				for _, en := range s.perInput[q] {
+					acc[en.out] += en.q
+					ops++
+				}
+			}
+			sc.synOps += ops
+		}
 	}
 	var rqStart time.Time
 	if sc.timeRequant {
@@ -324,6 +414,90 @@ func (s *qlinearStage) step(sc *Scratch, in *act) *act {
 	return out
 }
 
+// aquantStage is the explicit requantization boundary the walker inserts
+// where an analog edge must become a quantized one — today, at the network
+// input when ActivationBits is set (direct encoding feeds analog pixel
+// intensities). It snaps every element onto the ActGrid (round to integer
+// level, clamp, dequantize — exact in float32 since the scale is a power of
+// two), so everything downstream sees values that carry integer levels
+// losslessly.
+type aquantStage struct {
+	grid quant.ActGrid
+	slot int
+}
+
+func (s *aquantStage) step(sc *Scratch, in *act) *act {
+	out := sc.actBufShape(s.slot, in.shape)
+	for i, v := range in.data {
+		out.data[i] = s.grid.Snap(v)
+	}
+	out.refreshEvents()
+	return out
+}
+
+// intAvgPoolStage is the integer average pool of the fully-integer
+// pipeline: windows sum integer levels in int32 and the single multiply by
+// outScale = inScale/k² performs both the dequantization and the mean in
+// one exact step (k² is a power of two, so inScale/k² is still a power of
+// two and the output lands on a k²-times-finer grid — no float round-trip,
+// no division). The walker only selects this stage when the input edge is
+// on a grid and k² is a power of two; otherwise the float avgPoolStage
+// runs. Every window covers exactly k² elements: ConvOutSize floors, so
+// (oh−1)·stride+k ≤ h always — a clipped border window (which the float
+// stage would average over a smaller, non-po2 count) cannot occur.
+type intAvgPoolStage struct {
+	k, stride int
+	invIn     float32 // 1/input grid scale (exact po2)
+	outScale  float32 // input grid scale / k²
+	slot      int
+}
+
+func newIntAvgPoolStage(l *layers.AvgPool2d, din DType, c *compiler) *intAvgPoolStage {
+	s := &intAvgPoolStage{
+		k: l.K, stride: l.Stride,
+		invIn:    1 / din.gridScale(),
+		outScale: din.gridScale() / float32(l.K*l.K),
+		slot:     c.actSlot(),
+	}
+	c.dt = DType{
+		Kind:  QuantInt,
+		Bits:  bitsForLevel(din.maxLevel() * int64(l.K*l.K)),
+		Scale: s.outScale,
+	}
+	return s
+}
+
+func (s *intAvgPoolStage) step(sc *Scratch, in *act) *act {
+	c, h, w := in.shape[0], in.shape[1], in.shape[2]
+	oh := tensor.ConvOutSize(h, s.k, s.stride, 0)
+	ow := tensor.ConvOutSize(w, s.k, s.stride, 0)
+	out := sc.actBuf3(s.slot, c, oh, ow)
+	for p := 0; p < c; p++ {
+		inBase := p * h * w
+		outBase := p * oh * ow
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				iy0, ix0 := oy*s.stride, ox*s.stride
+				var sum int32
+				for ki := 0; ki < s.k; ki++ {
+					rowBase := inBase + (iy0+ki)*w
+					for kj := 0; kj < s.k; kj++ {
+						lv := in.data[rowBase+ix0+kj] * s.invIn
+						lvl := int32(lv)
+						if float32(lvl) != lv {
+							panic(fmt.Sprintf("infer: integer avg pool received off-grid element %v (compile-time dtype propagation violated)", in.data[rowBase+ix0+kj]))
+						}
+						sum += lvl
+					}
+				}
+				out.data[outBase+oy*ow+ox] = float32(sum) * s.outScale
+			}
+		}
+	}
+	out.refreshEvents()
+	return out
+}
+
 // QuantizeNetWeights fake-quantizes, in place, exactly the weights that
 // CompileQuantized(net, bits) computes in integer — the spike-fed
 // conv/linear layers — onto the QCSR grid (per-output-channel power-of-two
@@ -333,7 +507,17 @@ func (s *qlinearStage) step(sc *Scratch, in *act) *act {
 // engine at ≤8 bits. The returned restore function undoes the mutation
 // (and drops any cached CSR encodings built from the quantized values).
 func QuantizeNetWeights(net *snn.Network, bits int) (restore func(), err error) {
-	eng, err := CompileQuantized(net, bits)
+	return QuantizeNetWeightsConfig(net, QuantConfig{WeightBits: bits})
+}
+
+// QuantizeNetWeightsConfig is QuantizeNetWeights for a full QuantConfig: it
+// fake-quantizes exactly the weights that CompileQuantizedConfig(net, cfg)
+// computes in integer — under FullInteger, every conv and linear layer. The
+// dequantized-reference equivalence then extends to the fully-integer
+// engine, provided the reference's inputs are snapped onto the engine's
+// InputGrid first.
+func QuantizeNetWeightsConfig(net *snn.Network, cfg QuantConfig) (restore func(), err error) {
+	eng, err := CompileQuantizedConfig(net, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -117,6 +117,10 @@ func stageKind(s stage) string {
 		return "maxpool"
 	case *avgPoolStage:
 		return "avgpool"
+	case *intAvgPoolStage:
+		return "intavgpool"
+	case *aquantStage:
+		return "aquant"
 	case *flattenStage:
 		return "flatten"
 	case *residualStage:

@@ -1,0 +1,63 @@
+package quant
+
+import (
+	"fmt"
+	"math"
+)
+
+// ActGrid is a per-tensor activation quantization grid: signed symmetric
+// integer levels with a single power-of-two scale (Po2Scale, the same grid
+// family as the QCSR weight rows). Because the scale is a power of two,
+// every dequantized value level×Scale is exact in float32 — an activation
+// snapped onto the grid carries its integer level losslessly through float
+// storage, which is what lets the inference engine keep float32-backed
+// activation buffers while the integer stages recover exact levels with one
+// multiply. Requantization between two po2 grids is a bit shift.
+type ActGrid struct {
+	// Bits is the signed level width: levels span [-(2^(Bits-1)-1), 2^(Bits-1)-1].
+	Bits int
+	// Scale is the grid step, a power of two.
+	Scale float32
+}
+
+// NewActGrid builds the bits-wide grid covering [-maxAbs, maxAbs]:
+// Scale = Po2Scale(maxAbs, bits), so no in-range value clamps and the
+// round-trip error bound |v − Dequantize(Quantize(v))| ≤ Scale/2 holds over
+// the whole range (pinned by the round-trip property test).
+func NewActGrid(maxAbs float32, bits int) (ActGrid, error) {
+	if bits < 2 || bits > 16 {
+		return ActGrid{}, fmt.Errorf("quant: unsupported activation bit width %d (want 2..16)", bits)
+	}
+	if !(maxAbs > 0) {
+		return ActGrid{}, fmt.Errorf("quant: activation range max %v must be positive", maxAbs)
+	}
+	return ActGrid{Bits: bits, Scale: Po2Scale(maxAbs, bits)}, nil
+}
+
+// Quantize rounds v to its integer level, clamped to the grid's range.
+func (g ActGrid) Quantize(v float32) int32 {
+	levels := int32(1)<<(g.Bits-1) - 1
+	l := int32(math.Round(float64(v) / float64(g.Scale)))
+	if l > levels {
+		l = levels
+	}
+	if l < -levels {
+		l = -levels
+	}
+	return l
+}
+
+// Dequantize returns level q's grid value, exact in float32 (po2 scale).
+func (g ActGrid) Dequantize(q int32) float32 { return float32(q) * g.Scale }
+
+// Snap projects v onto the grid: Dequantize(Quantize(v)). Idempotent, exact
+// zeros stay zero, and |v − Snap(v)| ≤ Scale/2 for in-range v.
+func (g ActGrid) Snap(v float32) float32 { return g.Dequantize(g.Quantize(v)) }
+
+// SnapSlice snaps every element of dst in place and returns it.
+func (g ActGrid) SnapSlice(dst []float32) []float32 {
+	for i, v := range dst {
+		dst[i] = g.Snap(v)
+	}
+	return dst
+}

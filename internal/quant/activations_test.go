@@ -1,0 +1,98 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewActGridValidation(t *testing.T) {
+	for _, bits := range []int{0, 1, 17, -3} {
+		if _, err := NewActGrid(1, bits); err == nil {
+			t.Fatalf("NewActGrid accepted invalid bit width %d", bits)
+		}
+	}
+	for _, maxAbs := range []float32{0, -1, float32(math.Inf(-1))} {
+		if _, err := NewActGrid(maxAbs, 8); err == nil {
+			t.Fatalf("NewActGrid accepted non-positive range max %v", maxAbs)
+		}
+	}
+}
+
+func TestActGridScaleIsPo2(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		maxAbs := float32(math.Exp(rng.Float64()*8 - 4))
+		bits := 2 + rng.Intn(15)
+		g, err := NewActGrid(maxAbs, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if frac, _ := math.Frexp(float64(g.Scale)); frac != 0.5 {
+			t.Fatalf("scale %v for maxAbs=%v bits=%d is not a power of two", g.Scale, maxAbs, bits)
+		}
+		// The grid must cover the declared range: the extreme level
+		// dequantizes to at least maxAbs.
+		levels := int32(1)<<(g.Bits-1) - 1
+		if g.Dequantize(levels) < maxAbs {
+			t.Fatalf("grid top %v below range max %v (bits=%d scale=%v)",
+				g.Dequantize(levels), maxAbs, bits, g.Scale)
+		}
+	}
+}
+
+// TestActGridRoundTripBound is the activation round-trip property test: for
+// in-range v, |v − Snap(v)| ≤ Scale/2, Snap is idempotent, and exact zeros
+// stay zero.
+func TestActGridRoundTripBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, bits := range []int{2, 4, 8, 12, 16} {
+		maxAbs := float32(math.Exp(rng.Float64()*6 - 3))
+		g, err := NewActGrid(maxAbs, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := g.Scale / 2
+		for trial := 0; trial < 2000; trial++ {
+			v := (2*rng.Float32() - 1) * maxAbs
+			s := g.Snap(v)
+			if d := float32(math.Abs(float64(v - s))); d > bound {
+				t.Fatalf("bits=%d scale=%v: |%v - Snap| = %v exceeds Scale/2 = %v", bits, g.Scale, v, d, bound)
+			}
+			if g.Snap(s) != s {
+				t.Fatalf("Snap not idempotent at %v (bits=%d)", v, bits)
+			}
+		}
+		if g.Snap(0) != 0 || g.Quantize(0) != 0 {
+			t.Fatalf("zero does not survive the grid (bits=%d)", bits)
+		}
+	}
+}
+
+func TestActGridClampsOutOfRange(t *testing.T) {
+	g, err := NewActGrid(1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels := int32(1)<<(g.Bits-1) - 1
+	if q := g.Quantize(1e6); q != levels {
+		t.Fatalf("huge positive quantized to %d, want clamp at %d", q, levels)
+	}
+	if q := g.Quantize(-1e6); q != -levels {
+		t.Fatalf("huge negative quantized to %d, want clamp at %d", q, -levels)
+	}
+}
+
+func TestActGridSnapSlice(t *testing.T) {
+	g, err := NewActGrid(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := []float32{0, 0.1, -0.7, 1.5, -2}
+	got := g.SnapSlice(append([]float32(nil), vs...))
+	for i, v := range vs {
+		if got[i] != g.Snap(v) {
+			t.Fatalf("SnapSlice[%d] = %v, want %v", i, got[i], g.Snap(v))
+		}
+	}
+}

@@ -63,6 +63,45 @@ func (m *Model) CompileQuantizedInference(bits int) (*InferenceEngine, error) {
 	return &InferenceEngine{eng: eng, ds: m.dataset}, nil
 }
 
+// QuantizedInferenceConfig selects the integer engine's precisions for
+// CompileQuantizedInferenceConfig.
+type QuantizedInferenceConfig struct {
+	// WeightBits is the QCSR weight precision, 2–16.
+	WeightBits int
+	// ActivationBits, when nonzero (2–16), also quantizes activations onto
+	// per-tensor power-of-two grids: the network input passes an explicit
+	// requant boundary, grid-fed conv/linear stages accumulate graded
+	// integer levels, and power-of-two average pools run as int32 sum +
+	// shift. 0 keeps the mixed engine (weights only).
+	ActivationBits int
+	// FullInteger makes "fully integer" a compile-time guarantee: the
+	// compile fails, naming the offending stages, if any compute stage
+	// would still run float synaptic arithmetic. Implies ActivationBits=8
+	// when unset. Check QuantInfo.AnalogStages == 0 for the runtime view of
+	// the same claim.
+	FullInteger bool
+	// InputMaxAbs is the activation grid's input range (default 1, the
+	// dataset pixel range).
+	InputMaxAbs float32
+}
+
+// CompileQuantizedInferenceConfig compiles the trained model into the
+// integer engine under an explicit precision config — the fully-integer
+// deployment path when ActivationBits/FullInteger are set. With only
+// WeightBits it is exactly CompileQuantizedInference.
+func (m *Model) CompileQuantizedInferenceConfig(cfg QuantizedInferenceConfig) (*InferenceEngine, error) {
+	eng, err := infer.CompileQuantizedConfig(m.net, infer.QuantConfig{
+		WeightBits:     cfg.WeightBits,
+		ActivationBits: cfg.ActivationBits,
+		FullInteger:    cfg.FullInteger,
+		InputMaxAbs:    cfg.InputMaxAbs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &InferenceEngine{eng: eng, ds: m.dataset}, nil
+}
+
 // PlatformBits maps the Sec. III-D platform names (see Platforms) to their
 // weight precisions. ok is false for unknown platform names — callers
 // should surface the name rather than feed a zero width downstream.

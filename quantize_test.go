@@ -169,6 +169,60 @@ func TestCompileQuantizedInference(t *testing.T) {
 	}
 }
 
+func TestCompileQuantizedInferenceFullInteger(t *testing.T) {
+	m, _ := trainTinyModel(t)
+	feng, err := m.CompileInference()
+	if err != nil {
+		t.Fatal(err)
+	}
+	facc, _, _ := feng.EvaluateTest(0)
+
+	// The mixed engine leaves lenet5's analog-fed stages float …
+	mixed, err := m.CompileQuantizedInference(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qi := mixed.QuantInfo(); qi.AnalogStages == 0 || qi.ActivationBits != 0 {
+		t.Fatalf("mixed engine info implausible: %+v", qi)
+	}
+
+	// … and the fully-integer engine closes every one of them.
+	full, err := m.CompileQuantizedInferenceConfig(QuantizedInferenceConfig{WeightBits: 8, FullInteger: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qi := full.QuantInfo()
+	if qi == nil || !qi.FullInteger || qi.ActivationBits != 8 || qi.Bits != 8 {
+		t.Fatalf("full-integer info not reported: %+v", qi)
+	}
+	if qi.AnalogStages != 0 {
+		t.Fatalf("FullInteger engine reports %d analog stages, want 0", qi.AnalogStages)
+	}
+	rows := full.StageDTypes()
+	if len(rows) == 0 {
+		t.Fatal("empty dtype table")
+	}
+	for _, r := range rows {
+		switch r.Kind {
+		case "conv", "linear", "avgpool", "affine":
+			if !r.Integer {
+				t.Fatalf("stage %s (%s %s→%s) still analog in a FullInteger engine", r.Name, r.Kind, r.In, r.Out)
+			}
+		}
+	}
+	acc, synOps, dense := full.EvaluateTest(0)
+	if acc < facc-0.1 {
+		t.Fatalf("full-integer accuracy %v far below fp32 %v", acc, facc)
+	}
+	if synOps <= 0 || dense <= 0 || synOps >= dense {
+		t.Fatalf("full-integer efficiency stats implausible: synops=%v dense=%v", synOps, dense)
+	}
+	// The float engine exposes the same dtype table, with analog/spike edges.
+	if len(feng.StageDTypes()) == 0 {
+		t.Fatal("float engine has no dtype table")
+	}
+}
+
 func TestPlatformBits(t *testing.T) {
 	for platform, want := range map[string]int{"Loihi": 8, "HICANN": 4, "FPGA-SyncNN": 16} {
 		bits, ok := PlatformBits(platform)

@@ -24,6 +24,14 @@ type ServingConfig struct {
 	// Bits selects the engine precision: 0 compiles the float32 engine,
 	// 2..16 the packed QCSR integer engine (see CompileQuantizedInference).
 	Bits int
+	// ActivationBits, when nonzero (2..16, requires Bits), also quantizes
+	// activations onto power-of-two grids — the fully-integer serving path
+	// (see CompileQuantizedInferenceConfig).
+	ActivationBits int
+	// FullInteger makes the integer claim a compile-time guarantee:
+	// CompileServer fails if any compute stage would still run float
+	// synaptic arithmetic. Implies ActivationBits=8 when unset.
+	FullInteger bool
 	// MaxBatch caps how many queued single-sample requests coalesce into one
 	// batched engine pass. 1 disables coalescing. Default 8.
 	MaxBatch int
@@ -81,7 +89,11 @@ func (m *Model) CompileServer(cfg ServingConfig) (*Server, error) {
 	if cfg.Bits == 0 {
 		eng, err = infer.Compile(m.net)
 	} else {
-		eng, err = infer.CompileQuantized(m.net, cfg.Bits)
+		eng, err = infer.CompileQuantizedConfig(m.net, infer.QuantConfig{
+			WeightBits:     cfg.Bits,
+			ActivationBits: cfg.ActivationBits,
+			FullInteger:    cfg.FullInteger,
+		})
 	}
 	if err != nil {
 		return nil, err

@@ -17,20 +17,29 @@ func TestCompileServerBitIdentical(t *testing.T) {
 	for _, tc := range []struct {
 		name string
 		bits int
+		full bool
 	}{
-		{"float32", 0}, {"int8", 8},
+		{"float32", 0, false}, {"int8", 8, false}, {"fullint8", 8, true},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			var eng *InferenceEngine
-			if tc.bits == 0 {
+			switch {
+			case tc.bits == 0:
 				eng, err = m.CompileInference()
-			} else {
+			case tc.full:
+				eng, err = m.CompileQuantizedInferenceConfig(QuantizedInferenceConfig{WeightBits: tc.bits, FullInteger: true})
+			default:
 				eng, err = m.CompileQuantizedInference(tc.bits)
 			}
 			if err != nil {
 				t.Fatal(err)
 			}
-			srv, err := m.CompileServer(ServingConfig{Bits: tc.bits, MaxBatch: 4, MaxQueue: 64})
+			if tc.full {
+				if qi := eng.QuantInfo(); qi == nil || qi.AnalogStages != 0 {
+					t.Fatalf("served full-integer engine still has analog stages: %+v", qi)
+				}
+			}
+			srv, err := m.CompileServer(ServingConfig{Bits: tc.bits, FullInteger: tc.full, MaxBatch: 4, MaxQueue: 64})
 			if err != nil {
 				t.Fatal(err)
 			}
