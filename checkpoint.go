@@ -8,6 +8,21 @@ import (
 	"ndsnn/internal/sparse"
 )
 
+// Typed checkpoint-load failures (branch with errors.Is). SaveCheckpoint
+// writes atomically — temp file, fsync, rename — so a crash mid-save leaves
+// the previous complete checkpoint in place; these errors classify the
+// damage Load found in a file that was corrupted some other way.
+var (
+	// ErrCheckpointTruncated marks a file shorter than its frame declares —
+	// the signature of a kill mid-write.
+	ErrCheckpointTruncated = checkpoint.ErrTruncated
+	// ErrCheckpointCorrupt marks a checksum or structural mismatch.
+	ErrCheckpointCorrupt = checkpoint.ErrCorrupt
+	// ErrCheckpointFutureVersion marks a file written by a newer format
+	// version than this build understands.
+	ErrCheckpointFutureVersion = checkpoint.ErrFutureVersion
+)
+
 // SaveCheckpoint persists the trained model (weights, masks, metadata).
 func (m *Model) SaveCheckpoint(path string, cfg Config) error {
 	cfg = cfg.withDefaults()

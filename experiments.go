@@ -14,6 +14,7 @@ var ExperimentIDs = []string{
 	"fig1", "table1", "table2", "table3", "fig4", "fig5", "memory", "synops",
 	"sparse-gemm", "event-driven", "sparse-tape", "quant-infer",
 	"parallel-kernels", "time-parallel", "serving", "observability",
+	"resilience",
 	"ablation-grow", "ablation-shape", "ablation-allocation",
 	"ablation-surrogate", "ablation-deltat",
 }
@@ -36,6 +37,7 @@ var ExperimentDescription = map[string]string{
 	"time-parallel":       "time-parallel neurons: sequential LIF vs ParLIF banded-filter membrane across simulation lengths T, spikes exact + grads ≤1e-5 (JSON, BENCH_time_parallel.json)",
 	"serving":             "multi-tenant serving: coalesced-batch throughput + p50/p99 latency across concurrency levels, bit-identical to serial (JSON, BENCH_serving.json)",
 	"observability":       "telemetry cost: serving p99/throughput with metrics off vs on (overhead gated ≤1%) + per-stage latency/SynOps breakdown (JSON, BENCH_observability.json)",
+	"resilience":          "serving failure model: availability + p99 under injected panic/delay faults vs no-fault baseline, shed-rate vs offered load, survivors gated bit-identical (JSON, BENCH_resilience.json)",
 	"ablation-grow":       "A1 — gradient vs random regrowth",
 	"ablation-shape":      "A2 — cubic vs linear vs step sparsity ramp",
 	"ablation-allocation": "A3 — ERK vs uniform layer allocation",
@@ -249,6 +251,19 @@ func RunExperiment(id string, w io.Writer, opts ExperimentOptions) error {
 			return err
 		}
 		return bench.PrintObservability(w, rep)
+	case "resilience":
+		// Same LeNet-5 workload as the serving experiment, but under injected
+		// faults and deadline pressure: the artifact is availability, not
+		// throughput.
+		concurrency, requests := 16, 384
+		if opts.Scale == "unit" {
+			concurrency, requests = 8, 96
+		}
+		rep, err := bench.RunResilience(s, "lenet5", 0.80, concurrency, requests, opts.Seed, progress)
+		if err != nil {
+			return err
+		}
+		return bench.PrintResilience(w, rep)
 	case "ablation-grow":
 		return runAblation(w, s, opts, bench.RunAblationGrowCriterion)
 	case "ablation-shape":

@@ -1,16 +1,82 @@
 // Package checkpoint persists trained models: every parameter tensor with
-// its optional sparsity mask plus run metadata, gob-encoded. Inspection
-// tooling operates directly on the stored tensors, so loading does not
-// require rebuilding the network.
+// its optional sparsity mask plus run metadata, gob-encoded inside a framed,
+// integrity-checked container. Inspection tooling operates directly on the
+// stored tensors, so loading does not require rebuilding the network.
+//
+// # On-disk format
+//
+// A checkpoint file is one frame:
+//
+//	magic "NDSNCKPT" (8 bytes)
+//	format version   (uint16 little-endian)
+//	payload length   (uint64 little-endian)
+//	payload          (gob-encoded Checkpoint)
+//	CRC32-Castagnoli (uint32 little-endian, over everything above it)
+//
+// Load classifies damage with distinct typed errors: a file shorter than its
+// declared frame is ErrTruncated (the signature of a crash mid-write), a
+// checksum or structural mismatch is ErrCorrupt (bit rot, torn concurrent
+// write), and a version newer than this build understands is
+// ErrFutureVersion (never guess at a future layout). Files that do not start
+// with the magic are read as legacy headerless gob — checkpoints written
+// before the frame existed keep loading.
+//
+// Save is crash-safe by construction: the frame is written to a temp file in
+// the destination directory, fsynced, then renamed over the target — so at
+// every instant the destination path holds either the previous complete
+// checkpoint or the new complete checkpoint, never a partial write. A kill
+// mid-save loses only the temp file, and a torn temp file can never pass
+// Load's frame checks.
 package checkpoint
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
+	"path/filepath"
 
+	"ndsnn/internal/fault"
 	"ndsnn/internal/layers"
 	"ndsnn/internal/tensor"
+)
+
+// Version is the newest frame version this build writes and understands.
+const Version = 1
+
+const (
+	magic     = "NDSNCKPT"
+	headerLen = len(magic) + 2 + 8 // magic + version + payload length
+	footerLen = 4                  // CRC32
+)
+
+// Typed load failures. Callers branch with errors.Is.
+var (
+	// ErrTruncated marks a file shorter than its frame declares — the
+	// signature of a crash or kill mid-write.
+	ErrTruncated = errors.New("checkpoint: truncated file")
+	// ErrCorrupt marks a frame whose checksum or structure does not verify,
+	// or a legacy file that is not valid gob.
+	ErrCorrupt = errors.New("checkpoint: corrupt file")
+	// ErrFutureVersion marks a frame written by a newer format version.
+	ErrFutureVersion = errors.New("checkpoint: future format version")
+)
+
+// Fault-injection sites of the save path (no-ops unless armed). Each stands
+// in for a crash or I/O failure at a distinct point of the write protocol;
+// the checkpoint tests arm them to prove the destination file is never left
+// in a loadable-but-wrong state.
+var (
+	// faultSaveWrite fails between two half-writes of the temp file — a torn
+	// write / mid-write kill.
+	faultSaveWrite = fault.New("checkpoint.save.write", fault.CanError)
+	// faultSaveSync fails the pre-rename fsync — data may not be durable.
+	faultSaveSync = fault.New("checkpoint.save.sync", fault.CanError)
+	// faultSaveRename fails the atomic publish step.
+	faultSaveRename = fault.New("checkpoint.save.rename", fault.CanError)
 )
 
 // Param is one stored parameter tensor.
@@ -76,31 +142,147 @@ func (c *Checkpoint) RestoreInto(params []*layers.Param) error {
 	return nil
 }
 
-// Save writes the checkpoint to path.
+// Encode serializes a checkpoint into one complete frame (header, gob
+// payload, CRC footer) — the exact bytes Save writes.
+func Encode(c *Checkpoint) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString(magic)
+	var hdr [10]byte
+	binary.LittleEndian.PutUint16(hdr[0:2], Version)
+	// Payload length is back-patched once the gob size is known.
+	buf.Write(hdr[:])
+	if err := gob.NewEncoder(&buf).Encode(c); err != nil {
+		return nil, fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	frame := buf.Bytes()
+	plen := uint64(len(frame) - headerLen)
+	binary.LittleEndian.PutUint64(frame[len(magic)+2:headerLen], plen)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(frame, castagnoli))
+	return append(frame, crc[:]...), nil
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Decode parses one frame (or a legacy headerless gob stream), classifying
+// damage with the package's typed errors. This is the byte-level core of
+// Load and the fuzz target's entry point.
+func Decode(data []byte) (*Checkpoint, error) {
+	if !bytes.HasPrefix(data, []byte(magic)) {
+		return decodeLegacy(data)
+	}
+	if len(data) < headerLen {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the %d-byte header", ErrTruncated, len(data), headerLen)
+	}
+	// Version gates before the checksum: a future version may well checksum
+	// differently, and "too new" is the more actionable error.
+	ver := binary.LittleEndian.Uint16(data[len(magic):])
+	if ver > Version {
+		return nil, fmt.Errorf("%w: file is v%d, this build reads ≤ v%d", ErrFutureVersion, ver, Version)
+	}
+	plen := binary.LittleEndian.Uint64(data[len(magic)+2:])
+	if plen > uint64(len(data)) {
+		return nil, fmt.Errorf("%w: header declares %d payload bytes, file has %d total", ErrTruncated, plen, len(data))
+	}
+	need := headerLen + int(plen) + footerLen
+	if len(data) < need {
+		return nil, fmt.Errorf("%w: frame needs %d bytes, file has %d", ErrTruncated, need, len(data))
+	}
+	if len(data) > need {
+		return nil, fmt.Errorf("%w: %d trailing bytes after the frame", ErrCorrupt, len(data)-need)
+	}
+	body := data[:headerLen+int(plen)]
+	want := binary.LittleEndian.Uint32(data[len(body):])
+	if got := crc32.Checksum(body, castagnoli); got != want {
+		return nil, fmt.Errorf("%w: CRC mismatch (stored %08x, computed %08x)", ErrCorrupt, want, got)
+	}
+	var c Checkpoint
+	if err := gob.NewDecoder(bytes.NewReader(body[headerLen:])).Decode(&c); err != nil {
+		return nil, fmt.Errorf("%w: payload gob: %v", ErrCorrupt, err)
+	}
+	return &c, nil
+}
+
+// decodeLegacy reads the pre-frame format: a bare gob stream with no header
+// or checksum. Undetectable truncation is exactly why the frame exists, but
+// old files must keep loading.
+func decodeLegacy(data []byte) (*Checkpoint, error) {
+	var c Checkpoint
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&c); err != nil {
+		return nil, fmt.Errorf("%w: legacy gob: %v", ErrCorrupt, err)
+	}
+	return &c, nil
+}
+
+// Save atomically writes the checkpoint to path: encode the full frame,
+// write it to a temp file in the destination directory, fsync, rename over
+// path, fsync the directory. A crash at any point leaves path holding either
+// the previous complete checkpoint or the new one — never a torn frame. On
+// error the temp file is removed and path is untouched.
 func Save(path string, c *Checkpoint) error {
-	f, err := os.Create(path)
+	frame, err := Encode(c)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
-	defer f.Close()
-	if err := gob.NewEncoder(f).Encode(c); err != nil {
-		return fmt.Errorf("checkpoint: encode: %w", err)
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	// Two half-writes with the torn-write fault site between them: an
+	// injected failure here models a kill mid-write and leaves path intact.
+	half := len(frame) / 2
+	if _, err := f.Write(frame[:half]); err != nil {
+		return fail(err)
+	}
+	if err := faultSaveWrite.Err(); err != nil {
+		return fail(err)
+	}
+	if _, err := f.Write(frame[half:]); err != nil {
+		return fail(err)
+	}
+	if err := faultSaveSync.Err(); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := faultSaveRename.Err(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	// Make the rename itself durable. Best-effort: some filesystems refuse
+	// directory fsync, and the data frame is already synced.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
 	}
 	return nil
 }
 
-// Load reads a checkpoint from path.
+// Load reads a checkpoint from path, classifying damage with ErrTruncated,
+// ErrCorrupt or ErrFutureVersion (errors.Is). Legacy headerless gob files
+// load transparently.
 func Load(path string) (*Checkpoint, error) {
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: %w", err)
 	}
-	defer f.Close()
-	var c Checkpoint
-	if err := gob.NewDecoder(f).Decode(&c); err != nil {
-		return nil, fmt.Errorf("checkpoint: decode: %w", err)
-	}
-	return &c, nil
+	return Decode(data)
 }
 
 // Census summarizes one stored tensor's sparsity.

@@ -1,0 +1,303 @@
+// Package fault is a deterministic fault-injection subsystem: named sites
+// compiled into the serving, inference and checkpoint hot paths that can be
+// armed to raise panics, inject delays, or return errors at specific hit
+// counts (or with a seeded probability), and that cost one atomic pointer
+// load when disarmed — the production state.
+//
+// A site is registered once at package init (fault.New) and evaluated at its
+// injection point with Site.Fire (paths that cannot return an error: the
+// site may panic or sleep) or Site.Err (error-returning paths). Each site
+// declares which modes its call site can absorb (Caps); Arm rejects plans
+// the site cannot carry, so a sweep over fault.Sites() arms exactly the
+// mode × site matrix the code is built to survive.
+//
+// Determinism is the point: a Plan fires on an exact hit index (Hit), on a
+// fixed period (Every), or with a seeded Bernoulli draw (Prob/Seed over
+// internal/rng) — never on wall-clock or unseeded randomness — so a chaos
+// run that found a failure replays it exactly. The chaos harness in
+// internal/serve sweeps every site under -race asserting the invariants
+// that make the resilience layer trustworthy: no hangs, surviving responses
+// bit-identical to the serial reference, and request-stats conservation.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ndsnn/internal/rng"
+)
+
+// Mode is what an armed site does when its plan comes due.
+type Mode int
+
+const (
+	// Panic throws a PanicValue naming the site — the injected analogue of
+	// an engine bug or a corrupted-state crash.
+	Panic Mode = 1 + iota
+	// Delay sleeps Plan.Sleep — the injected analogue of a stalled
+	// dispatcher, a descheduled worker, or slow I/O.
+	Delay
+	// Error returns Plan.Err (ErrInjected when nil) — the injected analogue
+	// of a failed syscall or a dependency error.
+	Error
+)
+
+// String names the mode for sweep labels.
+func (m Mode) String() string {
+	switch m {
+	case Panic:
+		return "panic"
+	case Delay:
+		return "delay"
+	case Error:
+		return "error"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Caps declares which modes a site's call site can absorb.
+type Caps uint8
+
+const (
+	// CanPanic marks sites whose callers recover (or are expected to crash).
+	CanPanic Caps = 1 << iota
+	// CanDelay marks sites that may sleep without deadlocking their caller.
+	CanDelay
+	// CanError marks sites evaluated with Site.Err on an error-returning path.
+	CanError
+)
+
+// Has reports whether c includes the capability needed for mode m.
+func (c Caps) Has(m Mode) bool {
+	switch m {
+	case Panic:
+		return c&CanPanic != 0
+	case Delay:
+		return c&CanDelay != 0
+	case Error:
+		return c&CanError != 0
+	}
+	return false
+}
+
+// Modes lists the modes c supports, in Panic/Delay/Error order.
+func (c Caps) Modes() []Mode {
+	var ms []Mode
+	for _, m := range []Mode{Panic, Delay, Error} {
+		if c.Has(m) {
+			ms = append(ms, m)
+		}
+	}
+	return ms
+}
+
+// ErrInjected is the default error of Error-mode plans.
+var ErrInjected = errors.New("fault: injected error")
+
+// PanicValue is what Panic-mode sites throw, so recovery code (and tests)
+// can distinguish injected panics from real ones.
+type PanicValue struct{ Site string }
+
+func (p PanicValue) String() string { return "fault: injected panic at " + p.Site }
+
+// Plan describes when an armed site fires and what it does. Exactly one of
+// Hit, Every or Prob selects the trigger; all three zero fires on every hit.
+type Plan struct {
+	Mode Mode
+	// Hit fires on exactly the Hit-th hit (1-based) since arming.
+	Hit int64
+	// Every fires on every Every-th hit (hit indices divisible by Every).
+	Every int64
+	// Prob fires each hit with this probability, drawn from a generator
+	// seeded with Seed — deterministic given the hit sequence.
+	Prob float64
+	Seed uint64
+	// Times caps total fires; 0 is unlimited (Hit alone fires once anyway).
+	Times int64
+	// Sleep is the Delay-mode duration.
+	Sleep time.Duration
+	// Err is the Error-mode error; nil means ErrInjected.
+	Err error
+}
+
+// armed is the mutable state of one armed plan.
+type armed struct {
+	plan  Plan
+	hits  atomic.Int64
+	fired atomic.Int64
+	mu    sync.Mutex // guards r (rng.RNG is not concurrency-safe)
+	r     *rng.RNG
+}
+
+// due counts one hit and reports whether the plan fires on it.
+func (a *armed) due() bool {
+	h := a.hits.Add(1)
+	hot := false
+	switch {
+	case a.plan.Hit > 0:
+		hot = h == a.plan.Hit
+	case a.plan.Every > 0:
+		hot = h%a.plan.Every == 0
+	case a.plan.Prob > 0:
+		a.mu.Lock()
+		hot = a.r.Bernoulli(a.plan.Prob)
+		a.mu.Unlock()
+	default:
+		hot = true
+	}
+	if !hot {
+		return false
+	}
+	f := a.fired.Add(1)
+	return a.plan.Times <= 0 || f <= a.plan.Times
+}
+
+// Site is one named injection point. The zero value is invalid; sites are
+// created with New at package init and live for the process.
+type Site struct {
+	name string
+	caps Caps
+	arm  atomic.Pointer[armed]
+}
+
+// Name returns the site's registered name.
+func (s *Site) Name() string { return s.name }
+
+// Caps returns the modes the site's call site can absorb.
+func (s *Site) Caps() Caps { return s.caps }
+
+// Arm installs a plan, replacing any previous one (hit counts restart).
+// Plans whose mode the site cannot absorb are rejected.
+func (s *Site) Arm(p Plan) error {
+	if !s.caps.Has(p.Mode) {
+		return fmt.Errorf("fault: site %s cannot carry mode %s", s.name, p.Mode)
+	}
+	a := &armed{plan: p}
+	if p.Prob > 0 {
+		seed := p.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		a.r = rng.New(seed)
+	}
+	s.arm.Store(a)
+	return nil
+}
+
+// Disarm removes the site's plan; evaluation returns to the one-load no-op.
+func (s *Site) Disarm() { s.arm.Store(nil) }
+
+// Armed reports whether a plan is installed.
+func (s *Site) Armed() bool { return s.arm.Load() != nil }
+
+// Hits returns how many times the current plan's site was evaluated, and
+// Fired how many times it fired. Both are 0 when disarmed.
+func (s *Site) Hits() int64 {
+	if a := s.arm.Load(); a != nil {
+		return a.hits.Load()
+	}
+	return 0
+}
+
+// Fired returns how many times the current plan fired.
+func (s *Site) Fired() int64 {
+	if a := s.arm.Load(); a != nil {
+		return a.fired.Load()
+	}
+	return 0
+}
+
+// Fire evaluates the site on a path that cannot return an error: a due
+// Panic plan panics with a PanicValue, a due Delay plan sleeps. Disarmed —
+// the production state — it is one atomic load.
+func (s *Site) Fire() {
+	a := s.arm.Load()
+	if a == nil {
+		return
+	}
+	if !a.due() {
+		return
+	}
+	switch a.plan.Mode {
+	case Panic:
+		panic(PanicValue{Site: s.name})
+	case Delay:
+		time.Sleep(a.plan.Sleep)
+	}
+}
+
+// Err evaluates the site on an error-returning path: a due Error plan
+// returns its error; Panic and Delay plans behave as Fire. Disarmed it is
+// one atomic load and returns nil.
+func (s *Site) Err() error {
+	a := s.arm.Load()
+	if a == nil {
+		return nil
+	}
+	if !a.due() {
+		return nil
+	}
+	switch a.plan.Mode {
+	case Panic:
+		panic(PanicValue{Site: s.name})
+	case Delay:
+		time.Sleep(a.plan.Sleep)
+		return nil
+	case Error:
+		if a.plan.Err != nil {
+			return a.plan.Err
+		}
+		return ErrInjected
+	}
+	return nil
+}
+
+var (
+	regMu sync.Mutex
+	reg   = map[string]*Site{}
+)
+
+// New registers a site under a unique name. Call at package init; duplicate
+// names panic (two call sites must not share a trigger).
+func New(name string, caps Caps) *Site {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := reg[name]; dup {
+		panic("fault: duplicate site " + name)
+	}
+	s := &Site{name: name, caps: caps}
+	reg[name] = s
+	return s
+}
+
+// Lookup returns the site registered under name, or nil.
+func Lookup(name string) *Site {
+	regMu.Lock()
+	defer regMu.Unlock()
+	return reg[name]
+}
+
+// Sites returns every registered site, sorted by name — the sweep axis of
+// the chaos harness.
+func Sites() []*Site {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]*Site, 0, len(reg))
+	for _, s := range reg {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// DisarmAll disarms every registered site — the chaos harness's per-case
+// reset.
+func DisarmAll() {
+	for _, s := range Sites() {
+		s.Disarm()
+	}
+}

@@ -1,0 +1,205 @@
+package fault_test
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ndsnn/internal/fault"
+)
+
+var (
+	testFire = fault.New("test.fire", fault.CanPanic|fault.CanDelay)
+	testErr  = fault.New("test.err", fault.CanError|fault.CanDelay)
+)
+
+// TestDisarmedIsNoOp: an unarmed site never fires, never counts, never errs.
+func TestDisarmedIsNoOp(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		testFire.Fire()
+		if err := testErr.Err(); err != nil {
+			t.Fatalf("disarmed site returned %v", err)
+		}
+	}
+	if testFire.Hits() != 0 || testFire.Fired() != 0 {
+		t.Fatalf("disarmed site counted hits: %d/%d", testFire.Hits(), testFire.Fired())
+	}
+}
+
+// TestHitFiresExactlyOnce: Hit=N fires on exactly the Nth evaluation.
+func TestHitFiresExactlyOnce(t *testing.T) {
+	defer testErr.Disarm()
+	if err := testErr.Arm(fault.Plan{Mode: fault.Error, Hit: 3}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		err := testErr.Err()
+		if (i == 3) != (err != nil) {
+			t.Fatalf("hit %d: err=%v, want error exactly at hit 3", i, err)
+		}
+		if err != nil && !errors.Is(err, fault.ErrInjected) {
+			t.Fatalf("hit %d: err=%v, want ErrInjected", i, err)
+		}
+	}
+	if got := testErr.Fired(); got != 1 {
+		t.Fatalf("fired %d times, want 1", got)
+	}
+}
+
+// TestEveryWithTimesCap: Every=2 fires on even hits until Times is spent.
+func TestEveryWithTimesCap(t *testing.T) {
+	defer testErr.Disarm()
+	custom := errors.New("boom")
+	if err := testErr.Arm(fault.Plan{Mode: fault.Error, Every: 2, Times: 2, Err: custom}); err != nil {
+		t.Fatal(err)
+	}
+	var fired []int
+	for i := 1; i <= 10; i++ {
+		if err := testErr.Err(); err != nil {
+			if !errors.Is(err, custom) {
+				t.Fatalf("hit %d: got %v, want custom error", i, err)
+			}
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 2 || fired[0] != 2 || fired[1] != 4 {
+		t.Fatalf("fired at hits %v, want [2 4]", fired)
+	}
+}
+
+// TestPanicCarriesSiteName: Panic mode throws an identifiable PanicValue.
+func TestPanicCarriesSiteName(t *testing.T) {
+	defer testFire.Disarm()
+	if err := testFire.Arm(fault.Plan{Mode: fault.Panic, Hit: 1}); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		pv, ok := r.(fault.PanicValue)
+		if !ok || pv.Site != "test.fire" {
+			t.Fatalf("recovered %#v, want PanicValue{test.fire}", r)
+		}
+	}()
+	testFire.Fire()
+	t.Fatal("armed panic site did not panic")
+}
+
+// TestDelaySleeps: Delay mode sleeps roughly the configured duration.
+func TestDelaySleeps(t *testing.T) {
+	defer testFire.Disarm()
+	if err := testFire.Arm(fault.Plan{Mode: fault.Delay, Hit: 1, Sleep: 20 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	testFire.Fire()
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("delay slept %v, want ≥ 20ms (minus scheduler slack)", d)
+	}
+}
+
+// TestProbIsSeededDeterministic: the same seed yields the same fire pattern.
+func TestProbIsSeededDeterministic(t *testing.T) {
+	defer testErr.Disarm()
+	pattern := func(seed uint64) []bool {
+		if err := testErr.Arm(fault.Plan{Mode: fault.Error, Prob: 0.5, Seed: seed}); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = testErr.Err() != nil
+		}
+		return out
+	}
+	a, b := pattern(42), pattern(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hit %d: seed-42 patterns diverge", i)
+		}
+	}
+	c := pattern(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 64-hit patterns (suspicious)")
+	}
+}
+
+// TestArmRejectsUnsupportedMode: caps gate what a sweep may arm.
+func TestArmRejectsUnsupportedMode(t *testing.T) {
+	if err := testFire.Arm(fault.Plan{Mode: fault.Error}); err == nil {
+		testFire.Disarm()
+		t.Fatal("Error-mode plan armed on a site without CanError")
+	}
+	if err := testErr.Arm(fault.Plan{Mode: fault.Panic}); err == nil {
+		testErr.Disarm()
+		t.Fatal("Panic-mode plan armed on a site without CanPanic")
+	}
+}
+
+// TestRegistryAndSweepSurface: registered sites are enumerable and
+// resettable — the chaos harness's contract.
+func TestRegistryAndSweepSurface(t *testing.T) {
+	if fault.Lookup("test.fire") != testFire {
+		t.Fatal("Lookup did not return the registered site")
+	}
+	found := 0
+	for _, s := range fault.Sites() {
+		if s == testFire || s == testErr {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatalf("Sites() surfaced %d of the 2 test sites", found)
+	}
+	if err := testErr.Arm(fault.Plan{Mode: fault.Error}); err != nil {
+		t.Fatal(err)
+	}
+	fault.DisarmAll()
+	if testErr.Armed() {
+		t.Fatal("DisarmAll left a site armed")
+	}
+}
+
+// TestConcurrentEvaluation: armed-site evaluation is race-free and the
+// Times cap holds under contention (run with -race).
+func TestConcurrentEvaluation(t *testing.T) {
+	defer testErr.Disarm()
+	if err := testErr.Arm(fault.Plan{Mode: fault.Error, Every: 3, Times: 5}); err != nil {
+		t.Fatal(err)
+	}
+	var fired atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if testErr.Err() != nil {
+					fired.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := fired.Load(); got != 5 {
+		t.Fatalf("Times=5 cap fired %d errors under contention", got)
+	}
+}
+
+// TestCapsModes pins the sweep axis derivation.
+func TestCapsModes(t *testing.T) {
+	ms := (fault.CanPanic | fault.CanError).Modes()
+	if len(ms) != 2 || ms[0] != fault.Panic || ms[1] != fault.Error {
+		t.Fatalf("Modes() = %v, want [panic error]", ms)
+	}
+	if fault.Panic.String() != "panic" || fault.Delay.String() != "delay" || fault.Error.String() != "error" {
+		t.Fatal("Mode.String labels changed — sweep case names depend on them")
+	}
+}

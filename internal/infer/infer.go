@@ -31,11 +31,19 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"ndsnn/internal/fault"
 	"ndsnn/internal/layers"
 	"ndsnn/internal/quant"
 	"ndsnn/internal/snn"
 	"ndsnn/internal/tensor"
 )
+
+// faultPass fires once per inference timestep — the injected analogue of an
+// engine bug mid-pass (panic) or a stalled stage (delay). A panic here
+// abandons the pass's scratch arenas: release only runs after a pass
+// completes normally, so nothing possibly-poisoned returns to the pool. The
+// serving layer's chaos harness arms this site to prove batch isolation.
+var faultPass = fault.New("infer.pass", fault.CanPanic|fault.CanDelay)
 
 // Event is one nonzero activation: flat index plus value (graded spikes
 // generalize binary events and make average pooling composable).
@@ -593,6 +601,7 @@ func (e *Engine) inferScratch(sc *Scratch, sample *tensor.Tensor, pt *PassTrace)
 	in.shape = appendShape(in.shape[:0], sample)
 	in.data = sample.Data
 	for t := 0; t < e.T; t++ {
+		faultPass.Fire()
 		in.refreshEvents()
 		cur := e.stepStages(sc, in)
 		if len(sc.avg) == 0 {
@@ -678,6 +687,7 @@ func (e *Engine) inferBatch(samples []*tensor.Tensor, pt *PassTrace) [][]float32
 		}
 	}
 	for t := 0; t < e.T; t++ {
+		faultPass.Fire()
 		for i := range scs {
 			scs[i].input.refreshEvents()
 			cur[i] = &scs[i].input

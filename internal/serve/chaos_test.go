@@ -1,0 +1,222 @@
+package serve_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ndsnn/internal/fault"
+	"ndsnn/internal/serve"
+)
+
+// The chaos harness: every serving-path fault site is armed in every mode its
+// call site can absorb, a concurrent workload is driven through the server,
+// and the invariants that make the failure model trustworthy are asserted —
+// the workload never hangs, every surviving response is bit-identical to the
+// serial reference, only the typed errors of the failure model escape, and
+// the stats conservation law Admitted == Served + Expired + Failed holds at
+// shutdown. Run under -race in CI (the chaos job).
+
+// chaosPlan is the deterministic plan a sweep case arms: periodic triggers
+// with a fire cap, so every case injects a known number of faults and then
+// lets the server prove it kept serving.
+func chaosPlan(mode fault.Mode) fault.Plan {
+	switch mode {
+	case fault.Panic:
+		return fault.Plan{Mode: fault.Panic, Every: 7, Times: 3}
+	case fault.Delay:
+		return fault.Plan{Mode: fault.Delay, Every: 3, Sleep: 200 * time.Microsecond}
+	case fault.Error:
+		return fault.Plan{Mode: fault.Error, Every: 7, Times: 3}
+	}
+	panic("unknown mode")
+}
+
+// servingSites returns the registered fault sites the serving workload
+// reaches: the serve.* admission/dispatch/delivery sites and the engine's
+// per-timestep infer.* site. (The checkpoint.save.* sites are swept by their
+// own armed tests in internal/checkpoint — a serving workload never hits
+// them.)
+func servingSites(t *testing.T) []*fault.Site {
+	t.Helper()
+	var out []*fault.Site
+	for _, s := range fault.Sites() {
+		if strings.HasPrefix(s.Name(), "serve.") || strings.HasPrefix(s.Name(), "infer.") {
+			out = append(out, s)
+		}
+	}
+	if len(out) < 4 {
+		t.Fatalf("expected ≥4 serving fault sites, registry has %d", len(out))
+	}
+	return out
+}
+
+// TestChaosSweep arms each serving fault site in each supported mode and
+// asserts the full failure model under concurrency.
+func TestChaosSweep(t *testing.T) {
+	eng, samples := buildEngine(t, 0, 51)
+	ref := serialScores(eng, samples)
+	for _, site := range servingSites(t) {
+		for _, mode := range site.Caps().Modes() {
+			t.Run(site.Name()+"/"+mode.String(), func(t *testing.T) {
+				defer fault.DisarmAll()
+				srv := serve.New(eng, serve.Config{
+					MaxBatch: 4, Linger: 100 * time.Microsecond, MaxQueue: 256, Workers: 2,
+				})
+				if err := site.Arm(chaosPlan(mode)); err != nil {
+					t.Fatal(err)
+				}
+
+				const n = 96
+				type outcome struct {
+					idx    int
+					scores []float32
+					err    error
+				}
+				outcomes := make(chan outcome, n)
+				var wg sync.WaitGroup
+				for i := 0; i < n; i++ {
+					wg.Add(1)
+					go func(i int) {
+						defer wg.Done()
+						idx := i % len(samples)
+						sc, err := srv.Infer(context.Background(), samples[idx])
+						outcomes <- outcome{idx: idx, scores: sc, err: err}
+					}(i)
+				}
+
+				// Invariant 1: no hangs. Every caller unblocks even with the
+				// fault firing mid-flight.
+				finished := make(chan struct{})
+				go func() { wg.Wait(); close(finished) }()
+				select {
+				case <-finished:
+				case <-time.After(60 * time.Second):
+					t.Fatalf("workload hung with %s armed in %s mode", site.Name(), mode)
+				}
+
+				drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				res := srv.Drain(drainCtx)
+				cancel()
+				if !res.Clean {
+					// Everything resolved before Drain was called, so a forced
+					// drain means requests leaked.
+					t.Fatalf("drain after quiesced workload not clean: %+v", res)
+				}
+
+				// Invariant 2: survivors are bit-identical to the serial
+				// reference; failures carry only the failure model's typed
+				// errors.
+				close(outcomes)
+				var served, failed int64
+				for o := range outcomes {
+					if o.err != nil {
+						if !errors.Is(o.err, serve.ErrInternal) {
+							t.Fatalf("unexpected error type under %s/%s: %v", site.Name(), mode, o.err)
+						}
+						failed++
+						continue
+					}
+					served++
+					assertExact(t, o.scores, ref[o.idx], "surviving request")
+				}
+
+				// Invariant 3: stats conservation.
+				st := srv.Stats()
+				if st.Admitted != n {
+					t.Fatalf("admitted %d of %d (queue 256 cannot overflow here): %+v", st.Admitted, n, st)
+				}
+				if got := st.Resolved(); got != st.Admitted {
+					t.Fatalf("conservation violated: resolved %d != admitted %d: %+v", got, st.Admitted, st)
+				}
+				if st.Served != served || st.Failed != failed {
+					t.Fatalf("caller-observed outcomes (served %d, failed %d) disagree with stats %+v", served, failed, st)
+				}
+
+				// The armed site must actually have been exercised, and after a
+				// destructive fault the server must have kept serving.
+				if site.Hits() == 0 {
+					t.Fatalf("site %s was armed but never evaluated", site.Name())
+				}
+				switch mode {
+				case fault.Panic, fault.Error:
+					if st.Panics == 0 {
+						t.Fatalf("%s armed in %s mode but no pass was isolated: %+v", site.Name(), mode, st)
+					}
+					if st.Served == 0 {
+						t.Fatalf("server did not keep serving after isolated %s at %s: %+v", mode, site.Name(), st)
+					}
+					if st.Failed == 0 {
+						t.Fatalf("isolated %s at %s failed no requests: %+v", mode, site.Name(), st)
+					}
+				case fault.Delay:
+					if st.Served != n {
+						t.Fatalf("delay fault must not fail requests: %+v", st)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestServerSurvivesEnginePanic is the minimal panic-isolation pin: one
+// injected engine panic fails exactly the requests of its batch with
+// ErrInternal, and the very next request on the same server succeeds
+// bit-identically — the arena the doomed pass abandoned never poisons a
+// later pass.
+func TestServerSurvivesEnginePanic(t *testing.T) {
+	defer fault.DisarmAll()
+	eng, samples := buildEngine(t, 0, 53)
+	ref := serialScores(eng, samples)
+	srv := serve.New(eng, serve.Config{MaxBatch: 1, Workers: 1})
+	defer srv.Close()
+
+	site := fault.Lookup("infer.pass")
+	if site == nil {
+		t.Fatal("infer.pass site not registered")
+	}
+	if err := site.Arm(fault.Plan{Mode: fault.Panic, Hit: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Infer(context.Background(), samples[0]); !errors.Is(err, serve.ErrInternal) {
+		t.Fatalf("request during engine panic: got %v, want ErrInternal", err)
+	}
+	// Hit fired once; subsequent passes run clean even while armed.
+	for i := 0; i < 8; i++ {
+		scores, err := srv.Infer(context.Background(), samples[i%len(samples)])
+		if err != nil {
+			t.Fatalf("request %d after isolated panic: %v", i, err)
+		}
+		assertExact(t, scores, ref[i%len(samples)], "post-panic request")
+	}
+	st := srv.Stats()
+	if st.Panics != 1 || st.Failed != 1 || st.Served != 8 {
+		t.Fatalf("isolation stats: %+v (want Panics 1, Failed 1, Served 8)", st)
+	}
+	if got := st.Resolved(); got != st.Admitted {
+		t.Fatalf("conservation after isolation: resolved %d != admitted %d", got, st.Admitted)
+	}
+}
+
+// TestServerPanicMessageNamesSite pins that an isolated injected panic
+// surfaces the fault site in its error text — the operator-facing breadcrumb.
+func TestServerPanicMessageNamesSite(t *testing.T) {
+	defer fault.DisarmAll()
+	eng, samples := buildEngine(t, 0, 55)
+	srv := serve.New(eng, serve.Config{MaxBatch: 1, Workers: 1})
+	defer srv.Close()
+	site := fault.Lookup("serve.batch")
+	if err := site.Arm(fault.Plan{Mode: fault.Panic, Hit: 1}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := srv.Infer(context.Background(), samples[0])
+	if !errors.Is(err, serve.ErrInternal) {
+		t.Fatalf("got %v, want ErrInternal", err)
+	}
+	if !strings.Contains(err.Error(), "serve.batch") {
+		t.Fatalf("isolated panic error %q does not name the panic site", err)
+	}
+}

@@ -1,0 +1,358 @@
+package serve_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"ndsnn/internal/fault"
+	"ndsnn/internal/serve"
+	"ndsnn/internal/tensor"
+)
+
+// Drain / Close lifecycle matrix: graceful drain under load, forced drain
+// with stragglers, Close racing in-flight work, and idempotent combinations.
+// Run under -race in CI.
+
+// TestServerDrainUnderLoad floods a deliberately slow server (injected
+// dispatch delay) and drains it with a generous deadline: the drain must
+// flush everything — every caller gets its scores or a typed refusal, and the
+// conservation law holds with DrainClean recorded.
+func TestServerDrainUnderLoad(t *testing.T) {
+	defer fault.DisarmAll()
+	eng, samples := buildEngine(t, 0, 61)
+	ref := serialScores(eng, samples)
+	srv := serve.New(eng, serve.Config{MaxBatch: 2, MaxQueue: 64, Workers: 1})
+	site := fault.Lookup("serve.batch")
+	if err := site.Arm(fault.Plan{Mode: fault.Delay, Sleep: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 32
+	type outcome struct {
+		idx    int
+		scores []float32
+		err    error
+	}
+	outcomes := make(chan outcome, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			idx := i % len(samples)
+			sc, err := srv.Infer(context.Background(), samples[idx])
+			outcomes <- outcome{idx: idx, scores: sc, err: err}
+		}(i)
+	}
+	// Let the queue build behind the slowed dispatcher, then drain mid-load.
+	time.Sleep(2 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	res := srv.Drain(ctx)
+	cancel()
+	wg.Wait()
+	close(outcomes)
+
+	if !res.Clean || res.Stragglers != 0 {
+		t.Fatalf("drain under load with a generous deadline was not clean: %+v", res)
+	}
+	var served int64
+	for o := range outcomes {
+		switch {
+		case o.err == nil:
+			served++
+			assertExact(t, o.scores, ref[o.idx], "drained request")
+		case errors.Is(o.err, serve.ErrClosed):
+			// Lost the admission race against markClosed — refused, never
+			// admitted.
+		default:
+			t.Fatalf("unexpected error during drain: %v", o.err)
+		}
+	}
+	st := srv.Stats()
+	if st.Served != served || st.Served != st.Admitted {
+		t.Fatalf("every admitted request must be served by a clean drain: served %d, stats %+v", served, st)
+	}
+	if got := st.Resolved(); got != st.Admitted {
+		t.Fatalf("conservation after drain: resolved %d != admitted %d", got, st.Admitted)
+	}
+	if st.DrainClean != 1 || st.DrainForced != 0 {
+		t.Fatalf("drain outcome counters: %+v", st)
+	}
+}
+
+// TestServerDrainForced pins the straggler path deterministically: requests
+// queued in a dispatcherless server cannot flush, so a short-deadline Drain
+// must fail exactly those requests with ErrClosed, count them as stragglers,
+// and still satisfy conservation.
+func TestServerDrainForced(t *testing.T) {
+	eng, samples := buildEngine(t, 0, 63)
+	srv := serve.NewUnstarted(eng, serve.Config{MaxBatch: 4, MaxQueue: 8})
+
+	const n = 4
+	results := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			_, err := srv.Infer(context.Background(), samples[i%len(samples)])
+			results <- err
+		}(i)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.QueueLen() < n {
+		if time.Now().After(deadline) {
+			t.Fatal("requests never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	res := srv.Drain(ctx)
+	cancel()
+	if res.Clean || res.Stragglers != n {
+		t.Fatalf("forced drain result: %+v (want forced with %d stragglers)", res, n)
+	}
+	for i := 0; i < n; i++ {
+		if err := <-results; !errors.Is(err, serve.ErrClosed) {
+			t.Fatalf("straggler %d: got %v, want ErrClosed", i, err)
+		}
+	}
+	st := srv.Stats()
+	if st.Failed != n || st.DrainForced != 1 || st.DrainStragglers != n || st.DrainClean != 0 {
+		t.Fatalf("forced drain stats: %+v", st)
+	}
+	if got := st.Resolved(); got != st.Admitted {
+		t.Fatalf("conservation after forced drain: resolved %d != admitted %d", got, st.Admitted)
+	}
+}
+
+// TestServerCloseWhileInflight races Close against a concurrent request
+// storm: every caller must unblock with either exact scores or ErrClosed,
+// never hang, and the conservation law must hold afterwards.
+func TestServerCloseWhileInflight(t *testing.T) {
+	eng, samples := buildEngine(t, 0, 65)
+	ref := serialScores(eng, samples)
+	srv := serve.New(eng, serve.Config{MaxBatch: 4, MaxQueue: 128, Workers: 2})
+
+	const n = 64
+	type outcome struct {
+		idx    int
+		scores []float32
+		err    error
+	}
+	outcomes := make(chan outcome, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			idx := i % len(samples)
+			sc, err := srv.Infer(context.Background(), samples[idx])
+			outcomes <- outcome{idx: idx, scores: sc, err: err}
+		}(i)
+	}
+	time.Sleep(500 * time.Microsecond)
+	srv.Close()
+
+	finished := make(chan struct{})
+	go func() { wg.Wait(); close(finished) }()
+	select {
+	case <-finished:
+	case <-time.After(30 * time.Second):
+		t.Fatal("callers hung across Close")
+	}
+	close(outcomes)
+	for o := range outcomes {
+		switch {
+		case o.err == nil:
+			assertExact(t, o.scores, ref[o.idx], "request completed across Close")
+		case errors.Is(o.err, serve.ErrClosed):
+		default:
+			t.Fatalf("unexpected error across Close: %v", o.err)
+		}
+	}
+	st := srv.Stats()
+	if got := st.Resolved(); got != st.Admitted {
+		t.Fatalf("conservation after Close-while-inflight: resolved %d != admitted %d: %+v", got, st.Admitted, st)
+	}
+}
+
+// TestServerDrainCloseIdempotent: Drain → Drain → Close (and Close → Drain)
+// converge without deadlock or double-counting.
+func TestServerDrainCloseIdempotent(t *testing.T) {
+	eng, samples := buildEngine(t, 0, 67)
+	srv := serve.New(eng, serve.Config{MaxBatch: 2, Workers: 1})
+	if _, err := srv.Infer(context.Background(), samples[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if res := srv.Drain(ctx); !res.Clean {
+		t.Fatalf("first drain: %+v", res)
+	}
+	if res := srv.Drain(ctx); !res.Clean || res.Stragglers != 0 {
+		t.Fatalf("second drain: %+v", res)
+	}
+	srv.Close() // after drain: nothing left to do, must not hang
+	if _, err := srv.Infer(context.Background(), samples[0]); !errors.Is(err, serve.ErrClosed) {
+		t.Fatalf("post-drain submit: got %v, want ErrClosed", err)
+	}
+	st := srv.Stats()
+	if st.Served != 1 || st.Resolved() != st.Admitted {
+		t.Fatalf("idempotent lifecycle stats: %+v", st)
+	}
+
+	// Close first, then Drain: an already-shut server drains clean instantly.
+	srv2 := serve.New(eng, serve.Config{Workers: 1})
+	srv2.Close()
+	if res := srv2.Drain(ctx); !res.Clean {
+		t.Fatalf("drain after close: %+v", res)
+	}
+}
+
+// TestServerHealthy pins the readiness flag across the lifecycle.
+func TestServerHealthy(t *testing.T) {
+	eng, _ := buildEngine(t, 0, 69)
+	srv := serve.New(eng, serve.Config{Workers: 1})
+	if !srv.Healthy() {
+		t.Fatal("fresh server not healthy")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	srv.Drain(ctx)
+	if srv.Healthy() {
+		t.Fatal("drained server still healthy")
+	}
+	srv.Close()
+	if srv.Healthy() {
+		t.Fatal("closed server still healthy")
+	}
+}
+
+// TestServerAdaptiveShed pins the deadline-aware shedder deterministically
+// via the seeded-EWMA test hook: a request whose deadline budget is below the
+// predicted queue wait is refused with ErrOverloaded and counted as Shed; a
+// request with a generous budget or no deadline is admitted.
+func TestServerAdaptiveShed(t *testing.T) {
+	eng, samples := buildEngine(t, 0, 71)
+	srv := serve.NewUnstarted(eng, serve.Config{MaxQueue: 8, AdaptiveShed: true})
+	srv.SetWaitEWMA(50 * time.Millisecond)
+
+	tight, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, err := srv.Infer(tight, samples[0]); !errors.Is(err, serve.ErrOverloaded) {
+		t.Fatalf("under-budget request: got %v, want ErrOverloaded", err)
+	}
+	if st := srv.Stats(); st.Shed != 1 || st.Admitted != 0 || st.Rejected != 0 {
+		t.Fatalf("shed stats: %+v", st)
+	}
+
+	// A generous deadline clears the predictor and admits.
+	roomy, cancel2 := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel2()
+	done := make(chan error, 1)
+	go func() {
+		_, err := srv.Infer(roomy, samples[0])
+		done <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.QueueLen() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("roomy request never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	srv.DispatchOnce()
+	if err := <-done; err != nil {
+		t.Fatalf("roomy request: %v", err)
+	}
+
+	// No deadline: never shed, whatever the predictor says.
+	go func() {
+		_, err := srv.Infer(context.Background(), samples[0])
+		done <- err
+	}()
+	for srv.QueueLen() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("deadline-free request never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	srv.DispatchOnce()
+	if err := <-done; err != nil {
+		t.Fatalf("deadline-free request: %v", err)
+	}
+	if st := srv.Stats(); st.Shed != 1 || st.Served != 2 {
+		t.Fatalf("post-admission stats: %+v", st)
+	}
+	srv.Close()
+}
+
+// TestServerObservesWait pins that dispatch feeds realized queue waits into
+// the shedder's EWMA on a live server.
+func TestServerObservesWait(t *testing.T) {
+	eng, samples := buildEngine(t, 0, 73)
+	srv := serve.NewUnstarted(eng, serve.Config{MaxQueue: 8, AdaptiveShed: true})
+	done := make(chan error, 1)
+	go func() {
+		_, err := srv.Infer(context.Background(), samples[0])
+		done <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.QueueLen() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The request has now waited ≥ 1ms in the queue; dispatch must fold that
+	// wait into the predictor.
+	time.Sleep(time.Millisecond)
+	srv.DispatchOnce()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.WaitPrediction(); got <= 0 {
+		t.Fatalf("EWMA not updated after dispatch: %v", got)
+	}
+	srv.Close()
+}
+
+// TestServerValidation: nil, empty and mis-shaped samples are refused with
+// ErrBadRequest before touching the queue — and counted as Invalid, not
+// Rejected.
+func TestServerValidation(t *testing.T) {
+	eng, samples := buildEngine(t, 0, 75)
+	srv := serve.New(eng, serve.Config{Workers: 1, InputShape: []int{3, 16, 16}})
+	defer srv.Close()
+	ctx := context.Background()
+
+	cases := []struct {
+		name   string
+		sample *tensor.Tensor
+	}{
+		{"nil", nil},
+		{"empty", &tensor.Tensor{}},
+		{"wrong-rank", tensor.New(3, 16)},
+		{"wrong-dim", tensor.New(3, 16, 8)},
+	}
+	for _, tc := range cases {
+		if _, err := srv.Infer(ctx, tc.sample); !errors.Is(err, serve.ErrBadRequest) {
+			t.Fatalf("%s sample: got %v, want ErrBadRequest", tc.name, err)
+		}
+	}
+	if _, err := srv.Classify(ctx, nil); !errors.Is(err, serve.ErrBadRequest) {
+		t.Fatalf("Classify(nil): want ErrBadRequest")
+	}
+	st := srv.Stats()
+	if st.Invalid != int64(len(cases))+1 || st.Admitted != 0 {
+		t.Fatalf("validation stats: %+v", st)
+	}
+
+	// A well-shaped sample passes validation and serves.
+	if _, err := srv.Infer(ctx, samples[0]); err != nil {
+		t.Fatalf("valid sample refused: %v", err)
+	}
+}

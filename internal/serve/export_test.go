@@ -28,6 +28,10 @@ func NewUnstarted(eng *infer.Engine, cfg Config) *Server {
 // QueueLen reports how many requests are currently queued.
 func (s *Server) QueueLen() int { return len(s.queue) }
 
+// SetWaitEWMA seeds the adaptive shedder's queue-wait predictor so shedding
+// decisions are deterministic in tests.
+func (s *Server) SetWaitEWMA(d time.Duration) { s.waitEWMA.Store(d.Nanoseconds()) }
+
 // DispatchOnce runs a single dispatcher iteration if anything is queued:
 // coalesce around the oldest request, drop expired ones, run the batch.
 // Telemetry-enabled servers get a fresh trace scratch per call — the tests

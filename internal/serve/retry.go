@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"ndsnn/internal/rng"
+	"ndsnn/internal/tensor"
+)
+
+// RetryPolicy tunes overload backoff for Retry/InferRetry. The zero value is
+// usable: every field has a default.
+type RetryPolicy struct {
+	// Attempts is the total number of submissions (the first try plus
+	// retries). Default 4.
+	Attempts int
+	// Base is the backoff before the first retry; each subsequent backoff
+	// doubles it, capped at Max. Default 1ms.
+	Base time.Duration
+	// Max caps the exponential backoff. Default 128ms.
+	Max time.Duration
+	// Seed seeds the jitter draw (deterministic per policy use). Default 1.
+	Seed uint64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Attempts < 1 {
+		p.Attempts = 4
+	}
+	if p.Base <= 0 {
+		p.Base = time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 128 * time.Millisecond
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// Retry runs fn, retrying only on ErrOverloaded with jittered exponential
+// backoff: before retry k the caller sleeps a uniform draw from [b/2, b)
+// where b = min(Base·2^(k-1), Max) — full-magnitude jitter so a burst of
+// shed callers decorrelates instead of re-colliding. Any other error (and
+// success) returns immediately; ctx expiry during a backoff sleep returns
+// ctx.Err(). The jitter sequence is seeded, so a retry schedule replays
+// deterministically.
+func Retry(ctx context.Context, p RetryPolicy, fn func(context.Context) error) error {
+	p = p.withDefaults()
+	r := rng.New(p.Seed)
+	backoff := p.Base
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = fn(ctx)
+		if err == nil || !errors.Is(err, ErrOverloaded) || attempt >= p.Attempts {
+			return err
+		}
+		sleep := backoff/2 + time.Duration(r.Float64()*float64(backoff/2))
+		timer := time.NewTimer(sleep)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return ctx.Err()
+		case <-timer.C:
+		}
+		if backoff < p.Max {
+			backoff *= 2
+			if backoff > p.Max {
+				backoff = p.Max
+			}
+		}
+	}
+}
+
+// InferRetry is Infer with overload backoff: shed or queue-full submissions
+// are retried per policy (counted in Stats.Retries); every other outcome —
+// scores, bad request, deadline, closed server — passes straight through.
+func (s *Server) InferRetry(ctx context.Context, p RetryPolicy, sample *tensor.Tensor) ([]float32, error) {
+	var scores []float32
+	first := true
+	err := Retry(ctx, p, func(ctx context.Context) error {
+		if !first {
+			s.retries.Add(1)
+		}
+		first = false
+		var err error
+		scores, err = s.Infer(ctx, sample)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return scores, nil
+}

@@ -1,0 +1,139 @@
+package serve_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"ndsnn/internal/serve"
+)
+
+// TestRetryOnlyOnOverload: Retry re-runs fn only for ErrOverloaded — success
+// and every other error return immediately.
+func TestRetryOnlyOnOverload(t *testing.T) {
+	fast := serve.RetryPolicy{Attempts: 4, Base: 100 * time.Microsecond}
+
+	calls := 0
+	err := serve.Retry(context.Background(), fast, func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return serve.ErrOverloaded
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("overload then success: err %v after %d calls, want nil after 3", err, calls)
+	}
+
+	calls = 0
+	boom := errors.New("boom")
+	err = serve.Retry(context.Background(), fast, func(context.Context) error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) || calls != 1 {
+		t.Fatalf("non-overload error: err %v after %d calls, want boom after 1", err, calls)
+	}
+
+	calls = 0
+	err = serve.Retry(context.Background(), fast, func(context.Context) error {
+		calls++
+		return serve.ErrBadRequest
+	})
+	if !errors.Is(err, serve.ErrBadRequest) || calls != 1 {
+		t.Fatalf("bad request: err %v after %d calls, want immediate ErrBadRequest", err, calls)
+	}
+
+	calls = 0
+	err = serve.Retry(context.Background(), fast, func(context.Context) error {
+		calls++
+		return serve.ErrOverloaded
+	})
+	if !errors.Is(err, serve.ErrOverloaded) || calls != fast.Attempts {
+		t.Fatalf("persistent overload: err %v after %d calls, want ErrOverloaded after %d", err, calls, fast.Attempts)
+	}
+}
+
+// TestRetryHonorsContext: a context canceled during the backoff sleep aborts
+// the retry loop with ctx.Err().
+func TestRetryHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	done := make(chan error, 1)
+	go func() {
+		done <- serve.Retry(ctx, serve.RetryPolicy{Attempts: 10, Base: time.Hour}, func(context.Context) error {
+			calls++
+			return serve.ErrOverloaded
+		})
+	}()
+	time.Sleep(time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+		if calls != 1 {
+			t.Fatalf("fn called %d times, want 1 (hour-long backoff)", calls)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Retry did not honor context cancellation")
+	}
+}
+
+// TestInferRetryCountsRetries: against a permanently full queue, InferRetry
+// re-submits per policy and the server counts each re-submission.
+func TestInferRetryCountsRetries(t *testing.T) {
+	eng, samples := buildEngine(t, 0, 81)
+	// Dispatcherless server with a 1-deep queue: park one request so every
+	// further submission is ErrOverloaded deterministically.
+	srv := serve.NewUnstarted(eng, serve.Config{MaxBatch: 1, MaxQueue: 1})
+	parked := make(chan error, 1)
+	go func() {
+		_, err := srv.Infer(context.Background(), samples[0])
+		parked <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.QueueLen() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("parked request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	p := serve.RetryPolicy{Attempts: 3, Base: 100 * time.Microsecond}
+	_, err := srv.InferRetry(context.Background(), p, samples[0])
+	if !errors.Is(err, serve.ErrOverloaded) {
+		t.Fatalf("got %v, want ErrOverloaded after exhausted retries", err)
+	}
+	st := srv.Stats()
+	if st.Retries != int64(p.Attempts-1) || st.Rejected != int64(p.Attempts) {
+		t.Fatalf("retry stats: %+v (want Retries %d, Rejected %d)", st, p.Attempts-1, p.Attempts)
+	}
+
+	// Free the queue; a retried submission now lands and serves exactly.
+	srv.DispatchOnce()
+	if err := <-parked; err != nil {
+		t.Fatal(err)
+	}
+	scores, err := srv.InferRetry(contextWithDispatch(srv), p, samples[1])
+	if err != nil {
+		t.Fatalf("InferRetry on a free queue: %v", err)
+	}
+	assertExact(t, scores, eng.Infer(samples[1]), "retried request")
+	srv.Close()
+}
+
+// contextWithDispatch returns a background context and pumps DispatchOnce
+// until the server quiesces — InferRetry blocks synchronously, so dispatch
+// must run concurrently on an unstarted server.
+func contextWithDispatch(srv *serve.Server) context.Context {
+	go func() {
+		for i := 0; i < 10000; i++ {
+			srv.DispatchOnce()
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	return context.Background()
+}

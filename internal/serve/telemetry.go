@@ -54,13 +54,32 @@ func (s *Server) initTelemetry() {
 	t.assembly = reg.Histogram("serve_batch_assembly_ns", "ns")
 	t.compute = reg.Histogram("serve_compute_ns", "ns")
 	t.batchSize = reg.Histogram("serve_batch_size", "samples")
+	reg.CounterFunc("serve_admitted_total", s.admitted.Load)
 	reg.CounterFunc("serve_served_total", s.served.Load)
 	reg.CounterFunc("serve_rejected_total", s.rejected.Load)
+	reg.CounterFunc("serve_shed_total", s.shed.Load)
+	reg.CounterFunc("serve_invalid_total", s.invalid.Load)
 	reg.CounterFunc("serve_expired_queue_total", s.expiredQueue.Load)
 	reg.CounterFunc("serve_expired_inflight_total", s.expiredFlight.Load)
+	reg.CounterFunc("serve_failed_total", s.failed.Load)
+	reg.CounterFunc("serve_panics_isolated_total", s.panics.Load)
+	reg.CounterFunc("serve_retries_total", s.retries.Load)
 	reg.CounterFunc("serve_batches_total", s.batches.Load)
 	reg.CounterFunc("serve_batched_samples_total", s.batched.Load)
+	reg.CounterFunc("serve_drain_clean_total", s.drainClean.Load)
+	reg.CounterFunc("serve_drain_forced_total", s.drainForced.Load)
+	reg.CounterFunc("serve_drain_stragglers_total", s.drainStrag.Load)
 	reg.Gauge("serve_queue_depth", func() int64 { return int64(len(s.queue)) })
+	// Readiness: 1 while admission is open, 0 once Close/Drain stopped it —
+	// the gauge a load balancer's health poll reads off obs.Handler.
+	reg.Gauge("serve_healthy", func() int64 {
+		if s.Healthy() {
+			return 1
+		}
+		return 0
+	})
+	// Predicted queue wait of the adaptive shedder (0 with shedding off).
+	reg.Gauge("serve_shed_predicted_wait_ns", s.waitEWMA.Load)
 	s.tel = t
 }
 
